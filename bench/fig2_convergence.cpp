@@ -1,0 +1,101 @@
+// FIG2 — the iterative analysis of the paper's Figure 2: δ-controlled
+// fixed point. Reports, per kernel and per δ:
+//   - iterations to converge (or CAP = declared non-convergent),
+//   - the final max per-instruction change,
+//   - analysis wall time.
+// Then sweeps random-program irregularity at fixed δ, reporting both
+// iteration counts and non-convergence rate under a tight cap — the
+// paper's "reasonable number of iterations must be determined
+// empirically" knob.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+using namespace tadfa;
+
+int main() {
+  bench::Rig rig;
+  const std::vector<double> deltas{1.0, 0.1, 0.01, 0.001, 0.0001};
+
+  TextTable table("FIG2 — iterations to converge vs delta (cap 500)");
+  std::vector<std::string> header{"kernel"};
+  for (double d : deltas) {
+    header.push_back("d=" + bench::fmt(d, 4));
+  }
+  header.push_back("time@d=0.01 ms");
+  table.set_header(header);
+
+  for (const char* name : {"counter", "vecsum", "crc32", "fir", "poly7",
+                           "idct8", "matmul", "stencil3"}) {
+    auto kernel = workload::make_kernel(name);
+    const auto alloc = bench::allocate(rig, kernel->func, "first_free");
+    std::vector<std::string> row{name};
+    double time_ms = 0;
+    for (double d : deltas) {
+      core::ThermalDfaConfig cfg;
+      cfg.delta_k = d;
+      cfg.max_iterations = 500;
+      const core::ThermalDfa dfa(rig.grid, rig.power, rig.timing, cfg);
+      const auto r = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+      row.push_back(r.converged ? std::to_string(r.iterations) : "CAP");
+      if (d == 0.01) {
+        time_ms = r.analysis_seconds * 1e3;
+      }
+    }
+    row.push_back(bench::fmt(time_ms, 2));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  // --- Irregularity sweep -----------------------------------------------------
+  TextTable irr_table(
+      "FIG2 — random programs: irregularity vs convergence "
+      "(delta=0.001 K, 12 seeds)");
+  irr_table.set_header({"irregularity", "mean iterations", "max iterations",
+                        "nonconverged@cap60", "mean final delta K"});
+  for (double irregularity : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    stats::Accumulator iters;
+    int nonconverged = 0;
+    stats::Accumulator final_delta;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      workload::RandomProgramConfig pcfg;
+      pcfg.seed = seed;
+      pcfg.target_instructions = 140;
+      pcfg.irregularity = irregularity;
+      ir::Function f = workload::random_program(pcfg);
+      const auto alloc = bench::allocate(rig, f, "first_free");
+
+      core::ThermalDfaConfig cfg;
+      cfg.delta_k = 0.001;
+      cfg.max_iterations = 500;
+      const core::ThermalDfa dfa(rig.grid, rig.power, rig.timing, cfg);
+      const auto r = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+      iters.add(r.iterations);
+      final_delta.add(r.final_delta_k);
+
+      core::ThermalDfaConfig capped = cfg;
+      capped.max_iterations = 60;  // an aggressive "reasonable number"
+      const core::ThermalDfa dfa_capped(rig.grid, rig.power, rig.timing,
+                                        capped);
+      nonconverged +=
+          !dfa_capped.analyze_post_ra(alloc.func, alloc.assignment).converged;
+    }
+    irr_table.add_row({bench::fmt(irregularity, 2),
+                       bench::fmt(iters.mean(), 1),
+                       bench::fmt(iters.max(), 0),
+                       std::to_string(nonconverged) + "/12",
+                       bench::fmt(final_delta.mean(), 5)});
+  }
+  irr_table.print(std::cout);
+
+  std::cout
+      << "\nReading: iterations grow as delta tightens (top table); the "
+         "cap turns slow convergence into an explicit non-convergence "
+         "diagnostic (bottom table). NOTE (departure from the paper's "
+         "intuition): with a frequency-weighted mean join, convergence "
+         "speed is set by delta and loop thermal mass, and branch "
+         "irregularity has no significant effect on iteration count — "
+         "irregularity instead degrades prediction *accuracy* (see "
+         "accuracy_vs_simulation).\n";
+  return 0;
+}

@@ -1,0 +1,150 @@
+// PERF — google-benchmark micro-benchmarks: the analysis must be cheap
+// enough to live inside a compiler. Measures the thermal DFA end to end
+// vs. program size, RF size, and grid granularity; plus the underlying
+// primitives (thermal step, steady state, liveness, allocation).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dataflow/liveness.hpp"
+
+namespace {
+
+using namespace tadfa;
+
+bench::Rig& rig() {
+  static bench::Rig r;
+  return r;
+}
+
+void BM_ThermalStep(benchmark::State& state) {
+  const auto sub = static_cast<unsigned>(state.range(0));
+  const thermal::ThermalGrid grid(rig().fp, sub);
+  auto s = grid.initial_state();
+  std::vector<double> p(rig().fp.num_registers(), 1e-4);
+  for (auto _ : state) {
+    grid.step(s, p, grid.max_stable_dt());
+    benchmark::DoNotOptimize(s.node_temps.data());
+  }
+  state.SetLabel(std::to_string(grid.node_count()) + " nodes");
+}
+BENCHMARK(BM_ThermalStep)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SteadyState(benchmark::State& state) {
+  const auto sub = static_cast<unsigned>(state.range(0));
+  const thermal::ThermalGrid grid(rig().fp, sub);
+  std::vector<double> p(rig().fp.num_registers(), 1e-4);
+  for (auto _ : state) {
+    auto s = grid.steady_state(p);
+    benchmark::DoNotOptimize(s.node_temps.data());
+  }
+}
+BENCHMARK(BM_SteadyState)->Arg(1)->Arg(2);
+
+void BM_Liveness(benchmark::State& state) {
+  workload::RandomProgramConfig cfg;
+  cfg.seed = 3;
+  cfg.target_instructions = static_cast<int>(state.range(0));
+  const ir::Function f = workload::random_program(cfg);
+  const dataflow::Cfg graph(f);
+  for (auto _ : state) {
+    dataflow::Liveness lv(graph);
+    benchmark::DoNotOptimize(&lv);
+  }
+  state.SetLabel(std::to_string(f.instruction_count()) + " instrs");
+}
+BENCHMARK(BM_Liveness)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_LinearScan(benchmark::State& state) {
+  workload::RandomProgramConfig cfg;
+  cfg.seed = 5;
+  cfg.target_instructions = static_cast<int>(state.range(0));
+  const ir::Function f = workload::random_program(cfg);
+  regalloc::FirstFreePolicy policy;
+  regalloc::LinearScanAllocator alloc(rig().fp, policy);
+  for (auto _ : state) {
+    auto r = alloc.allocate(f);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_LinearScan)->Arg(100)->Arg(400);
+
+void BM_GraphColoring(benchmark::State& state) {
+  workload::RandomProgramConfig cfg;
+  cfg.seed = 5;
+  cfg.target_instructions = static_cast<int>(state.range(0));
+  const ir::Function f = workload::random_program(cfg);
+  regalloc::FirstFreePolicy policy;
+  regalloc::GraphColoringAllocator alloc(rig().fp, policy);
+  for (auto _ : state) {
+    auto r = alloc.allocate(f);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_GraphColoring)->Arg(100)->Arg(400);
+
+void BM_ThermalDfa_ProgramSize(benchmark::State& state) {
+  workload::RandomProgramConfig cfg;
+  cfg.seed = 11;
+  cfg.target_instructions = static_cast<int>(state.range(0));
+  const ir::Function f = workload::random_program(cfg);
+  const auto alloc = bench::allocate(rig(), f, "first_free");
+  core::ThermalDfaConfig dcfg;
+  dcfg.delta_k = 0.01;
+  const core::ThermalDfa dfa(rig().grid, rig().power, rig().timing, dcfg);
+  for (auto _ : state) {
+    auto r = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_ThermalDfa_ProgramSize)->Arg(60)->Arg(120)->Arg(240);
+
+void BM_ThermalDfa_Granularity(benchmark::State& state) {
+  auto kernel = workload::make_crc32(16);
+  const auto alloc = bench::allocate(rig(), kernel.func, "first_free");
+  const thermal::ThermalGrid grid(rig().fp,
+                                  static_cast<unsigned>(state.range(0)));
+  core::ThermalDfaConfig dcfg;
+  dcfg.delta_k = 0.01;
+  const core::ThermalDfa dfa(grid, rig().power, rig().timing, dcfg);
+  for (auto _ : state) {
+    auto r = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_ThermalDfa_Granularity)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ThermalDfa_RfSize(benchmark::State& state) {
+  machine::RegisterFileConfig cfg;
+  if (state.range(0) == 16) {
+    cfg = machine::RegisterFileConfig::small_config();
+  } else if (state.range(0) == 64) {
+    cfg = machine::RegisterFileConfig::default_config();
+  } else {
+    cfg = machine::RegisterFileConfig::large_config();
+  }
+  bench::Rig local(cfg);
+  auto kernel = workload::make_fir(48, 8);
+  const auto alloc = bench::allocate(local, kernel.func, "first_free");
+  core::ThermalDfaConfig dcfg;
+  dcfg.delta_k = 0.01;
+  const core::ThermalDfa dfa(local.grid, local.power, local.timing, dcfg);
+  for (auto _ : state) {
+    auto r = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_ThermalDfa_RfSize)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Interpreter(benchmark::State& state) {
+  auto kernel = workload::make_matmul(8);
+  machine::TimingModel timing;
+  for (auto _ : state) {
+    sim::Interpreter interp(kernel.func, timing);
+    kernel.init_memory(interp.memory());
+    auto r = interp.run(kernel.default_args);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_Interpreter);
+
+}  // namespace

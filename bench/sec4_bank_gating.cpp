@@ -1,0 +1,65 @@
+// SEC4-B — the spreading vs. bank power-gating tension of Sec. 4:
+// "power reduction techniques based on switching off register banks could
+// not theoretically be applied after the spread register assignment, and
+// a compromise ... can be explored at the compiler level."
+//
+// Sweeps the number of banks the allocator may use (1..4) for first_free
+// and farthest_spread(-within-limit) policies; gates the unused banks;
+// reports measured peak temperature, max gradient, leakage energy, and
+// total RF energy — the Pareto frontier between thermal quality and
+// leakage savings.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "opt/bank_gating.hpp"
+
+using namespace tadfa;
+
+int main() {
+  bench::Rig rig;
+  workload::Kernel kernel = workload::make_fir(96, 8);
+
+  TextTable table(
+      "SEC4-B — bank limit vs thermal quality vs leakage (fir, 4-bank RF)");
+  table.set_header({"inner policy", "banks allowed", "banks gated",
+                    "peak degC", "max grad K", "leakage energy nJ",
+                    "total energy nJ"});
+
+  for (const std::string inner_name : {"first_free", "farthest_spread"}) {
+    for (std::uint32_t max_banks = 1; max_banks <= rig.fp.num_banks();
+         ++max_banks) {
+      auto inner = regalloc::make_policy(inner_name, 42);
+      opt::BankLimitPolicy limited(*inner, max_banks);
+      regalloc::LinearScanAllocator alloc_engine(rig.fp, limited);
+      const auto alloc = alloc_engine.allocate(kernel.func);
+
+      const opt::BankGatingPlan plan = opt::plan_bank_gating(
+          rig.fp, alloc.assignment, rig.fp.config().tech.substrate_temp_k);
+
+      const auto m = bench::measure(rig, kernel, alloc.func,
+                                    alloc.assignment, 60, plan.gated);
+      if (!m.ok) {
+        return 1;
+      }
+      table.add_row(
+          {inner_name, std::to_string(max_banks),
+           std::to_string(plan.gated_banks),
+           bench::fmt(m.replay.final_stats.peak_k - 273.15, 2),
+           bench::fmt(m.replay.final_stats.max_gradient_k, 3),
+           bench::fmt(m.replay.leakage_energy_j * 1e9, 2),
+           bench::fmt(
+               (m.replay.leakage_energy_j + m.replay.dynamic_energy_j) * 1e9,
+               2)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: confining assignment to fewer banks gates more of "
+         "the file and cuts leakage energy, but concentrates activity — "
+         "higher peak and steeper gradients. Full spreading (4 banks) "
+         "gives the best thermal map and zero gating. The compromise the "
+         "paper calls for is the interior of this table.\n";
+  return 0;
+}

@@ -1,0 +1,242 @@
+// SEC4-O — efficacy of every optimization Sec. 4 proposes, measured
+// through the full pipeline (transform -> allocate -> trace -> thermal
+// replay). For each optimization we report measured peak temperature,
+// max gradient, map stddev, and the performance cost in cycles —
+// including the trade-offs the paper warns about (spill/NOP overhead).
+//
+// Optimizations:
+//   baseline        first_free allocation, no transform
+//   reassign        thermally-guided coolest-first re-assignment
+//   split+reassign  live-range splitting of the top-2 critical vars first
+//   spill+reassign  spilling the top-2 critical vars first
+//   schedule        thermal-aware list scheduling after reassignment
+//   promote         register promotion (memory scalars -> registers)
+//   nops            cooling NOPs after hot instructions
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "core/critical.hpp"
+#include "ir/parser.hpp"
+#include "opt/nop_insert.hpp"
+#include "opt/coalesce.hpp"
+#include "opt/cse.hpp"
+#include "opt/dce.hpp"
+#include "opt/promote.hpp"
+#include "opt/schedule.hpp"
+#include "opt/spill_critical.hpp"
+#include "opt/split.hpp"
+
+using namespace tadfa;
+
+namespace {
+
+struct Row {
+  std::string name;
+  thermal::MapStats stats;
+  std::uint64_t cycles = 0;
+  bool ok = false;
+};
+
+}  // namespace
+
+int main() {
+  bench::Rig rig;
+  core::ThermalDfaConfig dcfg;
+  dcfg.delta_k = 0.001;
+  dcfg.max_iterations = 500;
+  const core::ThermalDfa dfa(rig.grid, rig.power, rig.timing, dcfg);
+
+  for (const char* kernel_name : {"crc32", "fir", "idct8"}) {
+    auto kernel = workload::make_kernel(kernel_name);
+
+    TextTable table("SEC4-O — " + std::string(kernel_name) +
+                    ": measured thermal effect of each optimization");
+    table.set_header({"optimization", "peak degC", "range K", "stddev K",
+                      "max grad K", "cycles", "cycle overhead %"});
+
+    // Baseline.
+    const auto base_alloc = bench::allocate(rig, kernel->func, "first_free");
+    const auto base =
+        bench::measure(rig, *kernel, base_alloc.func, base_alloc.assignment);
+    if (!base.ok) {
+      return 1;
+    }
+    const auto base_dfa =
+        dfa.analyze_post_ra(base_alloc.func, base_alloc.assignment);
+    const core::ExactAssignmentModel base_model(base_alloc.func, rig.fp,
+                                                base_alloc.assignment);
+    const auto ranking = core::rank_critical_variables(
+        base_alloc.func, base_model, base_dfa, rig.grid, rig.timing);
+
+    auto emit = [&](const std::string& name, const bench::Measurement& m) {
+      const double overhead =
+          100.0 * (static_cast<double>(m.cycles) -
+                   static_cast<double>(base.cycles)) /
+          static_cast<double>(base.cycles);
+      table.add_row({name, bench::fmt(m.replay.final_stats.peak_k - 273.15, 2),
+                     bench::fmt(m.replay.final_stats.range_k, 3),
+                     bench::fmt(m.replay.final_stats.stddev_k, 3),
+                     bench::fmt(m.replay.final_stats.max_gradient_k, 3),
+                     std::to_string(m.cycles), bench::fmt(overhead, 1)});
+    };
+    emit("baseline(first_free)", base);
+
+    // Reassign (coolest-first guided by the DFA's predicted map).
+    {
+      const auto alloc =
+          bench::allocate(rig, kernel->func, "coolest_first", 42,
+                          &base_dfa.exit_reg_temps_k);
+      emit("reassign",
+           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
+    }
+
+    // Split + reassign.
+    {
+      ir::Function f = kernel->func;
+      std::vector<ir::Reg> top;
+      for (std::size_t i = 0; i < std::min<std::size_t>(2, ranking.size());
+           ++i) {
+        top.push_back(ranking[i].vreg);
+      }
+      opt::split_live_ranges(f, top);
+      const auto alloc = bench::allocate(rig, f, "coolest_first", 42,
+                                         &base_dfa.exit_reg_temps_k);
+      emit("split+reassign",
+           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
+    }
+
+    // Spill + reassign.
+    {
+      const auto spilled =
+          opt::spill_critical_variables(kernel->func, ranking, 2);
+      const auto alloc = bench::allocate(rig, spilled.func, "coolest_first",
+                                         42, &base_dfa.exit_reg_temps_k);
+      emit("spill+reassign",
+           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
+    }
+
+    // Thermal-aware scheduling on top of reassignment.
+    {
+      const auto alloc =
+          bench::allocate(rig, kernel->func, "coolest_first", 42,
+                          &base_dfa.exit_reg_temps_k);
+      const auto sched = opt::thermal_schedule(alloc.func, alloc.assignment);
+      emit("schedule",
+           bench::measure(rig, *kernel, sched.func, alloc.assignment));
+    }
+
+    // Local CSE -> coalesce -> DCE (fewer ALU ops = less RF read traffic).
+    {
+      const auto cse = opt::eliminate_common_subexpressions(kernel->func);
+      const auto coal = opt::coalesce_copies(cse.func);
+      const auto dce = opt::eliminate_dead_code(coal.func);
+      const auto alloc = bench::allocate(rig, dce.func, "first_free");
+      emit("cse+coalesce+dce(" + std::to_string(cse.replaced) + " exprs)",
+           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
+    }
+
+    // Register promotion.
+    {
+      const auto promoted = opt::promote_memory_scalars(kernel->func);
+      const auto alloc = bench::allocate(rig, promoted.func, "first_free");
+      emit("promote(" + std::to_string(promoted.loads_replaced) + " loads)",
+           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
+    }
+
+    // Cooling NOPs (threshold: midway between mean and peak prediction).
+    {
+      const double threshold =
+          0.5 * (base_dfa.exit_stats.mean_k + base_dfa.peak_anywhere_k);
+      const auto nops =
+          opt::insert_cooling_nops(base_alloc.func, base_dfa, threshold, 3);
+      emit("nops(" + std::to_string(nops.nops_inserted) + ")",
+           bench::measure(rig, *kernel, nops.func, base_alloc.assignment));
+    }
+
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- Register promotion on its natural prey: a loop that reloads scalar
+  //     configuration values from fixed addresses every iteration.
+  {
+    workload::Kernel kernel;
+    kernel.name = "scalar_reload";
+    const auto parsed = ir::parse_function(
+        "func @scalar_reload(%0) {\n"
+        "entry:\n"
+        "  %1 = const 0\n"
+        "  %2 = const 0\n"
+        "  jmp head\n"
+        "head:\n"
+        "  %3 = cmplt %1, %0\n"
+        "  br %3, body, exit\n"
+        "body:\n"
+        "  %4 = load 10\n"   // scale/offset/mask reloaded every iteration
+        "  %5 = load 11\n"
+        "  %6 = load 12\n"
+        "  %7 = mul %1, %4\n"
+        "  %8 = add %7, %5\n"
+        "  %9 = and %8, %6\n"
+        "  %2 = add %2, %9\n"
+        "  %1 = add %1, 1\n"
+        "  jmp head\n"
+        "exit:\n"
+        "  ret %2\n"
+        "}\n");
+    kernel.func = *parsed;
+    kernel.default_args = {256};
+    kernel.init_memory = [](std::vector<std::int64_t>& mem) {
+      mem[10] = 3;
+      mem[11] = 17;
+      mem[12] = 1023;
+    };
+
+    TextTable table(
+        "SEC4-O — scalar_reload: register promotion (the Sec. 4 'promote "
+        "memory-resident variables' case)");
+    table.set_header({"optimization", "peak degC", "range K", "stddev K",
+                      "max grad K", "cycles", "cycle overhead %"});
+
+    const auto base_alloc = bench::allocate(rig, kernel.func, "first_free");
+    const auto base =
+        bench::measure(rig, kernel, base_alloc.func, base_alloc.assignment);
+    auto emit = [&](const std::string& name, const bench::Measurement& m) {
+      const double overhead =
+          100.0 * (static_cast<double>(m.cycles) -
+                   static_cast<double>(base.cycles)) /
+          static_cast<double>(base.cycles);
+      table.add_row({name, bench::fmt(m.replay.final_stats.peak_k - 273.15, 2),
+                     bench::fmt(m.replay.final_stats.range_k, 3),
+                     bench::fmt(m.replay.final_stats.stddev_k, 3),
+                     bench::fmt(m.replay.final_stats.max_gradient_k, 3),
+                     std::to_string(m.cycles), bench::fmt(overhead, 1)});
+    };
+    emit("baseline(reload scalars)", base);
+
+    const auto promoted = opt::promote_memory_scalars(kernel.func, 1);
+    const auto alloc = bench::allocate(rig, promoted.func, "first_free");
+    emit("promote(" + std::to_string(promoted.loads_replaced) + " loads)",
+         bench::measure(rig, kernel, alloc.func, alloc.assignment));
+    const auto alloc_spread =
+        bench::allocate(rig, promoted.func, "farthest_spread");
+    emit("promote+spread",
+         bench::measure(rig, kernel, alloc_spread.func,
+                        alloc_spread.assignment));
+    table.print(std::cout);
+    std::cout
+        << "\nPromotion alone is faster but heats the RF (accesses move "
+           "from the cache into registers); pairing it with a spreading "
+           "assignment recovers the uniform-in-time usage the paper "
+           "intends. The RF-local thermal cost vs the (unmodeled) cache "
+           "energy saved is the real trade.\n\n";
+  }
+
+  std::cout
+      << "Reading: spreading transforms (reassign/split) cut peak and "
+         "gradients at near-zero cycle cost; spilling trades cycles for "
+         "the largest power-density reduction; NOPs cool but slow the "
+         "program — Sec. 4's 'apply only if no other option' caveat.\n";
+  return 0;
+}

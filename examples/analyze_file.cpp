@@ -1,0 +1,115 @@
+// File-driven analyzer: the library as a command-line tool. Reads a
+// module in the canonical IR text format, and for every function runs the
+// full pipeline: allocate -> thermal DFA -> heat map -> critical
+// variables -> hot program points.
+//
+//   ./analyze_file examples/sample.tir [policy] [delta_k]
+//   ./analyze_file examples/sample.tir chessboard 0.001
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/critical.hpp"
+#include "core/thermal_dfa.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "regalloc/linear_scan.hpp"
+#include "regalloc/policy.hpp"
+#include "support/heatmap.hpp"
+#include "support/string_utils.hpp"
+
+using namespace tadfa;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <file.tir> [policy] [delta_k]\n";
+    return 2;
+  }
+  const std::string policy_name = argc > 2 ? argv[2] : "first_free";
+  double delta = 0.01;
+  if (argc > 3 && !parse_double(argv[3], delta)) {
+    std::cerr << "bad delta '" << argv[3] << "'\n";
+    return 2;
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  ir::ParseError error;
+  auto module = ir::parse_module(buffer.str(), &error);
+  if (!module) {
+    std::cerr << argv[1] << ":" << error.line << ": " << error.message
+              << "\n";
+    return 1;
+  }
+
+  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
+  const thermal::ThermalGrid grid(fp);
+  const power::PowerModel power(fp.config());
+  const machine::TimingModel timing;
+  core::ThermalDfaConfig cfg;
+  cfg.delta_k = delta;
+  cfg.max_iterations = 500;
+  const core::ThermalDfa dfa(grid, power, timing, cfg);
+
+  auto policy = regalloc::make_policy(policy_name);
+  if (!policy) {
+    std::cerr << "unknown policy '" << policy_name << "'\n";
+    return 2;
+  }
+
+  for (const ir::Function& func : module->functions()) {
+    std::cout << "=== @" << func.name() << " ("
+              << func.instruction_count() << " instructions, "
+              << func.block_count() << " blocks) ===\n";
+    const auto issues = ir::verify(func);
+    if (!issues.empty()) {
+      for (const auto& issue : issues) {
+        std::cerr << "  verify: " << issue.message << "\n";
+      }
+      continue;
+    }
+
+    regalloc::LinearScanAllocator allocator(fp, *policy);
+    const auto alloc = allocator.allocate(func);
+    std::cout << "allocation: "
+              << alloc.assignment.used_physical().size()
+              << " registers used, " << alloc.spilled_regs << " spilled ("
+              << policy_name << ")\n";
+
+    const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+    std::cout << "thermal DFA: "
+              << (result.converged ? "converged" : "DID NOT CONVERGE")
+              << " in " << result.iterations << " iterations (delta="
+              << delta << " K, " << result.analysis_seconds * 1e3
+              << " ms)\n"
+              << "predicted peak " << result.exit_stats.peak_k - 273.15
+              << " degC, max gradient " << result.exit_stats.max_gradient_k
+              << " K\n";
+
+    std::vector<double> celsius(result.exit_reg_temps_k.size());
+    for (std::size_t r = 0; r < celsius.size(); ++r) {
+      celsius[r] = result.exit_reg_temps_k[r] - 273.15;
+    }
+    render_heatmap(std::cout, celsius, fp.rows(), fp.cols());
+
+    const core::ExactAssignmentModel model(alloc.func, fp, alloc.assignment);
+    const auto ranking = core::rank_critical_variables(alloc.func, model,
+                                                       result, grid, timing);
+    std::cout << "critical variables:";
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, ranking.size());
+         ++i) {
+      std::cout << " %" << ranking[i].vreg;
+    }
+    const auto hot = core::hot_program_points(result, 0.5);
+    std::cout << "\nhot program points: " << hot.size() << " of "
+              << result.per_instruction.size() << " instructions\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Non-convergence probe: demonstrates the paper's diagnostic use of the
+// analysis — "if the analysis does not converge after a reasonable number
+// of iterations, this suggests that the thermal state of the program may
+// be too difficult to predict at compile time".
+//
+// Generates random programs of rising size/heat, runs the DFA under a
+// fixed iteration budget with tightening δ, and shows where convergence
+// is lost and how relaxing δ (or raising the budget) recovers it.
+//
+//   ./nonconvergence_probe [iteration_budget]
+#include <iostream>
+
+#include "core/thermal_dfa.hpp"
+#include "regalloc/linear_scan.hpp"
+#include "regalloc/policy.hpp"
+#include "support/table.hpp"
+#include "workload/random_program.hpp"
+
+using namespace tadfa;
+
+int main(int argc, char** argv) {
+  const int budget = argc > 1 ? std::atoi(argv[1]) : 40;
+
+  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
+  const thermal::ThermalGrid grid(fp);
+  const power::PowerModel power(fp.config());
+  const machine::TimingModel timing;
+
+  TextTable table("non-convergence probe (iteration budget " +
+                  std::to_string(budget) + ")");
+  table.set_header({"program size", "delta K", "iterations", "converged",
+                    "final delta K", "verdict"});
+
+  for (int size : {60, 120, 240, 480}) {
+    workload::RandomProgramConfig pcfg;
+    pcfg.seed = 13;
+    pcfg.target_instructions = size;
+    pcfg.irregularity = 0.8;
+    const ir::Function f = workload::random_program(pcfg);
+    regalloc::FirstFreePolicy policy;
+    regalloc::LinearScanAllocator alloc_engine(fp, policy);
+    const auto alloc = alloc_engine.allocate(f);
+
+    for (double delta : {0.1, 0.01, 0.001}) {
+      core::ThermalDfaConfig cfg;
+      cfg.delta_k = delta;
+      cfg.max_iterations = budget;
+      const core::ThermalDfa dfa(grid, power, timing, cfg);
+      const auto r = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+      const std::string verdict =
+          r.converged ? "predictable"
+                      : "re-optimize or relax delta (paper Sec. 4)";
+      table.add_row({std::to_string(size), TextTable::num(delta, 3),
+                     std::to_string(r.iterations),
+                     r.converged ? "yes" : "NO",
+                     TextTable::num(r.final_delta_k, 5), verdict});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe delta history of the last run shows how the gap "
+               "shrinks each pass; a plateau above delta means the budget, "
+               "not the program, is the binding constraint.\n";
+  return 0;
+}

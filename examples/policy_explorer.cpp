@@ -1,0 +1,103 @@
+// Policy explorer: pick a kernel and an assignment policy on the command
+// line; see the trace-simulated (ground truth) map next to the DFA's
+// compile-time prediction.
+//
+//   ./policy_explorer [kernel] [policy]
+//   ./policy_explorer crc32 chessboard
+//
+// Kernels: vecsum fir matmul idct8 crc32 stencil3 poly7 accumulators counter
+// Policies: first_free random chessboard round_robin farthest_spread
+//           coolest_first
+#include <iostream>
+
+#include "core/thermal_dfa.hpp"
+#include "regalloc/linear_scan.hpp"
+#include "regalloc/policy.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/thermal_replay.hpp"
+#include "support/heatmap.hpp"
+#include "support/statistics.hpp"
+#include "workload/kernels.hpp"
+
+using namespace tadfa;
+
+int main(int argc, char** argv) {
+  const std::string kernel_name = argc > 1 ? argv[1] : "crc32";
+  const std::string policy_name = argc > 2 ? argv[2] : "first_free";
+
+  auto kernel = workload::make_kernel(kernel_name);
+  if (!kernel) {
+    std::cerr << "unknown kernel '" << kernel_name << "'\n";
+    return 1;
+  }
+  auto policy = regalloc::make_policy(policy_name);
+  if (!policy) {
+    std::cerr << "unknown policy '" << policy_name << "'\n";
+    return 1;
+  }
+
+  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
+  regalloc::LinearScanAllocator allocator(fp, *policy);
+  const auto alloc = allocator.allocate(kernel->func);
+
+  const thermal::ThermalGrid grid(fp);
+  const power::PowerModel power(fp.config());
+  const machine::TimingModel timing;
+
+  // Ground truth: execute, trace, replay to thermal steady state.
+  sim::Interpreter interp(alloc.func, timing);
+  if (kernel->init_memory) {
+    kernel->init_memory(interp.memory());
+  }
+  power::AccessTrace trace(fp.num_registers());
+  const auto run =
+      interp.run_traced(kernel->default_args, alloc.assignment, trace);
+  if (!run.ok()) {
+    std::cerr << "kernel trapped: " << run.trap.value_or("?") << "\n";
+    return 1;
+  }
+  const sim::ThermalReplay replay(grid, power);
+  sim::ReplayConfig rcfg;
+  rcfg.max_repeats = 60;
+  const auto truth = replay.replay(trace, rcfg);
+
+  // Prediction: thermal DFA with profiled frequencies.
+  core::ThermalDfa dfa(grid, power, timing);
+  dfa.set_block_profile(
+      std::vector<double>(run.block_visits.begin(), run.block_visits.end()));
+  const auto predicted = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+
+  std::cout << "kernel=" << kernel_name << "  policy=" << policy_name
+            << "  cycles=" << run.cycles
+            << "  spills=" << alloc.spilled_regs << "\n\n";
+
+  auto to_c = [](const std::vector<double>& ks) {
+    std::vector<double> cs(ks.size());
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      cs[i] = ks[i] - 273.15;
+    }
+    return cs;
+  };
+  const auto truth_c = to_c(truth.final_reg_temps);
+  const auto pred_c = to_c(predicted.exit_reg_temps_k);
+
+  HeatmapOptions opt;
+  opt.scale_min = std::min(stats::min(truth_c), stats::min(pred_c));
+  opt.scale_max = std::max(stats::max(truth_c), stats::max(pred_c));
+  render_heatmap_pair(std::cout, truth_c, pred_c, fp.rows(), fp.cols(),
+                      "simulated (ground truth)", "DFA prediction", opt);
+
+  std::cout << "\nsimulated: peak=" << truth.final_stats.peak_k - 273.15
+            << " degC  max_grad=" << truth.final_stats.max_gradient_k
+            << " K\npredicted: peak="
+            << predicted.exit_stats.peak_k - 273.15
+            << " degC  max_grad=" << predicted.exit_stats.max_gradient_k
+            << " K\nrmse=" << stats::rmse(predicted.exit_reg_temps_k,
+                                          truth.final_reg_temps)
+            << " K  pearson="
+            << stats::pearson(predicted.exit_reg_temps_k,
+                              truth.final_reg_temps)
+            << "  dfa_iterations=" << predicted.iterations
+            << (predicted.converged ? "" : " (NOT converged)") << "\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Full thermal-aware compilation pipeline (the paper's Sec. 4 story):
+//
+//   1. allocate with the performance-oriented ordered free list,
+//   2. run the thermal DFA, rank critical variables,
+//   3. split the hottest variable's live range, spill the runner-up,
+//   4. re-allocate coolest-first using the predicted heat map,
+//   5. thermally schedule each block,
+//   6. verify semantics and report measured before/after thermal metrics.
+//
+//   ./thermal_pipeline [kernel]
+#include <iostream>
+
+#include "core/critical.hpp"
+#include "core/thermal_dfa.hpp"
+#include "opt/schedule.hpp"
+#include "opt/spill_critical.hpp"
+#include "opt/split.hpp"
+#include "regalloc/graph_coloring.hpp"
+#include "regalloc/linear_scan.hpp"
+#include "regalloc/policy.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/thermal_replay.hpp"
+#include "support/heatmap.hpp"
+#include "workload/kernels.hpp"
+
+using namespace tadfa;
+
+namespace {
+
+struct Measured {
+  thermal::MapStats stats;
+  std::vector<double> temps;
+  std::uint64_t cycles = 0;
+  std::int64_t result = 0;
+};
+
+Measured measure(const machine::Floorplan& fp, const workload::Kernel& k,
+                 const ir::Function& func,
+                 const machine::RegisterAssignment& assignment) {
+  const machine::TimingModel timing;
+  sim::Interpreter interp(func, timing);
+  if (k.init_memory) {
+    k.init_memory(interp.memory());
+  }
+  power::AccessTrace trace(fp.num_registers());
+  const auto run = interp.run_traced(k.default_args, assignment, trace);
+  if (!run.ok()) {
+    std::cerr << "trap: " << run.trap.value_or("?") << "\n";
+    std::exit(1);
+  }
+  const thermal::ThermalGrid grid(fp);
+  const power::PowerModel power(fp.config());
+  const sim::ThermalReplay replay(grid, power);
+  sim::ReplayConfig cfg;
+  cfg.max_repeats = 60;
+  const auto r = replay.replay(trace, cfg);
+  return {r.final_stats, r.final_reg_temps, run.cycles,
+          run.return_value.value_or(0)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string kernel_name = argc > 1 ? argv[1] : "crc32";
+  auto kernel = workload::make_kernel(kernel_name);
+  if (!kernel) {
+    std::cerr << "unknown kernel '" << kernel_name << "'\n";
+    return 1;
+  }
+
+  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
+  const thermal::ThermalGrid grid(fp);
+  const power::PowerModel power(fp.config());
+  const machine::TimingModel timing;
+  const core::ThermalDfa dfa(grid, power, timing);
+
+  // 1. Baseline allocation.
+  regalloc::FirstFreePolicy first_free;
+  regalloc::LinearScanAllocator alloc0(fp, first_free);
+  const auto baseline = alloc0.allocate(kernel->func);
+  const Measured before = measure(fp, *kernel, baseline.func,
+                                  baseline.assignment);
+
+  // 2. Analyze + rank.
+  const auto analysis = dfa.analyze_post_ra(baseline.func,
+                                            baseline.assignment);
+  const core::ExactAssignmentModel model(baseline.func, fp,
+                                         baseline.assignment);
+  auto ranking = core::rank_critical_variables(baseline.func, model,
+                                               analysis, grid, timing);
+  std::cout << "thermal DFA: " << analysis.iterations << " iterations, "
+            << (analysis.converged ? "converged" : "NOT converged")
+            << "; predicted peak "
+            << analysis.exit_stats.peak_k - 273.15 << " degC\n";
+  std::cout << "critical variables:";
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, ranking.size());
+       ++i) {
+    std::cout << " %" << ranking[i].vreg;
+  }
+  std::cout << "\n\n";
+
+  // 3. Split hottest, spill runner-up.
+  ir::Function working = kernel->func;
+  if (!ranking.empty()) {
+    opt::split_live_range(working, ranking.front().vreg);
+  }
+  if (ranking.size() > 1) {
+    working = opt::spill_critical_variables(working, {ranking[1]}, 1).func;
+  }
+
+  // 4. Coolest-first re-allocation with the predicted map.
+  regalloc::CoolestFirstPolicy coolest;
+  regalloc::GraphColoringAllocator alloc1(fp, coolest);
+  alloc1.set_heat_scores(analysis.exit_reg_temps_k);
+  const auto improved = alloc1.allocate(working);
+
+  // 5. Thermal scheduling.
+  const auto scheduled = opt::thermal_schedule(improved.func,
+                                               improved.assignment);
+  const Measured after = measure(fp, *kernel, scheduled.func,
+                                 improved.assignment);
+
+  // 6. Report.
+  if (before.result != after.result) {
+    std::cerr << "SEMANTICS BROKEN: " << before.result << " vs "
+              << after.result << "\n";
+    return 1;
+  }
+  std::cout << "semantics preserved (result " << before.result << ")\n\n";
+
+  auto to_c = [](std::vector<double> v) {
+    for (double& t : v) {
+      t -= 273.15;
+    }
+    return v;
+  };
+  HeatmapOptions opt;
+  opt.scale_min = std::min(before.stats.min_k, after.stats.min_k) - 273.15;
+  opt.scale_max = std::max(before.stats.peak_k, after.stats.peak_k) - 273.15;
+  render_heatmap_pair(std::cout, to_c(before.temps), to_c(after.temps),
+                      fp.rows(), fp.cols(), "before (first_free)",
+                      "after (thermal-aware)", opt);
+
+  std::cout << "\n                 before      after\n"
+            << "peak degC      " << before.stats.peak_k - 273.15 << "   "
+            << after.stats.peak_k - 273.15 << "\n"
+            << "max grad K     " << before.stats.max_gradient_k << "   "
+            << after.stats.max_gradient_k << "\n"
+            << "stddev K       " << before.stats.stddev_k << "   "
+            << after.stats.stddev_k << "\n"
+            << "cycles         " << before.cycles << "   " << after.cycles
+            << "\n";
+  return 0;
+}

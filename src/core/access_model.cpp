@@ -1,0 +1,63 @@
+#include "core/access_model.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tadfa::core {
+
+FirstFitPredictionModel::FirstFitPredictionModel(
+    const ir::Function& func, const machine::Floorplan& floorplan,
+    std::size_t estimated_pressure) {
+  const std::uint32_t n_phys = floorplan.num_registers();
+  const std::size_t window =
+      std::clamp<std::size_t>(estimated_pressure, 1, n_phys);
+
+  // All virtual registers share the same prediction: uniform over the
+  // first-fit window. (A finer model could stagger windows by interval
+  // start; uniform already captures the clustering that matters.)
+  std::vector<double> row(n_phys, 0.0);
+  for (std::size_t p = 0; p < window; ++p) {
+    row[p] = 1.0 / static_cast<double>(window);
+  }
+  rows_.assign(func.reg_count(), row);
+}
+
+const std::vector<double>& FirstFitPredictionModel::distribution(
+    ir::Reg v) const {
+  TADFA_ASSERT(v < rows_.size());
+  return rows_[v];
+}
+
+UniformPredictionModel::UniformPredictionModel(
+    const ir::Function& func, const machine::Floorplan& floorplan)
+    : reg_count_(func.reg_count()) {
+  const std::uint32_t n_phys = floorplan.num_registers();
+  uniform_.assign(n_phys, 1.0 / static_cast<double>(n_phys));
+}
+
+const std::vector<double>& UniformPredictionModel::distribution(
+    ir::Reg v) const {
+  TADFA_ASSERT(v < reg_count_);
+  return uniform_;
+}
+
+ExactAssignmentModel::ExactAssignmentModel(
+    const ir::Function& func, const machine::Floorplan& floorplan,
+    const machine::RegisterAssignment& assignment) {
+  const std::uint32_t n_phys = floorplan.num_registers();
+  rows_.assign(func.reg_count(), std::vector<double>(n_phys, 0.0));
+  for (ir::Reg v = 0; v < func.reg_count(); ++v) {
+    if (assignment.assigned(v)) {
+      rows_[v][assignment.phys(v)] = 1.0;
+    }
+  }
+}
+
+const std::vector<double>& ExactAssignmentModel::distribution(
+    ir::Reg v) const {
+  TADFA_ASSERT(v < rows_.size());
+  return rows_[v];
+}
+
+}  // namespace tadfa::core

@@ -1,0 +1,111 @@
+#include "core/critical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataflow/dominators.hpp"
+#include "support/assert.hpp"
+#include "support/statistics.hpp"
+
+namespace tadfa::core {
+
+std::vector<CriticalVariable> rank_critical_variables(
+    const ir::Function& func, const AccessDistributionModel& model,
+    const ThermalDfaResult& dfa, const thermal::ThermalGrid& grid,
+    const machine::TimingModel& timing, double trip_count_guess) {
+  const machine::Floorplan& fp = grid.floorplan();
+  const machine::TechnologyParams& tech = fp.config().tech;
+  const std::uint32_t n_phys = fp.num_registers();
+
+  const dataflow::Cfg cfg(func);
+  const dataflow::Dominators doms(cfg);
+  const dataflow::LoopInfo loops(cfg, doms);
+  const auto freq =
+      dataflow::estimate_block_frequencies(cfg, loops, trip_count_guess);
+
+  // Whole-program time estimate for energy-rate normalization.
+  double total_cycles = 0;
+  for (const ir::BasicBlock& b : func.blocks()) {
+    for (const ir::Instruction& inst : b.instructions()) {
+      total_cycles += freq[b.id()] * timing.cycles(inst);
+    }
+  }
+  const double total_seconds =
+      std::max(total_cycles, 1.0) * tech.cycle_seconds();
+
+  // Use the exit-state map as the "where is it hot" field.
+  const std::vector<double>& field = dfa.exit_reg_temps_k;
+  TADFA_ASSERT(field.size() == n_phys);
+
+  std::vector<CriticalVariable> out(func.reg_count());
+  for (ir::Reg v = 0; v < func.reg_count(); ++v) {
+    out[v].vreg = v;
+    const std::vector<double>& dist = model.distribution(v);
+    double cell_temp = 0.0;
+    double mass = 0.0;
+    for (std::uint32_t r = 0; r < n_phys; ++r) {
+      cell_temp += dist[r] * field[r];
+      mass += dist[r];
+    }
+    out[v].expected_cell_temp_k =
+        mass > 0 ? cell_temp / mass : grid.substrate_temp();
+  }
+
+  for (const ir::BasicBlock& b : func.blocks()) {
+    for (const ir::Instruction& inst : b.instructions()) {
+      const double f = freq[b.id()];
+      for (ir::Reg u : inst.uses()) {
+        out[u].weighted_accesses += f;
+        out[u].energy_rate_w += f * tech.read_energy_j / total_seconds;
+      }
+      if (auto d = inst.def()) {
+        out[*d].weighted_accesses += f;
+        out[*d].energy_rate_w += f * tech.write_energy_j / total_seconds;
+      }
+    }
+  }
+
+  for (CriticalVariable& cv : out) {
+    const double excess =
+        std::max(cv.expected_cell_temp_k - grid.substrate_temp(), 0.0);
+    cv.score = cv.energy_rate_w * excess;
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const CriticalVariable& a, const CriticalVariable& b) {
+              if (a.score != b.score) {
+                return a.score > b.score;
+              }
+              return a.vreg < b.vreg;
+            });
+  // Drop registers that never appear.
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const CriticalVariable& cv) {
+                             return cv.weighted_accesses == 0;
+                           }),
+            out.end());
+  return out;
+}
+
+std::vector<HotProgramPoint> hot_program_points(const ThermalDfaResult& dfa,
+                                                double sigma) {
+  std::vector<HotProgramPoint> out;
+  if (dfa.per_instruction.empty()) {
+    return out;
+  }
+  std::vector<double> peaks;
+  peaks.reserve(dfa.per_instruction.size());
+  for (const InstructionThermal& it : dfa.per_instruction) {
+    peaks.push_back(it.peak_k);
+  }
+  const double cut =
+      stats::mean(peaks) + sigma * stats::stddev(peaks);
+  for (const InstructionThermal& it : dfa.per_instruction) {
+    if (it.peak_k > cut) {
+      out.push_back({it.ref, it.peak_k});
+    }
+  }
+  return out;
+}
+
+}  // namespace tadfa::core

@@ -1,0 +1,47 @@
+// Critical-variable identification and hotspot reporting.
+//
+// Sec. 4: the analysis's goal "would be to determine precisely which parts
+// of the program are likely to exacerbate power density and thermal
+// problems in the RFs, and to determine which variables are most likely to
+// be involved." A variable's criticality combines how much heat it
+// generates (access energy × execution frequency) with how hot the cells
+// it lands on are predicted to get.
+#pragma once
+
+#include <vector>
+
+#include "core/thermal_dfa.hpp"
+
+namespace tadfa::core {
+
+struct CriticalVariable {
+  ir::Reg vreg = ir::kInvalidReg;
+  /// Combined criticality (higher = more urgent to spill/split).
+  double score = 0;
+  /// Heat generation rate attributable to this variable (W, expected).
+  double energy_rate_w = 0;
+  /// Expected temperature of the cells it occupies (K).
+  double expected_cell_temp_k = 0;
+  /// Frequency-weighted access count.
+  double weighted_accesses = 0;
+};
+
+/// Ranks all virtual registers by criticality, descending. `model`
+/// supplies each variable's cell distribution (exact or predictive), and
+/// `dfa` the predicted temperature field.
+std::vector<CriticalVariable> rank_critical_variables(
+    const ir::Function& func, const AccessDistributionModel& model,
+    const ThermalDfaResult& dfa, const thermal::ThermalGrid& grid,
+    const machine::TimingModel& timing, double trip_count_guess = 10.0);
+
+/// Program points whose predicted state exceeds mean + sigma·stddev —
+/// "which parts of the program are likely to exacerbate ... thermal
+/// problems".
+struct HotProgramPoint {
+  ir::InstrRef ref;
+  double peak_k = 0;
+};
+std::vector<HotProgramPoint> hot_program_points(const ThermalDfaResult& dfa,
+                                                double sigma = 1.0);
+
+}  // namespace tadfa::core

@@ -1,0 +1,278 @@
+#include "dataflow/bitwidth.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace tadfa::dataflow {
+namespace {
+
+using i64 = std::int64_t;
+using i128 = __int128;
+
+constexpr i64 kMin = std::numeric_limits<i64>::min();
+constexpr i64 kMax = std::numeric_limits<i64>::max();
+
+i64 saturate(i128 v) {
+  if (v < static_cast<i128>(kMin)) {
+    return kMin;
+  }
+  if (v > static_cast<i128>(kMax)) {
+    return kMax;
+  }
+  return static_cast<i64>(v);
+}
+
+ValueRange make(i128 lo, i128 hi) {
+  ValueRange r;
+  r.lo = saturate(lo);
+  r.hi = saturate(hi);
+  r.defined = true;
+  return r;
+}
+
+ValueRange combine4(const ValueRange& a, const ValueRange& b,
+                    i128 (*op)(i128, i128)) {
+  const i128 c1 = op(a.lo, b.lo);
+  const i128 c2 = op(a.lo, b.hi);
+  const i128 c3 = op(a.hi, b.lo);
+  const i128 c4 = op(a.hi, b.hi);
+  return make(std::min({c1, c2, c3, c4}), std::max({c1, c2, c3, c4}));
+}
+
+}  // namespace
+
+ValueRange ValueRange::full() { return {kMin, kMax, true}; }
+
+bool ValueRange::join(const ValueRange& other) {
+  if (!other.defined) {
+    return false;
+  }
+  if (!defined) {
+    *this = other;
+    return true;
+  }
+  bool changed = false;
+  if (other.lo < lo) {
+    lo = other.lo;
+    changed = true;
+  }
+  if (other.hi > hi) {
+    hi = other.hi;
+    changed = true;
+  }
+  return changed;
+}
+
+int ValueRange::bitwidth() const {
+  if (!defined) {
+    return 0;
+  }
+  auto bits_for = [](i64 v) {
+    if (v >= 0) {
+      int bits = 1;  // at least the value bit 0 plus sign handled below
+      std::uint64_t u = static_cast<std::uint64_t>(v);
+      bits = 0;
+      while (u != 0) {
+        ++bits;
+        u >>= 1;
+      }
+      return bits + 1;  // +1 sign bit
+    }
+    // Negative: number of bits in two's complement.
+    if (v == kMin) {
+      return 64;
+    }
+    std::uint64_t u = static_cast<std::uint64_t>(-(v + 1));
+    int bits = 0;
+    while (u != 0) {
+      ++bits;
+      u >>= 1;
+    }
+    return bits + 1;
+  };
+  return std::min(64, std::max(bits_for(lo), bits_for(hi)));
+}
+
+BitwidthAnalysis::BitwidthAnalysis(const Cfg& cfg) {
+  const ir::Function& func = cfg.function();
+  ranges_.assign(func.reg_count(), ValueRange::bottom());
+
+  // Parameters can hold anything.
+  for (ir::Reg p : func.params()) {
+    ranges_[p] = ValueRange::full();
+  }
+
+  std::vector<int> widen_count(func.reg_count(), 0);
+  constexpr int kWidenThreshold = 4;
+
+  auto operand_range = [this](const ir::Operand& op) {
+    if (op.is_imm()) {
+      return ValueRange::exact(op.imm());
+    }
+    return ranges_[op.reg()];
+  };
+
+  // Flow-insensitive fixed point: join every definition's transfer result
+  // into the register's global range; widen ranges that keep growing.
+  // Sound (over-approximate) and guaranteed to terminate.
+  bool changed = true;
+  while (changed && iterations_ < 64) {
+    changed = false;
+    ++iterations_;
+    for (const ir::BasicBlock& b : func.blocks()) {
+      for (const ir::Instruction& inst : b.instructions()) {
+        const auto d = inst.def();
+        if (!d) {
+          continue;
+        }
+        const auto& ops = inst.operands();
+        ValueRange result = ValueRange::bottom();
+        const ValueRange ra =
+            ops.empty() ? ValueRange::bottom() : operand_range(ops[0]);
+        const ValueRange rb =
+            ops.size() < 2 ? ValueRange::bottom() : operand_range(ops[1]);
+
+        using ir::Opcode;
+        switch (inst.opcode()) {
+          case Opcode::kConst:
+            result = ValueRange::exact(ops[0].imm());
+            break;
+          case Opcode::kMov:
+            result = ra;
+            break;
+          case Opcode::kLoad:
+            result = ValueRange::full();
+            break;
+          case Opcode::kAdd:
+            if (ra.defined && rb.defined) {
+              result = make(static_cast<i128>(ra.lo) + rb.lo,
+                            static_cast<i128>(ra.hi) + rb.hi);
+            }
+            break;
+          case Opcode::kSub:
+            if (ra.defined && rb.defined) {
+              result = make(static_cast<i128>(ra.lo) - rb.hi,
+                            static_cast<i128>(ra.hi) - rb.lo);
+            }
+            break;
+          case Opcode::kMul:
+            if (ra.defined && rb.defined) {
+              result = combine4(ra, rb,
+                                +[](i128 x, i128 y) { return x * y; });
+            }
+            break;
+          case Opcode::kDiv:
+            if (ra.defined && rb.defined && (rb.lo > 0 || rb.hi < 0)) {
+              result = combine4(ra, rb,
+                                +[](i128 x, i128 y) { return x / y; });
+            } else if (ra.defined) {
+              result = ValueRange::full();
+            }
+            break;
+          case Opcode::kRem:
+            if (rb.defined && (rb.lo > 0 || rb.hi < 0)) {
+              const i64 mag =
+                  std::max(std::abs(rb.lo), std::abs(rb.hi)) - 1;
+              result = make(-static_cast<i128>(mag), static_cast<i128>(mag));
+            } else {
+              result = ValueRange::full();
+            }
+            break;
+          case Opcode::kNeg:
+            if (ra.defined) {
+              result = make(-static_cast<i128>(ra.hi),
+                            -static_cast<i128>(ra.lo));
+            }
+            break;
+          case Opcode::kNot:
+            if (ra.defined) {
+              result = make(~static_cast<i128>(ra.hi),
+                            ~static_cast<i128>(ra.lo));
+            }
+            break;
+          case Opcode::kMin:
+            if (ra.defined && rb.defined) {
+              result = make(std::min(ra.lo, rb.lo), std::min(ra.hi, rb.hi));
+            }
+            break;
+          case Opcode::kMax:
+            if (ra.defined && rb.defined) {
+              result = make(std::max(ra.lo, rb.lo), std::max(ra.hi, rb.hi));
+            }
+            break;
+          case Opcode::kAnd:
+            if (ra.defined && rb.defined && ra.lo >= 0 && rb.lo >= 0) {
+              result = make(0, std::min(ra.hi, rb.hi));
+            } else {
+              result = ValueRange::full();
+            }
+            break;
+          case Opcode::kOr:
+          case Opcode::kXor:
+            if (ra.defined && rb.defined && ra.lo >= 0 && rb.lo >= 0) {
+              // Result fits in max bitwidth of the operands.
+              std::uint64_t bound = 1;
+              const std::uint64_t m = static_cast<std::uint64_t>(
+                  std::max(ra.hi, rb.hi));
+              while (bound <= m) {
+                bound <<= 1;
+                if (bound == 0) {
+                  bound = static_cast<std::uint64_t>(kMax);
+                  break;
+                }
+              }
+              result = make(0, static_cast<i128>(bound - 1));
+            } else {
+              result = ValueRange::full();
+            }
+            break;
+          case Opcode::kShl:
+            if (ra.defined && rb.defined && rb.lo >= 0 && rb.hi < 63) {
+              result = combine4(ra, rb, +[](i128 x, i128 y) {
+                return x << static_cast<int>(y);
+              });
+            } else {
+              result = ValueRange::full();
+            }
+            break;
+          case Opcode::kShr:
+            if (ra.defined && rb.defined && rb.lo >= 0 && rb.hi < 64) {
+              result = combine4(ra, rb, +[](i128 x, i128 y) {
+                return x >> static_cast<int>(y);
+              });
+            } else {
+              result = ValueRange::full();
+            }
+            break;
+          default:
+            if (ir::is_compare(inst.opcode())) {
+              result = make(0, 1);
+            } else {
+              result = ValueRange::full();
+            }
+            break;
+        }
+
+        const ValueRange before = ranges_[*d];
+        if (ranges_[*d].join(result)) {
+          changed = true;
+          // Directional widening: only the bound that keeps moving is
+          // pushed to infinity, so a counter that only grows upward keeps
+          // its precise lower bound.
+          if (++widen_count[*d] > kWidenThreshold) {
+            if (before.defined && ranges_[*d].lo < before.lo) {
+              ranges_[*d].lo = kMin;
+            }
+            if (before.defined && ranges_[*d].hi > before.hi) {
+              ranges_[*d].hi = kMax;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,56 @@
+// Bitwidth (value-range) analysis, after Stephenson et al. [7] — the
+// paper's Sec. 3 example of a data-flow analysis that propagates "an
+// interval for each variable". Included both as a framework exercise and
+// because the thermal model can use narrow widths to scale per-access
+// energy (fewer active bit cells → less switched capacitance).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/cfg.hpp"
+
+namespace tadfa::dataflow {
+
+/// Inclusive integer interval with a bottom (empty) state.
+struct ValueRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  bool defined = false;  // false = bottom (no information yet)
+
+  static ValueRange bottom() { return {}; }
+  static ValueRange exact(std::int64_t v) { return {v, v, true}; }
+  static ValueRange full();
+
+  /// Union (lattice join). Returns true if this widened.
+  bool join(const ValueRange& other);
+
+  /// Number of bits needed to represent every value in the range
+  /// (two's complement, including the sign bit when lo < 0).
+  int bitwidth() const;
+
+  friend bool operator==(const ValueRange&, const ValueRange&) = default;
+};
+
+/// Per-register value ranges at function exit points, computed by a forward
+/// interval analysis with widening (ranges that keep growing across
+/// iterations are widened to full()).
+class BitwidthAnalysis {
+ public:
+  explicit BitwidthAnalysis(const Cfg& cfg);
+
+  /// Final (post-fixed-point) range of a register, joined over all program
+  /// points where the register is defined.
+  const ValueRange& range(ir::Reg r) const { return ranges_[r]; }
+
+  /// Bits needed for the register across the whole function.
+  int bitwidth(ir::Reg r) const { return ranges_[r].bitwidth(); }
+
+  int iterations() const { return iterations_; }
+
+ private:
+  std::vector<ValueRange> ranges_;
+  int iterations_ = 0;
+};
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,61 @@
+#include "dataflow/cfg.hpp"
+
+#include <algorithm>
+
+namespace tadfa::dataflow {
+
+Cfg::Cfg(const ir::Function& func) : func_(&func) {
+  const std::size_t n = func.block_count();
+  succs_.resize(n);
+  preds_.resize(n);
+  reachable_.assign(n, false);
+
+  for (const ir::BasicBlock& b : func.blocks()) {
+    succs_[b.id()] = b.successors();
+    for (ir::BlockId s : succs_[b.id()]) {
+      preds_[s].push_back(b.id());
+    }
+  }
+
+  // Iterative DFS producing post-order; RPO is its reverse.
+  std::vector<ir::BlockId> post;
+  post.reserve(n);
+  std::vector<std::uint8_t> state(n, 0);  // 0=unvisited 1=on-stack 2=done
+  std::vector<std::pair<ir::BlockId, std::size_t>> stack;
+  if (n > 0) {
+    stack.emplace_back(func.entry(), 0);
+    state[func.entry()] = 1;
+    reachable_[func.entry()] = true;
+  }
+  while (!stack.empty()) {
+    auto& [block, next_child] = stack.back();
+    if (next_child < succs_[block].size()) {
+      const ir::BlockId child = succs_[block][next_child++];
+      if (state[child] == 0) {
+        state[child] = 1;
+        reachable_[child] = true;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      state[block] = 2;
+      post.push_back(block);
+      stack.pop_back();
+    }
+  }
+
+  rpo_.assign(post.rbegin(), post.rend());
+  // Keep unreachable blocks at the end, in id order, so every block has a
+  // position (analyses then compute a value for them too).
+  for (ir::BlockId b = 0; b < n; ++b) {
+    if (!reachable_[b]) {
+      rpo_.push_back(b);
+    }
+  }
+}
+
+std::vector<ir::BlockId> Cfg::post_order() const {
+  std::vector<ir::BlockId> po(rpo_.rbegin(), rpo_.rend());
+  return po;
+}
+
+}  // namespace tadfa::dataflow

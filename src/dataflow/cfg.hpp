@@ -1,0 +1,44 @@
+// Control-flow graph view of a function: cached predecessor/successor lists
+// and traversal orders used by the iterative data-flow solver.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace tadfa::dataflow {
+
+class Cfg {
+ public:
+  explicit Cfg(const ir::Function& func);
+
+  const ir::Function& function() const { return *func_; }
+  std::size_t block_count() const { return succs_.size(); }
+
+  const std::vector<ir::BlockId>& successors(ir::BlockId b) const {
+    return succs_[b];
+  }
+  const std::vector<ir::BlockId>& predecessors(ir::BlockId b) const {
+    return preds_[b];
+  }
+
+  /// Reverse post-order from the entry (ideal forward-analysis order).
+  /// Unreachable blocks are appended after the reachable ones so analyses
+  /// still produce a value for them.
+  const std::vector<ir::BlockId>& reverse_post_order() const { return rpo_; }
+
+  /// Post-order (ideal backward-analysis order).
+  std::vector<ir::BlockId> post_order() const;
+
+  /// True when `b` is reachable from the entry block.
+  bool reachable(ir::BlockId b) const { return reachable_[b]; }
+
+ private:
+  const ir::Function* func_;
+  std::vector<std::vector<ir::BlockId>> succs_;
+  std::vector<std::vector<ir::BlockId>> preds_;
+  std::vector<ir::BlockId> rpo_;
+  std::vector<bool> reachable_;
+};
+
+}  // namespace tadfa::dataflow

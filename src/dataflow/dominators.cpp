@@ -1,0 +1,91 @@
+#include "dataflow/dominators.hpp"
+
+#include <algorithm>
+
+namespace tadfa::dataflow {
+
+Dominators::Dominators(const Cfg& cfg) {
+  const std::size_t n = cfg.block_count();
+  idom_.assign(n, ir::kInvalidBlock);
+  children_.assign(n, {});
+  depth_.assign(n, 0);
+  if (n == 0) {
+    return;
+  }
+
+  // rpo_index[b] = position of b in reverse post-order.
+  std::vector<std::size_t> rpo_index(n, ~std::size_t{0});
+  const auto& rpo = cfg.reverse_post_order();
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[rpo[i]] = i;
+  }
+
+  const ir::BlockId entry = cfg.function().entry();
+  idom_[entry] = entry;
+
+  auto intersect = [&](ir::BlockId a, ir::BlockId b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) {
+        a = idom_[a];
+      }
+      while (rpo_index[b] > rpo_index[a]) {
+        b = idom_[b];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ir::BlockId b : rpo) {
+      if (b == entry || !cfg.reachable(b)) {
+        continue;
+      }
+      ir::BlockId new_idom = ir::kInvalidBlock;
+      for (ir::BlockId p : cfg.predecessors(b)) {
+        if (idom_[p] == ir::kInvalidBlock) {
+          continue;  // predecessor not processed yet (or unreachable)
+        }
+        new_idom = new_idom == ir::kInvalidBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != ir::kInvalidBlock && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Build tree children and depths (skip unreachable blocks).
+  for (ir::BlockId b = 0; b < n; ++b) {
+    if (b != entry && idom_[b] != ir::kInvalidBlock) {
+      children_[idom_[b]].push_back(b);
+    }
+  }
+  // Depths by walking RPO (idom always precedes its children in RPO).
+  for (ir::BlockId b : rpo) {
+    if (b == entry || idom_[b] == ir::kInvalidBlock) {
+      continue;
+    }
+    depth_[b] = depth_[idom_[b]] + 1;
+  }
+}
+
+bool Dominators::dominates(ir::BlockId a, ir::BlockId b) const {
+  if (idom_[b] == ir::kInvalidBlock) {
+    return false;  // unreachable blocks are dominated by nothing
+  }
+  ir::BlockId cur = b;
+  for (;;) {
+    if (cur == a) {
+      return true;
+    }
+    const ir::BlockId up = idom_[cur];
+    if (up == cur) {
+      return a == cur;  // reached entry
+    }
+    cur = up;
+  }
+}
+
+}  // namespace tadfa::dataflow

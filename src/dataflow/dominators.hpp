@@ -1,0 +1,39 @@
+// Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+//
+// Needed to identify natural loops (loop_info.hpp), which drive the static
+// execution-frequency estimates the thermal analysis uses before profile
+// data exists.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/cfg.hpp"
+
+namespace tadfa::dataflow {
+
+class Dominators {
+ public:
+  explicit Dominators(const Cfg& cfg);
+
+  /// Immediate dominator of `b`; the entry block is its own idom.
+  /// Unreachable blocks report kInvalidBlock.
+  ir::BlockId idom(ir::BlockId b) const { return idom_[b]; }
+
+  /// True when `a` dominates `b` (reflexive).
+  bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+  /// Children of `b` in the dominator tree.
+  const std::vector<ir::BlockId>& children(ir::BlockId b) const {
+    return children_[b];
+  }
+
+  /// Depth of `b` in the dominator tree (entry = 0).
+  std::size_t depth(ir::BlockId b) const { return depth_[b]; }
+
+ private:
+  std::vector<ir::BlockId> idom_;
+  std::vector<std::vector<ir::BlockId>> children_;
+  std::vector<std::size_t> depth_;
+};
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,109 @@
+// Generic iterative (worklist) data-flow solver.
+//
+// This is the classical framework of Cooper & Torczon ("Engineering a
+// Compiler" [6], the paper's data-flow reference): a problem supplies a
+// lattice domain, a meet, and per-block transfer functions; the solver
+// iterates to a fixed point in reverse post-order (forward problems) or
+// post-order (backward problems).
+//
+// The paper's thermal analysis (src/core) reuses the same iteration
+// structure, but — as Sec. 4 stresses — its domain is a vector of real-valued
+// temperatures with a *δ-approximate* convergence test rather than lattice
+// equality, and convergence is not guaranteed. Keeping the two solvers
+// side by side makes that contrast concrete.
+#pragma once
+
+#include <concepts>
+#include <vector>
+
+#include "dataflow/cfg.hpp"
+
+namespace tadfa::dataflow {
+
+enum class Direction { kForward, kBackward };
+
+/// Requirements on a data-flow problem definition.
+///
+///   Domain    — the lattice value attached to block boundaries.
+///   boundary()— value at the entry (forward) or exit (backward) boundary.
+///   top()     — identity of meet; initial value of all interior points.
+///   meet(a,b) — combines a predecessor/successor contribution into `a`;
+///               returns true when `a` changed.
+///   transfer(block, in) — applies the block's transfer function.
+template <typename P>
+concept DataflowProblem = requires(P p, typename P::Domain d,
+                                   const typename P::Domain& cd,
+                                   ir::BlockId b) {
+  { p.boundary() } -> std::same_as<typename P::Domain>;
+  { p.top() } -> std::same_as<typename P::Domain>;
+  { p.meet(d, cd) } -> std::same_as<bool>;
+  { p.transfer(b, cd) } -> std::same_as<typename P::Domain>;
+};
+
+template <typename Domain>
+struct DataflowResult {
+  /// Value at block entry (forward) / block exit order is normalized so that
+  /// `in[b]` is always the value *before* the block in analysis direction
+  /// and `out[b]` the value after it.
+  std::vector<Domain> in;
+  std::vector<Domain> out;
+  /// Number of full passes over the CFG until the fixed point.
+  int iterations = 0;
+};
+
+/// Runs the iterative algorithm to a fixed point. Terminates for any
+/// monotone problem on a finite-height lattice (all problems in this
+/// module). `max_iterations` is a safety net for ill-posed problems.
+template <typename P>
+  requires DataflowProblem<P>
+DataflowResult<typename P::Domain> solve(const Cfg& cfg, P& problem,
+                                         Direction direction,
+                                         int max_iterations = 1000) {
+  using Domain = typename P::Domain;
+  const std::size_t n = cfg.block_count();
+
+  DataflowResult<Domain> result;
+  result.in.assign(n, problem.top());
+  result.out.assign(n, problem.top());
+
+  const std::vector<ir::BlockId> order = direction == Direction::kForward
+                                             ? cfg.reverse_post_order()
+                                             : cfg.post_order();
+
+  const ir::BlockId entry = cfg.function().entry();
+
+  bool changed = true;
+  while (changed && result.iterations < max_iterations) {
+    changed = false;
+    ++result.iterations;
+    for (ir::BlockId b : order) {
+      // Meet over incoming edges.
+      Domain incoming = problem.top();
+      bool has_edge = false;
+      const auto& edges = direction == Direction::kForward
+                              ? cfg.predecessors(b)
+                              : cfg.successors(b);
+      for (ir::BlockId e : edges) {
+        problem.meet(incoming, result.out[e]);
+        has_edge = true;
+      }
+      const bool is_boundary =
+          direction == Direction::kForward ? b == entry : edges.empty();
+      if (is_boundary) {
+        problem.meet(incoming, problem.boundary());
+      } else if (!has_edge) {
+        // Unreachable in analysis direction: keep top.
+      }
+
+      result.in[b] = incoming;
+      Domain transferred = problem.transfer(b, result.in[b]);
+      if (!(transferred == result.out[b])) {
+        result.out[b] = std::move(transferred);
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tadfa::dataflow

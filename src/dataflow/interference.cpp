@@ -1,0 +1,83 @@
+#include "dataflow/interference.hpp"
+
+namespace tadfa::dataflow {
+
+InterferenceGraph::InterferenceGraph(const Cfg& cfg,
+                                     const Liveness& liveness) {
+  const ir::Function& func = cfg.function();
+  const std::size_t n = func.reg_count();
+  adjacency_.assign(n, DenseBitSet(n));
+
+  // Parameters are all defined simultaneously at entry: they mutually
+  // interfere if more than one is live into the entry block.
+  const auto& params = func.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::size_t j = i + 1; j < params.size(); ++j) {
+      add_edge(params[i], params[j]);
+    }
+  }
+
+  for (const ir::BasicBlock& b : func.blocks()) {
+    const auto after = liveness.live_after_each(b.id());
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const ir::Instruction& inst = b.instructions()[i];
+      const auto d = inst.def();
+      if (!d) {
+        continue;
+      }
+      // Move source exemption: %d = mov %s leaves d and s coalescable.
+      ir::Reg exempt = ir::kInvalidReg;
+      if (inst.opcode() == ir::Opcode::kMov &&
+          inst.operands()[0].is_reg()) {
+        exempt = inst.operands()[0].reg();
+      }
+      for (std::size_t r : after[i].to_indices()) {
+        const auto reg = static_cast<ir::Reg>(r);
+        if (reg != *d && reg != exempt) {
+          add_edge(*d, reg);
+        }
+      }
+    }
+  }
+}
+
+void InterferenceGraph::add_edge(ir::Reg a, ir::Reg b) {
+  TADFA_ASSERT(a < adjacency_.size() && b < adjacency_.size());
+  if (a == b) {
+    return;
+  }
+  adjacency_[a].set(b);
+  adjacency_[b].set(a);
+}
+
+bool InterferenceGraph::interferes(ir::Reg a, ir::Reg b) const {
+  TADFA_ASSERT(a < adjacency_.size() && b < adjacency_.size());
+  if (a == b) {
+    return false;
+  }
+  return adjacency_[a].test(b);
+}
+
+std::vector<ir::Reg> InterferenceGraph::neighbors(ir::Reg r) const {
+  TADFA_ASSERT(r < adjacency_.size());
+  std::vector<ir::Reg> out;
+  for (std::size_t i : adjacency_[r].to_indices()) {
+    out.push_back(static_cast<ir::Reg>(i));
+  }
+  return out;
+}
+
+std::size_t InterferenceGraph::degree(ir::Reg r) const {
+  TADFA_ASSERT(r < adjacency_.size());
+  return adjacency_[r].count();
+}
+
+std::size_t InterferenceGraph::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& row : adjacency_) {
+    total += row.count();
+  }
+  return total / 2;
+}
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,40 @@
+// Interference graph construction.
+//
+// "Two variables interfere in a program if their lifetimes overlap.
+//  Interfering variables cannot be assigned to the same register" — Sec. 2.
+// The graph is the legality constraint every assignment policy in
+// src/regalloc must respect.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/liveness.hpp"
+
+namespace tadfa::dataflow {
+
+class InterferenceGraph {
+ public:
+  /// Builds the graph with the standard rule: at each definition point the
+  /// defined register interferes with every register live after the
+  /// instruction (for moves, the source is exempted, enabling coalescing).
+  InterferenceGraph(const Cfg& cfg, const Liveness& liveness);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+
+  bool interferes(ir::Reg a, ir::Reg b) const;
+
+  /// Neighbors of `r` (ascending).
+  std::vector<ir::Reg> neighbors(ir::Reg r) const;
+
+  std::size_t degree(ir::Reg r) const;
+
+  /// Number of interference edges.
+  std::size_t edge_count() const;
+
+ private:
+  void add_edge(ir::Reg a, ir::Reg b);
+
+  std::vector<DenseBitSet> adjacency_;
+};
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,87 @@
+#include "dataflow/live_intervals.hpp"
+
+#include <algorithm>
+
+namespace tadfa::dataflow {
+
+LiveIntervals::LiveIntervals(const Cfg& cfg, const Liveness& liveness) {
+  const ir::Function& func = cfg.function();
+  by_reg_.assign(func.reg_count(), std::nullopt);
+
+  block_start_.assign(func.block_count(), 0);
+  for (const ir::BasicBlock& b : func.blocks()) {
+    block_start_[b.id()] = order_.size();
+    for (std::uint32_t i = 0; i < b.size(); ++i) {
+      order_.push_back({b.id(), i});
+    }
+  }
+
+  auto touch = [this](ir::Reg r, std::size_t pos, bool is_access) {
+    auto& iv = by_reg_[r];
+    if (!iv) {
+      iv = LiveInterval{r, pos, pos, 0};
+    } else {
+      iv->start = std::min(iv->start, pos);
+      iv->end = std::max(iv->end, pos);
+    }
+    if (is_access) {
+      ++iv->access_count;
+    }
+  };
+
+  // Parameters are live from position 0.
+  for (ir::Reg p : func.params()) {
+    touch(p, 0, false);
+  }
+
+  for (const ir::BasicBlock& b : func.blocks()) {
+    const std::size_t base = block_start_[b.id()];
+    const std::size_t last =
+        b.size() == 0 ? base : base + b.size() - 1;
+
+    // Live-in registers extend to the block's first position; live-out to
+    // its last.
+    for (std::size_t r : liveness.live_in(b.id()).to_indices()) {
+      touch(static_cast<ir::Reg>(r), base, false);
+    }
+    for (std::size_t r : liveness.live_out(b.id()).to_indices()) {
+      touch(static_cast<ir::Reg>(r), last, false);
+    }
+
+    for (std::uint32_t i = 0; i < b.size(); ++i) {
+      const std::size_t pos = base + i;
+      const ir::Instruction& inst = b.instructions()[i];
+      if (auto d = inst.def()) {
+        touch(*d, pos, true);
+      }
+      for (ir::Reg u : inst.uses()) {
+        touch(u, pos, true);
+      }
+    }
+  }
+
+  for (const auto& iv : by_reg_) {
+    if (iv) {
+      sorted_.push_back(*iv);
+    }
+  }
+  std::sort(sorted_.begin(), sorted_.end(),
+            [](const LiveInterval& a, const LiveInterval& b) {
+              if (a.start != b.start) {
+                return a.start < b.start;
+              }
+              return a.reg < b.reg;
+            });
+}
+
+std::size_t LiveIntervals::position(ir::InstrRef ref) const {
+  TADFA_ASSERT(ref.block < block_start_.size());
+  return block_start_[ref.block] + ref.index;
+}
+
+std::optional<LiveInterval> LiveIntervals::interval(ir::Reg reg) const {
+  TADFA_ASSERT(reg < by_reg_.size());
+  return by_reg_[reg];
+}
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,59 @@
+// Live intervals over a linearized instruction numbering (for linear-scan
+// register allocation).
+//
+// Blocks are laid out in their Function order; instruction positions are
+// consecutive integers. Intervals are conservative: one [start, end] span
+// per register covering every point where it is live (lifetime holes are
+// not modelled, which is the classic linear-scan simplification).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dataflow/liveness.hpp"
+
+namespace tadfa::dataflow {
+
+struct LiveInterval {
+  ir::Reg reg = ir::kInvalidReg;
+  /// First position where the register is defined or live.
+  std::size_t start = 0;
+  /// Last position where the register is used or live (inclusive).
+  std::size_t end = 0;
+  /// Total number of accesses (uses + defs) inside the interval — the
+  /// access-density signal the thermal analysis ranks variables by.
+  std::size_t access_count = 0;
+
+  bool overlaps(const LiveInterval& other) const {
+    return start <= other.end && other.start <= end;
+  }
+};
+
+class LiveIntervals {
+ public:
+  LiveIntervals(const Cfg& cfg, const Liveness& liveness);
+
+  /// Linear position of an instruction.
+  std::size_t position(ir::InstrRef ref) const;
+
+  /// Instruction at a linear position.
+  ir::InstrRef at_position(std::size_t pos) const { return order_[pos]; }
+
+  /// Total number of linear positions (= instruction count).
+  std::size_t position_count() const { return order_.size(); }
+
+  /// Interval of a register; nullopt when the register is never live
+  /// (dead def with no uses still yields a one-point interval).
+  std::optional<LiveInterval> interval(ir::Reg reg) const;
+
+  /// All intervals, sorted by increasing start.
+  const std::vector<LiveInterval>& intervals() const { return sorted_; }
+
+ private:
+  std::vector<ir::InstrRef> order_;
+  std::vector<std::size_t> block_start_;  // position of each block's first inst
+  std::vector<std::optional<LiveInterval>> by_reg_;
+  std::vector<LiveInterval> sorted_;
+};
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,103 @@
+#include "dataflow/liveness.hpp"
+
+#include <algorithm>
+
+#include "dataflow/framework.hpp"
+
+namespace tadfa::dataflow {
+namespace {
+
+/// Backward bit-vector problem: live_in = use ∪ (live_out − def).
+class LivenessProblem {
+ public:
+  using Domain = DenseBitSet;
+
+  explicit LivenessProblem(const Cfg& cfg) : cfg_(&cfg) {
+    const ir::Function& func = cfg.function();
+    const std::size_t regs = func.reg_count();
+    use_.assign(func.block_count(), DenseBitSet(regs));
+    def_.assign(func.block_count(), DenseBitSet(regs));
+    for (const ir::BasicBlock& b : func.blocks()) {
+      DenseBitSet& use = use_[b.id()];
+      DenseBitSet& def = def_[b.id()];
+      for (const ir::Instruction& inst : b.instructions()) {
+        for (ir::Reg r : inst.uses()) {
+          if (!def.test(r)) {
+            use.set(r);  // upward-exposed use
+          }
+        }
+        if (auto d = inst.def()) {
+          def.set(*d);
+        }
+      }
+    }
+  }
+
+  Domain boundary() { return DenseBitSet(cfg_->function().reg_count()); }
+  Domain top() { return DenseBitSet(cfg_->function().reg_count()); }
+
+  bool meet(Domain& into, const Domain& from) { return into.merge(from); }
+
+  Domain transfer(ir::BlockId b, const Domain& live_out) {
+    Domain live_in = live_out;
+    live_in.subtract(def_[b]);
+    live_in.merge(use_[b]);
+    return live_in;
+  }
+
+ private:
+  const Cfg* cfg_;
+  std::vector<DenseBitSet> use_;
+  std::vector<DenseBitSet> def_;
+};
+
+}  // namespace
+
+Liveness::Liveness(const Cfg& cfg) : cfg_(&cfg) {
+  LivenessProblem problem(cfg);
+  auto result = solve(cfg, problem, Direction::kBackward);
+  // In backward direction, result.in[b] is the meet over successors
+  // (= live-out) and result.out[b] the transferred value (= live-in).
+  live_out_ = std::move(result.in);
+  live_in_ = std::move(result.out);
+  iterations_ = result.iterations;
+}
+
+std::vector<DenseBitSet> Liveness::live_after_each(ir::BlockId b) const {
+  const ir::BasicBlock& block = cfg_->function().block(b);
+  std::vector<DenseBitSet> after(block.size(), live_out_[b]);
+  // Walk backward: after[i] is live following instruction i; before
+  // instruction i it is (after[i] − def_i) ∪ use_i, which equals
+  // after[i-1].
+  DenseBitSet live = live_out_[b];
+  for (std::size_t i = block.size(); i-- > 0;) {
+    after[i] = live;
+    const ir::Instruction& inst = block.instructions()[i];
+    if (auto d = inst.def()) {
+      live.reset(*d);
+    }
+    for (ir::Reg r : inst.uses()) {
+      live.set(r);
+    }
+  }
+  return after;
+}
+
+bool Liveness::live_after(ir::InstrRef ref, ir::Reg reg) const {
+  const auto after = live_after_each(ref.block);
+  TADFA_ASSERT(ref.index < after.size());
+  return after[ref.index].test(reg);
+}
+
+std::size_t Liveness::max_pressure() const {
+  std::size_t worst = 0;
+  for (const ir::BasicBlock& b : cfg_->function().blocks()) {
+    worst = std::max(worst, live_in_[b.id()].count());
+    for (const DenseBitSet& s : live_after_each(b.id())) {
+      worst = std::max(worst, s.count());
+    }
+  }
+  return worst;
+}
+
+}  // namespace tadfa::dataflow

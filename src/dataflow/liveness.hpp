@@ -1,0 +1,46 @@
+// Liveness analysis (backward, may-analysis over register bit sets).
+//
+// This is the paper's reference point for "a single bit of information per
+// variable" (Sec. 3), and the substrate for interference graphs and register
+// allocation. Implemented on the generic framework in framework.hpp.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/cfg.hpp"
+#include "support/bitset.hpp"
+
+namespace tadfa::dataflow {
+
+class Liveness {
+ public:
+  explicit Liveness(const Cfg& cfg);
+
+  /// Registers live at block entry.
+  const DenseBitSet& live_in(ir::BlockId b) const { return live_in_[b]; }
+  /// Registers live at block exit.
+  const DenseBitSet& live_out(ir::BlockId b) const { return live_out_[b]; }
+
+  /// Live sets immediately *after* each instruction of a block
+  /// (index i corresponds to the program point following instruction i).
+  std::vector<DenseBitSet> live_after_each(ir::BlockId b) const;
+
+  /// True when `reg` is live immediately after the given instruction.
+  bool live_after(ir::InstrRef ref, ir::Reg reg) const;
+
+  /// Solver passes to fixed point (for the framework tests).
+  int iterations() const { return iterations_; }
+
+  /// Maximum number of simultaneously live registers over all program
+  /// points — the function's register pressure (the quantity the paper's
+  /// chessboard caveat hinges on).
+  std::size_t max_pressure() const;
+
+ private:
+  const Cfg* cfg_;
+  std::vector<DenseBitSet> live_in_;
+  std::vector<DenseBitSet> live_out_;
+  int iterations_ = 0;
+};
+
+}  // namespace tadfa::dataflow

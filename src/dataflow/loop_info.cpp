@@ -1,0 +1,138 @@
+#include "dataflow/loop_info.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace tadfa::dataflow {
+
+LoopInfo::LoopInfo(const Cfg& cfg, const Dominators& doms) {
+  const std::size_t n = cfg.block_count();
+  depth_.assign(n, 0);
+
+  // Find back edges: t -> h where h dominates t.
+  struct BackEdge {
+    ir::BlockId latch;
+    ir::BlockId header;
+  };
+  std::vector<BackEdge> back_edges;
+  for (ir::BlockId b = 0; b < n; ++b) {
+    if (!cfg.reachable(b)) {
+      continue;
+    }
+    for (ir::BlockId s : cfg.successors(b)) {
+      if (doms.dominates(s, b)) {
+        back_edges.push_back({b, s});
+      }
+    }
+  }
+
+  // Natural loop of a back edge: header plus all blocks that reach the
+  // latch without going through the header (reverse flood fill).
+  // Merge loops sharing a header.
+  for (const BackEdge& edge : back_edges) {
+    Loop* loop = nullptr;
+    for (Loop& l : loops_) {
+      if (l.header == edge.header) {
+        loop = &l;
+        break;
+      }
+    }
+    if (loop == nullptr) {
+      loops_.push_back({});
+      loop = &loops_.back();
+      loop->header = edge.header;
+      loop->blocks.push_back(edge.header);
+    }
+    loop->latches.push_back(edge.latch);
+
+    std::vector<ir::BlockId> stack;
+    auto in_loop = [loop](ir::BlockId b) {
+      return std::find(loop->blocks.begin(), loop->blocks.end(), b) !=
+             loop->blocks.end();
+    };
+    if (!in_loop(edge.latch)) {
+      loop->blocks.push_back(edge.latch);
+      stack.push_back(edge.latch);
+    }
+    while (!stack.empty()) {
+      const ir::BlockId b = stack.back();
+      stack.pop_back();
+      for (ir::BlockId p : cfg.predecessors(b)) {
+        if (!in_loop(p)) {
+          loop->blocks.push_back(p);
+          stack.push_back(p);
+        }
+      }
+    }
+  }
+
+  // Depth: number of loops containing the block. Loop depth: number of
+  // loops containing its header (inclusive).
+  for (ir::BlockId b = 0; b < n; ++b) {
+    std::size_t d = 0;
+    for (const Loop& l : loops_) {
+      if (std::find(l.blocks.begin(), l.blocks.end(), b) != l.blocks.end()) {
+        ++d;
+      }
+    }
+    depth_[b] = d;
+  }
+  for (Loop& l : loops_) {
+    l.depth = depth_[l.header];
+  }
+}
+
+bool LoopInfo::is_header(ir::BlockId b) const {
+  for (const Loop& l : loops_) {
+    if (l.header == b) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> estimate_block_frequencies(const Cfg& cfg,
+                                               const LoopInfo& loops,
+                                               double trip_count_guess) {
+  TADFA_ASSERT(trip_count_guess >= 1.0);
+  const std::size_t n = cfg.block_count();
+  std::vector<double> freq(n, 0.0);
+
+  // Base: loop-depth scaling.
+  for (ir::BlockId b = 0; b < n; ++b) {
+    if (!cfg.reachable(b)) {
+      continue;
+    }
+    freq[b] = std::pow(trip_count_guess,
+                       static_cast<double>(loops.depth(b)));
+  }
+
+  // Refinement: within the same loop depth, blocks below a two-way branch
+  // are (heuristically) half as frequent as the branch block itself. One
+  // forward sweep in RPO is enough for the nesting-free part.
+  for (ir::BlockId b : cfg.reverse_post_order()) {
+    if (!cfg.reachable(b)) {
+      continue;
+    }
+    const auto& succs = cfg.successors(b);
+    if (succs.size() == 2 && succs[0] != succs[1]) {
+      // Only a genuine diamond (both arms stay at this loop depth) splits
+      // frequency; loop-exit branches do not discount the loop body.
+      const bool diamond = loops.depth(succs[0]) == loops.depth(b) &&
+                           loops.depth(succs[1]) == loops.depth(b);
+      if (!diamond) {
+        continue;
+      }
+      for (ir::BlockId s : succs) {
+        if (cfg.predecessors(s).size() == 1 && !loops.is_header(s)) {
+          freq[s] = freq[b] * 0.5;
+        }
+      }
+    }
+  }
+  return freq;
+}
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,55 @@
+// Natural-loop discovery and static execution-frequency estimation.
+//
+// The thermal data flow analysis weights each instruction's heat
+// contribution by how often it executes. Before profile data exists, the
+// classical static estimate is used: every loop level multiplies the
+// expected execution count by a constant trip-count guess, and conditional
+// successors split their predecessor's frequency evenly.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/cfg.hpp"
+#include "dataflow/dominators.hpp"
+
+namespace tadfa::dataflow {
+
+struct Loop {
+  /// Loop header (target of the back edge).
+  ir::BlockId header = ir::kInvalidBlock;
+  /// Blocks belonging to the natural loop (header included).
+  std::vector<ir::BlockId> blocks;
+  /// Sources of back edges into the header.
+  std::vector<ir::BlockId> latches;
+  /// Nesting depth (outermost loop = 1).
+  std::size_t depth = 1;
+};
+
+class LoopInfo {
+ public:
+  LoopInfo(const Cfg& cfg, const Dominators& doms);
+
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Loop nesting depth of a block (0 = not in any loop).
+  std::size_t depth(ir::BlockId b) const { return depth_[b]; }
+
+  /// True when b is some loop's header.
+  bool is_header(ir::BlockId b) const;
+
+ private:
+  std::vector<Loop> loops_;
+  std::vector<std::size_t> depth_;
+};
+
+/// Estimated relative execution count for every block.
+///
+/// freq(entry) = 1; each loop level multiplies by `trip_count_guess`;
+/// conditional branches split frequency evenly between their successors.
+/// Computed as depth-based scaling (robust on irregular CFGs where a
+/// flow-equation solve may not converge).
+std::vector<double> estimate_block_frequencies(const Cfg& cfg,
+                                               const LoopInfo& loops,
+                                               double trip_count_guess = 10.0);
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,116 @@
+#include "dataflow/reaching_defs.hpp"
+
+#include "dataflow/framework.hpp"
+
+namespace tadfa::dataflow {
+namespace {
+
+class ReachingProblem {
+ public:
+  using Domain = DenseBitSet;
+
+  ReachingProblem(const Cfg& cfg, const std::vector<DefSite>& sites,
+                  const std::vector<std::vector<std::size_t>>& sites_by_reg)
+      : cfg_(&cfg), n_sites_(sites.size()) {
+    const ir::Function& func = cfg.function();
+    gen_.assign(func.block_count(), DenseBitSet(n_sites_));
+    kill_.assign(func.block_count(), DenseBitSet(n_sites_));
+    // Forward scan: a def generates its own site and kills all other sites
+    // of the same register (including earlier gens in this block).
+    std::size_t site_index = 0;
+    for (const ir::BasicBlock& b : func.blocks()) {
+      DenseBitSet& gen = gen_[b.id()];
+      DenseBitSet& kill = kill_[b.id()];
+      for (const ir::Instruction& inst : b.instructions()) {
+        if (auto d = inst.def()) {
+          for (std::size_t other : sites_by_reg[*d]) {
+            if (other != site_index) {
+              kill.set(other);
+              gen.reset(other);
+            }
+          }
+          gen.set(site_index);
+          kill.reset(site_index);
+          ++site_index;
+        }
+      }
+    }
+  }
+
+  Domain boundary() { return DenseBitSet(n_sites_); }
+  Domain top() { return DenseBitSet(n_sites_); }
+  bool meet(Domain& into, const Domain& from) { return into.merge(from); }
+
+  Domain transfer(ir::BlockId b, const Domain& in) {
+    Domain out = in;
+    out.subtract(kill_[b]);
+    out.merge(gen_[b]);
+    return out;
+  }
+
+ private:
+  const Cfg* cfg_;
+  std::size_t n_sites_;
+  std::vector<DenseBitSet> gen_;
+  std::vector<DenseBitSet> kill_;
+};
+
+}  // namespace
+
+ReachingDefs::ReachingDefs(const Cfg& cfg) : cfg_(&cfg) {
+  const ir::Function& func = cfg.function();
+  sites_by_reg_.assign(func.reg_count(), {});
+  for (const ir::BasicBlock& b : func.blocks()) {
+    for (std::uint32_t i = 0; i < b.size(); ++i) {
+      const ir::Instruction& inst = b.instructions()[i];
+      if (auto d = inst.def()) {
+        sites_by_reg_[*d].push_back(sites_.size());
+        sites_.push_back({{b.id(), i}, *d});
+      }
+    }
+  }
+
+  ReachingProblem problem(cfg, sites_, sites_by_reg_);
+  auto result = solve(cfg, problem, Direction::kForward);
+  in_ = std::move(result.in);
+  out_ = std::move(result.out);
+  iterations_ = result.iterations;
+}
+
+std::vector<std::size_t> ReachingDefs::reaching_defs_of(ir::InstrRef at,
+                                                        ir::Reg reg) const {
+  // Start from block entry and apply defs up to (not including) `at`.
+  DenseBitSet reaching = in_[at.block];
+  const ir::BasicBlock& block = cfg_->function().block(at.block);
+  std::size_t site_index_base = 0;
+  // Recover the global site index of each def in this block by scanning the
+  // site table once (sites are in block-order, so binary search would also
+  // work; linear is fine at this scale).
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    if (sites_[s].ref.block == at.block) {
+      site_index_base = s;
+      break;
+    }
+  }
+  std::size_t site = site_index_base;
+  for (std::uint32_t i = 0; i < at.index && i < block.size(); ++i) {
+    const ir::Instruction& inst = block.instructions()[i];
+    if (auto d = inst.def()) {
+      for (std::size_t other : sites_by_reg_[*d]) {
+        reaching.reset(other);
+      }
+      reaching.set(site);
+      ++site;
+    }
+  }
+
+  std::vector<std::size_t> result;
+  for (std::size_t s : sites_by_reg_[reg]) {
+    if (reaching.test(s)) {
+      result.push_back(s);
+    }
+  }
+  return result;
+}
+
+}  // namespace tadfa::dataflow

@@ -1,0 +1,50 @@
+// Reaching definitions (forward, may-analysis over definition sites).
+//
+// Used by def-use chain construction and by the register promotion pass
+// (Sec. 4) to prove that a memory-resident scalar has a single reaching
+// store per load.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/cfg.hpp"
+#include "support/bitset.hpp"
+
+namespace tadfa::dataflow {
+
+/// A definition site: instruction `ref` defines register `reg`.
+struct DefSite {
+  ir::InstrRef ref;
+  ir::Reg reg = ir::kInvalidReg;
+};
+
+class ReachingDefs {
+ public:
+  explicit ReachingDefs(const Cfg& cfg);
+
+  /// All definition sites in the function; bit i of the sets below refers to
+  /// def_sites()[i].
+  const std::vector<DefSite>& def_sites() const { return sites_; }
+
+  /// Definitions reaching block entry.
+  const DenseBitSet& reach_in(ir::BlockId b) const { return in_[b]; }
+  /// Definitions reaching block exit.
+  const DenseBitSet& reach_out(ir::BlockId b) const { return out_[b]; }
+
+  /// Definition-site indices of `reg` that reach the program point just
+  /// before the given instruction.
+  std::vector<std::size_t> reaching_defs_of(ir::InstrRef at,
+                                            ir::Reg reg) const;
+
+  int iterations() const { return iterations_; }
+
+ private:
+  const Cfg* cfg_;
+  std::vector<DefSite> sites_;
+  std::vector<std::vector<std::size_t>> sites_by_reg_;
+  std::vector<DenseBitSet> in_;
+  std::vector<DenseBitSet> out_;
+  int iterations_ = 0;
+};
+
+}  // namespace tadfa::dataflow

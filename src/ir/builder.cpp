@@ -1,0 +1,107 @@
+#include "ir/builder.hpp"
+
+namespace tadfa::ir {
+
+BlockId IRBuilder::create_block(std::string name) {
+  return func_.add_block(std::move(name));
+}
+
+void IRBuilder::set_insert_point(BlockId block) {
+  TADFA_ASSERT(block < func_.block_count());
+  current_ = block;
+}
+
+void IRBuilder::emit(Instruction inst) {
+  TADFA_ASSERT_MSG(current_ != kInvalidBlock,
+                   "set_insert_point before emitting");
+  BasicBlock& b = func_.block(current_);
+  TADFA_ASSERT_MSG(!b.has_terminator(), "emitting past a terminator");
+  b.append(std::move(inst));
+}
+
+Reg IRBuilder::const_int(std::int64_t value) {
+  const Reg d = func_.new_reg();
+  emit(Instruction(Opcode::kConst, d, {Operand::imm(value)}));
+  return d;
+}
+
+Reg IRBuilder::mov(Reg src) {
+  const Reg d = func_.new_reg();
+  emit(Instruction(Opcode::kMov, d, {Operand::reg(src)}));
+  return d;
+}
+
+Reg IRBuilder::binary(Opcode op, Operand lhs, Operand rhs) {
+  TADFA_ASSERT(is_binary_alu(op));
+  const Reg d = func_.new_reg();
+  emit(Instruction(op, d, {lhs, rhs}));
+  return d;
+}
+
+Reg IRBuilder::neg(Operand a) {
+  const Reg d = func_.new_reg();
+  emit(Instruction(Opcode::kNeg, d, {a}));
+  return d;
+}
+
+Reg IRBuilder::bnot(Operand a) {
+  const Reg d = func_.new_reg();
+  emit(Instruction(Opcode::kNot, d, {a}));
+  return d;
+}
+
+Reg IRBuilder::cmp(Opcode cmp_op, Operand a, Operand b) {
+  TADFA_ASSERT(is_compare(cmp_op));
+  return binary(cmp_op, a, b);
+}
+
+Reg IRBuilder::load(Operand address) {
+  const Reg d = func_.new_reg();
+  emit(Instruction(Opcode::kLoad, d, {address}));
+  return d;
+}
+
+void IRBuilder::assign_const(Reg dest, std::int64_t value) {
+  emit(Instruction(Opcode::kConst, dest, {Operand::imm(value)}));
+}
+
+void IRBuilder::assign_mov(Reg dest, Reg src) {
+  emit(Instruction(Opcode::kMov, dest, {Operand::reg(src)}));
+}
+
+void IRBuilder::assign(Opcode op, Reg dest, Operand a, Operand b) {
+  TADFA_ASSERT(is_binary_alu(op));
+  emit(Instruction(op, dest, {a, b}));
+}
+
+void IRBuilder::assign_unary(Opcode op, Reg dest, Operand a) {
+  TADFA_ASSERT(is_unary_alu(op));
+  emit(Instruction(op, dest, {a}));
+}
+
+void IRBuilder::assign_load(Reg dest, Operand address) {
+  emit(Instruction(Opcode::kLoad, dest, {address}));
+}
+
+void IRBuilder::store(Operand address, Operand value) {
+  emit(Instruction(Opcode::kStore, kInvalidReg, {address, value}));
+}
+
+void IRBuilder::nop() { emit(Instruction(Opcode::kNop, kInvalidReg, {})); }
+
+void IRBuilder::br(Reg condition, BlockId then_block, BlockId else_block) {
+  emit(Instruction(Opcode::kBr, kInvalidReg, {Operand::reg(condition)},
+                   {then_block, else_block}));
+}
+
+void IRBuilder::jmp(BlockId target) {
+  emit(Instruction(Opcode::kJmp, kInvalidReg, {}, {target}));
+}
+
+void IRBuilder::ret() { emit(Instruction(Opcode::kRet, kInvalidReg, {})); }
+
+void IRBuilder::ret(Operand value) {
+  emit(Instruction(Opcode::kRet, kInvalidReg, {value}));
+}
+
+}  // namespace tadfa::ir

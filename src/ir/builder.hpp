@@ -1,0 +1,78 @@
+// Fluent construction of IR functions.
+//
+// The builder tracks an insertion block and hands out fresh virtual
+// registers, so kernel builders in src/workload read like straight-line
+// pseudocode.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace tadfa::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Function& func) : func_(func) {}
+
+  Function& function() { return func_; }
+
+  /// Creates a block and returns its id (does not change insertion point).
+  BlockId create_block(std::string name = "");
+
+  /// Sets the block that subsequent emit calls append to.
+  void set_insert_point(BlockId block);
+  BlockId insert_point() const { return current_; }
+
+  // --- Value producers (each returns the fresh destination register) -------
+  Reg const_int(std::int64_t value);
+  Reg mov(Reg src);
+  Reg binary(Opcode op, Operand lhs, Operand rhs);
+  Reg add(Operand a, Operand b) { return binary(Opcode::kAdd, a, b); }
+  Reg sub(Operand a, Operand b) { return binary(Opcode::kSub, a, b); }
+  Reg mul(Operand a, Operand b) { return binary(Opcode::kMul, a, b); }
+  Reg div(Operand a, Operand b) { return binary(Opcode::kDiv, a, b); }
+  Reg rem(Operand a, Operand b) { return binary(Opcode::kRem, a, b); }
+  Reg band(Operand a, Operand b) { return binary(Opcode::kAnd, a, b); }
+  Reg bor(Operand a, Operand b) { return binary(Opcode::kOr, a, b); }
+  Reg bxor(Operand a, Operand b) { return binary(Opcode::kXor, a, b); }
+  Reg shl(Operand a, Operand b) { return binary(Opcode::kShl, a, b); }
+  Reg shr(Operand a, Operand b) { return binary(Opcode::kShr, a, b); }
+  Reg minv(Operand a, Operand b) { return binary(Opcode::kMin, a, b); }
+  Reg maxv(Operand a, Operand b) { return binary(Opcode::kMax, a, b); }
+  Reg neg(Operand a);
+  Reg bnot(Operand a);
+  Reg cmp(Opcode cmp_op, Operand a, Operand b);
+  Reg load(Operand address);
+
+  // --- In-place forms (loop-carried variables) -------------------------------
+  // The IR has no phi nodes; loop-carried values are expressed by
+  // re-defining the same virtual register (e.g. "%i = add %i, 1").
+  /// Reserves a register without emitting anything.
+  Reg fresh() { return func_.new_reg(); }
+  void assign_const(Reg dest, std::int64_t value);
+  void assign_mov(Reg dest, Reg src);
+  void assign(Opcode op, Reg dest, Operand a, Operand b);
+  void assign_unary(Opcode op, Reg dest, Operand a);
+  void assign_load(Reg dest, Operand address);
+
+  // --- Effects --------------------------------------------------------------
+  void store(Operand address, Operand value);
+  void nop();
+
+  // --- Terminators ----------------------------------------------------------
+  void br(Reg condition, BlockId then_block, BlockId else_block);
+  void jmp(BlockId target);
+  void ret();
+  void ret(Operand value);
+
+  /// Shorthand for Operand::reg / Operand::imm at call sites.
+  static Operand r(Reg reg) { return Operand::reg(reg); }
+  static Operand i(std::int64_t value) { return Operand::imm(value); }
+
+ private:
+  void emit(Instruction inst);
+
+  Function& func_;
+  BlockId current_ = kInvalidBlock;
+};
+
+}  // namespace tadfa::ir

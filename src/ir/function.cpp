@@ -1,0 +1,134 @@
+#include "ir/function.hpp"
+
+namespace tadfa::ir {
+
+bool BasicBlock::has_terminator() const {
+  return !instructions_.empty() && instructions_.back().is_terminator();
+}
+
+const Instruction& BasicBlock::terminator() const {
+  TADFA_ASSERT(has_terminator());
+  return instructions_.back();
+}
+
+std::vector<BlockId> BasicBlock::successors() const {
+  if (!has_terminator()) {
+    return {};
+  }
+  return terminator().targets();
+}
+
+void BasicBlock::insert(std::size_t index, Instruction inst) {
+  TADFA_ASSERT(index <= instructions_.size());
+  instructions_.insert(instructions_.begin() + static_cast<std::ptrdiff_t>(index),
+                       std::move(inst));
+}
+
+BlockId Function::add_block(std::string block_name) {
+  const auto id = static_cast<BlockId>(blocks_.size());
+  if (block_name.empty()) {
+    block_name = "bb" + std::to_string(id);
+  }
+  blocks_.emplace_back(id, std::move(block_name));
+  return id;
+}
+
+const BasicBlock& Function::block(BlockId id) const {
+  TADFA_ASSERT(id < blocks_.size());
+  return blocks_[id];
+}
+
+BasicBlock& Function::block(BlockId id) {
+  TADFA_ASSERT(id < blocks_.size());
+  return blocks_[id];
+}
+
+std::vector<std::vector<BlockId>> Function::predecessors() const {
+  std::vector<std::vector<BlockId>> preds(blocks_.size());
+  for (const BasicBlock& b : blocks_) {
+    for (BlockId succ : b.successors()) {
+      TADFA_ASSERT(succ < blocks_.size());
+      preds[succ].push_back(b.id());
+    }
+  }
+  return preds;
+}
+
+Reg Function::new_reg() { return next_reg_++; }
+
+void Function::ensure_regs(std::uint32_t n) {
+  if (n > next_reg_) {
+    next_reg_ = n;
+  }
+}
+
+Reg Function::add_param() {
+  const Reg r = new_reg();
+  params_.push_back(r);
+  return r;
+}
+
+void Function::add_param_reg(Reg r) {
+  ensure_regs(r + 1);
+  params_.push_back(r);
+}
+
+std::int64_t Function::allocate_stack_slot() {
+  return kStackBase + static_cast<std::int64_t>(stack_slots_++);
+}
+
+std::size_t Function::instruction_count() const {
+  std::size_t n = 0;
+  for (const BasicBlock& b : blocks_) {
+    n += b.size();
+  }
+  return n;
+}
+
+const Instruction& Function::instruction(InstrRef ref) const {
+  const BasicBlock& b = block(ref.block);
+  TADFA_ASSERT(ref.index < b.size());
+  return b.instructions()[ref.index];
+}
+
+Instruction& Function::instruction(InstrRef ref) {
+  BasicBlock& b = block(ref.block);
+  TADFA_ASSERT(ref.index < b.size());
+  return b.instructions()[ref.index];
+}
+
+std::vector<InstrRef> Function::all_instructions() const {
+  std::vector<InstrRef> refs;
+  refs.reserve(instruction_count());
+  for (const BasicBlock& b : blocks_) {
+    for (std::uint32_t i = 0; i < b.size(); ++i) {
+      refs.push_back({b.id(), i});
+    }
+  }
+  return refs;
+}
+
+Function& Module::add_function(std::string name) {
+  functions_.emplace_back(std::move(name));
+  return functions_.back();
+}
+
+const Function* Module::find(const std::string& name) const {
+  for (const Function& f : functions_) {
+    if (f.name() == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+Function* Module::find(const std::string& name) {
+  for (Function& f : functions_) {
+    if (f.name() == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace tadfa::ir

@@ -1,0 +1,142 @@
+// Basic blocks, functions, and modules.
+//
+// A Function owns its blocks by value; blocks are addressed by BlockId
+// (their index), which keeps the CFG trivially serializable and lets the
+// data-flow framework use dense vectors keyed by block id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace tadfa::ir {
+
+/// A maximal straight-line sequence of instructions ending in a terminator.
+class BasicBlock {
+ public:
+  BasicBlock(BlockId id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+
+  BlockId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  const std::vector<Instruction>& instructions() const {
+    return instructions_;
+  }
+  std::vector<Instruction>& instructions() { return instructions_; }
+
+  bool empty() const { return instructions_.empty(); }
+  std::size_t size() const { return instructions_.size(); }
+
+  /// True when the final instruction is a terminator.
+  bool has_terminator() const;
+
+  /// The terminator; requires has_terminator().
+  const Instruction& terminator() const;
+
+  /// Successor block ids, taken from the terminator's targets.
+  std::vector<BlockId> successors() const;
+
+  void append(Instruction inst) { instructions_.push_back(std::move(inst)); }
+
+  /// Inserts before position `index` (0 = front, size() = before nothing,
+  /// i.e. append).
+  void insert(std::size_t index, Instruction inst);
+
+ private:
+  BlockId id_;
+  std::string name_;
+  std::vector<Instruction> instructions_;
+};
+
+/// Identifies one instruction inside a function.
+struct InstrRef {
+  BlockId block = kInvalidBlock;
+  std::uint32_t index = 0;
+
+  friend bool operator==(const InstrRef&, const InstrRef&) = default;
+  friend bool operator<(const InstrRef& a, const InstrRef& b) {
+    if (a.block != b.block) {
+      return a.block < b.block;
+    }
+    return a.index < b.index;
+  }
+};
+
+/// A single procedure: the unit on which all analyses run (the paper
+/// describes its analysis "in the context of a single procedure").
+class Function {
+ public:
+  explicit Function(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- Blocks -------------------------------------------------------------
+  BlockId add_block(std::string block_name = "");
+  const BasicBlock& block(BlockId id) const;
+  BasicBlock& block(BlockId id);
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  std::vector<BasicBlock>& blocks() { return blocks_; }
+  std::size_t block_count() const { return blocks_.size(); }
+  /// Entry block is always block 0.
+  BlockId entry() const { return 0; }
+
+  /// Predecessor lists, recomputed from terminators on each call.
+  std::vector<std::vector<BlockId>> predecessors() const;
+
+  // --- Virtual registers ---------------------------------------------------
+  /// Allocates a fresh virtual register.
+  Reg new_reg();
+  /// Number of virtual registers allocated so far.
+  std::uint32_t reg_count() const { return next_reg_; }
+  /// Declares registers [0, n) in bulk (used by the parser).
+  void ensure_regs(std::uint32_t n);
+
+  // --- Parameters ----------------------------------------------------------
+  /// Parameter registers, defined on entry (in order).
+  const std::vector<Reg>& params() const { return params_; }
+  Reg add_param();
+  /// Declares an existing register as the next parameter (used by the
+  /// parser, where parameter numbers come from the text).
+  void add_param_reg(Reg r);
+
+  // --- Stack slots (for spills and locals) ----------------------------------
+  /// Reserves one word of function-local memory; returns its address.
+  /// Addresses start at kStackBase and grow upward.
+  std::int64_t allocate_stack_slot();
+  std::uint32_t stack_slot_count() const { return stack_slots_; }
+  static constexpr std::int64_t kStackBase = 1 << 20;
+
+  // --- Whole-function queries ----------------------------------------------
+  /// Total instruction count across all blocks.
+  std::size_t instruction_count() const;
+  const Instruction& instruction(InstrRef ref) const;
+  Instruction& instruction(InstrRef ref);
+
+  /// All instruction refs in block order then instruction order.
+  std::vector<InstrRef> all_instructions() const;
+
+ private:
+  std::string name_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<Reg> params_;
+  std::uint32_t next_reg_ = 0;
+  std::uint32_t stack_slots_ = 0;
+};
+
+/// A collection of functions (one translation unit).
+class Module {
+ public:
+  Function& add_function(std::string name);
+  const std::vector<Function>& functions() const { return functions_; }
+  std::vector<Function>& functions() { return functions_; }
+  const Function* find(const std::string& name) const;
+  Function* find(const std::string& name);
+
+ private:
+  std::vector<Function> functions_;
+};
+
+}  // namespace tadfa::ir

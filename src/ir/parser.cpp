@@ -1,0 +1,277 @@
+#include "ir/parser.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/string_utils.hpp"
+
+namespace tadfa::ir {
+namespace {
+
+// Pending instruction whose block targets are still names.
+struct PendingInstr {
+  Opcode opcode;
+  Reg dest = kInvalidReg;
+  std::vector<Operand> operands;
+  std::vector<std::string> target_names;
+  std::size_t line = 0;
+};
+
+struct PendingBlock {
+  std::string name;
+  std::vector<PendingInstr> instructions;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) {
+    for (const std::string& raw : split(text, '\n')) {
+      std::string line = raw;
+      const std::size_t comment = line.find(';');
+      if (comment != std::string::npos) {
+        line.resize(comment);
+      }
+      lines_.push_back(line);
+    }
+  }
+
+  std::optional<Module> run(ParseError* error) {
+    Module module;
+    while (!at_end()) {
+      skip_blank();
+      if (at_end()) {
+        break;
+      }
+      if (!parse_function_into(module)) {
+        if (error != nullptr) {
+          *error = error_;
+        }
+        return std::nullopt;
+      }
+    }
+    return module;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= lines_.size(); }
+
+  void skip_blank() {
+    while (!at_end() && trim(lines_[pos_]).empty()) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& message) {
+    error_ = {pos_ + 1, message};
+    return false;
+  }
+
+  // Parses "%N", returns register number.
+  static bool parse_reg_token(std::string_view tok, Reg& out) {
+    if (tok.size() < 2 || tok[0] != '%') {
+      return false;
+    }
+    long long v = 0;
+    if (!parse_int(tok.substr(1), v) || v < 0) {
+      return false;
+    }
+    out = static_cast<Reg>(v);
+    return true;
+  }
+
+  bool parse_function_into(Module& module) {
+    std::string_view header = trim(lines_[pos_]);
+    if (!starts_with(header, "func @")) {
+      return fail("expected 'func @name(...) {'");
+    }
+    header.remove_prefix(6);
+    const std::size_t paren = header.find('(');
+    if (paren == std::string_view::npos) {
+      return fail("missing '(' in function header");
+    }
+    const std::string name(trim(header.substr(0, paren)));
+    if (name.empty()) {
+      return fail("empty function name");
+    }
+    const std::size_t close = header.find(')', paren);
+    if (close == std::string_view::npos) {
+      return fail("missing ')' in function header");
+    }
+    if (trim(header.substr(close + 1)) != "{") {
+      return fail("expected '{' after parameter list");
+    }
+
+    std::vector<Reg> params;
+    const std::string_view param_text = header.substr(paren + 1, close - paren - 1);
+    if (!trim(param_text).empty()) {
+      for (const std::string& p : split(param_text, ',')) {
+        Reg r = kInvalidReg;
+        if (!parse_reg_token(trim(p), r)) {
+          return fail("bad parameter '" + p + "'");
+        }
+        params.push_back(r);
+      }
+    }
+    ++pos_;
+
+    // Collect blocks until '}'.
+    std::vector<PendingBlock> pending;
+    bool closed = false;
+    while (!at_end()) {
+      const std::string_view line = trim(lines_[pos_]);
+      if (line.empty()) {
+        ++pos_;
+        continue;
+      }
+      if (line == "}") {
+        closed = true;
+        ++pos_;
+        break;
+      }
+      if (line.back() == ':' && line.find(' ') == std::string_view::npos) {
+        pending.push_back({std::string(line.substr(0, line.size() - 1)), {}});
+        ++pos_;
+        continue;
+      }
+      if (pending.empty()) {
+        return fail("instruction before first block label");
+      }
+      PendingInstr instr;
+      if (!parse_instruction(line, instr)) {
+        return false;
+      }
+      instr.line = pos_ + 1;
+      pending.back().instructions.push_back(std::move(instr));
+      ++pos_;
+    }
+    if (!closed) {
+      return fail("missing closing '}'");
+    }
+    if (pending.empty()) {
+      return fail("function has no blocks");
+    }
+
+    // Materialize.
+    Function& func = module.add_function(name);
+    std::map<std::string, BlockId> block_ids;
+    for (const PendingBlock& pb : pending) {
+      if (block_ids.count(pb.name) != 0) {
+        return fail("duplicate block label '" + pb.name + "'");
+      }
+      block_ids[pb.name] = func.add_block(pb.name);
+    }
+    Reg max_reg = 0;
+    bool any_reg = false;
+    auto note_reg = [&](Reg r) {
+      max_reg = std::max(max_reg, r);
+      any_reg = true;
+    };
+    for (Reg p : params) {
+      note_reg(p);
+    }
+    for (const PendingBlock& pb : pending) {
+      BasicBlock& block = func.block(block_ids[pb.name]);
+      for (const PendingInstr& pi : pending_instructions(pb)) {
+        std::vector<BlockId> targets;
+        for (const std::string& t : pi.target_names) {
+          auto it = block_ids.find(t);
+          if (it == block_ids.end()) {
+            error_ = {pi.line, "unknown block label '" + t + "'"};
+            return false;
+          }
+          targets.push_back(it->second);
+        }
+        if (pi.dest != kInvalidReg) {
+          note_reg(pi.dest);
+        }
+        for (const Operand& op : pi.operands) {
+          if (op.is_reg()) {
+            note_reg(op.reg());
+          }
+        }
+        block.append(Instruction(pi.opcode, pi.dest, pi.operands, targets));
+      }
+    }
+    func.ensure_regs(any_reg ? max_reg + 1 : 0);
+    for (Reg p : params) {
+      func.add_param_reg(p);
+    }
+    return true;
+  }
+
+  static const std::vector<PendingInstr>& pending_instructions(
+      const PendingBlock& pb) {
+    return pb.instructions;
+  }
+
+  bool parse_instruction(std::string_view line, PendingInstr& out) {
+    // Optional "%N =" prefix.
+    std::string text(line);
+    std::vector<std::string> head = split(text, '=');
+    std::string body = text;
+    if (head.size() >= 2 && starts_with(trim(head[0]), "%")) {
+      Reg dest = kInvalidReg;
+      if (!parse_reg_token(trim(head[0]), dest)) {
+        return fail("bad destination register");
+      }
+      out.dest = dest;
+      body = text.substr(text.find('=') + 1);
+    }
+    const std::string_view trimmed = trim(body);
+    const std::size_t sp = trimmed.find(' ');
+    const std::string mnemonic(
+        sp == std::string_view::npos ? trimmed : trimmed.substr(0, sp));
+    const auto opcode = opcode_from_name(mnemonic);
+    if (!opcode) {
+      return fail("unknown mnemonic '" + mnemonic + "'");
+    }
+    out.opcode = *opcode;
+    if (sp != std::string_view::npos) {
+      for (const std::string& tok : split(std::string(trimmed.substr(sp + 1)), ',')) {
+        const std::string_view t = trim(tok);
+        if (t.empty()) {
+          return fail("empty operand");
+        }
+        Reg r = kInvalidReg;
+        long long imm = 0;
+        if (parse_reg_token(t, r)) {
+          out.operands.push_back(Operand::reg(r));
+        } else if (parse_int(t, imm)) {
+          out.operands.push_back(Operand::imm(imm));
+        } else {
+          out.target_names.emplace_back(t);
+        }
+      }
+    }
+    return true;
+  }
+
+  std::vector<std::string> lines_;
+  std::size_t pos_ = 0;
+  ParseError error_;
+};
+
+}  // namespace
+
+std::optional<Module> parse_module(const std::string& text,
+                                   ParseError* error) {
+  Parser parser(text);
+  return parser.run(error);
+}
+
+std::optional<Function> parse_function(const std::string& text,
+                                       ParseError* error) {
+  auto module = parse_module(text, error);
+  if (!module) {
+    return std::nullopt;
+  }
+  if (module->functions().size() != 1) {
+    if (error != nullptr) {
+      *error = {0, "expected exactly one function"};
+    }
+    return std::nullopt;
+  }
+  return std::move(module->functions().front());
+}
+
+}  // namespace tadfa::ir

@@ -1,0 +1,37 @@
+// Parser for the canonical IR text format (the inverse of ir/printer.hpp).
+//
+// Grammar (line oriented; ';' starts a comment):
+//
+//   module   := function*
+//   function := "func" "@" NAME "(" params? ")" "{" line* "}"
+//   params   := "%" INT ("," "%" INT)*
+//   line     := LABEL ":" | instruction
+//   instruction := ["%" INT "="] MNEMONIC operand ("," operand)*
+//   operand  := "%" INT | INT | LABEL
+//
+// Register numbers may be sparse; the function's reg_count is one past the
+// highest mentioned register. Block labels may be referenced before they are
+// defined (forward branches).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace tadfa::ir {
+
+struct ParseError {
+  std::size_t line = 0;  // 1-based line number in the input
+  std::string message;
+};
+
+/// Parses a module from text. On failure returns nullopt and fills `error`.
+std::optional<Module> parse_module(const std::string& text,
+                                   ParseError* error = nullptr);
+
+/// Parses text expected to contain exactly one function.
+std::optional<Function> parse_function(const std::string& text,
+                                       ParseError* error = nullptr);
+
+}  // namespace tadfa::ir

@@ -1,0 +1,70 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace tadfa::ir {
+namespace {
+
+std::string operand_str(const Operand& op) {
+  if (op.is_reg()) {
+    return "%" + std::to_string(op.reg());
+  }
+  return std::to_string(op.imm());
+}
+
+}  // namespace
+
+std::string to_string(const Function& func, const Instruction& inst) {
+  std::ostringstream os;
+  if (inst.has_dest()) {
+    os << '%' << inst.dest() << " = ";
+  }
+  os << opcode_name(inst.opcode());
+  bool first = true;
+  for (const Operand& op : inst.operands()) {
+    os << (first ? " " : ", ") << operand_str(op);
+    first = false;
+  }
+  for (BlockId t : inst.targets()) {
+    os << (first ? " " : ", ") << func.block(t).name();
+    first = false;
+  }
+  return os.str();
+}
+
+void print(std::ostream& os, const Function& func) {
+  os << "func @" << func.name() << '(';
+  for (std::size_t i = 0; i < func.params().size(); ++i) {
+    if (i != 0) {
+      os << ", ";
+    }
+    os << '%' << func.params()[i];
+  }
+  os << ") {\n";
+  for (const BasicBlock& b : func.blocks()) {
+    os << b.name() << ":\n";
+    for (const Instruction& inst : b.instructions()) {
+      os << "  " << to_string(func, inst) << '\n';
+    }
+  }
+  os << "}\n";
+}
+
+void print(std::ostream& os, const Module& module) {
+  bool first = true;
+  for (const Function& f : module.functions()) {
+    if (!first) {
+      os << '\n';
+    }
+    print(os, f);
+    first = false;
+  }
+}
+
+std::string to_string(const Function& func) {
+  std::ostringstream os;
+  print(os, func);
+  return os.str();
+}
+
+}  // namespace tadfa::ir

@@ -1,0 +1,24 @@
+// Textual form of the IR (round-trips with ir/parser.hpp).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace tadfa::ir {
+
+/// Prints one instruction without trailing newline, e.g. "%3 = add %1, %2".
+/// Block targets are printed by name using `func` for lookup.
+std::string to_string(const Function& func, const Instruction& inst);
+
+/// Prints a whole function in the canonical text format.
+void print(std::ostream& os, const Function& func);
+
+/// Prints every function in the module.
+void print(std::ostream& os, const Module& module);
+
+/// Returns the canonical text of a function.
+std::string to_string(const Function& func);
+
+}  // namespace tadfa::ir

@@ -1,0 +1,155 @@
+#include "ir/verifier.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "ir/printer.hpp"
+
+namespace tadfa::ir {
+namespace {
+
+void check_arity(const Function& func, const BasicBlock& block,
+                 const Instruction& inst, std::vector<VerifyIssue>& issues) {
+  auto complain = [&](const std::string& what) {
+    std::ostringstream os;
+    os << func.name() << '/' << block.name() << ": '"
+       << to_string(func, inst) << "': " << what;
+    issues.push_back({os.str()});
+  };
+
+  const std::size_t ops = inst.operands().size();
+  const std::size_t targets = inst.targets().size();
+  const bool dest = inst.has_dest();
+
+  switch (inst.opcode()) {
+    case Opcode::kConst:
+      if (!dest || ops != 1 || !inst.operands()[0].is_imm() || targets != 0) {
+        complain("const needs dest and one immediate");
+      }
+      break;
+    case Opcode::kMov:
+      if (!dest || ops != 1 || !inst.operands()[0].is_reg() || targets != 0) {
+        complain("mov needs dest and one register operand");
+      }
+      break;
+    case Opcode::kNeg:
+    case Opcode::kNot:
+      if (!dest || ops != 1 || targets != 0) {
+        complain("unary op needs dest and one operand");
+      }
+      break;
+    case Opcode::kLoad:
+      if (!dest || ops != 1 || targets != 0) {
+        complain("load needs dest and one address operand");
+      }
+      break;
+    case Opcode::kStore:
+      if (dest || ops != 2 || targets != 0) {
+        complain("store needs no dest and {address, value} operands");
+      }
+      break;
+    case Opcode::kNop:
+      if (dest || ops != 0 || targets != 0) {
+        complain("nop takes nothing");
+      }
+      break;
+    case Opcode::kBr:
+      if (dest || ops != 1 || !inst.operands()[0].is_reg() || targets != 2) {
+        complain("br needs a register condition and two targets");
+      }
+      break;
+    case Opcode::kJmp:
+      if (dest || ops != 0 || targets != 1) {
+        complain("jmp needs exactly one target");
+      }
+      break;
+    case Opcode::kRet:
+      if (dest || ops > 1 || targets != 0) {
+        complain("ret takes at most one operand");
+      }
+      break;
+    default:
+      // Binary ALU including compares.
+      if (!is_binary_alu(inst.opcode())) {
+        complain("unknown opcode class");
+        break;
+      }
+      if (!dest || ops != 2 || targets != 0) {
+        complain("binary op needs dest and two operands");
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<VerifyIssue> verify(const Function& func) {
+  std::vector<VerifyIssue> issues;
+
+  if (func.block_count() == 0) {
+    issues.push_back({func.name() + ": function has no blocks"});
+    return issues;
+  }
+
+  for (const BasicBlock& block : func.blocks()) {
+    if (!block.has_terminator()) {
+      issues.push_back(
+          {func.name() + '/' + block.name() + ": missing terminator"});
+    }
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Instruction& inst = block.instructions()[i];
+      if (inst.is_terminator() && i + 1 != block.size()) {
+        issues.push_back({func.name() + '/' + block.name() +
+                          ": terminator before end of block"});
+      }
+      if (!inst.is_terminator() && i + 1 == block.size() &&
+          !block.has_terminator()) {
+        // Already reported by the missing-terminator check.
+      }
+      check_arity(func, block, inst, issues);
+      if (inst.has_dest() && inst.dest() >= func.reg_count()) {
+        issues.push_back({func.name() + '/' + block.name() +
+                          ": def of out-of-range register %" +
+                          std::to_string(inst.dest())});
+      }
+      for (const Operand& op : inst.operands()) {
+        if (op.is_reg() && op.reg() >= func.reg_count()) {
+          issues.push_back({func.name() + '/' + block.name() +
+                            ": use of out-of-range register %" +
+                            std::to_string(op.reg())});
+        }
+      }
+      for (BlockId target : inst.targets()) {
+        if (target >= func.block_count()) {
+          issues.push_back({func.name() + '/' + block.name() +
+                            ": branch to invalid block id " +
+                            std::to_string(target)});
+        }
+      }
+    }
+  }
+
+  for (Reg p : func.params()) {
+    if (p >= func.reg_count()) {
+      issues.push_back({func.name() + ": parameter register %" +
+                        std::to_string(p) + " out of range"});
+    }
+  }
+
+  return issues;
+}
+
+bool is_well_formed(const Function& func) { return verify(func).empty(); }
+
+void assert_well_formed(const Function& func) {
+  const auto issues = verify(func);
+  if (issues.empty()) {
+    return;
+  }
+  for (const VerifyIssue& issue : issues) {
+    std::fprintf(stderr, "IR verify: %s\n", issue.message.c_str());
+  }
+  TADFA_ASSERT_MSG(false, "IR verification failed");
+}
+
+}  // namespace tadfa::ir

@@ -1,0 +1,34 @@
+// Structural well-formedness checks for IR functions.
+//
+// Every pass in src/opt verifies its output in tests; the checks here are
+// the structural subset (the semantic "program still computes the same
+// thing" check is done by running src/sim on both versions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace tadfa::ir {
+
+struct VerifyIssue {
+  std::string message;
+};
+
+/// Returns all structural problems found. An empty result means:
+///  - every block ends in exactly one terminator, with none mid-block;
+///  - every branch target is a valid block id;
+///  - every operand register is < reg_count;
+///  - the entry block has no predecessors that make it a loop header with no
+///    preheader requirement violated (informational checks stay out of scope);
+///  - each opcode has the operand/target arity it requires.
+std::vector<VerifyIssue> verify(const Function& func);
+
+/// True when verify() returns no issues.
+bool is_well_formed(const Function& func);
+
+/// Asserts well-formedness, printing issues on failure (test helper).
+void assert_well_formed(const Function& func);
+
+}  // namespace tadfa::ir

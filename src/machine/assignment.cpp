@@ -1,0 +1,42 @@
+#include "machine/assignment.hpp"
+
+#include <algorithm>
+
+namespace tadfa::machine {
+
+bool RegisterAssignment::covers(const ir::Function& func) const {
+  for (ir::Reg p : func.params()) {
+    if (!assigned(p)) {
+      return false;
+    }
+  }
+  for (const ir::BasicBlock& b : func.blocks()) {
+    for (const ir::Instruction& inst : b.instructions()) {
+      if (auto d = inst.def()) {
+        if (!assigned(*d)) {
+          return false;
+        }
+      }
+      for (ir::Reg u : inst.uses()) {
+        if (!assigned(u)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<PhysReg> RegisterAssignment::used_physical() const {
+  std::vector<PhysReg> used;
+  for (PhysReg p : map_) {
+    if (p != kUnassigned) {
+      used.push_back(p);
+    }
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used;
+}
+
+}  // namespace tadfa::machine

@@ -1,0 +1,140 @@
+#include "machine/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace tadfa::machine {
+
+Floorplan::Floorplan(const RegisterFileConfig& config) : config_(config) {
+  TADFA_ASSERT_MSG(config.valid(), "invalid register file configuration");
+}
+
+PhysReg Floorplan::at(std::uint32_t row, std::uint32_t col) const {
+  TADFA_ASSERT(row < rows() && col < cols());
+  return row * cols() + col;
+}
+
+CellRect Floorplan::cell(PhysReg r) const {
+  TADFA_ASSERT(r < num_registers());
+  const auto& t = config_.tech;
+  CellRect rect;
+  rect.w = t.cell_width_m;
+  rect.h = t.cell_height_m;
+  rect.x = static_cast<double>(col_of(r)) * t.cell_width_m;
+  rect.y = static_cast<double>(row_of(r)) * t.cell_height_m;
+  return rect;
+}
+
+double Floorplan::distance(PhysReg a, PhysReg b) const {
+  const CellRect ca = cell(a);
+  const CellRect cb = cell(b);
+  const double dx = ca.center_x() - cb.center_x();
+  const double dy = ca.center_y() - cb.center_y();
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::uint32_t Floorplan::grid_distance(PhysReg a, PhysReg b) const {
+  const auto dr = static_cast<std::int64_t>(row_of(a)) - row_of(b);
+  const auto dc = static_cast<std::int64_t>(col_of(a)) - col_of(b);
+  return static_cast<std::uint32_t>(std::abs(dr) + std::abs(dc));
+}
+
+std::vector<PhysReg> Floorplan::neighbors(PhysReg r) const {
+  TADFA_ASSERT(r < num_registers());
+  std::vector<PhysReg> out;
+  const std::uint32_t row = row_of(r);
+  const std::uint32_t col = col_of(r);
+  if (row > 0) {
+    out.push_back(at(row - 1, col));
+  }
+  if (row + 1 < rows()) {
+    out.push_back(at(row + 1, col));
+  }
+  if (col > 0) {
+    out.push_back(at(row, col - 1));
+  }
+  if (col + 1 < cols()) {
+    out.push_back(at(row, col + 1));
+  }
+  return out;
+}
+
+std::uint32_t Floorplan::bank_of(PhysReg r) const {
+  TADFA_ASSERT(r < num_registers());
+  const std::uint32_t cols_per_bank = cols() / config_.banks;
+  return col_of(r) / cols_per_bank;
+}
+
+std::vector<PhysReg> Floorplan::bank_registers(std::uint32_t bank) const {
+  TADFA_ASSERT(bank < config_.banks);
+  std::vector<PhysReg> out;
+  for (PhysReg r = 0; r < num_registers(); ++r) {
+    if (bank_of(r) == bank) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<PhysReg> Floorplan::chessboard_cells(bool even_parity) const {
+  std::vector<PhysReg> out;
+  for (PhysReg r = 0; r < num_registers(); ++r) {
+    const bool even = ((row_of(r) + col_of(r)) % 2) == 0;
+    if (even == even_parity) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<PhysReg> Floorplan::spread_order() const {
+  const std::uint32_t n = num_registers();
+  std::vector<PhysReg> order;
+  std::vector<bool> taken(n, false);
+  order.reserve(n);
+
+  // Seed with the cell nearest the array center.
+  const double cx = static_cast<double>(cols() - 1) / 2.0;
+  const double cy = static_cast<double>(rows() - 1) / 2.0;
+  PhysReg seed = 0;
+  double best = std::numeric_limits<double>::max();
+  for (PhysReg r = 0; r < n; ++r) {
+    const double dx = static_cast<double>(col_of(r)) - cx;
+    const double dy = static_cast<double>(row_of(r)) - cy;
+    const double d = dx * dx + dy * dy;
+    if (d < best) {
+      best = d;
+      seed = r;
+    }
+  }
+  order.push_back(seed);
+  taken[seed] = true;
+
+  // Greedy farthest-point: next pick maximizes the minimum distance to all
+  // already-picked cells (ties broken by lower index for determinism).
+  while (order.size() < n) {
+    PhysReg pick = 0;
+    double best_min = -1.0;
+    for (PhysReg r = 0; r < n; ++r) {
+      if (taken[r]) {
+        continue;
+      }
+      double min_d = std::numeric_limits<double>::max();
+      for (PhysReg o : order) {
+        min_d = std::min(min_d, distance(r, o));
+      }
+      if (min_d > best_min) {
+        best_min = min_d;
+        pick = r;
+      }
+    }
+    order.push_back(pick);
+    taken[pick] = true;
+  }
+  return order;
+}
+
+}  // namespace tadfa::machine

@@ -1,0 +1,74 @@
+// Physical layout of the register file.
+//
+// The paper's analysis "must propagate a floorplan-aware estimate of the
+// thermal state" (Sec. 3); this class is that floorplan: it places each
+// architectural register at a grid cell and answers the geometric queries
+// the thermal model and the spread-aware assignment policies need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/technology.hpp"
+
+namespace tadfa::machine {
+
+/// Physical register index (a cell in the RF array). Distinct from
+/// ir::Reg, which is a *virtual* register.
+using PhysReg = std::uint32_t;
+
+struct CellRect {
+  double x = 0;  // meters, lower-left corner
+  double y = 0;
+  double w = 0;
+  double h = 0;
+
+  double center_x() const { return x + w / 2; }
+  double center_y() const { return y + h / 2; }
+};
+
+class Floorplan {
+ public:
+  explicit Floorplan(const RegisterFileConfig& config);
+
+  const RegisterFileConfig& config() const { return config_; }
+  std::uint32_t num_registers() const { return config_.num_registers; }
+  std::uint32_t rows() const { return config_.rows; }
+  std::uint32_t cols() const { return config_.cols; }
+
+  /// Grid coordinates of a register (row-major placement).
+  std::uint32_t row_of(PhysReg r) const { return r / config_.cols; }
+  std::uint32_t col_of(PhysReg r) const { return r % config_.cols; }
+  PhysReg at(std::uint32_t row, std::uint32_t col) const;
+
+  /// Physical rectangle of the register's cell.
+  CellRect cell(PhysReg r) const;
+
+  /// Euclidean distance between cell centers (meters).
+  double distance(PhysReg a, PhysReg b) const;
+
+  /// Manhattan distance in grid steps.
+  std::uint32_t grid_distance(PhysReg a, PhysReg b) const;
+
+  /// The 4-neighborhood of a register (N/S/E/W cells that exist).
+  std::vector<PhysReg> neighbors(PhysReg r) const;
+
+  /// Bank index of a register (banks split the columns contiguously).
+  std::uint32_t bank_of(PhysReg r) const;
+  std::uint32_t num_banks() const { return config_.banks; }
+  /// All registers in a bank.
+  std::vector<PhysReg> bank_registers(std::uint32_t bank) const;
+
+  /// Registers whose (row+col) parity is even — the chessboard "black"
+  /// squares used by the Fig. 1(c) assignment policy.
+  std::vector<PhysReg> chessboard_cells(bool even_parity) const;
+
+  /// Registers sorted so that consecutive picks maximize pairwise spread
+  /// (greedy farthest-point ordering from the array center).
+  std::vector<PhysReg> spread_order() const;
+
+ private:
+  RegisterFileConfig config_;
+};
+
+}  // namespace tadfa::machine

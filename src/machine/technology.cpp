@@ -1,0 +1,45 @@
+#include "machine/technology.hpp"
+
+#include <cmath>
+
+namespace tadfa::machine {
+
+double TechnologyParams::leakage_at(double t_k) const {
+  return leakage_ref_w * std::exp(leakage_temp_coeff * (t_k - leakage_ref_temp_k));
+}
+
+RegisterFileConfig RegisterFileConfig::small_config() {
+  RegisterFileConfig c;
+  c.num_registers = 16;
+  c.rows = 4;
+  c.cols = 4;
+  c.banks = 2;
+  return c;
+}
+
+RegisterFileConfig RegisterFileConfig::large_config() {
+  RegisterFileConfig c;
+  c.num_registers = 128;
+  c.rows = 8;
+  c.cols = 16;
+  c.banks = 4;
+  return c;
+}
+
+bool RegisterFileConfig::valid() const {
+  if (num_registers == 0 || rows == 0 || cols == 0 || banks == 0) {
+    return false;
+  }
+  if (rows * cols != num_registers) {
+    return false;
+  }
+  if (cols % banks != 0) {
+    return false;
+  }
+  if (tech.clock_hz <= 0 || tech.cell_width_m <= 0 || tech.cell_height_m <= 0) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tadfa::machine

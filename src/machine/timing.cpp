@@ -1,0 +1,29 @@
+#include "machine/timing.hpp"
+
+namespace tadfa::machine {
+
+TimingModel::TimingModel() {
+  using ir::Opcode;
+  for (auto& l : latency_) {
+    l = 1;
+  }
+  auto set = [this](Opcode op, int cycles) {
+    latency_[static_cast<std::size_t>(op)] = cycles;
+  };
+  set(Opcode::kMul, 3);
+  set(Opcode::kDiv, 12);
+  set(Opcode::kRem, 12);
+  set(Opcode::kLoad, 2);
+  set(Opcode::kStore, 1);
+}
+
+int TimingModel::latency(ir::Opcode op) const {
+  return latency_[static_cast<std::size_t>(op)];
+}
+
+void TimingModel::set_latency(ir::Opcode op, int cycles) {
+  TADFA_ASSERT(cycles >= 1);
+  latency_[static_cast<std::size_t>(op)] = cycles;
+}
+
+}  // namespace tadfa::machine

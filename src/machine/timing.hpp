@@ -1,0 +1,33 @@
+// Instruction latency table.
+//
+// The thermal transfer function advances simulated time by each
+// instruction's latency; the trace simulator uses the same table so the
+// compile-time prediction and the "feedback-driven" ground truth share a
+// timing model.
+#pragma once
+
+#include "ir/instruction.hpp"
+
+namespace tadfa::machine {
+
+/// Latency in cycles of each opcode (single-issue, in-order pipeline;
+/// loads assume L1 hits).
+class TimingModel {
+ public:
+  TimingModel();
+
+  int latency(ir::Opcode op) const;
+
+  /// Total cycles of one execution of the instruction.
+  int cycles(const ir::Instruction& inst) const {
+    return latency(inst.opcode());
+  }
+
+  /// Overrides a latency (for sensitivity studies).
+  void set_latency(ir::Opcode op, int cycles);
+
+ private:
+  int latency_[ir::kNumOpcodes];
+};
+
+}  // namespace tadfa::machine

@@ -1,0 +1,49 @@
+#include "opt/bank_gating.hpp"
+
+#include "power/model.hpp"
+#include "support/assert.hpp"
+
+namespace tadfa::opt {
+
+BankGatingPlan plan_bank_gating(const machine::Floorplan& floorplan,
+                                const machine::RegisterAssignment& assignment,
+                                double temp_k) {
+  BankGatingPlan plan;
+  plan.gated.assign(floorplan.num_banks(), true);
+
+  for (machine::PhysReg p : assignment.used_physical()) {
+    plan.gated[floorplan.bank_of(p)] = false;
+  }
+
+  const double leak_cell = floorplan.config().tech.leakage_at(temp_k);
+  for (std::uint32_t b = 0; b < plan.gated.size(); ++b) {
+    if (!plan.gated[b]) {
+      continue;
+    }
+    ++plan.gated_banks;
+    const double cells =
+        static_cast<double>(floorplan.bank_registers(b).size());
+    plan.leakage_saved_w +=
+        cells * leak_cell * (1.0 - power::PowerModel::gated_leakage_fraction);
+  }
+  return plan;
+}
+
+machine::PhysReg BankLimitPolicy::choose(
+    std::span<const machine::PhysReg> candidates,
+    const regalloc::PolicyContext& context) {
+  TADFA_ASSERT(!candidates.empty());
+  TADFA_ASSERT(context.floorplan != nullptr);
+  std::vector<machine::PhysReg> limited;
+  for (machine::PhysReg c : candidates) {
+    if (context.floorplan->bank_of(c) < max_banks_) {
+      limited.push_back(c);
+    }
+  }
+  if (limited.empty()) {
+    return inner_->choose(candidates, context);
+  }
+  return inner_->choose(limited, context);
+}
+
+}  // namespace tadfa::opt

@@ -1,0 +1,54 @@
+// Bank power-gating vs. spatial spreading (Sec. 4).
+//
+// "However, power reduction techniques based on switching off register
+// banks could not theoretically be applied after the spread register
+// assignment, and a compromise between these types of techniques for
+// different optimization metrics can be explored at the compiler level."
+//
+// This module supplies both sides of that compromise: a gating planner
+// (banks with no live assignments sleep) and a policy adapter that
+// confines assignment to a limited number of banks so the rest can gate.
+#pragma once
+
+#include "machine/assignment.hpp"
+#include "regalloc/policy.hpp"
+
+namespace tadfa::opt {
+
+struct BankGatingPlan {
+  /// gated[b] == true: bank b holds no assigned registers and can sleep.
+  std::vector<bool> gated;
+  std::uint32_t gated_banks = 0;
+  /// Leakage power saved at the given uniform temperature (W).
+  double leakage_saved_w = 0;
+};
+
+/// Plans gating from an assignment: a bank is gateable iff no virtual
+/// register is mapped into it.
+BankGatingPlan plan_bank_gating(const machine::Floorplan& floorplan,
+                                const machine::RegisterAssignment& assignment,
+                                double temp_k);
+
+/// Policy adapter that restricts candidates to the first `max_banks`
+/// banks, delegating the final choice to `inner`. When nothing in-limit is
+/// free, it falls back to the full candidate set (correctness first).
+class BankLimitPolicy final : public regalloc::AssignmentPolicy {
+ public:
+  BankLimitPolicy(regalloc::AssignmentPolicy& inner, std::uint32_t max_banks)
+      : inner_(&inner), max_banks_(max_banks) {}
+
+  std::string name() const override {
+    return inner_->name() + "+banks" + std::to_string(max_banks_);
+  }
+
+  machine::PhysReg choose(std::span<const machine::PhysReg> candidates,
+                          const regalloc::PolicyContext& context) override;
+
+  void reset() override { inner_->reset(); }
+
+ private:
+  regalloc::AssignmentPolicy* inner_;
+  std::uint32_t max_banks_;
+};
+
+}  // namespace tadfa::opt

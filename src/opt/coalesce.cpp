@@ -1,0 +1,89 @@
+#include "opt/coalesce.hpp"
+
+#include <algorithm>
+
+#include "dataflow/interference.hpp"
+#include "dataflow/liveness.hpp"
+
+namespace tadfa::opt {
+namespace {
+
+/// Renames every def and use of `from` to `to`.
+void rename(ir::Function& func, ir::Reg from, ir::Reg to) {
+  for (ir::BasicBlock& block : func.blocks()) {
+    for (ir::Instruction& inst : block.instructions()) {
+      if (inst.has_dest() && inst.dest() == from) {
+        inst.set_dest(to);
+      }
+      inst.replace_uses(from, to);
+    }
+  }
+}
+
+/// Deletes `%x = mov %x` identity copies.
+std::size_t drop_identity_moves(ir::Function& func) {
+  std::size_t dropped = 0;
+  for (ir::BasicBlock& block : func.blocks()) {
+    auto& insts = block.instructions();
+    for (std::size_t i = insts.size(); i-- > 0;) {
+      const ir::Instruction& inst = insts[i];
+      if (inst.opcode() == ir::Opcode::kMov && inst.operands()[0].is_reg() &&
+          inst.has_dest() && inst.dest() == inst.operands()[0].reg()) {
+        insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(i));
+        ++dropped;
+      }
+    }
+  }
+  return dropped;
+}
+
+}  // namespace
+
+CoalesceResult coalesce_copies(const ir::Function& func) {
+  CoalesceResult result;
+  result.func = func;
+
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    const dataflow::Cfg cfg(result.func);
+    const dataflow::Liveness liveness(cfg);
+    const dataflow::InterferenceGraph graph(cfg, liveness);
+
+    for (const ir::BasicBlock& block : result.func.blocks()) {
+      for (const ir::Instruction& inst : block.instructions()) {
+        if (inst.opcode() != ir::Opcode::kMov ||
+            !inst.operands()[0].is_reg()) {
+          continue;
+        }
+        const ir::Reg d = inst.dest();
+        const ir::Reg s = inst.operands()[0].reg();
+        if (d == s || graph.interferes(d, s)) {
+          continue;
+        }
+        // Keep the parameter register as the representative so the
+        // function signature stays intact; skip param-param pairs.
+        const auto& params = result.func.params();
+        const bool d_param =
+            std::find(params.begin(), params.end(), d) != params.end();
+        const bool s_param =
+            std::find(params.begin(), params.end(), s) != params.end();
+        if (d_param && s_param) {
+          continue;
+        }
+        const ir::Reg keep = d_param ? d : s;
+        const ir::Reg drop = d_param ? s : d;
+        rename(result.func, drop, keep);
+        result.coalesced += drop_identity_moves(result.func);
+        merged = true;
+        break;  // interference graph is stale; rebuild
+      }
+      if (merged) {
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tadfa::opt

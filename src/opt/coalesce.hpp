@@ -1,0 +1,28 @@
+// Copy coalescing.
+//
+// Merges the two sides of a `mov` whose live ranges do not interfere, then
+// deletes the (now identity) copy. A performance optimization every real
+// back-end runs — and the direct adversary of the paper's live-range
+// *splitting*: coalescing re-fuses what splitting separated, trading the
+// thermal spreading back for fewer copies. bench/ablation_join measures
+// this tension.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace tadfa::opt {
+
+struct CoalesceResult {
+  ir::Function func;
+  /// Copies merged away.
+  std::size_t coalesced = 0;
+
+  CoalesceResult() : func("") {}
+};
+
+/// Conservative (Chaitin-style) coalescing: repeatedly find a
+/// `%d = mov %s` where d and s do not interfere, rename d to s everywhere,
+/// and drop the identity move. Runs until no merge applies.
+CoalesceResult coalesce_copies(const ir::Function& func);
+
+}  // namespace tadfa::opt

@@ -1,0 +1,111 @@
+#include "opt/cse.hpp"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace tadfa::opt {
+namespace {
+
+/// Value-key of an instruction: opcode + operand identities. Register
+/// operands are keyed by (true, reg); immediates by (false, value).
+using OperandKey = std::pair<bool, std::int64_t>;
+using ExprKey = std::tuple<ir::Opcode, std::vector<OperandKey>>;
+
+bool is_pure_candidate(const ir::Instruction& inst) {
+  if (!inst.has_dest()) {
+    return false;
+  }
+  switch (inst.opcode()) {
+    case ir::Opcode::kConst:
+    case ir::Opcode::kMov:
+      return false;  // already trivial; nothing to save
+    case ir::Opcode::kLoad:
+      return true;  // killed by stores below
+    default:
+      return ir::is_binary_alu(inst.opcode()) ||
+             ir::is_unary_alu(inst.opcode());
+  }
+}
+
+ExprKey key_of(const ir::Instruction& inst) {
+  std::vector<OperandKey> ops;
+  ops.reserve(inst.operands().size());
+  for (const ir::Operand& op : inst.operands()) {
+    if (op.is_reg()) {
+      ops.emplace_back(true, static_cast<std::int64_t>(op.reg()));
+    } else {
+      ops.emplace_back(false, op.imm());
+    }
+  }
+  return {inst.opcode(), std::move(ops)};
+}
+
+}  // namespace
+
+CseResult eliminate_common_subexpressions(const ir::Function& func) {
+  CseResult result;
+  result.func = func;
+
+  for (ir::BasicBlock& block : result.func.blocks()) {
+    std::map<ExprKey, ir::Reg> available;  // expression -> holding register
+
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      ir::Instruction& inst = block.instructions()[i];
+
+      // Stores kill every available load (no alias analysis).
+      if (inst.opcode() == ir::Opcode::kStore) {
+        for (auto it = available.begin(); it != available.end();) {
+          if (std::get<0>(it->first) == ir::Opcode::kLoad) {
+            it = available.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        continue;
+      }
+
+      if (is_pure_candidate(inst)) {
+        const auto hit = available.find(key_of(inst));
+        if (hit != available.end()) {
+          inst = ir::Instruction(ir::Opcode::kMov, inst.dest(),
+                                 {ir::Operand::reg(hit->second)});
+          ++result.replaced;
+        }
+        // (Insertion happens after the kill sweep below, which would
+        // otherwise immediately evict the entry held in the fresh def.)
+      }
+
+      // A (re)definition invalidates every expression that reads the
+      // defined register, and any expression previously held in it.
+      if (auto d = inst.def()) {
+        for (auto it = available.begin(); it != available.end();) {
+          bool killed = it->second == *d;
+          for (const OperandKey& op : std::get<1>(it->first)) {
+            if (op.first && op.second == static_cast<std::int64_t>(*d)) {
+              killed = true;
+            }
+          }
+          it = killed ? available.erase(it) : std::next(it);
+        }
+        // Re-admit the instruction's own expression if it survived intact
+        // (a self-redefining op like "%x = add %x, 1" must not).
+        if (is_pure_candidate(inst) &&
+            inst.opcode() != ir::Opcode::kMov) {
+          bool self_ref = false;
+          for (ir::Reg u : inst.uses()) {
+            if (u == *d) {
+              self_ref = true;
+            }
+          }
+          if (!self_ref) {
+            available.emplace(key_of(inst), *d);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tadfa::opt

@@ -1,0 +1,27 @@
+// Local common-subexpression elimination.
+//
+// Replaces a pure computation that repeats within a block (same opcode,
+// same operand values) with a copy of the earlier result. Thermally
+// relevant in its own right: every eliminated ALU op removes register-file
+// read traffic, and the remaining movs coalesce away (opt/coalesce.hpp).
+// SEC4-O measures the compound cse -> coalesce -> dce pipeline.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace tadfa::opt {
+
+struct CseResult {
+  ir::Function func;
+  /// Redundant computations turned into movs.
+  std::size_t replaced = 0;
+
+  CseResult() : func("") {}
+};
+
+/// Performs CSE within each basic block. Loads are treated as killed by
+/// any store (no alias analysis); div/rem are eligible (their traps depend
+/// only on operand values, which are equal by construction).
+CseResult eliminate_common_subexpressions(const ir::Function& func);
+
+}  // namespace tadfa::opt

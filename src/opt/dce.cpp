@@ -1,0 +1,61 @@
+#include "opt/dce.hpp"
+
+#include <vector>
+
+#include "dataflow/liveness.hpp"
+
+namespace tadfa::opt {
+namespace {
+
+bool has_side_effect(const ir::Instruction& inst) {
+  switch (inst.opcode()) {
+    case ir::Opcode::kStore:
+    case ir::Opcode::kLoad:  // may trap; keeping it is the safe default
+    case ir::Opcode::kNop:   // cooling delay is the intended effect
+    case ir::Opcode::kBr:
+    case ir::Opcode::kJmp:
+    case ir::Opcode::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+DceResult eliminate_dead_code(const ir::Function& func) {
+  DceResult result;
+  result.func = func;
+
+  // Fixed point: an instruction is removable when it has no side effect
+  // and its destination is not live immediately after it. Each pass
+  // recomputes liveness once and sweeps every block backward; within a
+  // pass the cached live sets can only be stale in the conservative
+  // direction (a removed use keeps an input "live" until the next pass).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const dataflow::Cfg cfg(result.func);
+    const dataflow::Liveness liveness(cfg);
+    for (ir::BasicBlock& block : result.func.blocks()) {
+      const auto after = liveness.live_after_each(block.id());
+      auto& insts = block.instructions();
+      for (std::size_t i = insts.size(); i-- > 0;) {
+        const ir::Instruction& inst = insts[i];
+        if (has_side_effect(inst)) {
+          continue;
+        }
+        const auto d = inst.def();
+        if (d && after[i].test(*d)) {
+          continue;
+        }
+        insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(i));
+        ++result.removed;
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tadfa::opt

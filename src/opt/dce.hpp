@@ -1,0 +1,25 @@
+// Dead code elimination.
+//
+// Live-range splitting and coalescing leave behind dead copies; DCE
+// removes instructions whose results are never observed. Conservative
+// about effects: stores, loads (may trap on bad addresses), NOPs
+// (deliberately inserted for cooling — they ARE the effect), and
+// terminators are always kept.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace tadfa::opt {
+
+struct DceResult {
+  ir::Function func;
+  std::size_t removed = 0;
+
+  DceResult() : func("") {}
+};
+
+/// Removes instructions that define a register no live instruction reads.
+/// Runs to a fixed point (removing one dead op can kill its inputs).
+DceResult eliminate_dead_code(const ir::Function& func);
+
+}  // namespace tadfa::opt

@@ -1,0 +1,27 @@
+// NOP insertion for emergency cooling (Sec. 4).
+//
+// "...the insertion of NOP instructions gives the RF a chance to cool down
+// between accesses in extremely hot situations, although it can affect
+// overall system performance and should be applied only if no other option
+// ... is feasible." Driven by the thermal DFA's per-instruction peaks.
+#pragma once
+
+#include "core/thermal_dfa.hpp"
+
+namespace tadfa::opt {
+
+struct NopInsertResult {
+  ir::Function func;
+  std::size_t nops_inserted = 0;
+
+  NopInsertResult() : func("") {}
+};
+
+/// Inserts `nops_per_site` NOPs after every instruction whose predicted
+/// peak exceeds `threshold_k`. Terminators never get trailing NOPs.
+NopInsertResult insert_cooling_nops(const ir::Function& func,
+                                    const core::ThermalDfaResult& dfa,
+                                    double threshold_k,
+                                    int nops_per_site = 4);
+
+}  // namespace tadfa::opt

@@ -1,0 +1,75 @@
+#include "opt/promote.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace tadfa::opt {
+
+PromoteResult promote_memory_scalars(const ir::Function& func,
+                                     std::size_t min_loads) {
+  PromoteResult result;
+  result.func = func;
+  ir::Function& f = result.func;
+
+  // --- Scan: constant-address load counts, store side effects ---------------
+  bool unknown_store = false;
+  std::map<std::int64_t, std::size_t> load_count;
+  std::map<std::int64_t, bool> stored;
+  for (const ir::BasicBlock& b : f.blocks()) {
+    for (const ir::Instruction& inst : b.instructions()) {
+      if (inst.opcode() == ir::Opcode::kLoad) {
+        if (inst.operands()[0].is_imm()) {
+          ++load_count[inst.operands()[0].imm()];
+        }
+      } else if (inst.opcode() == ir::Opcode::kStore) {
+        if (inst.operands()[0].is_imm()) {
+          stored[inst.operands()[0].imm()] = true;
+        } else {
+          unknown_store = true;
+        }
+      }
+    }
+  }
+  if (unknown_store) {
+    return result;  // any store could alias any address: promote nothing
+  }
+
+  std::map<std::int64_t, ir::Reg> home;
+  for (const auto& [addr, count] : load_count) {
+    if (count >= min_loads && !stored[addr]) {
+      home[addr] = f.new_reg();
+      result.promoted_addresses.push_back(addr);
+    }
+  }
+  if (home.empty()) {
+    return result;
+  }
+
+  // --- Rewrite loads to movs ---------------------------------------------------
+  for (ir::BasicBlock& b : f.blocks()) {
+    for (ir::Instruction& inst : b.instructions()) {
+      if (inst.opcode() != ir::Opcode::kLoad ||
+          !inst.operands()[0].is_imm()) {
+        continue;
+      }
+      const auto it = home.find(inst.operands()[0].imm());
+      if (it == home.end()) {
+        continue;
+      }
+      inst = ir::Instruction(ir::Opcode::kMov, inst.dest(),
+                             {ir::Operand::reg(it->second)});
+      ++result.loads_replaced;
+    }
+  }
+
+  // --- Materialize the home registers at entry (descending insert keeps
+  //     ascending final order).
+  ir::BasicBlock& entry = f.block(f.entry());
+  for (auto it = home.rbegin(); it != home.rend(); ++it) {
+    entry.insert(0, ir::Instruction(ir::Opcode::kLoad, it->second,
+                                    {ir::Operand::imm(it->first)}));
+  }
+  return result;
+}
+
+}  // namespace tadfa::opt

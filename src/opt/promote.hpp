@@ -1,0 +1,34 @@
+// Register promotion (Sec. 4).
+//
+// "...using register promotion (i.e., promoting some memory-resident
+// variables into registers), which would help on avoiding the thermal
+// gradients between hot and cold registers, by making more uniform the use
+// of registers in time."
+//
+// Conservative scalar promotion: a load from a constant address that is
+// never stored to (and with no unknown-address stores in the function) is
+// loaded once at entry and every original load becomes a register copy.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace tadfa::opt {
+
+struct PromoteResult {
+  ir::Function func;
+  /// Constant addresses that were promoted.
+  std::vector<std::int64_t> promoted_addresses;
+  /// Loads replaced by movs.
+  std::size_t loads_replaced = 0;
+
+  PromoteResult() : func("") {}
+};
+
+/// Promotes every eligible constant address with at least `min_loads`
+/// loads. Returns the rewritten function.
+PromoteResult promote_memory_scalars(const ir::Function& func,
+                                     std::size_t min_loads = 2);
+
+}  // namespace tadfa::opt

@@ -1,0 +1,26 @@
+#include "opt/reassign.hpp"
+
+namespace tadfa::opt {
+
+ReassignResult thermally_reassign(const ir::Function& func,
+                                  const regalloc::AllocationResult& initial,
+                                  const core::ThermalDfa& dfa) {
+  ReassignResult result;
+
+  const core::ThermalDfaResult before =
+      dfa.analyze_post_ra(initial.func, initial.assignment);
+  result.predicted_before = before.exit_stats;
+
+  // Heat score = predicted exit temperature of each cell.
+  regalloc::CoolestFirstPolicy policy;
+  regalloc::GraphColoringAllocator allocator(dfa.grid().floorplan(), policy);
+  allocator.set_heat_scores(before.exit_reg_temps_k);
+  result.alloc = allocator.allocate(func);
+
+  const core::ThermalDfaResult after =
+      dfa.analyze_post_ra(result.alloc.func, result.alloc.assignment);
+  result.predicted_after = after.exit_stats;
+  return result;
+}
+
+}  // namespace tadfa::opt

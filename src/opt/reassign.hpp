@@ -1,0 +1,27 @@
+// Thermally-guided register re-assignment.
+//
+// The closing of the paper's loop: run the thermal DFA on an initial
+// (performance-oriented) allocation, extract the predicted per-cell heat,
+// and re-run assignment steering new values toward cool cells — thermal
+// feedback at compile time, with no thermal *simulation* in the loop.
+#pragma once
+
+#include "core/thermal_dfa.hpp"
+#include "regalloc/graph_coloring.hpp"
+
+namespace tadfa::opt {
+
+struct ReassignResult {
+  regalloc::AllocationResult alloc;
+  /// Predicted exit-map statistics before and after (same DFA config).
+  thermal::MapStats predicted_before;
+  thermal::MapStats predicted_after;
+};
+
+/// Analyzes `initial` (an allocation of `func`), then re-allocates `func`
+/// with a coolest-first policy seeded by the predicted heat map.
+ReassignResult thermally_reassign(const ir::Function& func,
+                                  const regalloc::AllocationResult& initial,
+                                  const core::ThermalDfa& dfa);
+
+}  // namespace tadfa::opt

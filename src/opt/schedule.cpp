@@ -1,0 +1,185 @@
+#include "opt/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tadfa::opt {
+namespace {
+
+bool is_memory(const ir::Instruction& inst) {
+  return inst.opcode() == ir::Opcode::kLoad ||
+         inst.opcode() == ir::Opcode::kStore;
+}
+
+bool is_store(const ir::Instruction& inst) {
+  return inst.opcode() == ir::Opcode::kStore;
+}
+
+}  // namespace
+
+ScheduleResult thermal_schedule(
+    const ir::Function& func,
+    const machine::RegisterAssignment& assignment) {
+  ScheduleResult result;
+  result.func = func;
+
+  for (ir::BasicBlock& block : result.func.blocks()) {
+    const std::size_t n = block.size();
+    if (n <= 2) {
+      continue;
+    }
+    // Schedule everything except the terminator.
+    const std::size_t body = block.has_terminator() ? n - 1 : n;
+
+    // --- Dependence edges (i -> j means i must precede j) -------------------
+    // Dependences are computed on PHYSICAL registers: after assignment, two
+    // virtual registers sharing a cell must keep their relative order, or
+    // the reorder would invalidate the allocation. (Physical deps are a
+    // superset of virtual deps, so semantics are preserved too.)
+    const auto& insts = block.instructions();
+    auto mapped = [&](ir::Reg v) -> std::uint64_t {
+      if (assignment.assigned(v)) {
+        return (std::uint64_t{1} << 32) | assignment.phys(v);
+      }
+      return v;
+    };
+    std::vector<std::vector<std::size_t>> succ(body);
+    std::vector<std::size_t> pending(body, 0);
+    for (std::size_t j = 0; j < body; ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const ir::Instruction& a = insts[i];
+        const ir::Instruction& c = insts[j];
+        bool dep = false;
+        // RAW: j reads a cell i defines.
+        if (auto d = a.def()) {
+          for (ir::Reg u : c.uses()) {
+            if (mapped(u) == mapped(*d)) {
+              dep = true;
+            }
+          }
+        }
+        // WAR: j defines a cell i reads.
+        if (auto d = c.def()) {
+          for (ir::Reg u : a.uses()) {
+            if (mapped(u) == mapped(*d)) {
+              dep = true;
+            }
+          }
+        }
+        // WAW: both define the same cell.
+        if (a.def() && c.def() && mapped(*a.def()) == mapped(*c.def())) {
+          dep = true;
+        }
+        // Memory: stores order against all memory ops.
+        if (is_memory(a) && is_memory(c) && (is_store(a) || is_store(c))) {
+          dep = true;
+        }
+        if (dep) {
+          succ[i].push_back(j);
+          ++pending[j];
+        }
+      }
+    }
+
+    // --- List scheduling ------------------------------------------------------
+    // last_access[p] = position (in the new order) of the most recent
+    // access to physical register p; -inf if untouched.
+    const std::uint32_t n_phys = [&] {
+      std::uint32_t max_p = 0;
+      for (std::size_t i = 0; i < body; ++i) {
+        if (auto d = insts[i].def()) {
+          if (assignment.assigned(*d)) {
+            max_p = std::max(max_p, assignment.phys(*d));
+          }
+        }
+        for (ir::Reg u : insts[i].uses()) {
+          if (assignment.assigned(u)) {
+            max_p = std::max(max_p, assignment.phys(u));
+          }
+        }
+      }
+      return max_p + 1;
+    }();
+    std::vector<std::ptrdiff_t> last_access(
+        n_phys, std::numeric_limits<std::ptrdiff_t>::min() / 2);
+
+    std::vector<std::size_t> order;
+    order.reserve(body);
+    std::vector<bool> scheduled(body, false);
+
+    auto coolness = [&](std::size_t i) {
+      // Minimum distance (in already-emitted instructions) since any of
+      // instruction i's physical registers was last accessed. Larger =
+      // cooler = better.
+      std::ptrdiff_t min_gap = std::numeric_limits<std::ptrdiff_t>::max();
+      const auto pos = static_cast<std::ptrdiff_t>(order.size());
+      auto consider = [&](ir::Reg v) {
+        if (assignment.assigned(v)) {
+          min_gap = std::min(min_gap, pos - last_access[assignment.phys(v)]);
+        }
+      };
+      for (ir::Reg u : insts[i].uses()) {
+        consider(u);
+      }
+      if (auto d = insts[i].def()) {
+        consider(*d);
+      }
+      return min_gap;
+    };
+
+    for (std::size_t step = 0; step < body; ++step) {
+      std::size_t pick = body;
+      std::ptrdiff_t best = std::numeric_limits<std::ptrdiff_t>::min();
+      for (std::size_t i = 0; i < body; ++i) {
+        if (scheduled[i] || pending[i] != 0) {
+          continue;
+        }
+        const std::ptrdiff_t gap = coolness(i);
+        if (pick == body || gap > best) {
+          best = gap;
+          pick = i;
+        }
+      }
+      TADFA_ASSERT_MSG(pick != body, "scheduler found a dependence cycle");
+      scheduled[pick] = true;
+      order.push_back(pick);
+      const auto pos = static_cast<std::ptrdiff_t>(order.size()) - 1;
+      for (ir::Reg u : insts[pick].uses()) {
+        if (assignment.assigned(u)) {
+          last_access[assignment.phys(u)] = pos;
+        }
+      }
+      if (auto d = insts[pick].def()) {
+        if (assignment.assigned(*d)) {
+          last_access[assignment.phys(*d)] = pos;
+        }
+      }
+      for (std::size_t s : succ[pick]) {
+        --pending[s];
+      }
+    }
+
+    // --- Emit -------------------------------------------------------------------
+    std::vector<ir::Instruction> reordered;
+    reordered.reserve(n);
+    for (std::size_t i : order) {
+      reordered.push_back(insts[i]);
+    }
+    if (body < n) {
+      reordered.push_back(insts[n - 1]);  // terminator
+    }
+    for (std::size_t i = 0; i < body; ++i) {
+      if (order[i] != i) {
+        ++result.moved;
+      }
+    }
+    block.instructions() = std::move(reordered);
+  }
+
+  return result;
+}
+
+}  // namespace tadfa::opt

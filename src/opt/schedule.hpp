@@ -1,0 +1,32 @@
+// Thermal-aware instruction scheduling (Sec. 4).
+//
+// "...spreading accesses to registers in time, either using instruction
+// scheduling, to avoid consecutive accesses to already hot registers..."
+// A within-block list scheduler that, among data-ready instructions,
+// prefers the one whose physical registers were accessed longest ago.
+#pragma once
+
+#include "ir/function.hpp"
+#include "machine/assignment.hpp"
+
+namespace tadfa::opt {
+
+struct ScheduleResult {
+  ir::Function func;
+  /// Instructions that ended up at a different position than the input.
+  std::size_t moved = 0;
+
+  ScheduleResult() : func("") {}
+};
+
+/// Reorders instructions inside each basic block, honoring:
+///  - register data dependences (RAW, WAR, WAW on virtual registers),
+///  - memory order (stores are barriers against loads and stores),
+///  - the terminator staying last.
+/// Among ready instructions, picks the one maximizing the minimum
+/// scheduling distance to the previous access of any of its physical
+/// registers (via `assignment`).
+ScheduleResult thermal_schedule(const ir::Function& func,
+                                const machine::RegisterAssignment& assignment);
+
+}  // namespace tadfa::opt

@@ -1,0 +1,24 @@
+#include "opt/spill_critical.hpp"
+
+namespace tadfa::opt {
+
+SpillCriticalResult spill_critical_variables(
+    const ir::Function& func,
+    const std::vector<core::CriticalVariable>& ranking, std::size_t top_k) {
+  SpillCriticalResult result;
+  result.func = func;
+
+  for (const core::CriticalVariable& cv : ranking) {
+    if (result.spilled.size() >= top_k) {
+      break;
+    }
+    result.spilled.push_back(cv.vreg);
+  }
+
+  const regalloc::SpillResult sr =
+      regalloc::spill_registers(result.func, result.spilled);
+  result.inserted_instructions = sr.inserted_instructions;
+  return result;
+}
+
+}  // namespace tadfa::opt

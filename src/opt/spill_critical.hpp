@@ -1,0 +1,28 @@
+// Spilling critical variables (Sec. 4).
+//
+// "For the purposes of thermal management, the greatest benefit will be
+// achieved by spilling these 'critical' variables to memory." Moves the
+// top-ranked heat contributors to stack slots, trading cycles (reload
+// latency) for power density.
+#pragma once
+
+#include "core/critical.hpp"
+#include "regalloc/spill.hpp"
+
+namespace tadfa::opt {
+
+struct SpillCriticalResult {
+  ir::Function func;
+  std::vector<ir::Reg> spilled;
+  std::size_t inserted_instructions = 0;
+
+  SpillCriticalResult() : func("") {}
+};
+
+/// Spills the `top_k` most critical variables of `func` (parameters
+/// included; registers that do not appear in the ranking are skipped).
+SpillCriticalResult spill_critical_variables(
+    const ir::Function& func,
+    const std::vector<core::CriticalVariable>& ranking, std::size_t top_k);
+
+}  // namespace tadfa::opt

@@ -1,0 +1,87 @@
+#include "opt/split.hpp"
+
+#include <algorithm>
+
+#include "dataflow/liveness.hpp"
+#include "support/assert.hpp"
+
+namespace tadfa::opt {
+namespace {
+
+bool uses_reg(const ir::Instruction& inst, ir::Reg reg) {
+  for (const ir::Operand& op : inst.operands()) {
+    if (op.is_reg() && op.reg() == reg) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SplitResult split_live_range(ir::Function& func, ir::Reg reg) {
+  TADFA_ASSERT(reg < func.reg_count());
+  SplitResult result;
+
+  const dataflow::Cfg cfg(func);
+  const dataflow::Liveness liveness(cfg);
+
+  for (ir::BasicBlock& block : func.blocks()) {
+    if (!liveness.live_in(block.id()).test(reg)) {
+      continue;
+    }
+
+    // The live-in value of `reg` is readable up to and including the first
+    // instruction that redefines it (that instruction's *uses* still see
+    // the old value, e.g. "reg = reg + 1").
+    std::size_t first_redef = block.size();
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (auto d = block.instructions()[i].def(); d && *d == reg) {
+        first_redef = i;
+        break;
+      }
+    }
+    const std::size_t use_limit =
+        std::min(first_redef, block.size() - 1);  // inclusive index bound
+    bool any_use = false;
+    for (std::size_t i = 0; i <= use_limit; ++i) {
+      if (uses_reg(block.instructions()[i], reg)) {
+        any_use = true;
+        break;
+      }
+    }
+    if (!any_use) {
+      continue;
+    }
+
+    // Private copy at block entry; rewrite the eligible uses to it.
+    const ir::Reg copy = func.new_reg();
+    block.insert(0, ir::Instruction(ir::Opcode::kMov, copy,
+                                    {ir::Operand::reg(reg)}));
+    result.copies.push_back(copy);
+    for (std::size_t i = 1; i <= use_limit + 1 && i < block.size(); ++i) {
+      ir::Instruction& inst = block.instructions()[i];
+      for (const ir::Operand& op : inst.operands()) {
+        if (op.is_reg() && op.reg() == reg) {
+          ++result.rewritten_uses;
+        }
+      }
+      inst.replace_uses(reg, copy);
+    }
+  }
+  return result;
+}
+
+SplitResult split_live_ranges(ir::Function& func,
+                              const std::vector<ir::Reg>& regs) {
+  SplitResult total;
+  for (ir::Reg r : regs) {
+    const SplitResult one = split_live_range(func, r);
+    total.copies.insert(total.copies.end(), one.copies.begin(),
+                        one.copies.end());
+    total.rewritten_uses += one.rewritten_uses;
+  }
+  return total;
+}
+
+}  // namespace tadfa::opt

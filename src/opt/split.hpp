@@ -1,0 +1,31 @@
+// Live-range splitting by copy insertion (Sec. 4).
+//
+// "...or splitting them (via copy insertion) to spread their accesses
+// across a multitude of registers." Each splittable block gets a private
+// copy of the hot variable, so the downstream assignment stage can place
+// every copy in a different physical cell.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace tadfa::opt {
+
+struct SplitResult {
+  /// Copy registers created (one per split block).
+  std::vector<ir::Reg> copies;
+  std::size_t rewritten_uses = 0;
+};
+
+/// Splits `reg` in place: in every block where `reg` is live-in and used,
+/// a fresh copy is made at block entry and the block's uses (up to the
+/// first redefinition of `reg`, if any) are rewritten to the copy.
+/// Semantics-preserving by construction.
+SplitResult split_live_range(ir::Function& func, ir::Reg reg);
+
+/// Splits each of `regs`, returning total copies created.
+SplitResult split_live_ranges(ir::Function& func,
+                              const std::vector<ir::Reg>& regs);
+
+}  // namespace tadfa::opt

@@ -1,0 +1,47 @@
+#include "power/access_trace.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tadfa::power {
+
+void AccessTrace::record(std::uint64_t cycle, machine::PhysReg reg,
+                         bool is_write) {
+  TADFA_ASSERT(reg < num_registers_);
+  TADFA_ASSERT_MSG(events_.empty() || cycle >= events_.back().cycle,
+                   "accesses must be recorded in cycle order");
+  events_.push_back({cycle, reg, is_write});
+}
+
+std::vector<AccessCounts> AccessTrace::totals() const {
+  std::vector<AccessCounts> out(num_registers_);
+  for (const AccessEvent& e : events_) {
+    if (e.is_write) {
+      ++out[e.reg].writes;
+    } else {
+      ++out[e.reg].reads;
+    }
+  }
+  return out;
+}
+
+std::vector<AccessCounts> AccessTrace::window(std::uint64_t begin_cycle,
+                                              std::uint64_t end_cycle) const {
+  TADFA_ASSERT(begin_cycle <= end_cycle);
+  std::vector<AccessCounts> out(num_registers_);
+  // Events are cycle-sorted: binary search the window bounds.
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), begin_cycle,
+      [](const AccessEvent& e, std::uint64_t c) { return e.cycle < c; });
+  for (auto it = lo; it != events_.end() && it->cycle < end_cycle; ++it) {
+    if (it->is_write) {
+      ++out[it->reg].writes;
+    } else {
+      ++out[it->reg].reads;
+    }
+  }
+  return out;
+}
+
+}  // namespace tadfa::power

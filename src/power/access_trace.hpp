@@ -1,0 +1,56 @@
+// Register-file access traces.
+//
+// The trace is the interface between execution (src/sim) and power
+// (src/power): every read/write of a physical register, with its cycle.
+// This is exactly the information the paper says feedback-driven frameworks
+// extract from compiled programs — the thermal DFA's job is to approximate
+// its thermal consequences *without* producing it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/floorplan.hpp"
+
+namespace tadfa::power {
+
+struct AccessEvent {
+  std::uint64_t cycle = 0;
+  machine::PhysReg reg = 0;
+  bool is_write = false;
+};
+
+struct AccessCounts {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t total() const { return reads + writes; }
+};
+
+class AccessTrace {
+ public:
+  explicit AccessTrace(std::uint32_t num_registers)
+      : num_registers_(num_registers) {}
+
+  void record(std::uint64_t cycle, machine::PhysReg reg, bool is_write);
+
+  const std::vector<AccessEvent>& events() const { return events_; }
+  std::uint32_t num_registers() const { return num_registers_; }
+
+  /// Total cycles the traced execution took (set by the simulator).
+  std::uint64_t duration_cycles() const { return duration_cycles_; }
+  void set_duration_cycles(std::uint64_t cycles) { duration_cycles_ = cycles; }
+
+  /// Per-register read/write totals over the whole trace.
+  std::vector<AccessCounts> totals() const;
+
+  /// Per-register totals inside [begin_cycle, end_cycle).
+  std::vector<AccessCounts> window(std::uint64_t begin_cycle,
+                                   std::uint64_t end_cycle) const;
+
+ private:
+  std::uint32_t num_registers_;
+  std::uint64_t duration_cycles_ = 0;
+  std::vector<AccessEvent> events_;
+};
+
+}  // namespace tadfa::power

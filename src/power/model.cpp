@@ -1,0 +1,66 @@
+#include "power/model.hpp"
+
+#include "support/assert.hpp"
+
+namespace tadfa::power {
+
+double PowerModel::access_energy(const AccessCounts& counts) const {
+  const auto& t = config_.tech;
+  return static_cast<double>(counts.reads) * t.read_energy_j +
+         static_cast<double>(counts.writes) * t.write_energy_j;
+}
+
+std::vector<double> PowerModel::dynamic_power(
+    std::span<const AccessCounts> counts, std::uint64_t window_cycles) const {
+  TADFA_ASSERT(window_cycles > 0);
+  const double window_s =
+      static_cast<double>(window_cycles) * config_.tech.cycle_seconds();
+  std::vector<double> out(counts.size(), 0.0);
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    out[r] = access_energy(counts[r]) / window_s;
+  }
+  return out;
+}
+
+std::vector<double> PowerModel::leakage_power(
+    const machine::Floorplan& floorplan, std::span<const double> temps_k,
+    const std::vector<bool>& gated_banks) const {
+  TADFA_ASSERT(temps_k.size() == floorplan.num_registers());
+  std::vector<double> out(temps_k.size(), 0.0);
+  for (machine::PhysReg r = 0; r < temps_k.size(); ++r) {
+    double p = config_.tech.leakage_at(temps_k[r]);
+    const std::uint32_t bank = floorplan.bank_of(r);
+    if (bank < gated_banks.size() && gated_banks[bank]) {
+      p *= gated_leakage_fraction;
+    }
+    out[r] = p;
+  }
+  return out;
+}
+
+double PowerModel::trace_energy(const AccessTrace& trace, double temp_k,
+                                const std::vector<bool>& gated_banks) const {
+  const auto totals = trace.totals();
+  double dynamic = 0.0;
+  for (const AccessCounts& c : totals) {
+    dynamic += access_energy(c);
+  }
+
+  const double duration_s =
+      static_cast<double>(trace.duration_cycles()) *
+      config_.tech.cycle_seconds();
+  const double leak_per_cell = config_.tech.leakage_at(temp_k);
+  double leakage = 0.0;
+  const machine::Floorplan floorplan(config_);
+  for (machine::PhysReg r = 0; r < trace.num_registers(); ++r) {
+    double p = leak_per_cell;
+    const std::uint32_t bank = floorplan.bank_of(r);
+    if (bank < gated_banks.size() && gated_banks[bank]) {
+      p *= gated_leakage_fraction;
+    }
+    leakage += p * duration_s;
+  }
+  return dynamic + leakage;
+}
+
+}  // namespace tadfa::power

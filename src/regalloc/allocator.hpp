@@ -1,0 +1,21 @@
+// Common result type for register allocators.
+#pragma once
+
+#include "ir/function.hpp"
+#include "machine/assignment.hpp"
+
+namespace tadfa::regalloc {
+
+struct AllocationResult {
+  /// The (possibly spill-rewritten) function the assignment refers to.
+  ir::Function func;
+  machine::RegisterAssignment assignment;
+  /// Original virtual registers that were spilled to memory.
+  std::uint32_t spilled_regs = 0;
+  /// Allocation rounds (1 = no spilling needed).
+  int rounds = 0;
+
+  AllocationResult() : func("") {}
+};
+
+}  // namespace tadfa::regalloc

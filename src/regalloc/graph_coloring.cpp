@@ -1,0 +1,163 @@
+#include "regalloc/graph_coloring.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dataflow/interference.hpp"
+#include "dataflow/live_intervals.hpp"
+#include "regalloc/spill.hpp"
+#include "support/assert.hpp"
+
+namespace tadfa::regalloc {
+namespace {
+
+/// Registers that actually appear in the function (params, defs, or uses).
+std::vector<bool> live_regs(const ir::Function& func) {
+  std::vector<bool> seen(func.reg_count(), false);
+  for (ir::Reg p : func.params()) {
+    seen[p] = true;
+  }
+  for (const ir::BasicBlock& b : func.blocks()) {
+    for (const ir::Instruction& inst : b.instructions()) {
+      if (auto d = inst.def()) {
+        seen[*d] = true;
+      }
+      for (ir::Reg u : inst.uses()) {
+        seen[u] = true;
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+AllocationResult GraphColoringAllocator::allocate(const ir::Function& func) {
+  AllocationResult result;
+  result.func = func;
+  policy_->reset();
+
+  std::unordered_set<ir::Reg> no_spill;
+  const std::uint32_t k = floorplan_->num_registers();
+  constexpr int kMaxRounds = 64;
+
+  for (result.rounds = 1; result.rounds <= kMaxRounds; ++result.rounds) {
+    const dataflow::Cfg cfg(result.func);
+    const dataflow::Liveness liveness(cfg);
+    const dataflow::InterferenceGraph graph(cfg, liveness);
+    const dataflow::LiveIntervals intervals(cfg, liveness);
+
+    const std::vector<bool> present = live_regs(result.func);
+    const std::uint32_t n = result.func.reg_count();
+
+    // --- Simplify: peel nodes of degree < k; when stuck, optimistically
+    //     push the cheapest spill candidate (Briggs).
+    std::vector<std::uint32_t> degree(n, 0);
+    std::vector<bool> removed(n, true);
+    std::vector<ir::Reg> work;
+    for (ir::Reg r = 0; r < n; ++r) {
+      if (present[r]) {
+        removed[r] = false;
+        degree[r] = static_cast<std::uint32_t>(graph.degree(r));
+        work.push_back(r);
+      }
+    }
+
+    std::vector<ir::Reg> stack;  // select order = reverse of push order
+    std::vector<ir::Reg> optimistic;
+    std::size_t remaining = work.size();
+    while (remaining > 0) {
+      // Find a low-degree node.
+      ir::Reg pick = ir::kInvalidReg;
+      for (ir::Reg r : work) {
+        if (!removed[r] && degree[r] < k) {
+          pick = r;
+          break;
+        }
+      }
+      if (pick == ir::kInvalidReg) {
+        // Blocked: choose the spill candidate with the lowest access
+        // density per degree (classic Chaitin cost/degree heuristic),
+        // skipping spill temporaries.
+        double best_cost = 0.0;
+        for (ir::Reg r : work) {
+          if (removed[r] || no_spill.count(r) != 0) {
+            continue;
+          }
+          const auto iv = intervals.interval(r);
+          const double accesses =
+              iv ? static_cast<double>(iv->access_count) : 0.0;
+          const double cost =
+              (accesses + 1.0) / (static_cast<double>(degree[r]) + 1.0);
+          if (pick == ir::kInvalidReg || cost < best_cost) {
+            best_cost = cost;
+            pick = r;
+          }
+        }
+        TADFA_ASSERT_MSG(pick != ir::kInvalidReg,
+                         "no spillable candidate under register pressure");
+        optimistic.push_back(pick);
+      }
+      removed[pick] = true;
+      --remaining;
+      stack.push_back(pick);
+      for (ir::Reg nb : graph.neighbors(pick)) {
+        if (!removed[nb] && degree[nb] > 0) {
+          --degree[nb];
+        }
+      }
+    }
+
+    // --- Select: pop in reverse, choose colors via the policy.
+    machine::RegisterAssignment assignment(n);
+    std::vector<std::uint32_t> usage(k, 0);
+    PolicyContext context;
+    context.floorplan = floorplan_;
+    context.usage_counts = &usage;
+    context.heat_scores = heat_scores_.empty() ? nullptr : &heat_scores_;
+
+    std::vector<ir::Reg> to_spill;
+    for (std::size_t i = stack.size(); i-- > 0;) {
+      const ir::Reg r = stack[i];
+      std::vector<bool> forbidden(k, false);
+      for (ir::Reg nb : graph.neighbors(r)) {
+        if (assignment.assigned(nb)) {
+          forbidden[assignment.phys(nb)] = true;
+        }
+      }
+      std::vector<machine::PhysReg> candidates;
+      for (machine::PhysReg p = 0; p < k; ++p) {
+        if (!forbidden[p]) {
+          candidates.push_back(p);
+        }
+      }
+      if (candidates.empty()) {
+        // Optimistic node failed to color: real spill.
+        TADFA_ASSERT(no_spill.count(r) == 0);
+        to_spill.push_back(r);
+        continue;
+      }
+      const machine::PhysReg chosen = policy_->choose(candidates, context);
+      assignment.assign(r, chosen);
+      ++usage[chosen];
+    }
+
+    if (to_spill.empty()) {
+      result.assignment = std::move(assignment);
+      return result;
+    }
+
+    std::sort(to_spill.begin(), to_spill.end());
+    to_spill.erase(std::unique(to_spill.begin(), to_spill.end()),
+                   to_spill.end());
+    const SpillResult spilled = spill_registers(result.func, to_spill);
+    result.spilled_regs += static_cast<std::uint32_t>(to_spill.size());
+    for (ir::Reg t : spilled.new_temps) {
+      no_spill.insert(t);
+    }
+  }
+
+  TADFA_UNREACHABLE("graph coloring failed to converge after max rounds");
+}
+
+}  // namespace tadfa::regalloc

@@ -1,0 +1,28 @@
+// Chaitin-Briggs-style graph-coloring register allocation with pluggable
+// assignment policy and optimistic spilling.
+#pragma once
+
+#include "regalloc/allocator.hpp"
+#include "regalloc/policy.hpp"
+
+namespace tadfa::regalloc {
+
+class GraphColoringAllocator {
+ public:
+  GraphColoringAllocator(const machine::Floorplan& floorplan,
+                         AssignmentPolicy& policy)
+      : floorplan_(&floorplan), policy_(&policy) {}
+
+  void set_heat_scores(std::vector<double> scores) {
+    heat_scores_ = std::move(scores);
+  }
+
+  AllocationResult allocate(const ir::Function& func);
+
+ private:
+  const machine::Floorplan* floorplan_;
+  AssignmentPolicy* policy_;
+  std::vector<double> heat_scores_;
+};
+
+}  // namespace tadfa::regalloc

@@ -1,0 +1,114 @@
+#include "regalloc/linear_scan.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dataflow/live_intervals.hpp"
+#include "regalloc/spill.hpp"
+#include "support/assert.hpp"
+
+namespace tadfa::regalloc {
+namespace {
+
+struct Active {
+  dataflow::LiveInterval interval;
+  machine::PhysReg phys = 0;
+};
+
+}  // namespace
+
+AllocationResult LinearScanAllocator::allocate(const ir::Function& func) {
+  AllocationResult result;
+  result.func = func;
+  policy_->reset();
+
+  // Registers created by spill rewriting must never be re-spilled (their
+  // intervals are minimal; re-spilling could loop forever).
+  std::unordered_set<ir::Reg> no_spill;
+
+  const std::uint32_t num_phys = floorplan_->num_registers();
+  constexpr int kMaxRounds = 64;
+
+  for (result.rounds = 1; result.rounds <= kMaxRounds; ++result.rounds) {
+    const dataflow::Cfg cfg(result.func);
+    const dataflow::Liveness liveness(cfg);
+    const dataflow::LiveIntervals intervals(cfg, liveness);
+
+    machine::RegisterAssignment assignment(result.func.reg_count());
+    std::vector<std::uint32_t> usage(num_phys, 0);
+    std::vector<Active> active;
+    std::vector<ir::Reg> to_spill;
+
+    PolicyContext context;
+    context.floorplan = floorplan_;
+    context.usage_counts = &usage;
+    context.heat_scores = heat_scores_.empty() ? nullptr : &heat_scores_;
+
+    for (const dataflow::LiveInterval& iv : intervals.intervals()) {
+      // Expire intervals that ended before this one starts.
+      std::erase_if(active, [&](const Active& a) {
+        return a.interval.end < iv.start;
+      });
+
+      // Candidate registers: not used by any overlapping active interval.
+      std::vector<bool> busy(num_phys, false);
+      for (const Active& a : active) {
+        busy[a.phys] = true;
+      }
+      std::vector<machine::PhysReg> candidates;
+      candidates.reserve(num_phys);
+      for (machine::PhysReg p = 0; p < num_phys; ++p) {
+        if (!busy[p]) {
+          candidates.push_back(p);
+        }
+      }
+
+      if (candidates.empty()) {
+        // Spill the interval that ends farthest (current one included),
+        // skipping spill-generated temporaries.
+        const dataflow::LiveInterval* victim = &iv;
+        for (const Active& a : active) {
+          if (no_spill.count(a.interval.reg) != 0) {
+            continue;
+          }
+          if (victim == nullptr || a.interval.end > victim->end ||
+              no_spill.count(victim->reg) != 0) {
+            victim = &a.interval;
+          }
+        }
+        TADFA_ASSERT_MSG(no_spill.count(victim->reg) == 0,
+                         "register pressure exceeds file even after spills");
+        to_spill.push_back(victim->reg);
+        if (victim != &iv) {
+          // The current interval takes the victim's register next round;
+          // nothing to do now.
+        }
+        continue;  // defer: rewrite + restart below
+      }
+
+      const machine::PhysReg chosen = policy_->choose(candidates, context);
+      assignment.assign(iv.reg, chosen);
+      ++usage[chosen];
+      active.push_back({iv, chosen});
+    }
+
+    if (to_spill.empty()) {
+      result.assignment = std::move(assignment);
+      return result;
+    }
+
+    // Deduplicate and rewrite, then retry.
+    std::sort(to_spill.begin(), to_spill.end());
+    to_spill.erase(std::unique(to_spill.begin(), to_spill.end()),
+                   to_spill.end());
+    const SpillResult spilled = spill_registers(result.func, to_spill);
+    result.spilled_regs += static_cast<std::uint32_t>(to_spill.size());
+    for (ir::Reg t : spilled.new_temps) {
+      no_spill.insert(t);
+    }
+  }
+
+  TADFA_UNREACHABLE("linear scan failed to converge after max rounds");
+}
+
+}  // namespace tadfa::regalloc

@@ -1,0 +1,35 @@
+// Linear-scan register allocation (Poletto & Sarkar) with pluggable
+// assignment policy.
+//
+// The allocator decides *whether* a value gets a register (spilling the
+// interval that ends farthest when the file is full) and delegates *which*
+// register to the AssignmentPolicy — the degree of freedom the paper's
+// Fig. 1 explores.
+#pragma once
+
+#include "regalloc/allocator.hpp"
+#include "regalloc/policy.hpp"
+
+namespace tadfa::regalloc {
+
+class LinearScanAllocator {
+ public:
+  LinearScanAllocator(const machine::Floorplan& floorplan,
+                      AssignmentPolicy& policy)
+      : floorplan_(&floorplan), policy_(&policy) {}
+
+  /// Optional thermal guidance forwarded to the policy.
+  void set_heat_scores(std::vector<double> scores) {
+    heat_scores_ = std::move(scores);
+  }
+
+  /// Allocates a copy of `func`, spilling as needed until everything fits.
+  AllocationResult allocate(const ir::Function& func);
+
+ private:
+  const machine::Floorplan* floorplan_;
+  AssignmentPolicy* policy_;
+  std::vector<double> heat_scores_;
+};
+
+}  // namespace tadfa::regalloc

@@ -1,0 +1,167 @@
+#include "regalloc/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace tadfa::regalloc {
+
+machine::PhysReg FirstFreePolicy::choose(
+    std::span<const machine::PhysReg> candidates, const PolicyContext&) {
+  TADFA_ASSERT(!candidates.empty());
+  return candidates.front();
+}
+
+machine::PhysReg RandomPolicy::choose(
+    std::span<const machine::PhysReg> candidates, const PolicyContext&) {
+  TADFA_ASSERT(!candidates.empty());
+  return candidates[rng_.index(candidates.size())];
+}
+
+machine::PhysReg ChessboardPolicy::choose(
+    std::span<const machine::PhysReg> candidates,
+    const PolicyContext& context) {
+  TADFA_ASSERT(!candidates.empty());
+  TADFA_ASSERT(context.floorplan != nullptr);
+  const machine::Floorplan& fp = *context.floorplan;
+  // Prefer even-parity (black) squares, and distribute uniformly over them
+  // ("the accesses are distributed uniformly across a large surface",
+  // Sec. 2) by picking the least-loaded parity cell. Above 50% pressure the
+  // parity breaks — the caveat the paper calls out.
+  const auto* usage = context.usage_counts;
+  machine::PhysReg best = machine::PhysReg(~0u);
+  std::uint32_t best_usage = ~std::uint32_t{0};
+  for (machine::PhysReg c : candidates) {
+    if ((fp.row_of(c) + fp.col_of(c)) % 2 != 0) {
+      continue;
+    }
+    const std::uint32_t u =
+        (usage != nullptr && c < usage->size()) ? (*usage)[c] : 0;
+    if (u < best_usage) {
+      best_usage = u;
+      best = c;
+    }
+  }
+  if (best != machine::PhysReg(~0u)) {
+    return best;
+  }
+  return candidates.front();  // pressure above 50%: parity broken
+}
+
+machine::PhysReg RoundRobinPolicy::choose(
+    std::span<const machine::PhysReg> candidates, const PolicyContext&) {
+  TADFA_ASSERT(!candidates.empty());
+  for (machine::PhysReg c : candidates) {
+    if (c > last_) {
+      last_ = c;
+      return c;
+    }
+  }
+  last_ = candidates.front();  // wrap around
+  return last_;
+}
+
+machine::PhysReg FarthestSpreadPolicy::choose(
+    std::span<const machine::PhysReg> candidates,
+    const PolicyContext& context) {
+  TADFA_ASSERT(!candidates.empty());
+  TADFA_ASSERT(context.floorplan != nullptr);
+  const machine::Floorplan& fp = *context.floorplan;
+  const auto* usage = context.usage_counts;
+  if (usage == nullptr) {
+    return candidates.front();
+  }
+
+  std::vector<machine::PhysReg> occupied;
+  for (machine::PhysReg r = 0; r < usage->size(); ++r) {
+    if ((*usage)[r] > 0) {
+      occupied.push_back(r);
+    }
+  }
+  if (occupied.empty()) {
+    // First pick: take a corner to leave the most room.
+    return candidates.front();
+  }
+
+  machine::PhysReg best = candidates.front();
+  double best_min = -1.0;
+  for (machine::PhysReg c : candidates) {
+    double min_d = std::numeric_limits<double>::max();
+    for (machine::PhysReg o : occupied) {
+      min_d = std::min(min_d, fp.distance(c, o));
+    }
+    if (min_d > best_min) {
+      best_min = min_d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+machine::PhysReg CoolestFirstPolicy::choose(
+    std::span<const machine::PhysReg> candidates,
+    const PolicyContext& context) {
+  TADFA_ASSERT(!candidates.empty());
+  const auto* heat = context.heat_scores;
+  if (heat == nullptr) {
+    return candidates.front();
+  }
+  // The heat scores are a static prediction; without a correction, every
+  // pick lands on the same coolest cell and the policy *creates* the next
+  // hotspot. Penalize cells by how many values were already steered there,
+  // scaled to the observed heat spread, so picks walk through the cool
+  // region instead of piling onto one cell.
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (double h : *heat) {
+    lo = std::min(lo, h);
+    hi = std::max(hi, h);
+  }
+  const double usage_penalty = std::max((hi - lo) * 0.5, 1e-6);
+
+  machine::PhysReg best = candidates.front();
+  double best_score = std::numeric_limits<double>::max();
+  for (machine::PhysReg c : candidates) {
+    double score = c < heat->size() ? (*heat)[c] : 0.0;
+    if (spread_penalty_ && context.usage_counts != nullptr &&
+        c < context.usage_counts->size()) {
+      score += static_cast<double>((*context.usage_counts)[c]) * usage_penalty;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<AssignmentPolicy> make_policy(const std::string& name,
+                                              std::uint64_t seed) {
+  if (name == "first_free") {
+    return std::make_unique<FirstFreePolicy>();
+  }
+  if (name == "random") {
+    return std::make_unique<RandomPolicy>(seed);
+  }
+  if (name == "chessboard") {
+    return std::make_unique<ChessboardPolicy>();
+  }
+  if (name == "round_robin") {
+    return std::make_unique<RoundRobinPolicy>();
+  }
+  if (name == "farthest_spread") {
+    return std::make_unique<FarthestSpreadPolicy>();
+  }
+  if (name == "coolest_first") {
+    return std::make_unique<CoolestFirstPolicy>();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> all_policy_names() {
+  return {"first_free",  "random",          "chessboard",
+          "round_robin", "farthest_spread", "coolest_first"};
+}
+
+}  // namespace tadfa::regalloc

@@ -1,0 +1,134 @@
+// Register *assignment* policies.
+//
+// Allocation decides which values get a register; assignment decides WHICH
+// register. Sec. 2 of the paper: "the compiler maintains an ordered list of
+// registers and selects the first one in the list that is free. As the list
+// is always traversed in order, the same small set of registers is chosen
+// again and again" — fine for performance, bad for heat. The policies here
+// are the three of Fig. 1 (first-free, random, chessboard) plus the
+// spread/thermal-guided ones Sec. 4 motivates.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/floorplan.hpp"
+#include "support/rng.hpp"
+
+namespace tadfa::regalloc {
+
+/// Information available to a policy when choosing among legal registers.
+struct PolicyContext {
+  const machine::Floorplan* floorplan = nullptr;
+  /// How many virtual registers have already been mapped to each physical
+  /// register (a proxy for expected access density).
+  const std::vector<std::uint32_t>* usage_counts = nullptr;
+  /// Optional per-register heat score (higher = hotter = avoid). Supplied
+  /// by the thermal analysis for thermally-guided assignment.
+  const std::vector<double>* heat_scores = nullptr;
+};
+
+class AssignmentPolicy {
+ public:
+  virtual ~AssignmentPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Picks one of `candidates` (non-empty, ascending physical indices, all
+  /// legal w.r.t. interference).
+  virtual machine::PhysReg choose(std::span<const machine::PhysReg> candidates,
+                                  const PolicyContext& context) = 0;
+
+  /// Clears per-function state (rotation pointers etc.).
+  virtual void reset() {}
+};
+
+/// Fig. 1(a): the deterministic ordered list — always the lowest-numbered
+/// free register.
+class FirstFreePolicy final : public AssignmentPolicy {
+ public:
+  std::string name() const override { return "first_free"; }
+  machine::PhysReg choose(std::span<const machine::PhysReg> candidates,
+                          const PolicyContext& context) override;
+};
+
+/// Fig. 1(b): uniformly random among the free registers.
+class RandomPolicy final : public AssignmentPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+  std::string name() const override { return "random"; }
+  machine::PhysReg choose(std::span<const machine::PhysReg> candidates,
+                          const PolicyContext& context) override;
+  void reset() override { rng_.reseed(seed_); }
+
+ private:
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+/// Fig. 1(c): the chessboard pattern of [2] — prefer cells of one parity so
+/// active registers are never physically adjacent. Falls back to the other
+/// parity when register pressure exceeds half the file (the caveat Sec. 2
+/// calls out).
+class ChessboardPolicy final : public AssignmentPolicy {
+ public:
+  std::string name() const override { return "chessboard"; }
+  machine::PhysReg choose(std::span<const machine::PhysReg> candidates,
+                          const PolicyContext& context) override;
+};
+
+/// Rotates through the register list so consecutive assignments land on
+/// different registers even at low pressure.
+class RoundRobinPolicy final : public AssignmentPolicy {
+ public:
+  std::string name() const override { return "round_robin"; }
+  machine::PhysReg choose(std::span<const machine::PhysReg> candidates,
+                          const PolicyContext& context) override;
+  void reset() override { last_ = 0; }
+
+ private:
+  machine::PhysReg last_ = 0;
+};
+
+/// Maximizes the minimum physical distance to registers that already carry
+/// assignments — the "spreading (in space)" optimization of Sec. 4.
+class FarthestSpreadPolicy final : public AssignmentPolicy {
+ public:
+  std::string name() const override { return "farthest_spread"; }
+  machine::PhysReg choose(std::span<const machine::PhysReg> candidates,
+                          const PolicyContext& context) override;
+};
+
+/// Picks the candidate with the lowest heat score (thermal-DFA-guided
+/// assignment); falls back to first-free when no scores are supplied.
+///
+/// With `spread_penalty` (the default) each pick also pays for cells that
+/// already carry assignments, so values walk through the cool region.
+/// Without it the policy is the naive "always the coolest cell" rule,
+/// which concentrates values and re-creates the hotspot it was avoiding
+/// (bench/ablation_design, table D).
+class CoolestFirstPolicy final : public AssignmentPolicy {
+ public:
+  explicit CoolestFirstPolicy(bool spread_penalty = true)
+      : spread_penalty_(spread_penalty) {}
+  std::string name() const override {
+    return spread_penalty_ ? "coolest_first" : "coolest_first_naive";
+  }
+  machine::PhysReg choose(std::span<const machine::PhysReg> candidates,
+                          const PolicyContext& context) override;
+
+ private:
+  bool spread_penalty_;
+};
+
+/// Factory by name ("first_free", "random", "chessboard", "round_robin",
+/// "farthest_spread", "coolest_first"). Returns nullptr for unknown names.
+std::unique_ptr<AssignmentPolicy> make_policy(const std::string& name,
+                                              std::uint64_t seed = 42);
+
+/// All policy names, in presentation order.
+std::vector<std::string> all_policy_names();
+
+}  // namespace tadfa::regalloc

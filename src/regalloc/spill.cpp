@@ -1,0 +1,94 @@
+#include "regalloc/spill.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace tadfa::regalloc {
+
+SpillResult spill_registers(ir::Function& func,
+                            const std::vector<ir::Reg>& regs) {
+  SpillResult result;
+  if (regs.empty()) {
+    return result;
+  }
+
+  std::unordered_map<ir::Reg, std::int64_t> slot_of;
+  for (ir::Reg r : regs) {
+    TADFA_ASSERT(r < func.reg_count());
+    if (slot_of.count(r) == 0) {
+      slot_of[r] = func.allocate_stack_slot();
+    }
+  }
+
+  // Parameters arrive in registers; spilled parameters must be stored to
+  // their slot before the first real instruction.
+  std::vector<ir::Instruction> entry_stores;
+  for (ir::Reg p : func.params()) {
+    auto it = slot_of.find(p);
+    if (it != slot_of.end()) {
+      entry_stores.emplace_back(
+          ir::Opcode::kStore, ir::kInvalidReg,
+          std::vector<ir::Operand>{ir::Operand::imm(it->second),
+                                   ir::Operand::reg(p)});
+    }
+  }
+
+  for (ir::BasicBlock& block : func.blocks()) {
+    auto& insts = block.instructions();
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      // --- Reload uses -----------------------------------------------------
+      // Gather the spilled registers this instruction reads (each gets one
+      // reload temp, reused across duplicate operands of this instruction).
+      std::unordered_map<ir::Reg, ir::Reg> reload_temp;
+      for (const ir::Operand& op : insts[i].operands()) {
+        if (op.is_reg() && slot_of.count(op.reg()) != 0 &&
+            reload_temp.count(op.reg()) == 0) {
+          reload_temp[op.reg()] = func.new_reg();
+        }
+      }
+      // Deterministic insertion order: ascending original register.
+      std::vector<std::pair<ir::Reg, ir::Reg>> reloads(reload_temp.begin(),
+                                                       reload_temp.end());
+      std::sort(reloads.begin(), reloads.end());
+      for (const auto& [orig, temp] : reloads) {
+        block.insert(i, ir::Instruction(
+                            ir::Opcode::kLoad, temp,
+                            {ir::Operand::imm(slot_of.at(orig))}));
+        result.new_temps.push_back(temp);
+        ++result.inserted_instructions;
+        ++i;  // keep pointing at the original instruction
+      }
+      for (const auto& [orig, temp] : reloads) {
+        insts[i].replace_uses(orig, temp);
+      }
+
+      // --- Store defs --------------------------------------------------------
+      if (auto d = insts[i].def(); d && slot_of.count(*d) != 0) {
+        const ir::Reg temp = func.new_reg();
+        const std::int64_t slot = slot_of.at(*d);
+        insts[i].set_dest(temp);
+        result.new_temps.push_back(temp);
+        block.insert(i + 1,
+                     ir::Instruction(ir::Opcode::kStore, ir::kInvalidReg,
+                                     {ir::Operand::imm(slot),
+                                      ir::Operand::reg(temp)}));
+        ++result.inserted_instructions;
+        ++i;  // skip the store we just inserted
+      }
+    }
+  }
+
+  // Prepend parameter stores to the entry block (after rewriting, so they
+  // are not themselves rewritten).
+  ir::BasicBlock& entry = func.block(func.entry());
+  for (std::size_t k = entry_stores.size(); k-- > 0;) {
+    entry.insert(0, entry_stores[k]);
+    ++result.inserted_instructions;
+  }
+
+  return result;
+}
+
+}  // namespace tadfa::regalloc

@@ -1,0 +1,28 @@
+// Spill code insertion.
+//
+// Rewrites a function so the given virtual registers live in stack slots:
+// every use is preceded by a reload into a fresh short-lived temporary and
+// every def is followed by a store. Also the mechanism behind the paper's
+// "greatest benefit will be achieved by spilling these critical variables
+// to memory" (Sec. 4) — src/opt reuses this rewriter.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace tadfa::regalloc {
+
+struct SpillResult {
+  /// Fresh temporaries created by the rewriting (one per reload/store).
+  std::vector<ir::Reg> new_temps;
+  /// Loads + stores inserted.
+  std::size_t inserted_instructions = 0;
+};
+
+/// Spills `regs` in place. Each spilled register gets one stack slot;
+/// parameters are stored to their slot at function entry.
+SpillResult spill_registers(ir::Function& func,
+                            const std::vector<ir::Reg>& regs);
+
+}  // namespace tadfa::regalloc

@@ -1,0 +1,43 @@
+#include "regalloc/verify.hpp"
+
+#include "dataflow/interference.hpp"
+#include "dataflow/liveness.hpp"
+
+namespace tadfa::regalloc {
+
+std::vector<AllocationIssue> verify_allocation(
+    const ir::Function& func, const machine::RegisterAssignment& assignment) {
+  std::vector<AllocationIssue> issues;
+
+  if (!assignment.covers(func)) {
+    issues.push_back({"assignment does not cover every used register"});
+  }
+
+  const dataflow::Cfg cfg(func);
+  const dataflow::Liveness liveness(cfg);
+  const dataflow::InterferenceGraph graph(cfg, liveness);
+
+  for (ir::Reg a = 0; a < func.reg_count(); ++a) {
+    if (!assignment.assigned(a)) {
+      continue;
+    }
+    for (ir::Reg b : graph.neighbors(a)) {
+      if (b <= a || !assignment.assigned(b)) {
+        continue;
+      }
+      if (assignment.phys(a) == assignment.phys(b)) {
+        issues.push_back({"interfering %" + std::to_string(a) + " and %" +
+                          std::to_string(b) + " share physical register r" +
+                          std::to_string(assignment.phys(a))});
+      }
+    }
+  }
+  return issues;
+}
+
+bool allocation_is_legal(const ir::Function& func,
+                         const machine::RegisterAssignment& assignment) {
+  return verify_allocation(func, assignment).empty();
+}
+
+}  // namespace tadfa::regalloc

@@ -1,0 +1,25 @@
+// Allocation legality check: no two interfering virtual registers may share
+// a physical register (Sec. 2's correctness constraint).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "machine/assignment.hpp"
+
+namespace tadfa::regalloc {
+
+struct AllocationIssue {
+  std::string message;
+};
+
+/// Returns all legality violations: unassigned used registers, and
+/// interfering pairs mapped to the same physical register.
+std::vector<AllocationIssue> verify_allocation(
+    const ir::Function& func, const machine::RegisterAssignment& assignment);
+
+bool allocation_is_legal(const ir::Function& func,
+                         const machine::RegisterAssignment& assignment);
+
+}  // namespace tadfa::regalloc

@@ -1,0 +1,240 @@
+#include "sim/interpreter.hpp"
+
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace tadfa::sim {
+
+Interpreter::Interpreter(const ir::Function& func,
+                         const machine::TimingModel& timing,
+                         ExecutionOptions options)
+    : func_(&func), timing_(timing), options_(options) {
+  memory_.assign(options_.memory_words, 0);
+}
+
+ExecutionResult Interpreter::run(std::span<const std::int64_t> args) {
+  return execute(args, nullptr, nullptr);
+}
+
+ExecutionResult Interpreter::run_traced(
+    std::span<const std::int64_t> args,
+    const machine::RegisterAssignment& assignment,
+    power::AccessTrace& trace) {
+  TADFA_ASSERT_MSG(assignment.covers(*func_),
+                   "assignment must cover the traced function");
+  return execute(args, &assignment, &trace);
+}
+
+ExecutionResult Interpreter::execute(
+    std::span<const std::int64_t> args,
+    const machine::RegisterAssignment* assignment,
+    power::AccessTrace* trace) {
+  const ir::Function& f = *func_;
+  TADFA_ASSERT_MSG(args.size() == f.params().size(),
+                   "argument count must match parameters");
+
+  ExecutionResult result;
+  result.block_visits.assign(f.block_count(), 0);
+
+  std::vector<std::int64_t> regs(f.reg_count(), 0);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    regs[f.params()[i]] = args[i];
+  }
+
+  auto trap = [&result](const std::string& why) {
+    result.trap = why;
+    return result;
+  };
+
+  auto record = [&](ir::Reg v, bool is_write) {
+    if (trace != nullptr) {
+      trace->record(result.cycles, assignment->phys(v), is_write);
+    }
+  };
+
+  ir::BlockId block = f.entry();
+  std::size_t index = 0;
+  ++result.block_visits[block];
+
+  while (true) {
+    const ir::BasicBlock& b = f.block(block);
+    if (index >= b.size()) {
+      return trap("fell off the end of block " + b.name());
+    }
+    const ir::Instruction& inst = b.instructions()[index];
+
+    if (result.instructions >= options_.max_instructions) {
+      return trap("instruction limit exceeded");
+    }
+    ++result.instructions;
+
+    // Operand evaluation (counts as register reads).
+    auto value_of = [&](const ir::Operand& op) {
+      if (op.is_imm()) {
+        return op.imm();
+      }
+      record(op.reg(), /*is_write=*/false);
+      return regs[op.reg()];
+    };
+
+    const auto& ops = inst.operands();
+    std::int64_t out_value = 0;
+    bool writes_dest = inst.has_dest();
+
+    using ir::Opcode;
+    switch (inst.opcode()) {
+      case Opcode::kConst:
+        out_value = ops[0].imm();
+        break;
+      case Opcode::kMov:
+      case Opcode::kNeg:
+      case Opcode::kNot: {
+        const std::int64_t a = value_of(ops[0]);
+        out_value = inst.opcode() == Opcode::kMov   ? a
+                    : inst.opcode() == Opcode::kNeg ? -a
+                                                    : ~a;
+        break;
+      }
+      case Opcode::kLoad: {
+        const std::int64_t addr = value_of(ops[0]);
+        if (addr < 0 ||
+            static_cast<std::size_t>(addr) >= memory_.size()) {
+          return trap("load from bad address " + std::to_string(addr));
+        }
+        out_value = memory_[static_cast<std::size_t>(addr)];
+        ++result.loads;
+        break;
+      }
+      case Opcode::kStore: {
+        const std::int64_t addr = value_of(ops[0]);
+        const std::int64_t value = value_of(ops[1]);
+        if (addr < 0 ||
+            static_cast<std::size_t>(addr) >= memory_.size()) {
+          return trap("store to bad address " + std::to_string(addr));
+        }
+        memory_[static_cast<std::size_t>(addr)] = value;
+        ++result.stores;
+        break;
+      }
+      case Opcode::kNop:
+        break;
+      case Opcode::kBr: {
+        const std::int64_t cond = value_of(ops[0]);
+        result.cycles += static_cast<std::uint64_t>(timing_.cycles(inst));
+        block = cond != 0 ? inst.targets()[0] : inst.targets()[1];
+        index = 0;
+        ++result.block_visits[block];
+        continue;
+      }
+      case Opcode::kJmp: {
+        result.cycles += static_cast<std::uint64_t>(timing_.cycles(inst));
+        block = inst.targets()[0];
+        index = 0;
+        ++result.block_visits[block];
+        continue;
+      }
+      case Opcode::kRet: {
+        result.cycles += static_cast<std::uint64_t>(timing_.cycles(inst));
+        result.returned = true;
+        if (!ops.empty()) {
+          result.return_value = value_of(ops[0]);
+        }
+        if (trace != nullptr) {
+          trace->set_duration_cycles(result.cycles);
+        }
+        return result;
+      }
+      default: {
+        // Binary ALU.
+        const std::int64_t a = value_of(ops[0]);
+        const std::int64_t b2 = value_of(ops[1]);
+        switch (inst.opcode()) {
+          case Opcode::kAdd:
+            out_value = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b2));
+            break;
+          case Opcode::kSub:
+            out_value = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b2));
+            break;
+          case Opcode::kMul:
+            out_value = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b2));
+            break;
+          case Opcode::kDiv:
+            if (b2 == 0) {
+              return trap("division by zero");
+            }
+            if (a == std::numeric_limits<std::int64_t>::min() && b2 == -1) {
+              return trap("division overflow");
+            }
+            out_value = a / b2;
+            break;
+          case Opcode::kRem:
+            if (b2 == 0) {
+              return trap("remainder by zero");
+            }
+            if (a == std::numeric_limits<std::int64_t>::min() && b2 == -1) {
+              return trap("remainder overflow");
+            }
+            out_value = a % b2;
+            break;
+          case Opcode::kAnd:
+            out_value = a & b2;
+            break;
+          case Opcode::kOr:
+            out_value = a | b2;
+            break;
+          case Opcode::kXor:
+            out_value = a ^ b2;
+            break;
+          case Opcode::kShl:
+            out_value = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(a)
+                << (static_cast<std::uint64_t>(b2) & 63U));
+            break;
+          case Opcode::kShr:
+            out_value = a >> (static_cast<std::uint64_t>(b2) & 63U);
+            break;
+          case Opcode::kMin:
+            out_value = a < b2 ? a : b2;
+            break;
+          case Opcode::kMax:
+            out_value = a > b2 ? a : b2;
+            break;
+          case Opcode::kCmpEq:
+            out_value = a == b2;
+            break;
+          case Opcode::kCmpNe:
+            out_value = a != b2;
+            break;
+          case Opcode::kCmpLt:
+            out_value = a < b2;
+            break;
+          case Opcode::kCmpLe:
+            out_value = a <= b2;
+            break;
+          case Opcode::kCmpGt:
+            out_value = a > b2;
+            break;
+          case Opcode::kCmpGe:
+            out_value = a >= b2;
+            break;
+          default:
+            return trap("unhandled opcode");
+        }
+        break;
+      }
+    }
+
+    if (writes_dest) {
+      regs[inst.dest()] = out_value;
+      record(inst.dest(), /*is_write=*/true);
+    }
+    result.cycles += static_cast<std::uint64_t>(timing_.cycles(inst));
+    ++index;
+  }
+}
+
+}  // namespace tadfa::sim

@@ -1,0 +1,76 @@
+// IR interpreter: the execution ground truth.
+//
+// Runs a function on concrete inputs, counts cycles with the shared
+// TimingModel, and (when given a register assignment) records every
+// physical register access. Interpreting compiled programs and feeding the
+// access trace to the thermal model is exactly the "feedback-driven"
+// flow the paper wants to replace — here it doubles as the reference the
+// thermal DFA is validated against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "machine/assignment.hpp"
+#include "machine/timing.hpp"
+#include "power/access_trace.hpp"
+
+namespace tadfa::sim {
+
+struct ExecutionOptions {
+  /// Abort after this many executed instructions (runaway-loop guard).
+  std::uint64_t max_instructions = 50'000'000;
+  /// Words of addressable memory (data + spill slots).
+  std::size_t memory_words = (1u << 20) + (1u << 14);
+};
+
+struct ExecutionResult {
+  bool returned = false;
+  std::optional<std::int64_t> return_value;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  /// Memory traffic (for cache/memory energy accounting).
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  /// Execution count of every block (profile for frequency-driven DFA).
+  std::vector<std::uint64_t> block_visits;
+  /// Set when execution trapped (bad address, div by zero, step limit).
+  std::optional<std::string> trap;
+
+  bool ok() const { return returned && !trap; }
+};
+
+class Interpreter {
+ public:
+  Interpreter(const ir::Function& func, const machine::TimingModel& timing,
+              ExecutionOptions options = {});
+
+  /// Zero-initialized word-addressed memory; set inputs before run().
+  std::vector<std::int64_t>& memory() { return memory_; }
+  const std::vector<std::int64_t>& memory() const { return memory_; }
+
+  /// Executes with the given argument values (must match params arity).
+  ExecutionResult run(std::span<const std::int64_t> args);
+
+  /// Executes and records each physical register access into `trace`.
+  /// `assignment` must cover every register in the function.
+  ExecutionResult run_traced(std::span<const std::int64_t> args,
+                             const machine::RegisterAssignment& assignment,
+                             power::AccessTrace& trace);
+
+ private:
+  ExecutionResult execute(std::span<const std::int64_t> args,
+                          const machine::RegisterAssignment* assignment,
+                          power::AccessTrace* trace);
+
+  const ir::Function* func_;
+  machine::TimingModel timing_;
+  ExecutionOptions options_;
+  std::vector<std::int64_t> memory_;
+};
+
+}  // namespace tadfa::sim

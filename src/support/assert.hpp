@@ -1,0 +1,38 @@
+// Lightweight contract checking used across all TADFA libraries.
+//
+// TADFA_ASSERT is active in all build types: the library models physical
+// systems where a silently-violated invariant (e.g. a negative thermal
+// capacitance) produces plausible-looking garbage, which is worse than an
+// abort. Violations print the failing expression and location, then abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tadfa {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "TADFA assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace tadfa
+
+#define TADFA_ASSERT(expr)                                      \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::tadfa::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                           \
+  } while (false)
+
+#define TADFA_ASSERT_MSG(expr, msg)                          \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::tadfa::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                        \
+  } while (false)
+
+#define TADFA_UNREACHABLE(msg) \
+  ::tadfa::assert_fail("unreachable", __FILE__, __LINE__, msg)

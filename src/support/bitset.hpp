@@ -1,0 +1,111 @@
+// Dense dynamic bitset used as the domain of set-based data-flow analyses
+// (liveness, reaching definitions). Word-parallel set algebra keeps the
+// iterative solver fast on functions with thousands of virtual registers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tadfa {
+
+class DenseBitSet {
+ public:
+  DenseBitSet() = default;
+  explicit DenseBitSet(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const {
+    TADFA_ASSERT(i < size_);
+    return (words_[i / 64] >> (i % 64)) & 1U;
+  }
+
+  void set(std::size_t i) {
+    TADFA_ASSERT(i < size_);
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+
+  void reset(std::size_t i) {
+    TADFA_ASSERT(i < size_);
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  void clear() {
+    for (auto& w : words_) {
+      w = 0;
+    }
+  }
+
+  /// this |= other. Returns true if this changed.
+  bool merge(const DenseBitSet& other) {
+    TADFA_ASSERT(size_ == other.size_);
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t merged = words_[i] | other.words_[i];
+      changed |= merged != words_[i];
+      words_[i] = merged;
+    }
+    return changed;
+  }
+
+  /// this &= other.
+  void intersect(const DenseBitSet& other) {
+    TADFA_ASSERT(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+    }
+  }
+
+  /// this &= ~other.
+  void subtract(const DenseBitSet& other) {
+    TADFA_ASSERT(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+  }
+
+  bool any() const {
+    for (auto w : words_) {
+      if (w != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : words_) {
+      n += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> to_indices() const {
+    std::vector<std::size_t> out;
+    out.reserve(count());
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        out.push_back(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const DenseBitSet& a, const DenseBitSet& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace tadfa

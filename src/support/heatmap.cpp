@@ -1,0 +1,112 @@
+#include "support/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace tadfa {
+namespace {
+
+struct Scale {
+  double lo;
+  double hi;
+};
+
+Scale resolve_scale(std::span<const double> values,
+                    const HeatmapOptions& options) {
+  double lo = values.empty() ? 0.0
+                             : *std::min_element(values.begin(), values.end());
+  double hi = values.empty() ? 1.0
+                             : *std::max_element(values.begin(), values.end());
+  if (options.scale_min) {
+    lo = *options.scale_min;
+  }
+  if (options.scale_max) {
+    hi = *options.scale_max;
+  }
+  if (hi <= lo) {
+    hi = lo + 1e-9;
+  }
+  return {lo, hi};
+}
+
+char glyph_for(double v, const Scale& scale, const std::string& ramp) {
+  const double t =
+      std::clamp((v - scale.lo) / (scale.hi - scale.lo), 0.0, 1.0);
+  const auto n = ramp.size();
+  auto idx = static_cast<std::size_t>(t * static_cast<double>(n));
+  if (idx >= n) {
+    idx = n - 1;
+  }
+  return ramp[idx];
+}
+
+std::vector<std::string> render_lines(std::span<const double> values,
+                                      std::size_t rows, std::size_t cols,
+                                      const HeatmapOptions& options) {
+  TADFA_ASSERT(values.size() == rows * cols);
+  TADFA_ASSERT(!options.ramp.empty());
+  TADFA_ASSERT(options.glyph_width >= 1);
+  const Scale scale = resolve_scale(values, options);
+  std::vector<std::string> lines;
+  lines.reserve(rows + 2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::string line;
+    line.reserve(cols * static_cast<std::size_t>(options.glyph_width));
+    for (std::size_t c = 0; c < cols; ++c) {
+      const char g = glyph_for(values[r * cols + c], scale, options.ramp);
+      line.append(static_cast<std::size_t>(options.glyph_width), g);
+    }
+    lines.push_back(std::move(line));
+  }
+  if (options.legend) {
+    std::ostringstream legend;
+    legend << '[' << options.ramp.front() << "]=" << std::fixed
+           << std::setprecision(2) << scale.lo << "  [" << options.ramp.back()
+           << "]=" << scale.hi;
+    lines.push_back(legend.str());
+  }
+  return lines;
+}
+
+}  // namespace
+
+void render_heatmap(std::ostream& os, std::span<const double> values,
+                    std::size_t rows, std::size_t cols,
+                    const HeatmapOptions& options) {
+  for (const auto& line : render_lines(values, rows, cols, options)) {
+    os << line << '\n';
+  }
+}
+
+void render_heatmap_pair(std::ostream& os, std::span<const double> left,
+                         std::span<const double> right, std::size_t rows,
+                         std::size_t cols, const std::string& left_caption,
+                         const std::string& right_caption,
+                         const HeatmapOptions& options) {
+  auto left_lines = render_lines(left, rows, cols, options);
+  auto right_lines = render_lines(right, rows, cols, options);
+  const std::size_t width =
+      cols * static_cast<std::size_t>(options.glyph_width);
+
+  auto pad = [width](std::string s) {
+    if (s.size() < width) {
+      s.append(width - s.size(), ' ');
+    }
+    return s;
+  };
+
+  os << pad(left_caption) << "    " << right_caption << '\n';
+  const std::size_t n = std::max(left_lines.size(), right_lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string l = i < left_lines.size() ? left_lines[i] : "";
+    const std::string r = i < right_lines.size() ? right_lines[i] : "";
+    os << pad(l) << "    " << r << '\n';
+  }
+}
+
+}  // namespace tadfa

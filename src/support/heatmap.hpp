@@ -1,0 +1,41 @@
+// ASCII rendering of 2-D scalar fields (thermal maps).
+//
+// Reproduces the visual role of the paper's Fig. 1: a glanceable picture of
+// where the register file is hot. Values are bucketed into a ramp of glyphs
+// from '.' (coolest) to '#' (hottest); an optional absolute scale pins the
+// ramp so maps from different policies are comparable.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+
+namespace tadfa {
+
+struct HeatmapOptions {
+  /// Glyph ramp from cold to hot.
+  std::string ramp = " .:-=+*%@#";
+  /// When set, bucket against [scale_min, scale_max] instead of the data's
+  /// own min/max; values outside are clamped.
+  std::optional<double> scale_min;
+  std::optional<double> scale_max;
+  /// Print a numeric legend under the map.
+  bool legend = true;
+  /// Repeat each glyph horizontally for a squarer aspect ratio.
+  int glyph_width = 2;
+};
+
+/// Renders a row-major rows x cols field as an ASCII heat map.
+void render_heatmap(std::ostream& os, std::span<const double> values,
+                    std::size_t rows, std::size_t cols,
+                    const HeatmapOptions& options = {});
+
+/// Renders two maps side by side with captions (for before/after views).
+void render_heatmap_pair(std::ostream& os, std::span<const double> left,
+                         std::span<const double> right, std::size_t rows,
+                         std::size_t cols, const std::string& left_caption,
+                         const std::string& right_caption,
+                         const HeatmapOptions& options = {});
+
+}  // namespace tadfa

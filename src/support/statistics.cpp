@@ -1,0 +1,191 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/assert.hpp"
+
+namespace tadfa::stats {
+
+double mean(std::span<const double> xs) {
+  TADFA_ASSERT(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  TADFA_ASSERT(!xs.empty());
+  const double mu = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  TADFA_ASSERT(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  TADFA_ASSERT(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double range(std::span<const double> xs) { return max(xs) - min(xs); }
+
+double percentile(std::span<const double> xs, double p) {
+  TADFA_ASSERT(!xs.empty());
+  TADFA_ASSERT(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  TADFA_ASSERT(a.size() == b.size());
+  TADFA_ASSERT(!a.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+double mae(std::span<const double> a, std::span<const double> b) {
+  TADFA_ASSERT(a.size() == b.size());
+  TADFA_ASSERT(!a.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(a[i] - b[i]);
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+double max_abs_error(std::span<const double> a, std::span<const double> b) {
+  TADFA_ASSERT(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  TADFA_ASSERT(a.size() == b.size());
+  TADFA_ASSERT(!a.empty());
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+double jaccard(const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  std::unordered_set<std::size_t> sa(a.begin(), a.end());
+  std::unordered_set<std::size_t> sb(b.begin(), b.end());
+  std::size_t intersection = 0;
+  for (std::size_t x : sa) {
+    if (sb.count(x) != 0) {
+      ++intersection;
+    }
+  }
+  const std::size_t uni = sa.size() + sb.size() - intersection;
+  if (uni == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+std::vector<std::size_t> top_k_indices(std::span<const double> xs,
+                                       std::size_t k) {
+  std::vector<std::size_t> idx(xs.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = i;
+  }
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(),
+                    [&xs](std::size_t i, std::size_t j) { return xs[i] > xs[j]; });
+  idx.resize(k);
+  return idx;
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double mu = mean(xs);
+  TADFA_ASSERT(mu != 0.0);
+  return stddev(xs) / mu;
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  TADFA_ASSERT(n_ > 0);
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  TADFA_ASSERT(n_ > 0);
+  return m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  TADFA_ASSERT(n_ > 0);
+  return min_;
+}
+
+double Accumulator::max() const {
+  TADFA_ASSERT(n_ > 0);
+  return max_;
+}
+
+}  // namespace tadfa::stats

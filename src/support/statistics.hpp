@@ -1,0 +1,81 @@
+// Descriptive statistics and error metrics used by the experiment harnesses.
+//
+// Everything operates on std::span<const double> so callers can pass vectors,
+// arrays, or sub-ranges without copies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tadfa::stats {
+
+/// Arithmetic mean. Requires a non-empty range.
+double mean(std::span<const double> xs);
+
+/// Population variance (divides by N). Requires non-empty.
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Smallest element. Requires non-empty.
+double min(std::span<const double> xs);
+
+/// Largest element. Requires non-empty.
+double max(std::span<const double> xs);
+
+/// max - min.
+double range(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Root-mean-square error between two equal-length ranges.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Mean absolute error between two equal-length ranges.
+double mae(std::span<const double> a, std::span<const double> b);
+
+/// Largest absolute elementwise difference.
+double max_abs_error(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation coefficient. Returns 0 when either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Jaccard similarity |A∩B| / |A∪B| of two index sets. Returns 1 when both
+/// sets are empty.
+double jaccard(const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b);
+
+/// Indices of the k largest elements, in descending value order.
+std::vector<std::size_t> top_k_indices(std::span<const double> xs,
+                                       std::size_t k);
+
+/// Coefficient of spatial variation: stddev / mean. Used as the paper's
+/// "homogenization" metric for thermal maps. Requires mean != 0.
+double coefficient_of_variation(std::span<const double> xs);
+
+/// Online accumulator for streaming mean/variance/min/max (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tadfa::stats

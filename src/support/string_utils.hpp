@@ -1,0 +1,32 @@
+// Small string helpers shared by the IR text parser and the harnesses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tadfa {
+
+/// Splits on a delimiter character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+/// Parses a signed 64-bit integer; returns false on any trailing garbage.
+bool parse_int(std::string_view s, long long& out);
+
+/// Parses a double; returns false on any trailing garbage.
+bool parse_double(std::string_view s, double& out);
+
+}  // namespace tadfa

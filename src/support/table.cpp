@@ -1,0 +1,103 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "support/assert.hpp"
+
+namespace tadfa {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  TADFA_ASSERT_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    TADFA_ASSERT_MSG(row.size() == header_.size(),
+                     "row arity must match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) {
+    widen(header_);
+  }
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[i]))
+         << row[i] << ' ';
+    }
+    os << "|\n";
+  };
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      os << "|" << std::string(widths[i] + 2, '-');
+    }
+    os << "|\n";
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') {
+        out += "\"\"";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) {
+        os << ',';
+      }
+      os << quote(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace tadfa

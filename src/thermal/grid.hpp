@@ -1,0 +1,99 @@
+// Compact RC thermal model of the register file (HotSpot-class).
+//
+// Substitutes for the HW/SW thermal emulation framework the paper cites as
+// [5]. Each register cell is subdivided into `subdivision`² grid nodes
+// (Sec. 3's accuracy/cost knob: "increasing the number of points would
+// increase accuracy, but at the cost of increased computation time").
+//
+// Per node:
+//   - capacitance C from node volume × volumetric heat capacity;
+//   - lateral conductances to the 4-neighbors (silicon conduction);
+//   - a vertical conductance to the surrounding die (spreading resistance
+//     into the substrate, which is held at substrate_temp_k).
+//
+// The model is linear; leakage's temperature dependence is closed by the
+// caller (power model) between steps.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "machine/floorplan.hpp"
+
+namespace tadfa::thermal {
+
+/// Discrete approximation of the RF temperature field: one value per grid
+/// node, in kelvin.
+struct ThermalState {
+  std::vector<double> node_temps;
+
+  friend bool operator==(const ThermalState&, const ThermalState&) = default;
+};
+
+class ThermalGrid {
+ public:
+  /// `subdivision` >= 1: grid points per cell edge (nodes per cell =
+  /// subdivision²).
+  ThermalGrid(const machine::Floorplan& floorplan, unsigned subdivision = 1);
+
+  const machine::Floorplan& floorplan() const { return *floorplan_; }
+  unsigned subdivision() const { return subdivision_; }
+  std::size_t node_count() const { return cap_.size(); }
+  std::size_t node_rows() const { return node_rows_; }
+  std::size_t node_cols() const { return node_cols_; }
+
+  /// Node indices covering a register's cell.
+  const std::vector<std::size_t>& nodes_of(machine::PhysReg r) const;
+
+  /// Register whose cell contains this node.
+  machine::PhysReg register_of(std::size_t node) const;
+
+  /// State with every node at the substrate temperature.
+  ThermalState initial_state() const;
+
+  /// Advances the transient solution by `dt` seconds with per-register
+  /// power `reg_power_w` (watts, spread uniformly over each cell's nodes).
+  /// Internally substeps to respect the explicit-Euler stability limit.
+  void step(ThermalState& state, std::span<const double> reg_power_w,
+            double dt) const;
+
+  /// Steady-state temperatures under constant per-register power
+  /// (Gauss-Seidel to `tolerance_k`).
+  ThermalState steady_state(std::span<const double> reg_power_w,
+                            double tolerance_k = 1e-9) const;
+
+  /// Largest dt (seconds) a single explicit-Euler step may take.
+  double max_stable_dt() const { return stable_dt_; }
+
+  /// Per-register temperatures: average of each cell's nodes.
+  std::vector<double> register_temps(const ThermalState& state) const;
+
+  /// Sum over nodes of C·(T - substrate): stored thermal energy relative
+  /// to the substrate (J). Used by conservation tests.
+  double stored_energy(const ThermalState& state) const;
+
+  double substrate_temp() const { return substrate_temp_; }
+
+ private:
+  std::size_t node_index(std::size_t row, std::size_t col) const {
+    return row * node_cols_ + col;
+  }
+
+  const machine::Floorplan* floorplan_;
+  unsigned subdivision_;
+  std::size_t node_rows_ = 0;
+  std::size_t node_cols_ = 0;
+  double substrate_temp_ = 0;
+
+  std::vector<double> cap_;              // C per node (J/K)
+  std::vector<double> g_vertical_;       // node -> substrate (W/K)
+  double g_lateral_h_ = 0;               // east-west neighbor link (W/K)
+  double g_lateral_v_ = 0;               // north-south neighbor link (W/K)
+  double stable_dt_ = 0;
+
+  std::vector<std::vector<std::size_t>> cell_nodes_;  // per register
+  std::vector<machine::PhysReg> node_owner_;
+};
+
+}  // namespace tadfa::thermal

@@ -1,0 +1,52 @@
+#include "thermal/map_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/statistics.hpp"
+
+namespace tadfa::thermal {
+
+MapStats compute_map_stats(const machine::Floorplan& floorplan,
+                           std::span<const double> reg_temps) {
+  TADFA_ASSERT(reg_temps.size() == floorplan.num_registers());
+  MapStats s;
+  s.peak_k = stats::max(reg_temps);
+  s.min_k = stats::min(reg_temps);
+  s.mean_k = stats::mean(reg_temps);
+  s.stddev_k = stats::stddev(reg_temps);
+  s.range_k = s.peak_k - s.min_k;
+
+  double sum_grad = 0.0;
+  std::size_t links = 0;
+  for (machine::PhysReg r = 0; r < reg_temps.size(); ++r) {
+    for (machine::PhysReg n : floorplan.neighbors(r)) {
+      if (n < r) {
+        continue;  // count each undirected link once
+      }
+      const double g = std::abs(reg_temps[r] - reg_temps[n]);
+      s.max_gradient_k = std::max(s.max_gradient_k, g);
+      sum_grad += g;
+      ++links;
+    }
+  }
+  s.mean_gradient_k = links == 0 ? 0.0 : sum_grad / static_cast<double>(links);
+  return s;
+}
+
+std::vector<machine::PhysReg> hotspots(const machine::Floorplan& floorplan,
+                                       std::span<const double> reg_temps,
+                                       double threshold_sigma) {
+  const MapStats s = compute_map_stats(floorplan, reg_temps);
+  const double cut = s.mean_k + threshold_sigma * s.stddev_k;
+  std::vector<machine::PhysReg> out;
+  for (machine::PhysReg r = 0; r < reg_temps.size(); ++r) {
+    if (reg_temps[r] > cut) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace tadfa::thermal

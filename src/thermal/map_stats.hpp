@@ -1,0 +1,38 @@
+// Summary statistics of a register-file thermal map.
+//
+// These are the quantities Fig. 1 is read by: peak temperature, how steep
+// the spatial gradients are, and how homogeneous the map is. All benches
+// report them so "who wins" is a number, not a picture.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "machine/floorplan.hpp"
+
+namespace tadfa::thermal {
+
+struct MapStats {
+  double peak_k = 0;       // hottest register
+  double min_k = 0;        // coolest register
+  double mean_k = 0;
+  double stddev_k = 0;     // spatial non-uniformity
+  double range_k = 0;      // peak - min
+  /// Steepest temperature difference between physically adjacent cells —
+  /// the paper's "steep thermal gradients" metric.
+  double max_gradient_k = 0;
+  /// Mean absolute neighbor-to-neighbor difference.
+  double mean_gradient_k = 0;
+};
+
+/// Computes statistics of a per-register temperature map.
+MapStats compute_map_stats(const machine::Floorplan& floorplan,
+                           std::span<const double> reg_temps);
+
+/// Hotspot cells: registers whose temperature exceeds
+/// mean + threshold_sigma · stddev.
+std::vector<machine::PhysReg> hotspots(const machine::Floorplan& floorplan,
+                                       std::span<const double> reg_temps,
+                                       double threshold_sigma = 1.5);
+
+}  // namespace tadfa::thermal

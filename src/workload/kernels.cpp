@@ -1,0 +1,821 @@
+#include "workload/kernels.hpp"
+
+#include <array>
+
+#include "ir/builder.hpp"
+#include "support/assert.hpp"
+
+namespace tadfa::workload {
+namespace {
+
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Reg;
+using B = IRBuilder;  // for B::r / B::i operand shorthands
+
+std::int64_t input_word(std::int64_t i) { return (i * 7 + 3) % 1024; }
+
+}  // namespace
+
+Kernel make_vecsum(std::int64_t n) {
+  TADFA_ASSERT(n > 0);
+  Kernel k;
+  k.name = "vecsum";
+  k.pressure = Kernel::Pressure::kLow;
+  k.default_args = {0, n};
+
+  ir::Function f("vecsum");
+  IRBuilder b(f);
+  const Reg base = f.add_param();
+  const Reg count = f.add_param();
+
+  const auto entry = b.create_block("entry");
+  const auto head = b.create_block("head");
+  const auto body = b.create_block("body");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  const Reg sum = b.const_int(0);
+  const Reg i = b.const_int(0);
+  b.jmp(head);
+
+  b.set_insert_point(head);
+  const Reg cond = b.cmp(Opcode::kCmpLt, B::r(i), B::r(count));
+  b.br(cond, body, exit);
+
+  b.set_insert_point(body);
+  const Reg addr = b.add(B::r(base), B::r(i));
+  const Reg value = b.load(B::r(addr));
+  b.assign(Opcode::kAdd, sum, B::r(sum), B::r(value));
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(head);
+
+  b.set_insert_point(exit);
+  b.ret(B::r(sum));
+
+  k.func = std::move(f);
+  k.init_memory = [n](std::vector<std::int64_t>& mem) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      mem[static_cast<std::size_t>(j)] = input_word(j);
+    }
+  };
+  std::int64_t expected = 0;
+  for (std::int64_t j = 0; j < n; ++j) {
+    expected += input_word(j);
+  }
+  k.expected_result = expected;
+  return k;
+}
+
+Kernel make_fir(std::int64_t n, int taps) {
+  TADFA_ASSERT(n > taps && taps >= 2 && taps <= 16);
+  Kernel k;
+  k.name = "fir";
+  k.pressure = Kernel::Pressure::kMedium;
+  k.default_args = {0, n, n, static_cast<std::int64_t>(taps)};
+
+  ir::Function f("fir");
+  IRBuilder b(f);
+  const Reg in_base = f.add_param();
+  const Reg out_base = f.add_param();
+  const Reg count = f.add_param();
+  (void)f.add_param();  // taps (fixed at build time; kept for signature)
+
+  const auto entry = b.create_block("entry");
+  const auto head = b.create_block("head");
+  const auto body = b.create_block("body");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  std::vector<Reg> coeff(static_cast<std::size_t>(taps));
+  for (int t = 0; t < taps; ++t) {
+    coeff[static_cast<std::size_t>(t)] = b.const_int(t + 1);
+  }
+  const Reg sum = b.const_int(0);
+  const Reg i = b.const_int(0);
+  const Reg limit = b.sub(B::r(count), B::i(taps));
+  b.jmp(head);
+
+  b.set_insert_point(head);
+  const Reg cond = b.cmp(Opcode::kCmpLt, B::r(i), B::r(limit));
+  b.br(cond, body, exit);
+
+  b.set_insert_point(body);
+  const Reg acc = b.const_int(0);
+  for (int t = 0; t < taps; ++t) {
+    const Reg addr = b.add(B::r(in_base), B::r(i));
+    const Reg addr2 = t == 0 ? addr : b.add(B::r(addr), B::i(t));
+    const Reg x = b.load(B::r(t == 0 ? addr : addr2));
+    const Reg prod = b.mul(B::r(coeff[static_cast<std::size_t>(t)]), B::r(x));
+    b.assign(Opcode::kAdd, acc, B::r(acc), B::r(prod));
+  }
+  const Reg out_addr = b.add(B::r(out_base), B::r(i));
+  b.store(B::r(out_addr), B::r(acc));
+  b.assign(Opcode::kAdd, sum, B::r(sum), B::r(acc));
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(head);
+
+  b.set_insert_point(exit);
+  b.ret(B::r(sum));
+
+  k.func = std::move(f);
+  k.init_memory = [n](std::vector<std::int64_t>& mem) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      mem[static_cast<std::size_t>(j)] = input_word(j);
+    }
+  };
+  std::int64_t expected = 0;
+  for (std::int64_t j = 0; j < n - taps; ++j) {
+    std::int64_t acc = 0;
+    for (int t = 0; t < taps; ++t) {
+      acc += (t + 1) * input_word(j + t);
+    }
+    expected += acc;
+  }
+  k.expected_result = expected;
+  return k;
+}
+
+Kernel make_matmul(std::int64_t n) {
+  TADFA_ASSERT(n >= 2 && n <= 64);
+  Kernel k;
+  k.name = "matmul";
+  k.pressure = Kernel::Pressure::kMedium;
+  k.default_args = {n};
+
+  ir::Function f("matmul");
+  IRBuilder b(f);
+  const Reg dim = f.add_param();
+
+  const auto entry = b.create_block("entry");
+  const auto i_head = b.create_block("i_head");
+  const auto j_reset = b.create_block("j_reset");
+  const auto j_head = b.create_block("j_head");
+  const auto k_reset = b.create_block("k_reset");
+  const auto k_head = b.create_block("k_head");
+  const auto k_body = b.create_block("k_body");
+  const auto j_tail = b.create_block("j_tail");
+  const auto i_tail = b.create_block("i_tail");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  const Reg nn = b.mul(B::r(dim), B::r(dim));
+  const Reg b_base = b.mov(nn);
+  const Reg c_base = b.add(B::r(nn), B::r(nn));
+  const Reg total = b.const_int(0);
+  const Reg i = b.const_int(0);
+  const Reg j = b.fresh();
+  const Reg kk = b.fresh();
+  const Reg acc = b.fresh();
+  b.jmp(i_head);
+
+  b.set_insert_point(i_head);
+  const Reg ci = b.cmp(Opcode::kCmpLt, B::r(i), B::r(dim));
+  b.br(ci, j_reset, exit);
+
+  b.set_insert_point(j_reset);
+  b.assign_const(j, 0);
+  b.jmp(j_head);
+
+  b.set_insert_point(j_head);
+  const Reg cj = b.cmp(Opcode::kCmpLt, B::r(j), B::r(dim));
+  b.br(cj, k_reset, i_tail);
+
+  b.set_insert_point(k_reset);
+  b.assign_const(acc, 0);
+  b.assign_const(kk, 0);
+  b.jmp(k_head);
+
+  b.set_insert_point(k_head);
+  const Reg ck = b.cmp(Opcode::kCmpLt, B::r(kk), B::r(dim));
+  b.br(ck, k_body, j_tail);
+
+  b.set_insert_point(k_body);
+  const Reg irow = b.mul(B::r(i), B::r(dim));
+  const Reg a_addr = b.add(B::r(irow), B::r(kk));
+  const Reg av = b.load(B::r(a_addr));
+  const Reg krow = b.mul(B::r(kk), B::r(dim));
+  const Reg b_off = b.add(B::r(krow), B::r(j));
+  const Reg b_addr = b.add(B::r(b_base), B::r(b_off));
+  const Reg bv = b.load(B::r(b_addr));
+  const Reg prod = b.mul(B::r(av), B::r(bv));
+  b.assign(Opcode::kAdd, acc, B::r(acc), B::r(prod));
+  b.assign(Opcode::kAdd, kk, B::r(kk), B::i(1));
+  b.jmp(k_head);
+
+  b.set_insert_point(j_tail);
+  const Reg c_off = b.mul(B::r(i), B::r(dim));
+  const Reg c_off2 = b.add(B::r(c_off), B::r(j));
+  const Reg c_addr = b.add(B::r(c_base), B::r(c_off2));
+  b.store(B::r(c_addr), B::r(acc));
+  b.assign(Opcode::kAdd, total, B::r(total), B::r(acc));
+  b.assign(Opcode::kAdd, j, B::r(j), B::i(1));
+  b.jmp(j_head);
+
+  b.set_insert_point(i_tail);
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(i_head);
+
+  b.set_insert_point(exit);
+  b.ret(B::r(total));
+
+  k.func = std::move(f);
+  k.init_memory = [n](std::vector<std::int64_t>& mem) {
+    // A at [0, n²), B at [n², 2n²).
+    for (std::int64_t idx = 0; idx < n * n; ++idx) {
+      mem[static_cast<std::size_t>(idx)] = input_word(idx) & 63;
+      mem[static_cast<std::size_t>(n * n + idx)] = input_word(idx + 11) & 63;
+    }
+  };
+  // Mirror.
+  std::int64_t expected = 0;
+  for (std::int64_t ii = 0; ii < n; ++ii) {
+    for (std::int64_t jj = 0; jj < n; ++jj) {
+      std::int64_t a = 0;
+      for (std::int64_t key = 0; key < n; ++key) {
+        const std::int64_t avv = input_word(ii * n + key) & 63;
+        const std::int64_t bvv = input_word(key * n + jj + 11) & 63;
+        a += avv * bvv;
+      }
+      expected += a;
+    }
+  }
+  k.expected_result = expected;
+  return k;
+}
+
+Kernel make_idct8(std::int64_t rows) {
+  TADFA_ASSERT(rows >= 1);
+  Kernel k;
+  k.name = "idct8";
+  k.pressure = Kernel::Pressure::kHigh;
+  k.default_args = {rows};
+
+  ir::Function f("idct8");
+  IRBuilder b(f);
+  const Reg row_count = f.add_param();
+
+  const auto entry = b.create_block("entry");
+  const auto head = b.create_block("head");
+  const auto body = b.create_block("body");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  const Reg sum = b.const_int(0);
+  const Reg r = b.const_int(0);
+  b.jmp(head);
+
+  b.set_insert_point(head);
+  const Reg cond = b.cmp(Opcode::kCmpLt, B::r(r), B::r(row_count));
+  b.br(cond, body, exit);
+
+  b.set_insert_point(body);
+  const Reg base = b.shl(B::r(r), B::i(3));  // r*8
+  std::array<Reg, 8> x{};
+  for (int t = 0; t < 8; ++t) {
+    const Reg addr = b.add(B::r(base), B::i(t));
+    x[static_cast<std::size_t>(t)] = b.load(B::r(addr));
+  }
+  // Butterfly stage 1.
+  const Reg s0 = b.add(B::r(x[0]), B::r(x[7]));
+  const Reg s1 = b.add(B::r(x[1]), B::r(x[6]));
+  const Reg s2 = b.add(B::r(x[2]), B::r(x[5]));
+  const Reg s3 = b.add(B::r(x[3]), B::r(x[4]));
+  const Reg d0 = b.sub(B::r(x[0]), B::r(x[7]));
+  const Reg d1 = b.sub(B::r(x[1]), B::r(x[6]));
+  const Reg d2 = b.sub(B::r(x[2]), B::r(x[5]));
+  const Reg d3 = b.sub(B::r(x[3]), B::r(x[4]));
+  // Stage 2.
+  const Reg t0 = b.add(B::r(s0), B::r(s3));
+  const Reg t1 = b.add(B::r(s1), B::r(s2));
+  const Reg t2 = b.sub(B::r(s0), B::r(s3));
+  const Reg t3 = b.sub(B::r(s1), B::r(s2));
+  // Outputs.
+  const Reg y0 = b.add(B::r(t0), B::r(t1));
+  const Reg y4 = b.sub(B::r(t0), B::r(t1));
+  const Reg t3h = b.shr(B::r(t3), B::i(1));
+  const Reg y2 = b.add(B::r(t2), B::r(t3h));
+  const Reg t2h = b.shr(B::r(t2), B::i(1));
+  const Reg y6 = b.sub(B::r(t2h), B::r(t3));
+  const Reg d1h = b.shr(B::r(d1), B::i(1));
+  const Reg y1 = b.add(B::r(d0), B::r(d1h));
+  const Reg d2h = b.shr(B::r(d2), B::i(1));
+  const Reg y3 = b.sub(B::r(d1), B::r(d2h));
+  const Reg d3h = b.shr(B::r(d3), B::i(1));
+  const Reg y5 = b.add(B::r(d2), B::r(d3h));
+  const Reg d0h = b.shr(B::r(d0), B::i(1));
+  const Reg y7 = b.sub(B::r(d0h), B::r(d3));
+
+  const std::array<Reg, 8> y = {y0, y1, y2, y3, y4, y5, y6, y7};
+  const Reg out_base = b.add(B::r(base), B::i(8 * 4096));
+  for (int t = 0; t < 8; ++t) {
+    const Reg addr = b.add(B::r(out_base), B::i(t));
+    b.store(B::r(addr), B::r(y[static_cast<std::size_t>(t)]));
+    b.assign(Opcode::kAdd, sum, B::r(sum),
+             B::r(y[static_cast<std::size_t>(t)]));
+  }
+  b.assign(Opcode::kAdd, r, B::r(r), B::i(1));
+  b.jmp(head);
+
+  b.set_insert_point(exit);
+  b.ret(B::r(sum));
+
+  k.func = std::move(f);
+  k.init_memory = [rows](std::vector<std::int64_t>& mem) {
+    for (std::int64_t j = 0; j < rows * 8; ++j) {
+      mem[static_cast<std::size_t>(j)] = input_word(j) - 512;
+    }
+  };
+  // Mirror computation.
+  std::int64_t expected = 0;
+  for (std::int64_t row = 0; row < rows; ++row) {
+    std::array<std::int64_t, 8> x{};
+    for (int t = 0; t < 8; ++t) {
+      x[static_cast<std::size_t>(t)] = input_word(row * 8 + t) - 512;
+    }
+    const std::int64_t s0 = x[0] + x[7], s1 = x[1] + x[6];
+    const std::int64_t s2 = x[2] + x[5], s3 = x[3] + x[4];
+    const std::int64_t d0 = x[0] - x[7], d1 = x[1] - x[6];
+    const std::int64_t d2 = x[2] - x[5], d3 = x[3] - x[4];
+    const std::int64_t t0 = s0 + s3, t1 = s1 + s2;
+    const std::int64_t t2 = s0 - s3, t3 = s1 - s2;
+    const std::int64_t ys[8] = {t0 + t1,          d0 + (d1 >> 1),
+                                t2 + (t3 >> 1),   d1 - (d2 >> 1),
+                                t0 - t1,          d2 + (d3 >> 1),
+                                (t2 >> 1) - t3,   (d0 >> 1) - d3};
+    for (std::int64_t yv : ys) {
+      expected += yv;
+    }
+  }
+  k.expected_result = expected;
+  return k;
+}
+
+Kernel make_crc32(std::int64_t n) {
+  TADFA_ASSERT(n > 0);
+  Kernel k;
+  k.name = "crc32";
+  k.pressure = Kernel::Pressure::kLow;
+  k.default_args = {0, n};
+
+  ir::Function f("crc32");
+  IRBuilder b(f);
+  const Reg base = f.add_param();
+  const Reg count = f.add_param();
+
+  const auto entry = b.create_block("entry");
+  const auto head = b.create_block("head");
+  const auto body = b.create_block("body");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  const Reg crc = b.const_int(0xFFFFFFFFLL);
+  const Reg poly = b.const_int(0xEDB88320LL);
+  const Reg i = b.const_int(0);
+  b.jmp(head);
+
+  b.set_insert_point(head);
+  const Reg cond = b.cmp(Opcode::kCmpLt, B::r(i), B::r(count));
+  b.br(cond, body, exit);
+
+  b.set_insert_point(body);
+  const Reg addr = b.add(B::r(base), B::r(i));
+  const Reg w = b.load(B::r(addr));
+  const Reg wb = b.band(B::r(w), B::i(0xFF));
+  b.assign(Opcode::kXor, crc, B::r(crc), B::r(wb));
+  for (int bit = 0; bit < 8; ++bit) {
+    const Reg lsb = b.band(B::r(crc), B::i(1));
+    const Reg shifted = b.shr(B::r(crc), B::i(1));
+    const Reg mask = b.neg(B::r(lsb));
+    const Reg masked_poly = b.band(B::r(mask), B::r(poly));
+    b.assign(Opcode::kXor, crc, B::r(shifted), B::r(masked_poly));
+  }
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(head);
+
+  b.set_insert_point(exit);
+  const Reg out = b.bxor(B::r(crc), B::i(0xFFFFFFFFLL));
+  b.ret(B::r(out));
+
+  k.func = std::move(f);
+  k.init_memory = [n](std::vector<std::int64_t>& mem) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      mem[static_cast<std::size_t>(j)] = input_word(j);
+    }
+  };
+  // Mirror.
+  std::uint64_t crc_v = 0xFFFFFFFFULL;
+  for (std::int64_t j = 0; j < n; ++j) {
+    crc_v ^= static_cast<std::uint64_t>(input_word(j)) & 0xFFU;
+    for (int bit = 0; bit < 8; ++bit) {
+      const std::uint64_t lsb = crc_v & 1U;
+      const std::uint64_t shifted = crc_v >> 1;
+      const std::uint64_t mask = static_cast<std::uint64_t>(
+          -static_cast<std::int64_t>(lsb));
+      crc_v = shifted ^ (mask & 0xEDB88320ULL);
+    }
+  }
+  k.expected_result = static_cast<std::int64_t>(crc_v ^ 0xFFFFFFFFULL);
+  return k;
+}
+
+Kernel make_stencil3(std::int64_t n) {
+  TADFA_ASSERT(n >= 8);
+  Kernel k;
+  k.name = "stencil3";
+  k.pressure = Kernel::Pressure::kMedium;
+  k.default_args = {n};
+
+  ir::Function f("stencil3");
+  IRBuilder b(f);
+  const Reg count = f.add_param();
+
+  const auto entry = b.create_block("entry");
+  const auto h1 = b.create_block("pass1_head");
+  const auto b1 = b.create_block("pass1_body");
+  const auto h2 = b.create_block("pass2_head");
+  const auto b2 = b.create_block("pass2_body");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  const Reg tmp_base = b.mov(count);  // tmp array at [n, 2n)
+  const Reg limit = b.sub(B::r(count), B::i(1));
+  const Reg i = b.const_int(1);
+  const Reg sum = b.const_int(0);
+  b.jmp(h1);
+
+  b.set_insert_point(h1);
+  const Reg c1 = b.cmp(Opcode::kCmpLt, B::r(i), B::r(limit));
+  b.br(c1, b1, h2);
+
+  b.set_insert_point(b1);
+  const Reg am = b.sub(B::r(i), B::i(1));
+  const Reg left = b.load(B::r(am));
+  const Reg mid = b.load(B::r(i));
+  const Reg ap = b.add(B::r(i), B::i(1));
+  const Reg right = b.load(B::r(ap));
+  const Reg mid2 = b.shl(B::r(mid), B::i(1));
+  const Reg s1 = b.add(B::r(left), B::r(mid2));
+  const Reg s2 = b.add(B::r(s1), B::r(right));
+  const Reg v1 = b.shr(B::r(s2), B::i(2));
+  const Reg ta = b.add(B::r(tmp_base), B::r(i));
+  b.store(B::r(ta), B::r(v1));
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(h1);
+
+  b.set_insert_point(h2);
+  const Reg j = b.const_int(2);
+  const Reg limit2 = b.sub(B::r(count), B::i(2));
+  const auto h2_check = b.create_block("pass2_check");
+  b.jmp(h2_check);
+
+  b.set_insert_point(h2_check);
+  const Reg c2 = b.cmp(Opcode::kCmpLt, B::r(j), B::r(limit2));
+  b.br(c2, b2, exit);
+
+  b.set_insert_point(b2);
+  const Reg tm = b.add(B::r(tmp_base), B::r(j));
+  const Reg tl_addr = b.sub(B::r(tm), B::i(1));
+  const Reg tl = b.load(B::r(tl_addr));
+  const Reg tc = b.load(B::r(tm));
+  const Reg tr_addr = b.add(B::r(tm), B::i(1));
+  const Reg tr = b.load(B::r(tr_addr));
+  const Reg tc2 = b.shl(B::r(tc), B::i(1));
+  const Reg u1 = b.add(B::r(tl), B::r(tc2));
+  const Reg u2 = b.add(B::r(u1), B::r(tr));
+  const Reg v2 = b.shr(B::r(u2), B::i(2));
+  b.assign(Opcode::kAdd, sum, B::r(sum), B::r(v2));
+  b.assign(Opcode::kAdd, j, B::r(j), B::i(1));
+  b.jmp(h2_check);
+
+  b.set_insert_point(exit);
+  b.ret(B::r(sum));
+
+  k.func = std::move(f);
+  k.init_memory = [n](std::vector<std::int64_t>& mem) {
+    for (std::int64_t idx = 0; idx < n; ++idx) {
+      mem[static_cast<std::size_t>(idx)] = input_word(idx);
+    }
+  };
+  // Mirror: pass 1 writes tmp[1..n-2]; pass 2 sums over j in [2, n-2).
+  std::vector<std::int64_t> tmp(static_cast<std::size_t>(n), 0);
+  for (std::int64_t idx = 1; idx < n - 1; ++idx) {
+    tmp[static_cast<std::size_t>(idx)] =
+        (input_word(idx - 1) + 2 * input_word(idx) + input_word(idx + 1)) >> 2;
+  }
+  std::int64_t expected = 0;
+  for (std::int64_t idx = 2; idx < n - 2; ++idx) {
+    const std::int64_t v = (tmp[static_cast<std::size_t>(idx - 1)] +
+                            2 * tmp[static_cast<std::size_t>(idx)] +
+                            tmp[static_cast<std::size_t>(idx + 1)]) >>
+                           2;
+    expected += v;
+  }
+  k.expected_result = expected;
+  return k;
+}
+
+Kernel make_poly7(std::int64_t n) {
+  TADFA_ASSERT(n > 0);
+  Kernel k;
+  k.name = "poly7";
+  k.pressure = Kernel::Pressure::kMedium;
+  k.default_args = {0, n};
+
+  ir::Function f("poly7");
+  IRBuilder b(f);
+  const Reg base = f.add_param();
+  const Reg count = f.add_param();
+
+  const auto entry = b.create_block("entry");
+  const auto head = b.create_block("head");
+  const auto body = b.create_block("body");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  std::array<Reg, 8> c{};
+  for (int j = 0; j < 8; ++j) {
+    c[static_cast<std::size_t>(j)] = b.const_int(j * 3 + 1);
+  }
+  const Reg sum = b.const_int(0);
+  const Reg i = b.const_int(0);
+  b.jmp(head);
+
+  b.set_insert_point(head);
+  const Reg cond = b.cmp(Opcode::kCmpLt, B::r(i), B::r(count));
+  b.br(cond, body, exit);
+
+  b.set_insert_point(body);
+  const Reg addr = b.add(B::r(base), B::r(i));
+  const Reg x = b.load(B::r(addr));
+  const Reg y = b.mov(c[7]);
+  for (int j = 6; j >= 0; --j) {
+    b.assign(Opcode::kMul, y, B::r(y), B::r(x));
+    b.assign(Opcode::kAdd, y, B::r(y), B::r(c[static_cast<std::size_t>(j)]));
+  }
+  b.assign(Opcode::kAdd, sum, B::r(sum), B::r(y));
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(head);
+
+  b.set_insert_point(exit);
+  b.ret(B::r(sum));
+
+  k.func = std::move(f);
+  k.init_memory = [n](std::vector<std::int64_t>& mem) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      mem[static_cast<std::size_t>(j)] = input_word(j) & 15;
+    }
+  };
+  std::uint64_t expected = 0;
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::uint64_t x = static_cast<std::uint64_t>(input_word(j) & 15);
+    std::uint64_t y = 7 * 3 + 1;
+    for (int t = 6; t >= 0; --t) {
+      y = y * x + static_cast<std::uint64_t>(t * 3 + 1);
+    }
+    expected += y;
+  }
+  k.expected_result = static_cast<std::int64_t>(expected);
+  return k;
+}
+
+Kernel make_accumulators(std::int64_t n, int kAcc) {
+  TADFA_ASSERT(n > 0 && kAcc >= 2 && kAcc <= 48);
+  Kernel k;
+  k.name = "accumulators";
+  k.pressure = Kernel::Pressure::kHigh;
+  k.default_args = {n};
+
+  ir::Function f("accumulators");
+  IRBuilder b(f);
+  const Reg count = f.add_param();
+
+  const auto entry = b.create_block("entry");
+  const auto head = b.create_block("head");
+  const auto body = b.create_block("body");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  std::vector<Reg> acc(static_cast<std::size_t>(kAcc));
+  for (int j = 0; j < kAcc; ++j) {
+    acc[static_cast<std::size_t>(j)] = b.const_int(j);
+  }
+  const Reg i = b.const_int(0);
+  b.jmp(head);
+
+  b.set_insert_point(head);
+  const Reg cond = b.cmp(Opcode::kCmpLt, B::r(i), B::r(count));
+  b.br(cond, body, exit);
+
+  b.set_insert_point(body);
+  for (int j = 0; j < kAcc; ++j) {
+    const Reg a = acc[static_cast<std::size_t>(j)];
+    if (j % 3 == 0) {
+      b.assign(Opcode::kAdd, a, B::r(a), B::r(i));
+    } else if (j % 3 == 1) {
+      b.assign(Opcode::kXor, a, B::r(a), B::r(i));
+    } else {
+      b.assign(Opcode::kAdd, a, B::r(a),
+               B::r(acc[static_cast<std::size_t>(j - 1)]));
+    }
+  }
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(head);
+
+  b.set_insert_point(exit);
+  const Reg total = b.const_int(0);
+  for (int j = 0; j < kAcc; ++j) {
+    b.assign(Opcode::kAdd, total, B::r(total),
+             B::r(acc[static_cast<std::size_t>(j)]));
+  }
+  b.ret(B::r(total));
+
+  k.func = std::move(f);
+  k.init_memory = [](std::vector<std::int64_t>&) {};
+  // Mirror.
+  std::vector<std::uint64_t> av(static_cast<std::size_t>(kAcc));
+  for (int j = 0; j < kAcc; ++j) {
+    av[static_cast<std::size_t>(j)] = static_cast<std::uint64_t>(j);
+  }
+  for (std::int64_t step = 0; step < n; ++step) {
+    for (int j = 0; j < kAcc; ++j) {
+      auto& a = av[static_cast<std::size_t>(j)];
+      if (j % 3 == 0) {
+        a += static_cast<std::uint64_t>(step);
+      } else if (j % 3 == 1) {
+        a ^= static_cast<std::uint64_t>(step);
+      } else {
+        a += av[static_cast<std::size_t>(j - 1)];
+      }
+    }
+  }
+  std::uint64_t grand = 0;
+  for (std::uint64_t a : av) {
+    grand += a;
+  }
+  k.expected_result = static_cast<std::int64_t>(grand);
+  return k;
+}
+
+Kernel make_hot_cold(std::int64_t n, int hot, int cold) {
+  TADFA_ASSERT(n > 0 && hot >= 2 && hot <= 8 && cold >= 0 && cold <= 56);
+  Kernel k;
+  k.name = "hot_cold";
+  k.pressure =
+      cold >= 24 ? Kernel::Pressure::kHigh : Kernel::Pressure::kMedium;
+  k.default_args = {n};
+
+  ir::Function f("hot_cold");
+  IRBuilder b(f);
+  const Reg count = f.add_param();
+
+  const auto entry = b.create_block("entry");
+  const auto head = b.create_block("head");
+  const auto body = b.create_block("body");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  std::vector<Reg> hot_regs(static_cast<std::size_t>(hot));
+  for (int j = 0; j < hot; ++j) {
+    hot_regs[static_cast<std::size_t>(j)] = b.const_int(j + 1);
+  }
+  std::vector<Reg> cold_regs(static_cast<std::size_t>(cold));
+  for (int j = 0; j < cold; ++j) {
+    cold_regs[static_cast<std::size_t>(j)] = b.const_int(100 + j);
+  }
+  const Reg i = b.const_int(0);
+  b.jmp(head);
+
+  b.set_insert_point(head);
+  const Reg cond = b.cmp(Opcode::kCmpLt, B::r(i), B::r(count));
+  b.br(cond, body, exit);
+
+  b.set_insert_point(body);
+  // Hot chain: 8 unrolled updates cycling over the hot registers.
+  for (int u = 0; u < 8; ++u) {
+    const Reg dst = hot_regs[static_cast<std::size_t>(u % hot)];
+    const Reg src = hot_regs[static_cast<std::size_t>((u + 1) % hot)];
+    if (u % 2 == 0) {
+      b.assign(Opcode::kAdd, dst, B::r(dst), B::r(src));
+    } else {
+      b.assign(Opcode::kXor, dst, B::r(dst), B::r(src));
+    }
+  }
+  // Cold values: one cheap touch each, keeping them live throughout.
+  for (int j = 0; j < cold; ++j) {
+    const Reg c = cold_regs[static_cast<std::size_t>(j)];
+    b.assign(Opcode::kAdd, c, B::r(c), B::i(1));
+  }
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(head);
+
+  b.set_insert_point(exit);
+  const Reg total = b.const_int(0);
+  for (int j = 0; j < hot; ++j) {
+    b.assign(Opcode::kAdd, total, B::r(total),
+             B::r(hot_regs[static_cast<std::size_t>(j)]));
+  }
+  for (int j = 0; j < cold; ++j) {
+    b.assign(Opcode::kAdd, total, B::r(total),
+             B::r(cold_regs[static_cast<std::size_t>(j)]));
+  }
+  b.ret(B::r(total));
+
+  k.func = std::move(f);
+  k.init_memory = [](std::vector<std::int64_t>&) {};
+  // Mirror.
+  std::vector<std::uint64_t> hv(static_cast<std::size_t>(hot));
+  for (int j = 0; j < hot; ++j) {
+    hv[static_cast<std::size_t>(j)] = static_cast<std::uint64_t>(j + 1);
+  }
+  std::vector<std::uint64_t> cv(static_cast<std::size_t>(cold));
+  for (int j = 0; j < cold; ++j) {
+    cv[static_cast<std::size_t>(j)] = static_cast<std::uint64_t>(100 + j);
+  }
+  for (std::int64_t step = 0; step < n; ++step) {
+    for (int u = 0; u < 8; ++u) {
+      auto& dst = hv[static_cast<std::size_t>(u % hot)];
+      const auto src = hv[static_cast<std::size_t>((u + 1) % hot)];
+      if (u % 2 == 0) {
+        dst += src;
+      } else {
+        dst ^= src;
+      }
+    }
+    for (auto& c : cv) {
+      c += 1;
+    }
+  }
+  std::uint64_t grand = 0;
+  for (auto v : hv) {
+    grand += v;
+  }
+  for (auto v : cv) {
+    grand += v;
+  }
+  k.expected_result = static_cast<std::int64_t>(grand);
+  return k;
+}
+
+Kernel make_counter(std::int64_t n) {
+  TADFA_ASSERT(n > 0);
+  Kernel k;
+  k.name = "counter";
+  k.pressure = Kernel::Pressure::kLow;
+  k.default_args = {n};
+
+  ir::Function f("counter");
+  IRBuilder b(f);
+  const Reg count = f.add_param();
+
+  const auto entry = b.create_block("entry");
+  const auto head = b.create_block("head");
+  const auto body = b.create_block("body");
+  const auto exit = b.create_block("exit");
+
+  b.set_insert_point(entry);
+  const Reg i = b.const_int(0);
+  b.jmp(head);
+
+  b.set_insert_point(head);
+  const Reg cond = b.cmp(Opcode::kCmpLt, B::r(i), B::r(count));
+  b.br(cond, body, exit);
+
+  b.set_insert_point(body);
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(head);
+
+  b.set_insert_point(exit);
+  b.ret(B::r(i));
+
+  k.func = std::move(f);
+  k.init_memory = [](std::vector<std::int64_t>&) {};
+  k.expected_result = n;
+  return k;
+}
+
+std::vector<Kernel> standard_suite() {
+  std::vector<Kernel> out;
+  out.push_back(make_vecsum());
+  out.push_back(make_fir());
+  out.push_back(make_matmul());
+  out.push_back(make_idct8());
+  out.push_back(make_crc32());
+  out.push_back(make_stencil3());
+  out.push_back(make_poly7());
+  out.push_back(make_accumulators());
+  out.push_back(make_hot_cold());
+  out.push_back(make_counter());
+  return out;
+}
+
+std::optional<Kernel> make_kernel(const std::string& name) {
+  for (Kernel& k : standard_suite()) {
+    if (k.name == name) {
+      return std::move(k);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tadfa::workload

@@ -1,0 +1,77 @@
+// Benchmark kernels, hand-built in IR.
+//
+// These play the role of the embedded/multimedia loops the thermal-RF
+// literature evaluates on (FIR, DCT, CRC, stencils...). Each kernel comes
+// with default arguments, a memory initializer, and an expected result so
+// tests can verify that thermal transformations preserve semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace tadfa::workload {
+
+struct Kernel {
+  std::string name;
+  ir::Function func;
+  std::vector<std::int64_t> default_args;
+  /// Fills interpreter memory before running (arrays, tables).
+  std::function<void(std::vector<std::int64_t>&)> init_memory;
+  /// Expected return value under default args (checked by tests).
+  std::optional<std::int64_t> expected_result;
+  /// Qualitative register pressure class, for experiment grouping.
+  enum class Pressure { kLow, kMedium, kHigh } pressure = Pressure::kMedium;
+
+  Kernel() : func("") {}
+};
+
+/// Sum of the n words at [base, base+n). Low pressure.
+Kernel make_vecsum(std::int64_t n = 256);
+
+/// FIR filter: out[i] = Σ_t coeff[t]·in[i+t], taps unrolled in registers.
+/// Medium pressure (taps + accumulator live across the loop).
+Kernel make_fir(std::int64_t n = 128, int taps = 8);
+
+/// Dense n×n · n×n integer matrix multiply. Medium pressure.
+Kernel make_matmul(std::int64_t n = 12);
+
+/// 8-point butterfly transform (IDCT-like) applied to n rows of 8; the
+/// whole row lives in registers. High pressure.
+Kernel make_idct8(std::int64_t rows = 64);
+
+/// Bitwise CRC-32 over n words (no lookup table). Low/medium pressure,
+/// very hot few registers — the classic first-fit worst case.
+Kernel make_crc32(std::int64_t n = 64);
+
+/// 1-D 3-point stencil, two passes. Medium pressure.
+Kernel make_stencil3(std::int64_t n = 128);
+
+/// Degree-7 polynomial (Horner) evaluated over n inputs with coefficients
+/// in registers. Medium-high pressure.
+Kernel make_poly7(std::int64_t n = 128);
+
+/// K parallel accumulators updated round-robin over n steps — a register
+/// pressure dial: K live values throughout. K defaults to 24 (high).
+Kernel make_accumulators(std::int64_t n = 256, int k = 24);
+
+/// Skewed-access kernel: `hot` registers are hammered every iteration
+/// (unrolled x8) while `cold` long-lived values are touched once per
+/// iteration. `cold` dials register pressure without flattening the power
+/// profile — the workload for the Fig. 1 pressure-caveat sweep.
+Kernel make_hot_cold(std::int64_t n = 192, int hot = 4, int cold = 8);
+
+/// Tiny counter loop; the minimal thermal workload.
+Kernel make_counter(std::int64_t n = 1024);
+
+/// All kernels above with default parameters.
+std::vector<Kernel> standard_suite();
+
+/// Kernel by name (as in Kernel::name); nullopt when unknown.
+std::optional<Kernel> make_kernel(const std::string& name);
+
+}  // namespace tadfa::workload

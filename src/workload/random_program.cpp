@@ -1,0 +1,206 @@
+#include "workload/random_program.hpp"
+
+#include <algorithm>
+
+#include "ir/builder.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace tadfa::workload {
+namespace {
+
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Reg;
+using B = IRBuilder;
+
+class Generator {
+ public:
+  explicit Generator(const RandomProgramConfig& config)
+      : config_(config), rng_(config.seed), func_("random") {}
+
+  ir::Function build() {
+    IRBuilder b(func_);
+    const Reg seed_param = func_.add_param();
+    const auto entry = b.create_block("entry");
+    b.set_insert_point(entry);
+
+    // Initialize the value pool from the parameter so results depend on
+    // input data (and branches can be data-dependent).
+    pool_.clear();
+    for (int i = 0; i < config_.value_pool; ++i) {
+      const Reg v = b.fresh();
+      if (i == 0) {
+        b.assign(Opcode::kAdd, v, B::r(seed_param), B::i(i + 1));
+      } else {
+        b.assign(Opcode::kXor, v, B::r(pool_.back()),
+                 B::i((i * 2654435761LL) & 0xFFFF));
+      }
+      pool_.push_back(v);
+    }
+
+    emitted_ = 0;
+    emit_segments(b, /*depth=*/0);
+
+    // Checksum the pool and return.
+    const Reg sum = b.fresh();
+    b.assign_const(sum, 0);
+    for (Reg v : pool_) {
+      b.assign(Opcode::kAdd, sum, B::r(sum), B::r(v));
+    }
+    b.ret(B::r(sum));
+    return std::move(func_);
+  }
+
+ private:
+  /// Picks a pool slot; irregular programs concentrate on a hot subset.
+  std::size_t pick_slot() {
+    if (rng_.chance(config_.irregularity * 0.7)) {
+      // Hot subset: the first few values soak up most accesses.
+      const std::size_t hot = std::max<std::size_t>(2, pool_.size() / 4);
+      return rng_.index(hot);
+    }
+    return rng_.index(pool_.size());
+  }
+
+  Opcode pick_alu() {
+    // Safe ops only (no div/rem — data-dependent zero divisors).
+    static constexpr Opcode kOps[] = {
+        Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kAnd,
+        Opcode::kOr,  Opcode::kXor, Opcode::kMin, Opcode::kMax};
+    return kOps[rng_.index(std::size(kOps))];
+  }
+
+  void emit_straight_line(IRBuilder& b, int count) {
+    for (int i = 0; i < count; ++i) {
+      const std::size_t dst = pick_slot();
+      const std::size_t lhs = pick_slot();
+      const std::size_t rhs = pick_slot();
+      const int kind = static_cast<int>(rng_.below(10));
+      if (kind < 7) {
+        b.assign(pick_alu(), pool_[dst], B::r(pool_[lhs]), B::r(pool_[rhs]));
+      } else if (kind < 8) {
+        // Bounded scratch load: addr = value & 4095.
+        const Reg addr = b.band(B::r(pool_[lhs]), B::i(4095));
+        b.assign_load(pool_[dst], B::r(addr));
+        ++emitted_;
+      } else if (kind < 9) {
+        const Reg addr = b.band(B::r(pool_[lhs]), B::i(4095));
+        b.store(B::r(addr), B::r(pool_[rhs]));
+        ++emitted_;
+      } else {
+        b.assign(Opcode::kShl, pool_[dst], B::r(pool_[lhs]),
+                 B::i(static_cast<std::int64_t>(rng_.below(4))));
+      }
+      ++emitted_;
+    }
+  }
+
+  void emit_segments(IRBuilder& b, int depth) {
+    while (emitted_ < config_.target_instructions) {
+      const double roll = rng_.uniform();
+      if (roll < config_.loop_probability && depth < config_.max_loop_depth) {
+        emit_loop(b, depth);
+      } else if (roll <
+                 config_.loop_probability + config_.branch_probability) {
+        emit_diamond(b, depth);
+      } else {
+        emit_straight_line(
+            b, 2 + static_cast<int>(rng_.below(6)));
+      }
+    }
+  }
+
+  void emit_loop(IRBuilder& b, int depth) {
+    const auto head = b.create_block();
+    const auto body = b.create_block();
+    const auto tail = b.create_block();
+
+    const std::int64_t trips =
+        rng_.range(config_.min_trip, config_.max_trip);
+    const Reg counter = b.fresh();
+    b.assign_const(counter, 0);
+    b.jmp(head);
+    ++emitted_;
+
+    b.set_insert_point(head);
+    const Reg cond = b.cmp(Opcode::kCmpLt, B::r(counter), B::i(trips));
+    b.br(cond, body, tail);
+    emitted_ += 2;
+
+    b.set_insert_point(body);
+    const int body_size = 3 + static_cast<int>(rng_.below(5));
+    emit_straight_line(b, body_size);
+    // Nested structure inside loops, occasionally.
+    if (depth + 1 < config_.max_loop_depth && rng_.chance(0.35)) {
+      emit_loop(b, depth + 1);
+    } else if (rng_.chance(config_.branch_probability)) {
+      emit_diamond(b, depth);
+    }
+    b.assign(Opcode::kAdd, counter, B::r(counter), B::i(1));
+    b.jmp(head);
+    emitted_ += 2;
+
+    b.set_insert_point(tail);
+  }
+
+  void emit_diamond(IRBuilder& b, int depth) {
+    const auto then_block = b.create_block();
+    const auto else_block = b.create_block();
+    const auto join = b.create_block();
+
+    Reg cond;
+    if (rng_.chance(std::max(config_.irregularity, 0.05))) {
+      // Data-dependent condition — the irregularity source.
+      const std::size_t s = pick_slot();
+      cond = b.cmp(Opcode::kCmpLt,
+                   B::r(b.band(B::r(pool_[s]), B::i(7))), B::i(4));
+    } else {
+      // Statically biased condition (always-true): a regular program.
+      cond = b.cmp(Opcode::kCmpEq, B::i(0), B::i(0));
+    }
+    b.br(cond, then_block, else_block);
+    emitted_ += 2;
+
+    const int base_size = 2 + static_cast<int>(rng_.below(4));
+    // Irregular programs get strongly unbalanced arms.
+    const int then_size =
+        base_size +
+        static_cast<int>(config_.irregularity * rng_.below(8));
+    const int else_size = std::max(1, base_size / 2);
+
+    b.set_insert_point(then_block);
+    emit_straight_line(b, then_size);
+    if (depth < config_.max_loop_depth && rng_.chance(0.2)) {
+      emit_loop(b, depth);
+    }
+    b.jmp(join);
+    ++emitted_;
+
+    b.set_insert_point(else_block);
+    emit_straight_line(b, else_size);
+    b.jmp(join);
+    ++emitted_;
+
+    b.set_insert_point(join);
+  }
+
+  RandomProgramConfig config_;
+  Rng rng_;
+  ir::Function func_;
+  std::vector<Reg> pool_;
+  int emitted_ = 0;
+};
+
+}  // namespace
+
+ir::Function random_program(const RandomProgramConfig& config) {
+  TADFA_ASSERT(config.value_pool >= 3);
+  TADFA_ASSERT(config.target_instructions >= 10);
+  TADFA_ASSERT(config.min_trip >= 1 && config.max_trip >= config.min_trip);
+  Generator generator(config);
+  ir::Function func = generator.build();
+  return func;
+}
+
+}  // namespace tadfa::workload

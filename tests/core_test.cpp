@@ -1,0 +1,436 @@
+// Tests for src/core — the thermal data flow analysis itself: convergence
+// behavior (Fig. 2), δ monotonicity, determinism, frequency/profile modes,
+// pre-RA predictive models, accuracy against the trace-driven ground
+// truth, and critical-variable ranking.
+#include <gtest/gtest.h>
+
+#include "core/access_model.hpp"
+#include "ir/builder.hpp"
+#include "core/critical.hpp"
+#include "core/thermal_dfa.hpp"
+#include "dataflow/liveness.hpp"
+#include "regalloc/linear_scan.hpp"
+#include "regalloc/policy.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/thermal_replay.hpp"
+#include "support/statistics.hpp"
+#include "workload/kernels.hpp"
+#include "workload/random_program.hpp"
+
+namespace tadfa::core {
+namespace {
+
+struct Rig {
+  machine::Floorplan fp{machine::RegisterFileConfig::default_config()};
+  thermal::ThermalGrid grid{fp};
+  power::PowerModel power{fp.config()};
+  machine::TimingModel timing;
+};
+
+regalloc::AllocationResult allocate(const Rig& s, const ir::Function& f,
+                                    const std::string& policy = "first_free") {
+  auto p = regalloc::make_policy(policy);
+  regalloc::LinearScanAllocator alloc(s.fp, *p);
+  return alloc.allocate(f);
+}
+
+// ------------------------------------------------------------ convergence ----
+
+TEST(ThermalDfa, ConvergesOnKernels) {
+  Rig s;
+  const ThermalDfa dfa(s.grid, s.power, s.timing);
+  for (const auto& name : {"vecsum", "crc32", "fir", "counter"}) {
+    auto k = workload::make_kernel(name);
+    ASSERT_TRUE(k.has_value());
+    const auto alloc = allocate(s, k->func);
+    const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+    EXPECT_TRUE(result.converged) << name;
+    EXPECT_GE(result.iterations, 2) << name;  // at least one re-check pass
+    EXPECT_LE(result.final_delta_k, dfa.config().delta_k) << name;
+  }
+}
+
+TEST(ThermalDfa, IsDeterministic) {
+  Rig s;
+  const ThermalDfa dfa(s.grid, s.power, s.timing);
+  auto k = workload::make_crc32(32);
+  const auto alloc = allocate(s, k.func);
+  const auto a = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  const auto b = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.exit_reg_temps_k, b.exit_reg_temps_k);
+}
+
+TEST(ThermalDfa, TighterDeltaNeedsMoreIterations) {
+  Rig s;
+  auto k = workload::make_fir();
+  const auto alloc = allocate(s, k.func);
+
+  int prev_iterations = 0;
+  for (double delta : {1.0, 0.1, 0.001}) {
+    ThermalDfaConfig cfg;
+    cfg.delta_k = delta;
+    cfg.max_iterations = 500;
+    const ThermalDfa dfa(s.grid, s.power, s.timing, cfg);
+    const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+    EXPECT_GE(result.iterations, prev_iterations) << "delta=" << delta;
+    prev_iterations = result.iterations;
+  }
+}
+
+TEST(ThermalDfa, IterationCapFlagsNonConvergence) {
+  Rig s;
+  ThermalDfaConfig cfg;
+  cfg.delta_k = 1e-12;  // unreachably tight
+  cfg.max_iterations = 2;
+  const ThermalDfa dfa(s.grid, s.power, s.timing, cfg);
+  auto k = workload::make_fir();
+  const auto alloc = allocate(s, k.func);
+  const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 2);
+  EXPECT_GT(result.final_delta_k, cfg.delta_k);
+}
+
+TEST(ThermalDfa, DeltaHistoryDecaysForRegularPrograms) {
+  Rig s;
+  ThermalDfaConfig cfg;
+  cfg.delta_k = 1e-4;
+  cfg.max_iterations = 300;
+  const ThermalDfa dfa(s.grid, s.power, s.timing, cfg);
+  auto k = workload::make_vecsum();
+  const auto alloc = allocate(s, k.func);
+  const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  ASSERT_GE(result.delta_history_k.size(), 3u);
+  // Late deltas are much smaller than early ones.
+  EXPECT_LT(result.delta_history_k.back(),
+            result.delta_history_k.front() * 0.5 + 1e-12);
+}
+
+// ------------------------------------------------------------ output shape ----
+
+TEST(ThermalDfa, PerInstructionStatesCoverFunction) {
+  Rig s;
+  const ThermalDfa dfa(s.grid, s.power, s.timing);
+  auto k = workload::make_counter(64);
+  const auto alloc = allocate(s, k.func);
+  const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  EXPECT_EQ(result.per_instruction.size(), alloc.func.instruction_count());
+  for (const InstructionThermal& it : result.per_instruction) {
+    EXPECT_EQ(it.reg_temps_k.size(), s.fp.num_registers());
+    EXPECT_GE(it.peak_k, s.grid.substrate_temp() - 1e-9);
+  }
+  EXPECT_GE(result.peak_anywhere_k, result.exit_stats.peak_k - 1e-9);
+}
+
+TEST(ThermalDfa, HotLoopRegistersArePredictedHot) {
+  Rig s;
+  const ThermalDfa dfa(s.grid, s.power, s.timing);
+  auto k = workload::make_crc32(32);
+  const auto alloc = allocate(s, k.func);
+  const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  // crc32 under first-free hammers a handful of low registers; the hottest
+  // predicted cell must be one of them.
+  const auto hottest = static_cast<machine::PhysReg>(
+      stats::top_k_indices(result.exit_reg_temps_k, 1)[0]);
+  EXPECT_LT(hottest, 12u);
+  EXPECT_GT(result.exit_stats.peak_k, s.grid.substrate_temp() + 0.01);
+}
+
+TEST(ThermalDfa, AnalysisTimeRecorded) {
+  Rig s;
+  const ThermalDfa dfa(s.grid, s.power, s.timing);
+  auto k = workload::make_vecsum(32);
+  const auto alloc = allocate(s, k.func);
+  const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  EXPECT_GT(result.analysis_seconds, 0.0);
+}
+
+// -------------------------------------------------------- frequency modes ----
+
+TEST(ThermalDfa, ProfileModeUsesMeasuredCounts) {
+  Rig s;
+  auto k = workload::make_counter(2048);
+  const auto alloc = allocate(s, k.func);
+
+  // Static estimate assumes ~10 trips; profile says 2048.
+  const ThermalDfa static_dfa(s.grid, s.power, s.timing);
+  const auto static_result =
+      static_dfa.analyze_post_ra(alloc.func, alloc.assignment);
+
+  sim::Interpreter interp(alloc.func, s.timing);
+  const auto run = interp.run(k.default_args);
+  ASSERT_TRUE(run.ok());
+  std::vector<double> profile(run.block_visits.begin(),
+                              run.block_visits.end());
+  ThermalDfa profiled_dfa(s.grid, s.power, s.timing);
+  profiled_dfa.set_block_profile(profile);
+  const auto profiled_result =
+      profiled_dfa.analyze_post_ra(alloc.func, alloc.assignment);
+
+  // The profiled run knows the loop dominates: its predicted peak must be
+  // at least the static one (longer time at loop power).
+  EXPECT_GE(profiled_result.exit_stats.peak_k + 1e-9,
+            static_result.exit_stats.peak_k);
+}
+
+// ----------------------------------------------------------- access models ----
+
+TEST(AccessModels, ExactModelIsDelta) {
+  Rig s;
+  auto k = workload::make_vecsum(16);
+  const auto alloc = allocate(s, k.func);
+  const ExactAssignmentModel model(alloc.func, s.fp, alloc.assignment);
+  for (ir::Reg v = 0; v < alloc.func.reg_count(); ++v) {
+    if (!alloc.assignment.assigned(v)) {
+      continue;
+    }
+    const auto& dist = model.distribution(v);
+    double sum = 0;
+    for (double p : dist) {
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(dist[alloc.assignment.phys(v)], 1.0);
+  }
+}
+
+TEST(AccessModels, FirstFitConcentratesOnWindow) {
+  Rig s;
+  auto k = workload::make_vecsum(16);
+  const FirstFitPredictionModel model(k.func, s.fp, 6);
+  const auto& dist = model.distribution(0);
+  double low = 0;
+  double high = 0;
+  for (std::size_t r = 0; r < dist.size(); ++r) {
+    (r < 6 ? low : high) += dist[r];
+  }
+  EXPECT_NEAR(low, 1.0, 1e-12);
+  EXPECT_NEAR(high, 0.0, 1e-12);
+}
+
+TEST(AccessModels, UniformSpreadsEverywhere) {
+  Rig s;
+  auto k = workload::make_vecsum(16);
+  const UniformPredictionModel model(k.func, s.fp);
+  const auto& dist = model.distribution(0);
+  for (double p : dist) {
+    EXPECT_NEAR(p, 1.0 / 64.0, 1e-12);
+  }
+}
+
+TEST(AccessModels, PreRaPredictsFirstFitShape) {
+  // The paper's ambition: predict BEFORE assignment. The first-fit
+  // prediction model should correlate with the post-RA truth for a
+  // first-free allocation far better than the uniform model does.
+  Rig s;
+  auto k = workload::make_crc32(32);
+  const auto alloc = allocate(s, k.func, "first_free");
+
+  const dataflow::Cfg cfg(alloc.func);
+  const dataflow::Liveness lv(cfg);
+  const FirstFitPredictionModel ff(alloc.func, s.fp, lv.max_pressure());
+  const UniformPredictionModel uni(alloc.func, s.fp);
+
+  const ThermalDfa dfa(s.grid, s.power, s.timing);
+  const auto exact = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  const auto pred_ff = dfa.analyze(alloc.func, ff);
+  const auto pred_uni = dfa.analyze(alloc.func, uni);
+
+  const double err_ff =
+      stats::rmse(exact.exit_reg_temps_k, pred_ff.exit_reg_temps_k);
+  const double err_uni =
+      stats::rmse(exact.exit_reg_temps_k, pred_uni.exit_reg_temps_k);
+  EXPECT_LT(err_ff, err_uni);
+}
+
+// ----------------------------------------------------- accuracy vs replay ----
+
+TEST(Accuracy, DfaTracksTraceDrivenGroundTruth) {
+  // Central claim: the compile-time analysis approximates what the
+  // trace-driven (feedback) pipeline measures. Check rank agreement on a
+  // loop kernel with profiled frequencies.
+  Rig s;
+  auto k = workload::make_crc32(64);
+  const auto alloc = allocate(s, k.func);
+
+  sim::Interpreter interp(alloc.func, s.timing);
+  if (k.init_memory) {
+    k.init_memory(interp.memory());
+  }
+  power::AccessTrace trace(s.fp.num_registers());
+  const auto run = interp.run_traced(k.default_args, alloc.assignment, trace);
+  ASSERT_TRUE(run.ok());
+
+  const sim::ThermalReplay replay(s.grid, s.power);
+  sim::ReplayConfig rcfg;
+  rcfg.max_repeats = 50;
+  const auto truth = replay.replay(trace, rcfg);
+
+  ThermalDfa dfa(s.grid, s.power, s.timing);
+  std::vector<double> profile(run.block_visits.begin(),
+                              run.block_visits.end());
+  dfa.set_block_profile(profile);
+  const auto predicted = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+
+  // Rank correlation between predicted and measured register temps.
+  const double corr = stats::pearson(predicted.exit_reg_temps_k,
+                                     truth.final_reg_temps);
+  EXPECT_GT(corr, 0.8);
+
+  // Hotspot overlap: the top-4 predicted hot registers substantially
+  // overlap the measured top-4.
+  const auto pred_hot = stats::top_k_indices(predicted.exit_reg_temps_k, 4);
+  const auto true_hot = stats::top_k_indices(truth.final_reg_temps, 4);
+  EXPECT_GE(stats::jaccard(pred_hot, true_hot), 0.3);
+}
+
+// ------------------------------------------------------- critical variables ----
+
+TEST(Critical, LoopVariablesRankHighest) {
+  Rig s;
+  auto k = workload::make_crc32(32);
+  const auto alloc = allocate(s, k.func);
+  const ThermalDfa dfa(s.grid, s.power, s.timing);
+  const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  const ExactAssignmentModel model(alloc.func, s.fp, alloc.assignment);
+  const auto ranking = rank_critical_variables(alloc.func, model, result,
+                                               s.grid, s.timing);
+  ASSERT_FALSE(ranking.empty());
+  // Scores are sorted descending.
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].score, ranking[i].score);
+  }
+  // The top variable is accessed inside the loop (weighted accesses beyond
+  // its static count).
+  EXPECT_GT(ranking.front().weighted_accesses, 8.0);
+  EXPECT_GT(ranking.front().energy_rate_w, 0.0);
+}
+
+TEST(Critical, UnusedRegistersExcluded) {
+  Rig s;
+  ir::Function f("u");
+  f.ensure_regs(10);  // registers 1..9 never appear
+  const auto blk = f.add_block();
+  f.block(blk).append(ir::Instruction(ir::Opcode::kConst, 0,
+                                      {ir::Operand::imm(1)}));
+  f.block(blk).append(ir::Instruction(ir::Opcode::kRet, ir::kInvalidReg,
+                                      {ir::Operand::reg(0)}));
+  const auto alloc = allocate(s, f);
+  const ThermalDfa dfa(s.grid, s.power, s.timing);
+  const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  const ExactAssignmentModel model(alloc.func, s.fp, alloc.assignment);
+  const auto ranking = rank_critical_variables(alloc.func, model, result,
+                                               s.grid, s.timing);
+  EXPECT_EQ(ranking.size(), 1u);
+  EXPECT_EQ(ranking[0].vreg, 0u);
+}
+
+TEST(Critical, HotProgramPointsAboveSigma) {
+  Rig s;
+  auto k = workload::make_crc32(32);
+  const auto alloc = allocate(s, k.func);
+  const ThermalDfa dfa(s.grid, s.power, s.timing);
+  const auto result = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  // Most in-loop peaks cluster tightly at the top, so discriminate at the
+  // mean: loop instructions sit above it, prologue/epilogue below.
+  const auto hot = hot_program_points(result, 0.0);
+  EXPECT_FALSE(hot.empty());
+  EXPECT_LT(hot.size(), result.per_instruction.size());
+  for (const auto& hp : hot) {
+    EXPECT_NE(hp.ref.block, 0u);  // never the entry block
+  }
+}
+
+// ---------------------------------------------------- granularity (Sec. 3) ----
+
+TEST(Granularity, FinerGridsCostMore) {
+  Rig s;
+  auto k = workload::make_fir(64, 8);
+  const auto alloc = allocate(s, k.func);
+
+  const thermal::ThermalGrid coarse(s.fp, 1);
+  const thermal::ThermalGrid fine(s.fp, 3);
+  const ThermalDfa dfa_coarse(coarse, s.power, s.timing);
+  const ThermalDfa dfa_fine(fine, s.power, s.timing);
+  const auto rc = dfa_coarse.analyze_post_ra(alloc.func, alloc.assignment);
+  const auto rf = dfa_fine.analyze_post_ra(alloc.func, alloc.assignment);
+  EXPECT_TRUE(rc.converged);
+  EXPECT_TRUE(rf.converged);
+  // Cell-level predictions agree within tens of mK; node count is 9x.
+  EXPECT_NEAR(rc.exit_stats.peak_k, rf.exit_stats.peak_k, 0.2);
+}
+
+}  // namespace
+}  // namespace tadfa::core
+
+// Appended: join-mode ablation coverage.
+namespace tadfa::core {
+namespace {
+
+TEST(JoinModes, AllConvergeOnLoopKernel) {
+  Rig s;
+  auto k = workload::make_crc32(16);
+  const auto alloc = allocate(s, k.func);
+  for (JoinMode mode : {JoinMode::kWeightedMean, JoinMode::kUnweightedMean,
+                        JoinMode::kMax}) {
+    ThermalDfaConfig cfg;
+    cfg.delta_k = 0.01;
+    cfg.max_iterations = 500;
+    cfg.join_mode = mode;
+    const ThermalDfa dfa(s.grid, s.power, s.timing, cfg);
+    const auto r = dfa.analyze_post_ra(alloc.func, alloc.assignment);
+    EXPECT_TRUE(r.converged) << static_cast<int>(mode);
+  }
+}
+
+TEST(JoinModes, MaxDominatesMeans) {
+  // The max join is an upper envelope: its exit map must dominate the
+  // weighted mean's everywhere.
+  Rig s;
+  auto k = workload::make_crc32(16);
+  const auto alloc = allocate(s, k.func);
+  ThermalDfaConfig cfg;
+  cfg.delta_k = 0.001;
+  cfg.max_iterations = 500;
+  const ThermalDfa mean_dfa(s.grid, s.power, s.timing, cfg);
+  cfg.join_mode = JoinMode::kMax;
+  const ThermalDfa max_dfa(s.grid, s.power, s.timing, cfg);
+  const auto r_mean = mean_dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  const auto r_max = max_dfa.analyze_post_ra(alloc.func, alloc.assignment);
+  for (std::size_t r = 0; r < r_mean.exit_reg_temps_k.size(); ++r) {
+    EXPECT_GE(r_max.exit_reg_temps_k[r] + 1e-6, r_mean.exit_reg_temps_k[r]);
+  }
+  EXPECT_GE(r_max.exit_stats.peak_k, r_mean.exit_stats.peak_k - 1e-6);
+}
+
+TEST(JoinModes, StraightLineCodeIsJoinInsensitive) {
+  // Without merges, every join operator must produce the same answer.
+  Rig s;
+  ir::Function f("straight");
+  ir::IRBuilder b(f);
+  const auto blk = b.create_block();
+  b.set_insert_point(blk);
+  const ir::Reg x = b.const_int(7);
+  const ir::Reg y = b.mul(ir::IRBuilder::r(x), ir::IRBuilder::r(x));
+  b.ret(ir::IRBuilder::r(y));
+  const auto alloc = allocate(s, f);
+
+  std::vector<std::vector<double>> maps;
+  for (JoinMode mode : {JoinMode::kWeightedMean, JoinMode::kUnweightedMean,
+                        JoinMode::kMax}) {
+    ThermalDfaConfig cfg;
+    cfg.join_mode = mode;
+    const ThermalDfa dfa(s.grid, s.power, s.timing, cfg);
+    maps.push_back(
+        dfa.analyze_post_ra(alloc.func, alloc.assignment).exit_reg_temps_k);
+  }
+  for (std::size_t i = 1; i < maps.size(); ++i) {
+    for (std::size_t r = 0; r < maps[0].size(); ++r) {
+      EXPECT_NEAR(maps[i][r], maps[0][r], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tadfa::core

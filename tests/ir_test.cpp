@@ -1,0 +1,405 @@
+// Unit tests for src/ir: instructions, functions, builder, printer/parser
+// round trips, and the verifier.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace tadfa::ir {
+namespace {
+
+using B = IRBuilder;
+
+Function make_loop_function() {
+  Function f("loop");
+  IRBuilder b(f);
+  const Reg n = f.add_param();
+  const auto entry = b.create_block("entry");
+  const auto head = b.create_block("head");
+  const auto body = b.create_block("body");
+  const auto exit = b.create_block("exit");
+  b.set_insert_point(entry);
+  const Reg i = b.const_int(0);
+  b.jmp(head);
+  b.set_insert_point(head);
+  const Reg c = b.cmp(Opcode::kCmpLt, B::r(i), B::r(n));
+  b.br(c, body, exit);
+  b.set_insert_point(body);
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.jmp(head);
+  b.set_insert_point(exit);
+  b.ret(B::r(i));
+  return f;
+}
+
+// ---------------------------------------------------------- instruction ----
+
+TEST(Instruction, OpcodeNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto back = opcode_from_name(opcode_name(op));
+    ASSERT_TRUE(back.has_value()) << opcode_name(op);
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(Instruction, UnknownMnemonicRejected) {
+  EXPECT_FALSE(opcode_from_name("frobnicate").has_value());
+}
+
+TEST(Instruction, TerminatorClassification) {
+  EXPECT_TRUE(is_terminator(Opcode::kBr));
+  EXPECT_TRUE(is_terminator(Opcode::kJmp));
+  EXPECT_TRUE(is_terminator(Opcode::kRet));
+  EXPECT_FALSE(is_terminator(Opcode::kAdd));
+  EXPECT_FALSE(is_terminator(Opcode::kNop));
+}
+
+TEST(Instruction, AluClassification) {
+  EXPECT_TRUE(is_binary_alu(Opcode::kAdd));
+  EXPECT_TRUE(is_binary_alu(Opcode::kCmpLt));
+  EXPECT_FALSE(is_binary_alu(Opcode::kNeg));
+  EXPECT_TRUE(is_unary_alu(Opcode::kNeg));
+  EXPECT_TRUE(is_compare(Opcode::kCmpGe));
+  EXPECT_FALSE(is_compare(Opcode::kAdd));
+}
+
+TEST(Instruction, UsesAndDef) {
+  Instruction add(Opcode::kAdd, 5,
+                  {Operand::reg(1), Operand::reg(1)});
+  EXPECT_EQ(add.uses(), (std::vector<Reg>{1, 1}));  // duplicates preserved
+  ASSERT_TRUE(add.def().has_value());
+  EXPECT_EQ(*add.def(), 5u);
+  EXPECT_EQ(add.access_count(), 3u);
+}
+
+TEST(Instruction, ImmediatesAreNotUses) {
+  Instruction add(Opcode::kAdd, 2, {Operand::reg(1), Operand::imm(7)});
+  EXPECT_EQ(add.uses(), (std::vector<Reg>{1}));
+  EXPECT_EQ(add.access_count(), 2u);
+}
+
+TEST(Instruction, ReplaceUsesLeavesDest) {
+  Instruction add(Opcode::kAdd, 1, {Operand::reg(1), Operand::reg(2)});
+  add.replace_uses(1, 9);
+  EXPECT_EQ(add.uses(), (std::vector<Reg>{9, 2}));
+  EXPECT_EQ(*add.def(), 1u);
+}
+
+TEST(Operand, Equality) {
+  EXPECT_EQ(Operand::reg(3), Operand::reg(3));
+  EXPECT_FALSE(Operand::reg(3) == Operand::reg(4));
+  EXPECT_EQ(Operand::imm(-1), Operand::imm(-1));
+  EXPECT_FALSE(Operand::reg(0) == Operand::imm(0));
+}
+
+// ------------------------------------------------------------- function ----
+
+TEST(Function, BlocksAndSuccessors) {
+  const Function f = make_loop_function();
+  EXPECT_EQ(f.block_count(), 4u);
+  EXPECT_EQ(f.block(0).successors(), (std::vector<BlockId>{1}));
+  EXPECT_EQ(f.block(1).successors(), (std::vector<BlockId>{2, 3}));
+  EXPECT_EQ(f.block(2).successors(), (std::vector<BlockId>{1}));
+  EXPECT_TRUE(f.block(3).successors().empty());
+}
+
+TEST(Function, Predecessors) {
+  const Function f = make_loop_function();
+  const auto preds = f.predecessors();
+  EXPECT_TRUE(preds[0].empty());
+  EXPECT_EQ(preds[1], (std::vector<BlockId>{0, 2}));
+  EXPECT_EQ(preds[2], (std::vector<BlockId>{1}));
+  EXPECT_EQ(preds[3], (std::vector<BlockId>{1}));
+}
+
+TEST(Function, InstructionCountAndRefs) {
+  const Function f = make_loop_function();
+  EXPECT_EQ(f.instruction_count(), 7u);
+  const auto refs = f.all_instructions();
+  EXPECT_EQ(refs.size(), 7u);
+  EXPECT_EQ(refs.front().block, 0u);
+  EXPECT_EQ(f.instruction(refs[2]).opcode(), Opcode::kCmpLt);
+}
+
+TEST(Function, StackSlotsGrowFromBase) {
+  Function f("x");
+  EXPECT_EQ(f.allocate_stack_slot(), Function::kStackBase);
+  EXPECT_EQ(f.allocate_stack_slot(), Function::kStackBase + 1);
+  EXPECT_EQ(f.stack_slot_count(), 2u);
+}
+
+TEST(Function, ParamsAreRegisters) {
+  Function f("p");
+  const Reg a = f.add_param();
+  const Reg b = f.add_param();
+  EXPECT_EQ(f.params(), (std::vector<Reg>{a, b}));
+  EXPECT_EQ(f.reg_count(), 2u);
+}
+
+TEST(Module, FindByName) {
+  Module m;
+  m.add_function("a");
+  m.add_function("b");
+  EXPECT_NE(m.find("a"), nullptr);
+  EXPECT_NE(m.find("b"), nullptr);
+  EXPECT_EQ(m.find("c"), nullptr);
+}
+
+TEST(BasicBlock, InsertShiftsInstructions) {
+  Function f("x");
+  IRBuilder b(f);
+  const auto blk = b.create_block();
+  b.set_insert_point(blk);
+  b.const_int(1);
+  b.ret();
+  f.block(blk).insert(0, Instruction(Opcode::kNop, kInvalidReg, {}));
+  EXPECT_EQ(f.block(blk).instructions()[0].opcode(), Opcode::kNop);
+  EXPECT_EQ(f.block(blk).size(), 3u);
+}
+
+// ------------------------------------------------------- printer/parser ----
+
+TEST(PrinterParser, RoundTripLoop) {
+  const Function f = make_loop_function();
+  const std::string text = to_string(f);
+  ParseError err;
+  const auto parsed = parse_function(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err.message;
+  EXPECT_EQ(to_string(*parsed), text);
+}
+
+TEST(PrinterParser, ParsesNegativeImmediates) {
+  const std::string text =
+      "func @f() {\n"
+      "entry:\n"
+      "  %0 = const -42\n"
+      "  ret %0\n"
+      "}\n";
+  const auto f = parse_function(text);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->block(0).instructions()[0].operands()[0].imm(), -42);
+}
+
+TEST(PrinterParser, ParsesForwardBranches) {
+  const std::string text =
+      "func @f(%0) {\n"
+      "entry:\n"
+      "  br %0, later, entry2\n"
+      "entry2:\n"
+      "  jmp later\n"
+      "later:\n"
+      "  ret\n"
+      "}\n";
+  const auto f = parse_function(text);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->block(0).terminator().targets(),
+            (std::vector<BlockId>{2, 1}));
+}
+
+TEST(PrinterParser, CommentsIgnored) {
+  const std::string text =
+      "func @f() {\n"
+      "entry: ; the entry block\n"
+      "  %0 = const 1 ; one\n"
+      "  ret %0\n"
+      "}\n";
+  const auto f = parse_function(text);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->instruction_count(), 2u);
+}
+
+TEST(PrinterParser, RejectsUnknownMnemonic) {
+  ParseError err;
+  const auto f = parse_function(
+      "func @f() {\nentry:\n  %0 = bogus 1\n  ret\n}\n", &err);
+  EXPECT_FALSE(f.has_value());
+  EXPECT_NE(err.message.find("bogus"), std::string::npos);
+}
+
+TEST(PrinterParser, RejectsUnknownLabel) {
+  ParseError err;
+  const auto f =
+      parse_function("func @f() {\nentry:\n  jmp nowhere\n}\n", &err);
+  EXPECT_FALSE(f.has_value());
+}
+
+TEST(PrinterParser, RejectsDuplicateLabel) {
+  ParseError err;
+  const auto f = parse_function(
+      "func @f() {\na:\n  ret\na:\n  ret\n}\n", &err);
+  EXPECT_FALSE(f.has_value());
+}
+
+TEST(PrinterParser, ParsesMultiFunctionModule) {
+  const std::string text =
+      "func @a() {\nentry:\n  ret\n}\n"
+      "\n"
+      "func @b(%0) {\nentry:\n  ret %0\n}\n";
+  const auto m = parse_module(text);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->functions().size(), 2u);
+  EXPECT_EQ(m->functions()[1].params().size(), 1u);
+}
+
+TEST(PrinterParser, PreservesParams) {
+  const Function f = make_loop_function();
+  const auto parsed = parse_function(to_string(f));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->params(), f.params());
+}
+
+// ------------------------------------------------------------- verifier ----
+
+TEST(Verifier, AcceptsWellFormed) {
+  EXPECT_TRUE(is_well_formed(make_loop_function()));
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Function f("x");
+  IRBuilder b(f);
+  const auto blk = b.create_block();
+  b.set_insert_point(blk);
+  b.const_int(1);
+  EXPECT_FALSE(is_well_formed(f));
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister) {
+  Function f("x");
+  f.add_block();
+  f.block(0).append(
+      Instruction(Opcode::kRet, kInvalidReg, {Operand::reg(99)}));
+  EXPECT_FALSE(is_well_formed(f));
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  Function f("x");
+  f.add_block();
+  f.ensure_regs(1);
+  f.block(0).append(
+      Instruction(Opcode::kBr, kInvalidReg, {Operand::reg(0)}, {0, 7}));
+  EXPECT_FALSE(is_well_formed(f));
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock) {
+  Function f("x");
+  f.add_block();
+  f.block(0).append(Instruction(Opcode::kRet, kInvalidReg, {}));
+  f.block(0).append(Instruction(Opcode::kNop, kInvalidReg, {}));
+  EXPECT_FALSE(is_well_formed(f));
+}
+
+TEST(Verifier, RejectsBadArity) {
+  Function f("x");
+  f.add_block();
+  f.ensure_regs(2);
+  // add with one operand
+  f.block(0).append(Instruction(Opcode::kAdd, 0, {Operand::reg(1)}));
+  f.block(0).append(Instruction(Opcode::kRet, kInvalidReg, {}));
+  EXPECT_FALSE(is_well_formed(f));
+}
+
+TEST(Verifier, RejectsEmptyFunction) {
+  Function f("x");
+  EXPECT_FALSE(is_well_formed(f));
+}
+
+TEST(Verifier, RejectsStoreWithDest) {
+  Function f("x");
+  f.add_block();
+  f.ensure_regs(2);
+  f.block(0).append(Instruction(Opcode::kStore, 0,
+                                {Operand::imm(0), Operand::reg(1)}));
+  f.block(0).append(Instruction(Opcode::kRet, kInvalidReg, {}));
+  EXPECT_FALSE(is_well_formed(f));
+}
+
+// -------------------------------------------------------------- builder ----
+
+TEST(Builder, FreshRegistersAreDistinct) {
+  Function f("x");
+  IRBuilder b(f);
+  const auto blk = b.create_block();
+  b.set_insert_point(blk);
+  const Reg a = b.const_int(1);
+  const Reg c = b.const_int(2);
+  EXPECT_NE(a, c);
+  b.ret();
+  EXPECT_TRUE(is_well_formed(f));
+}
+
+TEST(Builder, InPlaceAssignReusesRegister) {
+  Function f("x");
+  IRBuilder b(f);
+  const auto blk = b.create_block();
+  b.set_insert_point(blk);
+  const Reg i = b.const_int(0);
+  b.assign(Opcode::kAdd, i, B::r(i), B::i(1));
+  b.ret(B::r(i));
+  const auto& inst = f.block(blk).instructions()[1];
+  EXPECT_EQ(*inst.def(), i);
+  EXPECT_EQ(inst.uses(), (std::vector<Reg>{i}));
+}
+
+TEST(Builder, EmitsAllBinaryOps) {
+  Function f("x");
+  IRBuilder b(f);
+  const auto blk = b.create_block();
+  b.set_insert_point(blk);
+  const Reg a = b.const_int(6);
+  const Reg c = b.const_int(3);
+  b.add(B::r(a), B::r(c));
+  b.sub(B::r(a), B::r(c));
+  b.mul(B::r(a), B::r(c));
+  b.div(B::r(a), B::r(c));
+  b.rem(B::r(a), B::r(c));
+  b.band(B::r(a), B::r(c));
+  b.bor(B::r(a), B::r(c));
+  b.bxor(B::r(a), B::r(c));
+  b.shl(B::r(a), B::r(c));
+  b.shr(B::r(a), B::r(c));
+  b.minv(B::r(a), B::r(c));
+  b.maxv(B::r(a), B::r(c));
+  b.neg(B::r(a));
+  b.bnot(B::r(a));
+  b.ret();
+  EXPECT_TRUE(is_well_formed(f));
+  EXPECT_EQ(f.instruction_count(), 17u);
+}
+
+}  // namespace
+}  // namespace tadfa::ir
+
+// Appended: printer/parser round-trip property over generated programs.
+#include "workload/random_program.hpp"
+
+namespace tadfa::ir {
+namespace {
+
+class RoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripTest, RandomProgramsRoundTripExactly) {
+  workload::RandomProgramConfig cfg;
+  cfg.seed = GetParam();
+  cfg.target_instructions = 120;
+  cfg.irregularity = (GetParam() % 3) / 2.0;
+  const Function f = workload::random_program(cfg);
+  const std::string text = to_string(f);
+  ParseError err;
+  const auto parsed = parse_function(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err.message << "\n" << text;
+  EXPECT_EQ(to_string(*parsed), text);
+  EXPECT_EQ(parsed->instruction_count(), f.instruction_count());
+  EXPECT_EQ(parsed->block_count(), f.block_count());
+  EXPECT_EQ(parsed->params(), f.params());
+  EXPECT_TRUE(is_well_formed(*parsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Values(3, 14, 159, 2653, 58979, 323846,
+                                           2643383, 27950288));
+
+}  // namespace
+}  // namespace tadfa::ir

@@ -1,0 +1,367 @@
+// Tests for src/regalloc: the six assignment policies, spill rewriting,
+// both allocators, and the legality verifier — including parameterized
+// property sweeps (every policy × random programs must produce a legal
+// allocation; interfering registers never share a cell).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataflow/liveness.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "regalloc/graph_coloring.hpp"
+#include "regalloc/linear_scan.hpp"
+#include "regalloc/policy.hpp"
+#include "regalloc/spill.hpp"
+#include "regalloc/verify.hpp"
+#include "workload/kernels.hpp"
+#include "workload/random_program.hpp"
+
+namespace tadfa::regalloc {
+namespace {
+
+machine::Floorplan small_fp() {
+  return machine::Floorplan(machine::RegisterFileConfig::small_config());
+}
+
+machine::Floorplan default_fp() {
+  return machine::Floorplan(machine::RegisterFileConfig::default_config());
+}
+
+ir::Function parse(const std::string& text) {
+  auto f = ir::parse_function(text);
+  EXPECT_TRUE(f.has_value());
+  return std::move(*f);
+}
+
+// ---------------------------------------------------------------- policies ----
+
+TEST(Policies, FirstFreePicksLowest) {
+  FirstFreePolicy p;
+  PolicyContext ctx;
+  const std::vector<machine::PhysReg> cands{3, 7, 9};
+  EXPECT_EQ(p.choose(cands, ctx), 3u);
+}
+
+TEST(Policies, RandomIsSeedDeterministic) {
+  const std::vector<machine::PhysReg> cands{0, 1, 2, 3, 4, 5, 6, 7};
+  PolicyContext ctx;
+  RandomPolicy a(42);
+  RandomPolicy b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.choose(cands, ctx), b.choose(cands, ctx));
+  }
+}
+
+TEST(Policies, RandomResetRestartsSequence) {
+  const std::vector<machine::PhysReg> cands{0, 1, 2, 3, 4, 5, 6, 7};
+  PolicyContext ctx;
+  RandomPolicy p(7);
+  std::vector<machine::PhysReg> first;
+  for (int i = 0; i < 5; ++i) {
+    first.push_back(p.choose(cands, ctx));
+  }
+  p.reset();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.choose(cands, ctx), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Policies, ChessboardPrefersEvenParity) {
+  const auto fp = default_fp();
+  ChessboardPolicy p;
+  PolicyContext ctx;
+  ctx.floorplan = &fp;
+  // Candidates 1 (parity odd) and 8 (parity odd) and 9 (parity even).
+  const std::vector<machine::PhysReg> cands{1, 8, 9};
+  EXPECT_EQ(p.choose(cands, ctx), 9u);
+}
+
+TEST(Policies, ChessboardFallsBackUnderPressure) {
+  const auto fp = default_fp();
+  ChessboardPolicy p;
+  PolicyContext ctx;
+  ctx.floorplan = &fp;
+  const std::vector<machine::PhysReg> odd_only{1, 3};
+  EXPECT_EQ(p.choose(odd_only, ctx), 1u);
+}
+
+TEST(Policies, RoundRobinRotates) {
+  RoundRobinPolicy p;
+  PolicyContext ctx;
+  const std::vector<machine::PhysReg> cands{0, 1, 2};
+  EXPECT_EQ(p.choose(cands, ctx), 1u);  // last_=0 -> first >0
+  EXPECT_EQ(p.choose(cands, ctx), 2u);
+  EXPECT_EQ(p.choose(cands, ctx), 0u);  // wraps
+  EXPECT_EQ(p.choose(cands, ctx), 1u);
+}
+
+TEST(Policies, FarthestSpreadAvoidsOccupied) {
+  const auto fp = default_fp();
+  FarthestSpreadPolicy p;
+  PolicyContext ctx;
+  ctx.floorplan = &fp;
+  std::vector<std::uint32_t> usage(64, 0);
+  usage[0] = 1;  // corner (0,0) occupied
+  ctx.usage_counts = &usage;
+  const std::vector<machine::PhysReg> cands{1, 63};
+  EXPECT_EQ(p.choose(cands, ctx), 63u);  // opposite corner
+}
+
+TEST(Policies, CoolestFirstPicksMinScore) {
+  CoolestFirstPolicy p;
+  PolicyContext ctx;
+  std::vector<double> heat(8, 350.0);
+  heat[5] = 340.0;
+  ctx.heat_scores = &heat;
+  const std::vector<machine::PhysReg> cands{2, 5, 7};
+  EXPECT_EQ(p.choose(cands, ctx), 5u);
+}
+
+TEST(Policies, CoolestFirstFallsBackWithoutScores) {
+  CoolestFirstPolicy p;
+  PolicyContext ctx;
+  const std::vector<machine::PhysReg> cands{4, 6};
+  EXPECT_EQ(p.choose(cands, ctx), 4u);
+}
+
+TEST(Policies, FactoryKnowsAllNames) {
+  for (const std::string& name : all_policy_names()) {
+    const auto p = make_policy(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_EQ(p->name(), name);
+  }
+  EXPECT_EQ(make_policy("nonsense"), nullptr);
+}
+
+// ------------------------------------------------------------------ spill ----
+
+TEST(Spill, UseGetsReload) {
+  ir::Function f = parse(
+      "func @s() {\n"
+      "entry:\n"
+      "  %0 = const 7\n"
+      "  %1 = add %0, %0\n"
+      "  ret %1\n"
+      "}\n");
+  const SpillResult r = spill_registers(f, {0});
+  EXPECT_TRUE(ir::is_well_formed(f));
+  // const gets a store after it; add gets one reload (shared by both
+  // operands).
+  EXPECT_EQ(r.inserted_instructions, 2u);
+  const auto& insts = f.block(0).instructions();
+  EXPECT_EQ(insts[1].opcode(), ir::Opcode::kStore);
+  EXPECT_EQ(insts[2].opcode(), ir::Opcode::kLoad);
+}
+
+TEST(Spill, SpilledParamStoredAtEntry) {
+  ir::Function f = parse(
+      "func @p(%0) {\n"
+      "entry:\n"
+      "  %1 = add %0, 1\n"
+      "  ret %1\n"
+      "}\n");
+  const SpillResult r = spill_registers(f, {0});
+  EXPECT_TRUE(ir::is_well_formed(f));
+  const auto& insts = f.block(0).instructions();
+  EXPECT_EQ(insts[0].opcode(), ir::Opcode::kStore);
+  EXPECT_GE(r.inserted_instructions, 2u);
+}
+
+TEST(Spill, EmptyListIsNoop) {
+  ir::Function f = parse("func @n() {\nentry:\n  ret\n}\n");
+  const SpillResult r = spill_registers(f, {});
+  EXPECT_EQ(r.inserted_instructions, 0u);
+  EXPECT_EQ(f.instruction_count(), 1u);
+}
+
+TEST(Spill, SpilledRegisterNoLongerLiveAcrossBlocks) {
+  ir::Function f = parse(
+      "func @x(%0) {\n"
+      "entry:\n"
+      "  %1 = const 5\n"
+      "  jmp next\n"
+      "next:\n"
+      "  %2 = add %1, %0\n"
+      "  ret %2\n"
+      "}\n");
+  spill_registers(f, {1});
+  const dataflow::Cfg cfg(f);
+  const dataflow::Liveness lv(cfg);
+  EXPECT_FALSE(lv.live_in(1).test(1));  // now memory-resident
+}
+
+// -------------------------------------------------------------- allocators ----
+
+TEST(LinearScan, SmallFunctionNoSpills) {
+  const auto fp = default_fp();
+  FirstFreePolicy policy;
+  LinearScanAllocator alloc(fp, policy);
+  workload::Kernel k = workload::make_vecsum(16);
+  const AllocationResult r = alloc.allocate(k.func);
+  EXPECT_EQ(r.spilled_regs, 0u);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_TRUE(allocation_is_legal(r.func, r.assignment));
+}
+
+TEST(LinearScan, FirstFreeUsesSmallRegisterSet) {
+  // Sec. 2: "the same small set of registers is chosen again and again".
+  const auto fp = default_fp();
+  FirstFreePolicy policy;
+  LinearScanAllocator alloc(fp, policy);
+  workload::Kernel k = workload::make_crc32(8);
+  const AllocationResult r = alloc.allocate(k.func);
+  const auto used = r.assignment.used_physical();
+  EXPECT_LE(used.size(), 12u);
+  // All used registers sit at the low end of the ordered list.
+  EXPECT_LT(used.back(), 16u);
+}
+
+TEST(LinearScan, SpillsUnderPressure) {
+  const auto fp = small_fp();  // 16 registers
+  FirstFreePolicy policy;
+  LinearScanAllocator alloc(fp, policy);
+  workload::Kernel k = workload::make_accumulators(8, 24);  // 24+ live
+  const AllocationResult r = alloc.allocate(k.func);
+  EXPECT_GT(r.spilled_regs, 0u);
+  EXPECT_GT(r.rounds, 1);
+  EXPECT_TRUE(ir::is_well_formed(r.func));
+  EXPECT_TRUE(allocation_is_legal(r.func, r.assignment));
+}
+
+TEST(GraphColoring, SmallFunctionLegal) {
+  const auto fp = default_fp();
+  FirstFreePolicy policy;
+  GraphColoringAllocator alloc(fp, policy);
+  workload::Kernel k = workload::make_fir(32, 8);
+  const AllocationResult r = alloc.allocate(k.func);
+  EXPECT_TRUE(allocation_is_legal(r.func, r.assignment));
+}
+
+TEST(GraphColoring, SpillsUnderPressure) {
+  const auto fp = small_fp();
+  FirstFreePolicy policy;
+  GraphColoringAllocator alloc(fp, policy);
+  workload::Kernel k = workload::make_accumulators(8, 24);
+  const AllocationResult r = alloc.allocate(k.func);
+  EXPECT_GT(r.spilled_regs, 0u);
+  EXPECT_TRUE(allocation_is_legal(r.func, r.assignment));
+}
+
+TEST(Verify, DetectsIllegalSharing) {
+  ir::Function f = parse(
+      "func @bad() {\n"
+      "entry:\n"
+      "  %0 = const 1\n"
+      "  %1 = const 2\n"
+      "  %2 = add %0, %1\n"
+      "  ret %2\n"
+      "}\n");
+  machine::RegisterAssignment a(3);
+  a.assign(0, 0);
+  a.assign(1, 0);  // interferes with %0!
+  a.assign(2, 1);
+  EXPECT_FALSE(allocation_is_legal(f, a));
+  const auto issues = verify_allocation(f, a);
+  ASSERT_FALSE(issues.empty());
+}
+
+TEST(Verify, DetectsMissingAssignment) {
+  ir::Function f = parse("func @m(%0) {\nentry:\n  ret %0\n}\n");
+  machine::RegisterAssignment a(1);
+  EXPECT_FALSE(allocation_is_legal(f, a));
+}
+
+// ------------------------------------------------ property: policy sweeps ----
+
+struct SweepParam {
+  std::string policy;
+  std::uint64_t seed;
+};
+
+class PolicySweepTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(PolicySweepTest, LinearScanAlwaysLegal) {
+  const auto [policy_name, seed] = GetParam();
+  const auto fp = default_fp();
+  auto policy = make_policy(policy_name, seed);
+  ASSERT_NE(policy, nullptr);
+  LinearScanAllocator alloc(fp, *policy);
+
+  workload::RandomProgramConfig cfg;
+  cfg.seed = seed;
+  cfg.target_instructions = 100;
+  cfg.value_pool = 14;
+  ir::Function f = workload::random_program(cfg);
+  ASSERT_TRUE(ir::is_well_formed(f));
+
+  const AllocationResult r = alloc.allocate(f);
+  EXPECT_TRUE(ir::is_well_formed(r.func));
+  EXPECT_TRUE(allocation_is_legal(r.func, r.assignment))
+      << "policy=" << policy_name << " seed=" << seed;
+}
+
+TEST_P(PolicySweepTest, GraphColoringAlwaysLegal) {
+  const auto [policy_name, seed] = GetParam();
+  const auto fp = default_fp();
+  auto policy = make_policy(policy_name, seed);
+  ASSERT_NE(policy, nullptr);
+  GraphColoringAllocator alloc(fp, *policy);
+
+  workload::RandomProgramConfig cfg;
+  cfg.seed = seed + 1000;
+  cfg.target_instructions = 100;
+  cfg.value_pool = 14;
+  ir::Function f = workload::random_program(cfg);
+
+  const AllocationResult r = alloc.allocate(f);
+  EXPECT_TRUE(ir::is_well_formed(r.func));
+  EXPECT_TRUE(allocation_is_legal(r.func, r.assignment))
+      << "policy=" << policy_name << " seed=" << seed;
+}
+
+TEST_P(PolicySweepTest, HighPressureSpillsStayLegal) {
+  const auto [policy_name, seed] = GetParam();
+  const auto fp = small_fp();  // 16 registers: forces spills
+  auto policy = make_policy(policy_name, seed);
+  LinearScanAllocator alloc(fp, *policy);
+
+  workload::RandomProgramConfig cfg;
+  cfg.seed = seed;
+  cfg.target_instructions = 90;
+  cfg.value_pool = 20;  // beyond the file
+  ir::Function f = workload::random_program(cfg);
+
+  const AllocationResult r = alloc.allocate(f);
+  EXPECT_TRUE(allocation_is_legal(r.func, r.assignment))
+      << "policy=" << policy_name << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweepTest,
+    ::testing::Combine(::testing::Values("first_free", "random", "chessboard",
+                                         "round_robin", "farthest_spread",
+                                         "coolest_first"),
+                       ::testing::Values(1, 7, 23)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Chessboard keeps active registers non-adjacent at low pressure.
+TEST(Chessboard, LowPressureKeepsParity) {
+  const auto fp = default_fp();
+  ChessboardPolicy policy;
+  LinearScanAllocator alloc(fp, policy);
+  workload::Kernel k = workload::make_vecsum(16);  // low pressure
+  const AllocationResult r = alloc.allocate(k.func);
+  for (machine::PhysReg p : r.assignment.used_physical()) {
+    EXPECT_EQ((fp.row_of(p) + fp.col_of(p)) % 2, 0u)
+        << "register r" << p << " breaks the chessboard";
+  }
+}
+
+}  // namespace
+}  // namespace tadfa::regalloc

@@ -1,0 +1,203 @@
+// Tests for src/workload: every kernel is well-formed and computes its
+// expected result; random programs are well-formed, terminating, and
+// deterministic per seed.
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "machine/timing.hpp"
+#include "sim/interpreter.hpp"
+#include "workload/kernels.hpp"
+#include "workload/random_program.hpp"
+
+namespace tadfa::workload {
+namespace {
+
+sim::ExecutionResult run_kernel(const Kernel& k) {
+  machine::TimingModel timing;
+  sim::Interpreter interp(k.func, timing);
+  if (k.init_memory) {
+    k.init_memory(interp.memory());
+  }
+  return interp.run(k.default_args);
+}
+
+class KernelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelTest, IsWellFormed) {
+  const auto k = make_kernel(GetParam());
+  ASSERT_TRUE(k.has_value());
+  EXPECT_TRUE(ir::is_well_formed(k->func)) << ir::to_string(k->func);
+}
+
+TEST_P(KernelTest, ComputesExpectedResult) {
+  const auto k = make_kernel(GetParam());
+  ASSERT_TRUE(k.has_value());
+  const auto result = run_kernel(*k);
+  ASSERT_TRUE(result.ok()) << (result.trap ? *result.trap : "no trap");
+  ASSERT_TRUE(k->expected_result.has_value());
+  ASSERT_TRUE(result.return_value.has_value());
+  EXPECT_EQ(*result.return_value, *k->expected_result);
+}
+
+TEST_P(KernelTest, ExecutesEveryReachableBlock) {
+  const auto k = make_kernel(GetParam());
+  ASSERT_TRUE(k.has_value());
+  const auto result = run_kernel(*k);
+  ASSERT_TRUE(result.ok());
+  // Entry runs exactly once.
+  EXPECT_EQ(result.block_visits[0], 1u);
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_GE(result.cycles, result.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelTest,
+    ::testing::Values("vecsum", "fir", "matmul", "idct8", "crc32",
+                      "stencil3", "poly7", "accumulators", "hot_cold",
+                      "counter"),
+    [](const auto& info) { return info.param; });
+
+TEST(Kernels, StandardSuiteComplete) {
+  const auto suite = standard_suite();
+  EXPECT_EQ(suite.size(), 10u);
+  for (const Kernel& k : suite) {
+    EXPECT_FALSE(k.name.empty());
+    EXPECT_TRUE(k.expected_result.has_value()) << k.name;
+  }
+}
+
+TEST(Kernels, UnknownNameRejected) {
+  EXPECT_FALSE(make_kernel("fibonacci").has_value());
+}
+
+TEST(Kernels, PressureClassesSpread) {
+  // The suite must cover low / medium / high pressure, or the pressure
+  // sweep experiment degenerates.
+  int low = 0;
+  int high = 0;
+  for (const Kernel& k : standard_suite()) {
+    low += k.pressure == Kernel::Pressure::kLow;
+    high += k.pressure == Kernel::Pressure::kHigh;
+  }
+  EXPECT_GE(low, 2);
+  EXPECT_GE(high, 2);
+}
+
+TEST(Kernels, ParameterizedSizesWork) {
+  for (std::int64_t n : {8, 64, 300}) {
+    const Kernel k = make_vecsum(n);
+    const auto result = run_kernel(k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result.return_value, *k.expected_result) << "n=" << n;
+  }
+}
+
+TEST(Kernels, AccumulatorPressureDial) {
+  const Kernel low = make_accumulators(16, 4);
+  const Kernel high = make_accumulators(16, 32);
+  EXPECT_TRUE(run_kernel(low).ok());
+  EXPECT_TRUE(run_kernel(high).ok());
+  EXPECT_GT(high.func.reg_count(), low.func.reg_count());
+}
+
+// --------------------------------------------------------- random programs ----
+
+class RandomProgramTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProgramTest, WellFormedAndTerminates) {
+  RandomProgramConfig cfg;
+  cfg.seed = GetParam();
+  cfg.target_instructions = 150;
+  ir::Function f = random_program(cfg);
+  EXPECT_TRUE(ir::is_well_formed(f)) << ir::to_string(f);
+
+  machine::TimingModel timing;
+  sim::Interpreter interp(f, timing);
+  const auto result = interp.run(std::vector<std::int64_t>{12345});
+  EXPECT_TRUE(result.ok()) << (result.trap ? *result.trap : "");
+}
+
+TEST_P(RandomProgramTest, DeterministicPerSeed) {
+  RandomProgramConfig cfg;
+  cfg.seed = GetParam();
+  const ir::Function a = random_program(cfg);
+  const ir::Function b = random_program(cfg);
+  EXPECT_EQ(ir::to_string(a), ir::to_string(b));
+}
+
+TEST_P(RandomProgramTest, DifferentSeedsDiffer) {
+  RandomProgramConfig cfg;
+  cfg.seed = GetParam();
+  const ir::Function a = random_program(cfg);
+  cfg.seed = GetParam() + 100000;
+  const ir::Function b = random_program(cfg);
+  EXPECT_NE(ir::to_string(a), ir::to_string(b));
+}
+
+TEST_P(RandomProgramTest, SameResultAcrossRuns) {
+  RandomProgramConfig cfg;
+  cfg.seed = GetParam();
+  ir::Function f = random_program(cfg);
+  machine::TimingModel timing;
+  sim::Interpreter i1(f, timing);
+  sim::Interpreter i2(f, timing);
+  const auto r1 = i1.run(std::vector<std::int64_t>{42});
+  const auto r2 = i2.run(std::vector<std::int64_t>{42});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1.return_value, *r2.return_value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42, 99,
+                                           1234));
+
+TEST(RandomProgram, IrregularityChangesShape) {
+  RandomProgramConfig regular;
+  regular.seed = 5;
+  regular.irregularity = 0.0;
+  RandomProgramConfig irregular = regular;
+  irregular.irregularity = 1.0;
+  const ir::Function a = random_program(regular);
+  const ir::Function b = random_program(irregular);
+  EXPECT_NE(ir::to_string(a), ir::to_string(b));
+}
+
+TEST(RandomProgram, PoolControlsRegisterCount) {
+  RandomProgramConfig small;
+  small.seed = 9;
+  small.value_pool = 4;
+  RandomProgramConfig big = small;
+  big.value_pool = 24;
+  EXPECT_LT(random_program(small).reg_count(),
+            random_program(big).reg_count());
+}
+
+TEST(RandomProgram, HigherIrregularityStillTerminates) {
+  for (double irr : {0.0, 0.5, 1.0}) {
+    RandomProgramConfig cfg;
+    cfg.seed = 77;
+    cfg.irregularity = irr;
+    ir::Function f = random_program(cfg);
+    machine::TimingModel timing;
+    sim::Interpreter interp(f, timing);
+    EXPECT_TRUE(interp.run(std::vector<std::int64_t>{7}).ok());
+  }
+}
+
+TEST(RandomProgram, LoopsActuallyLoop) {
+  RandomProgramConfig cfg;
+  cfg.seed = 3;
+  cfg.loop_probability = 0.9;
+  ir::Function f = random_program(cfg);
+  machine::TimingModel timing;
+  sim::Interpreter interp(f, timing);
+  const auto result = interp.run(std::vector<std::int64_t>{1});
+  ASSERT_TRUE(result.ok());
+  // Executed instructions must exceed the static count (loops ran).
+  EXPECT_GT(result.instructions, f.instruction_count());
+}
+
+}  // namespace
+}  // namespace tadfa::workload
