@@ -4,48 +4,121 @@
 // max gradient, map stddev, and the performance cost in cycles —
 // including the trade-offs the paper warns about (spill/NOP overhead).
 //
+// Every optimization is one declarative spec string run by
+// pipeline::PassManager — the hand-sequenced transform/allocate glue this
+// file used to carry now lives behind the pass registry.
+//
 // Optimizations:
 //   baseline        first_free allocation, no transform
 //   reassign        thermally-guided coolest-first re-assignment
 //   split+reassign  live-range splitting of the top-2 critical vars first
 //   spill+reassign  spilling the top-2 critical vars first
 //   schedule        thermal-aware list scheduling after reassignment
+//   cse+coalesce+dce fewer ALU ops = less RF read traffic
 //   promote         register promotion (memory scalars -> registers)
 //   nops            cooling NOPs after hot instructions
 #include "bench_common.hpp"
 
 #include <iostream>
+#include <span>
 
-#include "core/critical.hpp"
 #include "ir/parser.hpp"
-#include "opt/nop_insert.hpp"
-#include "opt/coalesce.hpp"
-#include "opt/cse.hpp"
-#include "opt/dce.hpp"
-#include "opt/promote.hpp"
-#include "opt/schedule.hpp"
-#include "opt/spill_critical.hpp"
-#include "opt/split.hpp"
+#include "pipeline/pass_manager.hpp"
 
 using namespace tadfa;
 
 namespace {
 
-struct Row {
-  std::string name;
-  thermal::MapStats stats;
-  std::uint64_t cycles = 0;
-  bool ok = false;
+constexpr const char* kBaselineSpec = "alloc=linear:first_free";
+
+/// Specs for the per-kernel table. Where a row's old label carried a
+/// transform statistic (replaced exprs, inserted NOPs...), `stat_pass`
+/// names the pass whose summary to quote.
+struct Variant {
+  const char* label;
+  const char* spec;
+  const char* stat_pass = nullptr;
 };
+
+constexpr Variant kVariants[] = {
+    {"baseline(first_free)", kBaselineSpec},
+    {"reassign",
+     "alloc=linear:first_free,thermal-dfa,alloc=linear:coolest_first"},
+    {"split+reassign",
+     "alloc=linear:first_free,thermal-dfa,split-hot=2,"
+     "alloc=linear:coolest_first"},
+    {"spill+reassign",
+     "alloc=linear:first_free,thermal-dfa,spill-critical=2,"
+     "alloc=linear:coolest_first"},
+    {"schedule",
+     "alloc=linear:first_free,thermal-dfa,alloc=linear:coolest_first,"
+     "schedule"},
+    {"cse+coalesce+dce", "cse,coalesce,dce,alloc=linear:first_free", "cse"},
+    {"promote", "promote,alloc=linear:first_free", "promote"},
+    {"nops", "alloc=linear:first_free,thermal-dfa,nops=3", "nops=3"},
+};
+
+/// Summary line of the named pass in a finished run ("" when absent).
+std::string pass_summary(const pipeline::PipelineRunResult& run,
+                         const std::string& pass_name) {
+  for (const auto& stats : run.pass_stats) {
+    if (stats.name == pass_name) {
+      return stats.summary;
+    }
+  }
+  return "";
+}
+
+/// Runs each variant's spec, measures the result, and adds a table row
+/// with cycle overhead relative to the first variant. False on failure.
+bool emit_variants(const pipeline::PassManager& manager,
+                   const bench::Rig& rig, const workload::Kernel& kernel,
+                   std::span<const Variant> variants, TextTable& table) {
+  std::uint64_t base_cycles = 0;
+  for (const Variant& variant : variants) {
+    const auto run = manager.run(kernel.func, variant.spec);
+    if (!run.ok) {
+      std::cerr << variant.label << " pipeline failed: " << run.error << "\n";
+      return false;
+    }
+    const auto m = bench::measure(rig, kernel, run.state.func,
+                                  *run.state.assignment);
+    if (!m.ok) {
+      return false;
+    }
+    if (base_cycles == 0) {
+      base_cycles = m.cycles;
+    }
+    std::string label = variant.label;
+    if (variant.stat_pass != nullptr) {
+      label += "(" + pass_summary(run, variant.stat_pass) + ")";
+    }
+    const double overhead = 100.0 *
+                            (static_cast<double>(m.cycles) -
+                             static_cast<double>(base_cycles)) /
+                            static_cast<double>(base_cycles);
+    table.add_row({label, bench::fmt(m.replay.final_stats.peak_k - 273.15, 2),
+                   bench::fmt(m.replay.final_stats.range_k, 3),
+                   bench::fmt(m.replay.final_stats.stddev_k, 3),
+                   bench::fmt(m.replay.final_stats.max_gradient_k, 3),
+                   std::to_string(m.cycles), bench::fmt(overhead, 1)});
+  }
+  return true;
+}
 
 }  // namespace
 
 int main() {
   bench::Rig rig;
-  core::ThermalDfaConfig dcfg;
-  dcfg.delta_k = 0.001;
-  dcfg.max_iterations = 500;
-  const core::ThermalDfa dfa(rig.grid, rig.power, rig.timing, dcfg);
+
+  pipeline::PipelineContext ctx;
+  ctx.floorplan = &rig.fp;
+  ctx.grid = &rig.grid;
+  ctx.power = &rig.power;
+  ctx.timing = rig.timing;
+  ctx.dfa_config.delta_k = 0.001;
+  ctx.dfa_config.max_iterations = 500;
+  const pipeline::PassManager manager(ctx);
 
   for (const char* kernel_name : {"crc32", "fir", "idct8"}) {
     auto kernel = workload::make_kernel(kernel_name);
@@ -55,103 +128,8 @@ int main() {
     table.set_header({"optimization", "peak degC", "range K", "stddev K",
                       "max grad K", "cycles", "cycle overhead %"});
 
-    // Baseline.
-    const auto base_alloc = bench::allocate(rig, kernel->func, "first_free");
-    const auto base =
-        bench::measure(rig, *kernel, base_alloc.func, base_alloc.assignment);
-    if (!base.ok) {
+    if (!emit_variants(manager, rig, *kernel, kVariants, table)) {
       return 1;
-    }
-    const auto base_dfa =
-        dfa.analyze_post_ra(base_alloc.func, base_alloc.assignment);
-    const core::ExactAssignmentModel base_model(base_alloc.func, rig.fp,
-                                                base_alloc.assignment);
-    const auto ranking = core::rank_critical_variables(
-        base_alloc.func, base_model, base_dfa, rig.grid, rig.timing);
-
-    auto emit = [&](const std::string& name, const bench::Measurement& m) {
-      const double overhead =
-          100.0 * (static_cast<double>(m.cycles) -
-                   static_cast<double>(base.cycles)) /
-          static_cast<double>(base.cycles);
-      table.add_row({name, bench::fmt(m.replay.final_stats.peak_k - 273.15, 2),
-                     bench::fmt(m.replay.final_stats.range_k, 3),
-                     bench::fmt(m.replay.final_stats.stddev_k, 3),
-                     bench::fmt(m.replay.final_stats.max_gradient_k, 3),
-                     std::to_string(m.cycles), bench::fmt(overhead, 1)});
-    };
-    emit("baseline(first_free)", base);
-
-    // Reassign (coolest-first guided by the DFA's predicted map).
-    {
-      const auto alloc =
-          bench::allocate(rig, kernel->func, "coolest_first", 42,
-                          &base_dfa.exit_reg_temps_k);
-      emit("reassign",
-           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
-    }
-
-    // Split + reassign.
-    {
-      ir::Function f = kernel->func;
-      std::vector<ir::Reg> top;
-      for (std::size_t i = 0; i < std::min<std::size_t>(2, ranking.size());
-           ++i) {
-        top.push_back(ranking[i].vreg);
-      }
-      opt::split_live_ranges(f, top);
-      const auto alloc = bench::allocate(rig, f, "coolest_first", 42,
-                                         &base_dfa.exit_reg_temps_k);
-      emit("split+reassign",
-           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
-    }
-
-    // Spill + reassign.
-    {
-      const auto spilled =
-          opt::spill_critical_variables(kernel->func, ranking, 2);
-      const auto alloc = bench::allocate(rig, spilled.func, "coolest_first",
-                                         42, &base_dfa.exit_reg_temps_k);
-      emit("spill+reassign",
-           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
-    }
-
-    // Thermal-aware scheduling on top of reassignment.
-    {
-      const auto alloc =
-          bench::allocate(rig, kernel->func, "coolest_first", 42,
-                          &base_dfa.exit_reg_temps_k);
-      const auto sched = opt::thermal_schedule(alloc.func, alloc.assignment);
-      emit("schedule",
-           bench::measure(rig, *kernel, sched.func, alloc.assignment));
-    }
-
-    // Local CSE -> coalesce -> DCE (fewer ALU ops = less RF read traffic).
-    {
-      const auto cse = opt::eliminate_common_subexpressions(kernel->func);
-      const auto coal = opt::coalesce_copies(cse.func);
-      const auto dce = opt::eliminate_dead_code(coal.func);
-      const auto alloc = bench::allocate(rig, dce.func, "first_free");
-      emit("cse+coalesce+dce(" + std::to_string(cse.replaced) + " exprs)",
-           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
-    }
-
-    // Register promotion.
-    {
-      const auto promoted = opt::promote_memory_scalars(kernel->func);
-      const auto alloc = bench::allocate(rig, promoted.func, "first_free");
-      emit("promote(" + std::to_string(promoted.loads_replaced) + " loads)",
-           bench::measure(rig, *kernel, alloc.func, alloc.assignment));
-    }
-
-    // Cooling NOPs (threshold: midway between mean and peak prediction).
-    {
-      const double threshold =
-          0.5 * (base_dfa.exit_stats.mean_k + base_dfa.peak_anywhere_k);
-      const auto nops =
-          opt::insert_cooling_nops(base_alloc.func, base_dfa, threshold, 3);
-      emit("nops(" + std::to_string(nops.nops_inserted) + ")",
-           bench::measure(rig, *kernel, nops.func, base_alloc.assignment));
     }
 
     table.print(std::cout);
@@ -199,31 +177,14 @@ int main() {
     table.set_header({"optimization", "peak degC", "range K", "stddev K",
                       "max grad K", "cycles", "cycle overhead %"});
 
-    const auto base_alloc = bench::allocate(rig, kernel.func, "first_free");
-    const auto base =
-        bench::measure(rig, kernel, base_alloc.func, base_alloc.assignment);
-    auto emit = [&](const std::string& name, const bench::Measurement& m) {
-      const double overhead =
-          100.0 * (static_cast<double>(m.cycles) -
-                   static_cast<double>(base.cycles)) /
-          static_cast<double>(base.cycles);
-      table.add_row({name, bench::fmt(m.replay.final_stats.peak_k - 273.15, 2),
-                     bench::fmt(m.replay.final_stats.range_k, 3),
-                     bench::fmt(m.replay.final_stats.stddev_k, 3),
-                     bench::fmt(m.replay.final_stats.max_gradient_k, 3),
-                     std::to_string(m.cycles), bench::fmt(overhead, 1)});
+    const Variant variants[] = {
+        {"baseline(reload scalars)", kBaselineSpec},
+        {"promote", "promote=1,alloc=linear:first_free", "promote=1"},
+        {"promote+spread", "promote=1,alloc=linear:farthest_spread"},
     };
-    emit("baseline(reload scalars)", base);
-
-    const auto promoted = opt::promote_memory_scalars(kernel.func, 1);
-    const auto alloc = bench::allocate(rig, promoted.func, "first_free");
-    emit("promote(" + std::to_string(promoted.loads_replaced) + " loads)",
-         bench::measure(rig, kernel, alloc.func, alloc.assignment));
-    const auto alloc_spread =
-        bench::allocate(rig, promoted.func, "farthest_spread");
-    emit("promote+spread",
-         bench::measure(rig, kernel, alloc_spread.func,
-                        alloc_spread.assignment));
+    if (!emit_variants(manager, rig, kernel, variants, table)) {
+      return 1;
+    }
     table.print(std::cout);
     std::cout
         << "\nPromotion alone is faster but heats the RF (accesses move "

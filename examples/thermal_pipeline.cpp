@@ -1,4 +1,5 @@
-// Full thermal-aware compilation pipeline (the paper's Sec. 4 story):
+// Full thermal-aware compilation pipeline (the paper's Sec. 4 story),
+// expressed as one declarative spec run by pipeline::PassManager:
 //
 //   1. allocate with the performance-oriented ordered free list,
 //   2. run the thermal DFA, rank critical variables,
@@ -10,14 +11,8 @@
 //   ./thermal_pipeline [kernel]
 #include <iostream>
 
-#include "core/critical.hpp"
-#include "core/thermal_dfa.hpp"
-#include "opt/schedule.hpp"
-#include "opt/spill_critical.hpp"
-#include "opt/split.hpp"
-#include "regalloc/graph_coloring.hpp"
-#include "regalloc/linear_scan.hpp"
-#include "regalloc/policy.hpp"
+#include "pipeline/pass_manager.hpp"
+#include "power/access_trace.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/thermal_replay.hpp"
 #include "support/heatmap.hpp"
@@ -26,6 +21,11 @@
 using namespace tadfa;
 
 namespace {
+
+constexpr const char* kBaselineSpec = "alloc=linear:first_free";
+constexpr const char* kThermalSpec =
+    "alloc=linear:first_free,thermal-dfa,split-hot=1,spill-critical=1,"
+    "alloc=coloring:coolest_first,schedule";
 
 struct Measured {
   thermal::MapStats stats;
@@ -71,56 +71,35 @@ int main(int argc, char** argv) {
   const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
   const thermal::ThermalGrid grid(fp);
   const power::PowerModel power(fp.config());
-  const machine::TimingModel timing;
-  const core::ThermalDfa dfa(grid, power, timing);
 
-  // 1. Baseline allocation.
-  regalloc::FirstFreePolicy first_free;
-  regalloc::LinearScanAllocator alloc0(fp, first_free);
-  const auto baseline = alloc0.allocate(kernel->func);
-  const Measured before = measure(fp, *kernel, baseline.func,
-                                  baseline.assignment);
+  pipeline::PipelineContext ctx;
+  ctx.floorplan = &fp;
+  ctx.grid = &grid;
+  ctx.power = &power;
+  const pipeline::PassManager manager(ctx);
 
-  // 2. Analyze + rank.
-  const auto analysis = dfa.analyze_post_ra(baseline.func,
-                                            baseline.assignment);
-  const core::ExactAssignmentModel model(baseline.func, fp,
-                                         baseline.assignment);
-  auto ranking = core::rank_critical_variables(baseline.func, model,
-                                               analysis, grid, timing);
-  std::cout << "thermal DFA: " << analysis.iterations << " iterations, "
-            << (analysis.converged ? "converged" : "NOT converged")
-            << "; predicted peak "
-            << analysis.exit_stats.peak_k - 273.15 << " degC\n";
-  std::cout << "critical variables:";
-  for (std::size_t i = 0; i < std::min<std::size_t>(3, ranking.size());
-       ++i) {
-    std::cout << " %" << ranking[i].vreg;
+  // Baseline and thermal-aware flows, both spec-driven.
+  const auto base_run = manager.run(kernel->func, kBaselineSpec);
+  if (!base_run.ok) {
+    std::cerr << "baseline pipeline failed: " << base_run.error << "\n";
+    return 1;
   }
-  std::cout << "\n\n";
-
-  // 3. Split hottest, spill runner-up.
-  ir::Function working = kernel->func;
-  if (!ranking.empty()) {
-    opt::split_live_range(working, ranking.front().vreg);
-  }
-  if (ranking.size() > 1) {
-    working = opt::spill_critical_variables(working, {ranking[1]}, 1).func;
+  const auto thermal_run = manager.run(kernel->func, kThermalSpec);
+  if (!thermal_run.ok) {
+    std::cerr << "thermal pipeline failed: " << thermal_run.error << "\n";
+    return 1;
   }
 
-  // 4. Coolest-first re-allocation with the predicted map.
-  regalloc::CoolestFirstPolicy coolest;
-  regalloc::GraphColoringAllocator alloc1(fp, coolest);
-  alloc1.set_heat_scores(analysis.exit_reg_temps_k);
-  const auto improved = alloc1.allocate(working);
+  std::cout << "spec: " << kThermalSpec << "\n\n";
+  pipeline::PassManager::stats_table(thermal_run, "per-pass statistics")
+      .print(std::cout);
+  std::cout << '\n';
 
-  // 5. Thermal scheduling.
-  const auto scheduled = opt::thermal_schedule(improved.func,
-                                               improved.assignment);
-  const Measured after = measure(fp, *kernel, scheduled.func,
-                                 improved.assignment);
+  const Measured before = measure(fp, *kernel, base_run.state.func,
+                                  *base_run.state.assignment);
+  const Measured after = measure(fp, *kernel, thermal_run.state.func,
+                                 *thermal_run.state.assignment);
 
-  // 6. Report.
   if (before.result != after.result) {
     std::cerr << "SEMANTICS BROKEN: " << before.result << " vs "
               << after.result << "\n";

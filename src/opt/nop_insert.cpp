@@ -46,4 +46,8 @@ NopInsertResult insert_cooling_nops(const ir::Function& func,
   return result;
 }
 
+double default_cooling_threshold(const core::ThermalDfaResult& dfa) {
+  return 0.5 * (dfa.exit_stats.mean_k + dfa.peak_anywhere_k);
+}
+
 }  // namespace tadfa::opt

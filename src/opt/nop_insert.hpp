@@ -24,4 +24,9 @@ NopInsertResult insert_cooling_nops(const ir::Function& func,
                                     double threshold_k,
                                     int nops_per_site = 4);
 
+/// Conventional threshold when none is given: midway between the mean exit
+/// temperature and the hottest predicted point ("extremely hot situations"
+/// only — Sec. 4 says NOPs are a last resort).
+double default_cooling_threshold(const core::ThermalDfaResult& dfa);
+
 }  // namespace tadfa::opt

@@ -1,0 +1,75 @@
+// The uniform pass interface.
+//
+// A Pass is a named transformation (or analysis) over PipelineState. The
+// free functions in src/opt and the allocators in src/regalloc keep their
+// plain signatures — passes are thin adapters, so the underlying modules
+// stay usable without the pipeline.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "pipeline/state.hpp"
+
+namespace tadfa::pipeline {
+
+/// Outcome of one pass execution.
+struct PassOutcome {
+  bool ok = true;
+  /// Human-readable failure reason (unmet prerequisite, bad input...).
+  std::string error;
+  /// One-line statistic for reporting, e.g. "replaced 4 exprs".
+  std::string summary;
+
+  static PassOutcome success(std::string summary = "") {
+    PassOutcome o;
+    o.summary = std::move(summary);
+    return o;
+  }
+  static PassOutcome failure(std::string error) {
+    PassOutcome o;
+    o.ok = false;
+    o.error = std::move(error);
+    return o;
+  }
+};
+
+/// The shared verification contract used both by the PassManager's
+/// between-pass checkpoints and the explicit `verify` pass: structural IR
+/// well-formedness plus, when an assignment is live, coverage of every
+/// used virtual register. Returns "" when clean.
+std::string verify_checkpoint(const PipelineState& state);
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// Canonical name as it appears in a pipeline spec (options included),
+  /// e.g. "alloc=coloring:coolest_first".
+  virtual std::string name() const = 0;
+
+  virtual PassOutcome run(PipelineState& state,
+                          const PipelineContext& ctx) = 0;
+};
+
+/// A pass from a callable — used by the builtin registrations and by tests
+/// that inject ad-hoc (including deliberately broken) passes.
+class LambdaPass final : public Pass {
+ public:
+  using Fn = std::function<PassOutcome(PipelineState&, const PipelineContext&)>;
+
+  LambdaPass(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string name() const override { return name_; }
+  PassOutcome run(PipelineState& state, const PipelineContext& ctx) override {
+    return fn_(state, ctx);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace tadfa::pipeline

@@ -1,0 +1,110 @@
+#include "pipeline/pass_manager.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "ir/verifier.hpp"
+
+namespace tadfa::pipeline {
+
+std::string verify_checkpoint(const PipelineState& state) {
+  const auto issues = ir::verify(state.func);
+  if (!issues.empty()) {
+    return "IR: " + issues.front().message;
+  }
+  if (state.assignment.has_value() && !state.assignment->covers(state.func)) {
+    return "assignment does not cover every virtual register";
+  }
+  return "";
+}
+
+PipelineRunResult PassManager::run(const ir::Function& input,
+                                   const std::string& spec) const {
+  SpecError parse_error;
+  const auto passes = parse_pipeline_spec(spec, &parse_error);
+  if (!passes.has_value()) {
+    PipelineRunResult result;
+    result.state = PipelineState(input);
+    result.error = "spec element #" + std::to_string(parse_error.index + 1) +
+                   ": " + parse_error.message;
+    return result;
+  }
+  return run(input, *passes);
+}
+
+PipelineRunResult PassManager::run(const ir::Function& input,
+                                   const std::vector<PassSpec>& specs) const {
+  using Clock = std::chrono::steady_clock;
+
+  PipelineRunResult result;
+  result.state = PipelineState(input);
+
+  // Instantiate everything first: a typo in pass 7 must not leave a
+  // half-transformed function behind.
+  std::vector<std::unique_ptr<Pass>> passes;
+  passes.reserve(specs.size());
+  for (const PassSpec& spec : specs) {
+    std::string error;
+    auto pass = registry_->create(spec, &error);
+    if (pass == nullptr) {
+      result.error = error;
+      return result;
+    }
+    passes.push_back(std::move(pass));
+  }
+
+  if (checkpoints_) {
+    if (std::string issue = verify_checkpoint(result.state); !issue.empty()) {
+      result.error = "verifier checkpoint on pipeline input: " + issue;
+      return result;
+    }
+  }
+
+  const auto pipeline_start = Clock::now();
+  for (const auto& pass : passes) {
+    const auto pass_start = Clock::now();
+    const PassOutcome outcome = pass->run(result.state, ctx_);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - pass_start).count();
+    if (!outcome.ok) {
+      result.error = "pass '" + pass->name() + "': " + outcome.error;
+      return result;
+    }
+
+    PassRunStats stats;
+    stats.name = pass->name();
+    stats.seconds = seconds;
+    stats.summary = outcome.summary;
+    stats.instructions_after = result.state.func.instruction_count();
+    stats.vregs_after = result.state.func.reg_count();
+    result.pass_stats.push_back(std::move(stats));
+
+    if (checkpoints_) {
+      if (std::string issue = verify_checkpoint(result.state); !issue.empty()) {
+        result.error =
+            "verifier checkpoint after pass '" + pass->name() + "': " + issue;
+        return result;
+      }
+    }
+  }
+  result.total_seconds =
+      std::chrono::duration<double>(Clock::now() - pipeline_start).count();
+  result.ok = true;
+  return result;
+}
+
+TextTable PassManager::stats_table(const PipelineRunResult& result,
+                                   const std::string& title) {
+  TextTable table(title);
+  table.set_header({"#", "pass", "ms", "instrs", "vregs", "summary"});
+  for (std::size_t i = 0; i < result.pass_stats.size(); ++i) {
+    const PassRunStats& s = result.pass_stats[i];
+    table.add_row({std::to_string(i + 1), s.name,
+                   TextTable::num(s.seconds * 1e3, 3),
+                   std::to_string(s.instructions_after),
+                   std::to_string(s.vregs_after), s.summary});
+  }
+  return table;
+}
+
+}  // namespace tadfa::pipeline

@@ -1,0 +1,69 @@
+// PassManager: runs a pipeline described by a compact spec string.
+//
+// Responsibilities:
+//   * parse the spec and instantiate every pass up-front (an unknown pass
+//     or bad argument rejects the whole pipeline before anything runs);
+//   * thread one PipelineState through the passes;
+//   * time each pass and collect its statistics line;
+//   * run an IR-verifier (+ assignment coverage) checkpoint between
+//     passes, attributing any corruption to the pass that produced it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/registry.hpp"
+#include "support/table.hpp"
+
+namespace tadfa::pipeline {
+
+/// Timing and statistics for one executed pass.
+struct PassRunStats {
+  /// Canonical pass name (options included).
+  std::string name;
+  double seconds = 0;
+  /// The pass's own statistic line ("removed 4", "12 iters, converged...").
+  std::string summary;
+  std::size_t instructions_after = 0;
+  std::uint32_t vregs_after = 0;
+};
+
+struct PipelineRunResult {
+  bool ok = false;
+  /// On failure: which stage failed (spec parse, pass construction, pass
+  /// execution, or a verifier checkpoint) and why.
+  std::string error;
+  /// Final state; on failure, the state as of the last completed pass.
+  PipelineState state;
+  /// One entry per pass that ran to completion.
+  std::vector<PassRunStats> pass_stats;
+  double total_seconds = 0;
+};
+
+class PassManager {
+ public:
+  explicit PassManager(PipelineContext ctx,
+                       const PassRegistry& registry = default_registry())
+      : ctx_(ctx), registry_(&registry) {}
+
+  /// Toggles the verifier checkpoint between passes (default on).
+  void set_checkpoints(bool enabled) { checkpoints_ = enabled; }
+
+  PipelineRunResult run(const ir::Function& input,
+                        const std::string& spec) const;
+  PipelineRunResult run(const ir::Function& input,
+                        const std::vector<PassSpec>& passes) const;
+
+  /// Per-pass timing/statistics table for reporting drivers.
+  static TextTable stats_table(const PipelineRunResult& result,
+                               const std::string& title = "pipeline");
+
+  const PipelineContext& context() const { return ctx_; }
+
+ private:
+  PipelineContext ctx_;
+  const PassRegistry* registry_;
+  bool checkpoints_ = true;
+};
+
+}  // namespace tadfa::pipeline

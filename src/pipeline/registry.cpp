@@ -1,0 +1,52 @@
+#include "pipeline/registry.hpp"
+
+namespace tadfa::pipeline {
+
+void PassRegistry::register_pass(const std::string& name,
+                                 const std::string& help,
+                                 PassFactory factory) {
+  passes_[name] = Registered{help, std::move(factory)};
+}
+
+bool PassRegistry::contains(const std::string& name) const {
+  return passes_.count(name) != 0;
+}
+
+std::unique_ptr<Pass> PassRegistry::create(const PassSpec& spec,
+                                           std::string* error) const {
+  const auto it = passes_.find(spec.name);
+  if (it == passes_.end()) {
+    if (error != nullptr) {
+      *error = "unknown pass '" + spec.name + "'";
+    }
+    return nullptr;
+  }
+  std::string factory_error;
+  auto pass = it->second.factory(spec, &factory_error);
+  if (pass == nullptr && error != nullptr) {
+    *error = factory_error.empty()
+                 ? "pass '" + spec.name + "' failed to construct"
+                 : factory_error;
+  }
+  return pass;
+}
+
+std::vector<PassRegistry::Entry> PassRegistry::entries() const {
+  std::vector<Entry> out;
+  out.reserve(passes_.size());
+  for (const auto& [name, reg] : passes_) {
+    out.push_back(Entry{name, reg.help});
+  }
+  return out;
+}
+
+PassRegistry& default_registry() {
+  static PassRegistry* registry = [] {
+    auto* r = new PassRegistry();
+    register_builtin_passes(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace tadfa::pipeline

@@ -1,0 +1,63 @@
+// Name -> pass factory registry.
+//
+// Modeled on the pass-registry layers real back-ends grow (cf. redream's
+// jit/ir pass runner): passes register a factory under a spec name, and
+// the PassManager instantiates them from parsed PassSpecs. Tests register
+// additional (including deliberately broken) passes into a private
+// registry without touching the global one.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/pass.hpp"
+#include "pipeline/spec.hpp"
+
+namespace tadfa::pipeline {
+
+/// Builds a pass from its parsed spec. On failure returns nullptr and
+/// fills `error` (e.g. bad sub-argument).
+using PassFactory = std::function<std::unique_ptr<Pass>(
+    const PassSpec& spec, std::string* error)>;
+
+class PassRegistry {
+ public:
+  /// Registers (or replaces) a factory. `help` is the one-line usage shown
+  /// by `tadfa --list-passes`.
+  void register_pass(const std::string& name, const std::string& help,
+                     PassFactory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Instantiates `spec`. Unknown names and factory failures return
+  /// nullptr with `error` set.
+  std::unique_ptr<Pass> create(const PassSpec& spec,
+                               std::string* error) const;
+
+  struct Entry {
+    std::string name;
+    std::string help;
+  };
+  /// All registered passes, sorted by name.
+  std::vector<Entry> entries() const;
+
+ private:
+  struct Registered {
+    std::string help;
+    PassFactory factory;
+  };
+  std::map<std::string, Registered> passes_;
+};
+
+/// The process-wide registry pre-populated with every builtin pass
+/// (src/opt wrappers, allocators, thermal-dfa, verify).
+PassRegistry& default_registry();
+
+/// Registers the builtin passes into `registry` (used by default_registry
+/// and by tests that want a private registry plus extras).
+void register_builtin_passes(PassRegistry& registry);
+
+}  // namespace tadfa::pipeline

@@ -1,0 +1,90 @@
+#include "pipeline/spec.hpp"
+
+#include <cctype>
+
+#include "support/string_utils.hpp"
+
+namespace tadfa::pipeline {
+
+namespace {
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (char c : name) {
+    if (!(std::islower(static_cast<unsigned char>(c)) != 0 ||
+          std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+          c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PassSpec::text() const {
+  if (args.empty()) {
+    return name;
+  }
+  return name + "=" + join(args, ":");
+}
+
+std::optional<std::vector<PassSpec>> parse_pipeline_spec(
+    const std::string& spec, SpecError* error) {
+  auto fail = [&](std::size_t index,
+                  std::string message) -> std::optional<std::vector<PassSpec>> {
+    if (error != nullptr) {
+      error->index = index;
+      error->message = std::move(message);
+    }
+    return std::nullopt;
+  };
+
+  if (trim(spec).empty()) {
+    return fail(0, "empty pipeline spec");
+  }
+
+  std::vector<PassSpec> passes;
+  const std::vector<std::string> elements = split(spec, ',');
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    const std::string element{trim(elements[i])};
+    if (element.empty()) {
+      return fail(i, "empty pipeline element");
+    }
+    PassSpec pass;
+    const std::size_t eq = element.find('=');
+    if (eq == std::string::npos) {
+      pass.name = element;
+    } else {
+      pass.name = element.substr(0, eq);
+      const std::string argtext = element.substr(eq + 1);
+      if (argtext.empty()) {
+        return fail(i, "'" + pass.name + "=' has an empty argument");
+      }
+      for (const std::string& arg : split(argtext, ':')) {
+        if (arg.empty()) {
+          return fail(i, "'" + element + "' has an empty sub-argument");
+        }
+        pass.args.push_back(arg);
+      }
+    }
+    if (!valid_name(pass.name)) {
+      return fail(i, "bad pass name '" + pass.name + "'");
+    }
+    passes.push_back(std::move(pass));
+  }
+  return passes;
+}
+
+std::string spec_to_string(const std::vector<PassSpec>& passes) {
+  std::vector<std::string> elements;
+  elements.reserve(passes.size());
+  for (const PassSpec& pass : passes) {
+    elements.push_back(pass.text());
+  }
+  return join(elements, ",");
+}
+
+}  // namespace tadfa::pipeline

@@ -1,0 +1,45 @@
+// Compact pipeline spec strings.
+//
+// A pipeline is described by a comma-separated list of pass invocations:
+//
+//   "cse,dce,alloc=coloring:coolest_first,thermal-dfa,split-hot=2,schedule"
+//
+// Each element is `name` or `name=arg` where the argument may carry
+// `:`-separated sub-arguments (their meaning is per-pass; e.g. for
+// `alloc` they are allocator kind, policy name, and seed). Whitespace
+// around elements is ignored. Parsing and serialization round-trip.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tadfa::pipeline {
+
+/// One parsed element of a pipeline spec.
+struct PassSpec {
+  std::string name;
+  /// Sub-arguments from `name=a:b:c` -> {"a", "b", "c"}; empty for bare
+  /// `name`.
+  std::vector<std::string> args;
+
+  /// Canonical text, e.g. "alloc=coloring:coolest_first".
+  std::string text() const;
+
+  friend bool operator==(const PassSpec&, const PassSpec&) = default;
+};
+
+struct SpecError {
+  /// 0-based index of the offending element.
+  std::size_t index = 0;
+  std::string message;
+};
+
+/// Parses a spec string. On failure returns nullopt and fills `error`.
+std::optional<std::vector<PassSpec>> parse_pipeline_spec(
+    const std::string& spec, SpecError* error = nullptr);
+
+/// Canonical string for a parsed spec (inverse of parse_pipeline_spec).
+std::string spec_to_string(const std::vector<PassSpec>& passes);
+
+}  // namespace tadfa::pipeline

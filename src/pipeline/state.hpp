@@ -1,0 +1,79 @@
+// Shared state threaded through a pass pipeline.
+//
+// The paper's Sec. 4 flow (thermal DFA -> rank critical variables ->
+// split/spill -> cool-first re-allocation -> thermal scheduling) used to be
+// hand-wired differently in every example and bench driver. The pipeline
+// subsystem makes it declarative: a PipelineState carries the function
+// being compiled plus the analysis artifacts passes produce and consume,
+// and each pass declares what it needs by reading (and failing on) the
+// optional fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/critical.hpp"
+#include "core/thermal_dfa.hpp"
+#include "ir/function.hpp"
+#include "machine/assignment.hpp"
+#include "machine/floorplan.hpp"
+#include "machine/timing.hpp"
+#include "opt/bank_gating.hpp"
+#include "power/model.hpp"
+#include "thermal/grid.hpp"
+
+namespace tadfa::pipeline {
+
+/// The compilation environment — everything that outlives a single run.
+/// Non-owning: the rig objects must outlive the PassManager.
+struct PipelineContext {
+  const machine::Floorplan* floorplan = nullptr;
+  const thermal::ThermalGrid* grid = nullptr;
+  const power::PowerModel* power = nullptr;
+  machine::TimingModel timing;
+  core::ThermalDfaConfig dfa_config;
+  /// Seed handed to stochastic assignment policies ("random").
+  std::uint64_t policy_seed = 42;
+};
+
+/// Mutable state a pipeline run threads from pass to pass.
+struct PipelineState {
+  /// The function being compiled (spill-rewritten, split, scheduled...).
+  ir::Function func;
+
+  /// Physical assignment of `func`, present after an `alloc=` pass and
+  /// dropped by IR-reshaping passes (cse, dce, split-hot, ...).
+  std::optional<machine::RegisterAssignment> assignment;
+
+  /// Most recent thermal-DFA prediction. Its per-register exit
+  /// temperatures guide subsequent heat-aware allocation; its
+  /// per-instruction states refer to the func at analysis time, so passes
+  /// that reshape instructions drop it.
+  std::optional<core::ThermalDfaResult> dfa;
+
+  /// Critical-variable ranking from the last `thermal-dfa` pass,
+  /// descending. split-hot/spill-critical consume entries from the front
+  /// so a later pass never re-treats an already-handled variable.
+  std::vector<core::CriticalVariable> ranking;
+
+  /// Bank power-gating plan from a `bank-gating` pass.
+  std::optional<opt::BankGatingPlan> gating;
+
+  /// Virtual registers spilled across all allocation passes so far.
+  std::uint32_t spilled_regs = 0;
+
+  PipelineState() : func("") {}
+  explicit PipelineState(ir::Function f) : func(std::move(f)) {}
+
+  /// Called by passes that rewrite the IR in ways that stale every
+  /// derived artifact.
+  void invalidate_derived() {
+    assignment.reset();
+    dfa.reset();
+    ranking.clear();
+    gating.reset();
+  }
+};
+
+}  // namespace tadfa::pipeline

@@ -1,0 +1,24 @@
+#include "regalloc/allocator.hpp"
+
+#include "regalloc/graph_coloring.hpp"
+#include "regalloc/linear_scan.hpp"
+
+namespace tadfa::regalloc {
+
+std::unique_ptr<Allocator> make_allocator(const std::string& kind,
+                                          const machine::Floorplan& floorplan,
+                                          AssignmentPolicy& policy) {
+  if (kind == "linear") {
+    return std::make_unique<LinearScanAllocator>(floorplan, policy);
+  }
+  if (kind == "coloring") {
+    return std::make_unique<GraphColoringAllocator>(floorplan, policy);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> all_allocator_kinds() {
+  return {"linear", "coloring"};
+}
+
+}  // namespace tadfa::regalloc

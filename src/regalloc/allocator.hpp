@@ -1,8 +1,19 @@
-// Common result type for register allocators.
+// Common result type and abstract interface for register allocators.
+//
+// Both allocators (linear scan, graph coloring) share the same contract:
+// decide which values live in registers, delegate WHICH register to an
+// AssignmentPolicy, and optionally take thermal guidance. The interface
+// lets drivers — in particular the pipeline's `alloc=` pass — pick an
+// allocator by name instead of hard-wiring a concrete class.
 #pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "ir/function.hpp"
 #include "machine/assignment.hpp"
+#include "regalloc/policy.hpp"
 
 namespace tadfa::regalloc {
 
@@ -17,5 +28,28 @@ struct AllocationResult {
 
   AllocationResult() : func("") {}
 };
+
+/// Abstract allocator: allocate a copy of `func`, spilling as needed.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Allocator kind ("linear", "coloring").
+  virtual std::string name() const = 0;
+
+  /// Optional thermal guidance forwarded to the policy (higher = hotter).
+  virtual void set_heat_scores(std::vector<double> scores) = 0;
+
+  virtual AllocationResult allocate(const ir::Function& func) = 0;
+};
+
+/// Factory by kind ("linear", "coloring"). The policy must outlive the
+/// returned allocator. Returns nullptr for unknown kinds.
+std::unique_ptr<Allocator> make_allocator(const std::string& kind,
+                                          const machine::Floorplan& floorplan,
+                                          AssignmentPolicy& policy);
+
+/// All allocator kinds, in presentation order.
+std::vector<std::string> all_allocator_kinds();
 
 }  // namespace tadfa::regalloc

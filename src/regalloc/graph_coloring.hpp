@@ -7,17 +7,19 @@
 
 namespace tadfa::regalloc {
 
-class GraphColoringAllocator {
+class GraphColoringAllocator final : public Allocator {
  public:
   GraphColoringAllocator(const machine::Floorplan& floorplan,
                          AssignmentPolicy& policy)
       : floorplan_(&floorplan), policy_(&policy) {}
 
-  void set_heat_scores(std::vector<double> scores) {
+  std::string name() const override { return "coloring"; }
+
+  void set_heat_scores(std::vector<double> scores) override {
     heat_scores_ = std::move(scores);
   }
 
-  AllocationResult allocate(const ir::Function& func);
+  AllocationResult allocate(const ir::Function& func) override;
 
  private:
   const machine::Floorplan* floorplan_;

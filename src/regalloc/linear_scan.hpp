@@ -12,19 +12,21 @@
 
 namespace tadfa::regalloc {
 
-class LinearScanAllocator {
+class LinearScanAllocator final : public Allocator {
  public:
   LinearScanAllocator(const machine::Floorplan& floorplan,
                       AssignmentPolicy& policy)
       : floorplan_(&floorplan), policy_(&policy) {}
 
+  std::string name() const override { return "linear"; }
+
   /// Optional thermal guidance forwarded to the policy.
-  void set_heat_scores(std::vector<double> scores) {
+  void set_heat_scores(std::vector<double> scores) override {
     heat_scores_ = std::move(scores);
   }
 
   /// Allocates a copy of `func`, spilling as needed until everything fits.
-  AllocationResult allocate(const ir::Function& func);
+  AllocationResult allocate(const ir::Function& func) override;
 
  private:
   const machine::Floorplan* floorplan_;

@@ -1,0 +1,326 @@
+// tadfa — the pipeline as a command-line tool.
+//
+// Parses a named kernel or an IR text file, runs a spec-string pipeline
+// through pipeline::PassManager, and reports per-pass statistics plus the
+// measured thermal effect (trace -> replay) against a baseline pipeline.
+//
+//   tadfa crc32
+//   tadfa --pipeline="cse,dce,alloc=linear:farthest_spread" fir
+//   tadfa --pipeline="alloc=linear:first_free,thermal-dfa,nops=3" my.tir
+//   tadfa --list-passes
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ir/parser.hpp"
+#include "pipeline/pass_manager.hpp"
+#include "power/access_trace.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/thermal_replay.hpp"
+#include "support/heatmap.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+#include "workload/kernels.hpp"
+
+using namespace tadfa;
+
+namespace {
+
+// The paper's Sec. 4 flow, end to end.
+constexpr const char* kDefaultPipeline =
+    "alloc=linear:first_free,thermal-dfa,split-hot=1,spill-critical=1,"
+    "alloc=coloring:coolest_first,schedule";
+constexpr const char* kDefaultBaseline = "alloc=linear:first_free";
+
+struct Options {
+  std::string pipeline = kDefaultPipeline;
+  std::string baseline = kDefaultBaseline;
+  std::string input;
+  std::vector<std::int64_t> args;
+  bool args_given = false;
+  double delta_k = 0.01;
+  int max_iterations = 100;
+  std::uint64_t seed = 42;
+  bool verify = true;
+  bool maps = true;
+  bool csv = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] <kernel-name | file.tir>\n"
+      << "  --pipeline=SPEC   pass pipeline (default: the Sec. 4 flow)\n"
+      << "  --baseline=SPEC   comparison pipeline (default "
+      << kDefaultBaseline << "; 'none' disables)\n"
+      << "  --args=N,N,...    kernel arguments (default: the kernel's own)\n"
+      << "  --delta=K         thermal-DFA convergence threshold\n"
+      << "  --max-iters=N     thermal-DFA iteration cap\n"
+      << "  --seed=N          assignment-policy seed\n"
+      << "  --no-verify       disable between-pass verifier checkpoints\n"
+      << "  --no-map          skip the heatmaps\n"
+      << "  --csv             emit tables as CSV\n"
+      << "  --list-passes     available passes\n"
+      << "  --list-kernels    available kernels\n";
+  return 2;
+}
+
+struct Measured {
+  thermal::MapStats stats;
+  std::vector<double> temps_k;
+  std::uint64_t cycles = 0;
+  std::optional<std::int64_t> result;
+  bool ok = false;
+  std::string trap;
+};
+
+Measured measure(const machine::Floorplan& fp,
+                 const pipeline::PipelineState& state,
+                 const std::vector<std::int64_t>& args,
+                 const std::function<void(std::vector<std::int64_t>&)>& init) {
+  Measured m;
+  const machine::TimingModel timing;
+  sim::Interpreter interp(state.func, timing);
+  if (init) {
+    init(interp.memory());
+  }
+  power::AccessTrace trace(fp.num_registers());
+  const auto run = interp.run_traced(args, *state.assignment, trace);
+  if (!run.ok()) {
+    m.trap = run.trap.value_or("?");
+    return m;
+  }
+  const thermal::ThermalGrid grid(fp);
+  const power::PowerModel power(fp.config());
+  const sim::ThermalReplay replay(grid, power);
+  sim::ReplayConfig cfg;
+  cfg.max_repeats = 60;
+  if (state.gating.has_value()) {
+    cfg.gated_banks = state.gating->gated;
+  }
+  const auto r = replay.replay(trace, cfg);
+  m.stats = r.final_stats;
+  m.temps_k = r.final_reg_temps;
+  m.cycles = run.cycles;
+  m.result = run.return_value;
+  m.ok = true;
+  return m;
+}
+
+void print_table(const TextTable& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (starts_with(arg, prefix)) {
+        return arg.substr(prefix.size());
+      }
+      return std::nullopt;
+    };
+    if (arg == "--list-passes") {
+      TextTable table("available passes");
+      table.set_header({"pass", "description"});
+      for (const auto& entry : pipeline::default_registry().entries()) {
+        table.add_row({entry.name, entry.help});
+      }
+      table.print(std::cout);
+      return 0;
+    }
+    if (arg == "--list-kernels") {
+      for (const auto& kernel : workload::standard_suite()) {
+        std::cout << kernel.name << '\n';
+      }
+      return 0;
+    }
+    if (arg == "--no-verify") {
+      opt.verify = false;
+    } else if (arg == "--no-map") {
+      opt.maps = false;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (auto v = value("--pipeline=")) {
+      opt.pipeline = *v;
+    } else if (auto v = value("--baseline=")) {
+      opt.baseline = *v;
+    } else if (auto v = value("--args=")) {
+      opt.args.clear();
+      opt.args_given = true;
+      for (const std::string& field : split(*v, ',')) {
+        long long n = 0;
+        if (!parse_int(trim(field), n)) {
+          std::cerr << "bad --args value '" << field << "'\n";
+          return 2;
+        }
+        opt.args.push_back(n);
+      }
+    } else if (auto v = value("--delta=")) {
+      if (!parse_double(*v, opt.delta_k)) {
+        return usage(argv[0]);
+      }
+    } else if (auto v = value("--max-iters=")) {
+      long long n = 0;
+      if (!parse_int(*v, n) || n < 1) {
+        return usage(argv[0]);
+      }
+      opt.max_iterations = static_cast<int>(n);
+    } else if (auto v = value("--seed=")) {
+      long long n = 0;
+      if (!parse_int(*v, n) || n < 0) {
+        return usage(argv[0]);
+      }
+      opt.seed = static_cast<std::uint64_t>(n);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (opt.input.empty()) {
+      opt.input = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.input.empty()) {
+    return usage(argv[0]);
+  }
+
+  // Resolve the input: named kernel first, IR file second.
+  workload::Kernel kernel;
+  if (auto named = workload::make_kernel(opt.input)) {
+    kernel = *named;
+  } else {
+    std::ifstream in(opt.input);
+    if (!in) {
+      std::cerr << "'" << opt.input
+                << "' is neither a known kernel nor a readable file "
+                   "(--list-kernels shows the kernels)\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ir::ParseError error;
+    auto parsed = ir::parse_function(buffer.str(), &error);
+    if (!parsed) {
+      std::cerr << opt.input << ":" << error.line << ": " << error.message
+                << "\n";
+      return 1;
+    }
+    kernel.name = parsed->name();
+    kernel.func = *parsed;
+  }
+  if (opt.args_given) {
+    kernel.default_args = opt.args;
+  }
+
+  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
+  const thermal::ThermalGrid grid(fp);
+  const power::PowerModel power(fp.config());
+
+  pipeline::PipelineContext ctx;
+  ctx.floorplan = &fp;
+  ctx.grid = &grid;
+  ctx.power = &power;
+  ctx.dfa_config.delta_k = opt.delta_k;
+  ctx.dfa_config.max_iterations = opt.max_iterations;
+  ctx.policy_seed = opt.seed;
+
+  pipeline::PassManager manager(ctx);
+  manager.set_checkpoints(opt.verify);
+
+  const auto run = manager.run(kernel.func, opt.pipeline);
+  if (!run.ok) {
+    std::cerr << "pipeline failed: " << run.error << "\n";
+    return 1;
+  }
+  print_table(pipeline::PassManager::stats_table(
+                  run, "pipeline '" + opt.pipeline + "' on " + kernel.name),
+              opt.csv);
+
+  if (!run.state.assignment.has_value()) {
+    std::cout << "(no assignment produced; add an alloc= pass to measure "
+                 "thermal effect)\n";
+    return 0;
+  }
+
+  const Measured after =
+      measure(fp, run.state, kernel.default_args, kernel.init_memory);
+  if (!after.ok) {
+    std::cerr << "pipeline output trapped: " << after.trap << "\n";
+    return 1;
+  }
+
+  std::optional<Measured> before;
+  if (opt.baseline != "none") {
+    const auto base_run = manager.run(kernel.func, opt.baseline);
+    if (!base_run.ok) {
+      std::cerr << "baseline pipeline failed: " << base_run.error << "\n";
+      return 1;
+    }
+    if (base_run.state.assignment.has_value()) {
+      before =
+          measure(fp, base_run.state, kernel.default_args, kernel.init_memory);
+      if (!before->ok) {
+        std::cerr << "baseline output trapped: " << before->trap << "\n";
+        return 1;
+      }
+      if (before->result != after.result) {
+        std::cerr << "SEMANTICS BROKEN: baseline returned "
+                  << before->result.value_or(0) << ", pipeline returned "
+                  << after.result.value_or(0) << "\n";
+        return 1;
+      }
+    }
+  }
+  if (kernel.expected_result.has_value() &&
+      after.result != kernel.expected_result) {
+    std::cerr << "SEMANTICS BROKEN: expected " << *kernel.expected_result
+              << ", got " << after.result.value_or(0) << "\n";
+    return 1;
+  }
+
+  auto to_c = [](std::vector<double> v) {
+    for (double& t : v) {
+      t -= 273.15;
+    }
+    return v;
+  };
+  if (opt.maps && before.has_value()) {
+    HeatmapOptions hm;
+    hm.scale_min = std::min(before->stats.min_k, after.stats.min_k) - 273.15;
+    hm.scale_max = std::max(before->stats.peak_k, after.stats.peak_k) - 273.15;
+    render_heatmap_pair(std::cout, to_c(before->temps_k), to_c(after.temps_k),
+                        fp.rows(), fp.cols(), "baseline", "pipeline", hm);
+    std::cout << '\n';
+  } else if (opt.maps) {
+    render_heatmap(std::cout, to_c(after.temps_k), fp.rows(), fp.cols());
+    std::cout << '\n';
+  }
+
+  TextTable table("measured steady state — " + kernel.name);
+  table.set_header({"pipeline", "peak degC", "range K", "stddev K",
+                    "max grad K", "cycles", "result"});
+  auto row = [&](const std::string& name, const Measured& m) {
+    table.add_row({name, TextTable::num(m.stats.peak_k - 273.15, 2),
+                   TextTable::num(m.stats.range_k, 3),
+                   TextTable::num(m.stats.stddev_k, 3),
+                   TextTable::num(m.stats.max_gradient_k, 3),
+                   std::to_string(m.cycles),
+                   std::to_string(m.result.value_or(0))});
+  };
+  if (before.has_value()) {
+    row(opt.baseline, *before);
+  }
+  row(opt.pipeline, after);
+  print_table(table, opt.csv);
+  return 0;
+}
