@@ -5,7 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "dataflow/interference.hpp"
 #include "dataflow/liveness.hpp"
+#include "dataflow/loop_info.hpp"
+#include "pipeline/analysis_manager.hpp"
+#include "pipeline/pass_manager.hpp"
 
 namespace {
 
@@ -14,6 +18,21 @@ using namespace tadfa;
 bench::Rig& rig() {
   static bench::Rig r;
   return r;
+}
+
+/// Largest kernel in the standard suite (by instruction count) — the
+/// workload the cold-vs-cached analysis benchmarks run on.
+const workload::Kernel& largest_kernel() {
+  static const workload::Kernel kernel = [] {
+    workload::Kernel best;
+    for (const workload::Kernel& k : workload::standard_suite()) {
+      if (k.func.instruction_count() > best.func.instruction_count()) {
+        best = k;
+      }
+    }
+    return best;
+  }();
+  return kernel;
 }
 
 void BM_ThermalStep(benchmark::State& state) {
@@ -134,6 +153,63 @@ void BM_ThermalDfa_RfSize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThermalDfa_RfSize)->Arg(16)->Arg(64)->Arg(128);
+
+// --- AnalysisManager: cold vs. cached ---------------------------------------
+// The full per-function analysis stack (Cfg -> Liveness -> intervals /
+// interference, Dominators -> loops) on the largest workload kernel.
+// "Cold" rebuilds everything per request — the old every-pass behavior;
+// "cached" is what the pipeline now does between invalidations.
+
+void BM_AnalysisSuite_Cold(benchmark::State& state) {
+  const ir::Function& f = largest_kernel().func;
+  for (auto _ : state) {
+    pipeline::AnalysisManager am;
+    benchmark::DoNotOptimize(&am.get<dataflow::InterferenceGraph>(f));
+    benchmark::DoNotOptimize(&am.get<dataflow::LiveIntervals>(f));
+    benchmark::DoNotOptimize(&am.get<dataflow::LoopInfo>(f));
+  }
+  state.SetLabel(largest_kernel().name + ", " +
+                 std::to_string(f.instruction_count()) + " instrs");
+}
+BENCHMARK(BM_AnalysisSuite_Cold);
+
+void BM_AnalysisSuite_Cached(benchmark::State& state) {
+  const ir::Function& f = largest_kernel().func;
+  pipeline::AnalysisManager am;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&am.get<dataflow::InterferenceGraph>(f));
+    benchmark::DoNotOptimize(&am.get<dataflow::LiveIntervals>(f));
+    benchmark::DoNotOptimize(&am.get<dataflow::LoopInfo>(f));
+  }
+  state.SetLabel(largest_kernel().name + ", " +
+                 std::to_string(f.instruction_count()) + " instrs");
+}
+BENCHMARK(BM_AnalysisSuite_Cached);
+
+// A repeated-analysis pipeline spec (transform / verify interleaving, as
+// a production pipeline would run it) with the analysis cache on vs. off.
+// Same passes, same output — the delta is purely re-derived analyses.
+void BM_RepeatedAnalysisPipeline(benchmark::State& state, bool cached) {
+  pipeline::PipelineContext ctx;
+  ctx.floorplan = &rig().fp;
+  ctx.grid = &rig().grid;
+  ctx.power = &rig().power;
+  pipeline::PassManager manager(ctx);
+  manager.set_checkpoints(false);
+  manager.set_analysis_caching(cached);
+  const ir::Function& f = largest_kernel().func;
+  constexpr const char* kSpec =
+      "alloc=linear:first_free,verify,dce,verify,coalesce,verify,dce,verify,"
+      "coalesce,verify,dce,verify,coalesce,verify,dce,verify,"
+      "coalesce,verify,dce,verify,coalesce,verify,dce,verify";
+  for (auto _ : state) {
+    auto result = manager.run(f, kSpec);
+    benchmark::DoNotOptimize(&result);
+  }
+  state.SetLabel(largest_kernel().name);
+}
+BENCHMARK_CAPTURE(BM_RepeatedAnalysisPipeline, cold, false);
+BENCHMARK_CAPTURE(BM_RepeatedAnalysisPipeline, cached, true);
 
 void BM_Interpreter(benchmark::State& state) {
   auto kernel = workload::make_matmul(8);

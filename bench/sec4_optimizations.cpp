@@ -82,7 +82,7 @@ bool emit_variants(const pipeline::PassManager& manager,
       return false;
     }
     const auto m = bench::measure(rig, kernel, run.state.func,
-                                  *run.state.assignment);
+                                  *run.state.assignment());
     if (!m.ok) {
       return false;
     }

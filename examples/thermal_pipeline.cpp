@@ -96,9 +96,9 @@ int main(int argc, char** argv) {
   std::cout << '\n';
 
   const Measured before = measure(fp, *kernel, base_run.state.func,
-                                  *base_run.state.assignment);
+                                  *base_run.state.assignment());
   const Measured after = measure(fp, *kernel, thermal_run.state.func,
-                                 *thermal_run.state.assignment);
+                                 *thermal_run.state.assignment());
 
   if (before.result != after.result) {
     std::cerr << "SEMANTICS BROKEN: " << before.result << " vs "

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dataflow/dominators.hpp"
+#include "pipeline/analysis_manager.hpp"
 #include "support/assert.hpp"
 #include "support/statistics.hpp"
 
@@ -12,16 +13,14 @@ namespace tadfa::core {
 std::vector<CriticalVariable> rank_critical_variables(
     const ir::Function& func, const AccessDistributionModel& model,
     const ThermalDfaResult& dfa, const thermal::ThermalGrid& grid,
-    const machine::TimingModel& timing, double trip_count_guess) {
+    const machine::TimingModel& timing, double trip_count_guess,
+    pipeline::AnalysisManager& am) {
   const machine::Floorplan& fp = grid.floorplan();
   const machine::TechnologyParams& tech = fp.config().tech;
   const std::uint32_t n_phys = fp.num_registers();
 
-  const dataflow::Cfg cfg(func);
-  const dataflow::Dominators doms(cfg);
-  const dataflow::LoopInfo loops(cfg, doms);
-  const auto freq =
-      dataflow::estimate_block_frequencies(cfg, loops, trip_count_guess);
+  const std::vector<double>& freq =
+      pipeline::block_frequencies(am, func, trip_count_guess);
 
   // Whole-program time estimate for energy-rate normalization.
   double total_cycles = 0;
@@ -85,6 +84,15 @@ std::vector<CriticalVariable> rank_critical_variables(
                            }),
             out.end());
   return out;
+}
+
+std::vector<CriticalVariable> rank_critical_variables(
+    const ir::Function& func, const AccessDistributionModel& model,
+    const ThermalDfaResult& dfa, const thermal::ThermalGrid& grid,
+    const machine::TimingModel& timing, double trip_count_guess) {
+  pipeline::AnalysisManager am;
+  return rank_critical_variables(func, model, dfa, grid, timing,
+                                 trip_count_guess, am);
 }
 
 std::vector<HotProgramPoint> hot_program_points(const ThermalDfaResult& dfa,

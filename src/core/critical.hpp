@@ -12,6 +12,10 @@
 
 #include "core/thermal_dfa.hpp"
 
+namespace tadfa::pipeline {
+class AnalysisManager;
+}
+
 namespace tadfa::core {
 
 struct CriticalVariable {
@@ -28,7 +32,14 @@ struct CriticalVariable {
 
 /// Ranks all virtual registers by criticality, descending. `model`
 /// supplies each variable's cell distribution (exact or predictive), and
-/// `dfa` the predicted temperature field.
+/// `dfa` the predicted temperature field. The manager-taking overload
+/// shares Cfg/LoopInfo/frequencies with the thermal DFA that just ran;
+/// the plain one rebuilds them privately.
+std::vector<CriticalVariable> rank_critical_variables(
+    const ir::Function& func, const AccessDistributionModel& model,
+    const ThermalDfaResult& dfa, const thermal::ThermalGrid& grid,
+    const machine::TimingModel& timing, double trip_count_guess,
+    pipeline::AnalysisManager& am);
 std::vector<CriticalVariable> rank_critical_variables(
     const ir::Function& func, const AccessDistributionModel& model,
     const ThermalDfaResult& dfa, const thermal::ThermalGrid& grid,

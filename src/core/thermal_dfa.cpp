@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "pipeline/analysis_manager.hpp"
 #include "support/assert.hpp"
 
 namespace tadfa::core {
@@ -55,19 +56,19 @@ void ThermalDfa::set_block_profile(std::vector<double> block_counts) {
   profile_ = std::move(block_counts);
 }
 
-ThermalDfaResult ThermalDfa::analyze(
-    const ir::Function& func, const AccessDistributionModel& model) const {
+ThermalDfaResult ThermalDfa::analyze(const ir::Function& func,
+                                     const AccessDistributionModel& model,
+                                     pipeline::AnalysisManager& am) const {
   const auto t0 = std::chrono::steady_clock::now();
 
   const machine::Floorplan& fp = grid_->floorplan();
   const machine::TechnologyParams& tech = fp.config().tech;
   const std::uint32_t n_phys = fp.num_registers();
 
-  const dataflow::Cfg cfg(func);
-  const dataflow::Dominators doms(cfg);
-  const dataflow::LoopInfo loops(cfg, doms);
+  const dataflow::Cfg& cfg = am.get<dataflow::Cfg>(func);
 
-  // Block execution frequencies: profiled when available, else static.
+  // Block execution frequencies: profiled when available, else static
+  // (cached per trip-count guess, shared with the ranking stage).
   std::vector<double> freq;
   if (profile_) {
     TADFA_ASSERT(profile_->size() == func.block_count());
@@ -77,8 +78,7 @@ ThermalDfaResult ThermalDfa::analyze(
       f = std::max(f / entry_count, 0.0);
     }
   } else {
-    freq = dataflow::estimate_block_frequencies(cfg, loops,
-                                                config_.trip_count_guess);
+    freq = pipeline::block_frequencies(am, func, config_.trip_count_guess);
   }
 
   ThermalDfaResult result;
@@ -252,6 +252,19 @@ ThermalDfaResult ThermalDfa::analyze(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return result;
+}
+
+ThermalDfaResult ThermalDfa::analyze(
+    const ir::Function& func, const AccessDistributionModel& model) const {
+  pipeline::AnalysisManager am;
+  return analyze(func, model, am);
+}
+
+ThermalDfaResult ThermalDfa::analyze_post_ra(
+    const ir::Function& func, const machine::RegisterAssignment& assignment,
+    pipeline::AnalysisManager& am) const {
+  const ExactAssignmentModel model(func, grid_->floorplan(), assignment);
+  return analyze(func, model, am);
 }
 
 ThermalDfaResult ThermalDfa::analyze_post_ra(

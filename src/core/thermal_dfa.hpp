@@ -29,6 +29,10 @@
 #include "thermal/grid.hpp"
 #include "thermal/map_stats.hpp"
 
+namespace tadfa::pipeline {
+class AnalysisManager;
+}
+
 namespace tadfa::core {
 
 /// How predecessor exit states are merged at a join point. The paper
@@ -98,11 +102,20 @@ class ThermalDfa {
 
   /// Runs the analysis. `model` supplies each virtual register's
   /// distribution over physical cells — exact post-RA (delta) or
-  /// predictive pre-RA (probabilistic).
+  /// predictive pre-RA (probabilistic). The manager-taking overload
+  /// requests Cfg / LoopInfo / block frequencies through `am` so repeated
+  /// analyses (and the critical-variable ranking that follows) share
+  /// them; the plain one uses a private manager.
+  ThermalDfaResult analyze(const ir::Function& func,
+                           const AccessDistributionModel& model,
+                           pipeline::AnalysisManager& am) const;
   ThermalDfaResult analyze(const ir::Function& func,
                            const AccessDistributionModel& model) const;
 
   /// Convenience: post-RA exact analysis.
+  ThermalDfaResult analyze_post_ra(const ir::Function& func,
+                                   const machine::RegisterAssignment& assignment,
+                                   pipeline::AnalysisManager& am) const;
   ThermalDfaResult analyze_post_ra(
       const ir::Function& func,
       const machine::RegisterAssignment& assignment) const;

@@ -108,6 +108,65 @@ std::vector<InstrRef> Function::all_instructions() const {
   return refs;
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the value's bytes, unrolled to one multiply per word.
+  h ^= v;
+  h *= kFnvPrime;
+}
+
+void mix_instruction(std::uint64_t& h, const Instruction& inst) {
+  mix(h, static_cast<std::uint64_t>(inst.opcode()));
+  mix(h, inst.has_dest() ? inst.dest() : kInvalidReg);
+  for (const Operand& op : inst.operands()) {
+    mix(h, op.is_reg() ? 1 : 2);
+    mix(h, op.is_reg() ? op.reg()
+                       : static_cast<std::uint64_t>(op.imm()));
+  }
+  for (BlockId t : inst.targets()) {
+    mix(h, t);
+  }
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const Function& func) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, func.reg_count());
+  for (Reg p : func.params()) {
+    mix(h, p);
+  }
+  for (const BasicBlock& b : func.blocks()) {
+    mix(h, b.size());
+    for (const Instruction& inst : b.instructions()) {
+      mix_instruction(h, inst);
+    }
+  }
+  return h;
+}
+
+std::uint64_t structure_fingerprint(const Function& func) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, func.block_count());
+  for (const BasicBlock& b : func.blocks()) {
+    if (b.has_terminator()) {
+      // Opcode + targets only: renaming a branch condition register does
+      // not move any CFG edge, so it must not perturb this hash.
+      mix(h, static_cast<std::uint64_t>(b.terminator().opcode()));
+      for (BlockId t : b.terminator().targets()) {
+        mix(h, t);
+      }
+    } else {
+      mix(h, 0);
+    }
+  }
+  return h;
+}
+
 Function& Module::add_function(std::string name) {
   functions_.emplace_back(std::move(name));
   return functions_.back();

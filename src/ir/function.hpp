@@ -126,6 +126,18 @@ class Function {
   std::uint32_t stack_slots_ = 0;
 };
 
+/// Order-sensitive 64-bit hash of the full instruction stream (opcodes,
+/// defs, operands, targets, params, register count). Cheap IR-change
+/// detection for pipeline checkpoints: two calls differ iff the function
+/// was mutated (modulo astronomically unlikely collisions).
+std::uint64_t fingerprint(const Function& func);
+
+/// Hash of the block-level structure only: block count and each block's
+/// terminator (opcode + targets) — exactly the inputs Cfg, Dominators,
+/// LoopInfo, and the static frequency estimate derive from. Instruction
+/// rewrites that keep terminators intact keep this stable.
+std::uint64_t structure_fingerprint(const Function& func);
+
 /// A collection of functions (one translation unit).
 class Module {
  public:

@@ -4,6 +4,7 @@
 
 #include "dataflow/interference.hpp"
 #include "dataflow/liveness.hpp"
+#include "pipeline/analysis_manager.hpp"
 
 namespace tadfa::opt {
 namespace {
@@ -39,18 +40,17 @@ std::size_t drop_identity_moves(ir::Function& func) {
 
 }  // namespace
 
-CoalesceResult coalesce_copies(const ir::Function& func) {
-  CoalesceResult result;
-  result.func = func;
+std::size_t coalesce_copies(ir::Function& func,
+                            pipeline::AnalysisManager& am) {
+  std::size_t coalesced = 0;
 
   bool merged = true;
   while (merged) {
     merged = false;
-    const dataflow::Cfg cfg(result.func);
-    const dataflow::Liveness liveness(cfg);
-    const dataflow::InterferenceGraph graph(cfg, liveness);
+    const dataflow::InterferenceGraph& graph =
+        am.get<dataflow::InterferenceGraph>(func);
 
-    for (const ir::BasicBlock& block : result.func.blocks()) {
+    for (const ir::BasicBlock& block : func.blocks()) {
       for (const ir::Instruction& inst : block.instructions()) {
         if (inst.opcode() != ir::Opcode::kMov ||
             !inst.operands()[0].is_reg()) {
@@ -63,7 +63,7 @@ CoalesceResult coalesce_copies(const ir::Function& func) {
         }
         // Keep the parameter register as the representative so the
         // function signature stays intact; skip param-param pairs.
-        const auto& params = result.func.params();
+        const auto& params = func.params();
         const bool d_param =
             std::find(params.begin(), params.end(), d) != params.end();
         const bool s_param =
@@ -73,8 +73,8 @@ CoalesceResult coalesce_copies(const ir::Function& func) {
         }
         const ir::Reg keep = d_param ? d : s;
         const ir::Reg drop = d_param ? s : d;
-        rename(result.func, drop, keep);
-        result.coalesced += drop_identity_moves(result.func);
+        rename(func, drop, keep);
+        coalesced += drop_identity_moves(func);
         merged = true;
         break;  // interference graph is stale; rebuild
       }
@@ -82,7 +82,20 @@ CoalesceResult coalesce_copies(const ir::Function& func) {
         break;
       }
     }
+    if (merged) {
+      // Renames move live ranges but never touch terminator targets:
+      // liveness (and the graph built on it) is stale, the Cfg is not.
+      am.invalidate<dataflow::Liveness>();
+    }
   }
+  return coalesced;
+}
+
+CoalesceResult coalesce_copies(const ir::Function& func) {
+  CoalesceResult result;
+  result.func = func;
+  pipeline::AnalysisManager am;
+  result.coalesced = coalesce_copies(result.func, am);
   return result;
 }
 

@@ -10,6 +10,10 @@
 
 #include "ir/function.hpp"
 
+namespace tadfa::pipeline {
+class AnalysisManager;
+}
+
 namespace tadfa::opt {
 
 struct CoalesceResult {
@@ -20,9 +24,16 @@ struct CoalesceResult {
   CoalesceResult() : func("") {}
 };
 
-/// Conservative (Chaitin-style) coalescing: repeatedly find a
-/// `%d = mov %s` where d and s do not interfere, rename d to s everywhere,
-/// and drop the identity move. Runs until no merge applies.
+/// In-place conservative (Chaitin-style) coalescing sharing the
+/// interference graph through the manager: repeatedly find a `%d = mov %s`
+/// where d and s do not interfere, rename d to s everywhere, and drop the
+/// identity move. Runs until no merge applies; the final iteration's
+/// liveness/interference stay cached. Returns copies merged away.
+std::size_t coalesce_copies(ir::Function& func,
+                            pipeline::AnalysisManager& am);
+
+/// Standalone wrapper: copies `func` and runs the in-place version with a
+/// private AnalysisManager.
 CoalesceResult coalesce_copies(const ir::Function& func);
 
 }  // namespace tadfa::opt

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "dataflow/liveness.hpp"
+#include "pipeline/analysis_manager.hpp"
 
 namespace tadfa::opt {
 namespace {
@@ -23,9 +24,9 @@ bool has_side_effect(const ir::Instruction& inst) {
 
 }  // namespace
 
-DceResult eliminate_dead_code(const ir::Function& func) {
-  DceResult result;
-  result.func = func;
+std::size_t eliminate_dead_code(ir::Function& func,
+                                pipeline::AnalysisManager& am) {
+  std::size_t removed = 0;
 
   // Fixed point: an instruction is removable when it has no side effect
   // and its destination is not live immediately after it. Each pass
@@ -35,9 +36,8 @@ DceResult eliminate_dead_code(const ir::Function& func) {
   bool changed = true;
   while (changed) {
     changed = false;
-    const dataflow::Cfg cfg(result.func);
-    const dataflow::Liveness liveness(cfg);
-    for (ir::BasicBlock& block : result.func.blocks()) {
+    const dataflow::Liveness& liveness = am.get<dataflow::Liveness>(func);
+    for (ir::BasicBlock& block : func.blocks()) {
       const auto after = liveness.live_after_each(block.id());
       auto& insts = block.instructions();
       for (std::size_t i = insts.size(); i-- > 0;) {
@@ -50,11 +50,24 @@ DceResult eliminate_dead_code(const ir::Function& func) {
           continue;
         }
         insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(i));
-        ++result.removed;
+        ++removed;
         changed = true;
       }
     }
+    if (changed) {
+      // Removals never touch terminators: the Cfg survives, liveness
+      // (and everything downstream of it) does not.
+      am.invalidate<dataflow::Liveness>();
+    }
   }
+  return removed;
+}
+
+DceResult eliminate_dead_code(const ir::Function& func) {
+  DceResult result;
+  result.func = func;
+  pipeline::AnalysisManager am;
+  result.removed = eliminate_dead_code(result.func, am);
   return result;
 }
 

@@ -9,6 +9,10 @@
 
 #include "ir/function.hpp"
 
+namespace tadfa::pipeline {
+class AnalysisManager;
+}
+
 namespace tadfa::opt {
 
 struct DceResult {
@@ -18,8 +22,16 @@ struct DceResult {
   DceResult() : func("") {}
 };
 
-/// Removes instructions that define a register no live instruction reads.
-/// Runs to a fixed point (removing one dead op can kill its inputs).
+/// In-place DCE sharing liveness through the manager: Cfg is computed at
+/// most once (DCE never removes terminators), Liveness once per sweep
+/// that removed something, and the final no-change sweep's Liveness stays
+/// cached for downstream consumers. Returns instructions removed.
+std::size_t eliminate_dead_code(ir::Function& func,
+                                pipeline::AnalysisManager& am);
+
+/// Standalone wrapper: copies `func` and runs the in-place version with a
+/// private AnalysisManager. Runs to a fixed point (removing one dead op
+/// can kill its inputs).
 DceResult eliminate_dead_code(const ir::Function& func);
 
 }  // namespace tadfa::opt

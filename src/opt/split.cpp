@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dataflow/liveness.hpp"
+#include "pipeline/analysis_manager.hpp"
 #include "support/assert.hpp"
 
 namespace tadfa::opt {
@@ -19,12 +20,12 @@ bool uses_reg(const ir::Instruction& inst, ir::Reg reg) {
 
 }  // namespace
 
-SplitResult split_live_range(ir::Function& func, ir::Reg reg) {
+SplitResult split_live_range(ir::Function& func, ir::Reg reg,
+                             pipeline::AnalysisManager& am) {
   TADFA_ASSERT(reg < func.reg_count());
   SplitResult result;
 
-  const dataflow::Cfg cfg(func);
-  const dataflow::Liveness liveness(cfg);
+  const dataflow::Liveness& liveness = am.get<dataflow::Liveness>(func);
 
   for (ir::BasicBlock& block : func.blocks()) {
     if (!liveness.live_in(block.id()).test(reg)) {
@@ -69,19 +70,37 @@ SplitResult split_live_range(ir::Function& func, ir::Reg reg) {
       inst.replace_uses(reg, copy);
     }
   }
+
+  if (!result.copies.empty()) {
+    // Copy insertion keeps every terminator in place (Cfg survives) but
+    // adds defs/uses: liveness and its dependents are stale.
+    am.invalidate<dataflow::Liveness>();
+  }
   return result;
 }
 
+SplitResult split_live_range(ir::Function& func, ir::Reg reg) {
+  pipeline::AnalysisManager am;
+  return split_live_range(func, reg, am);
+}
+
 SplitResult split_live_ranges(ir::Function& func,
-                              const std::vector<ir::Reg>& regs) {
+                              const std::vector<ir::Reg>& regs,
+                              pipeline::AnalysisManager& am) {
   SplitResult total;
   for (ir::Reg r : regs) {
-    const SplitResult one = split_live_range(func, r);
+    const SplitResult one = split_live_range(func, r, am);
     total.copies.insert(total.copies.end(), one.copies.begin(),
                         one.copies.end());
     total.rewritten_uses += one.rewritten_uses;
   }
   return total;
+}
+
+SplitResult split_live_ranges(ir::Function& func,
+                              const std::vector<ir::Reg>& regs) {
+  pipeline::AnalysisManager am;
+  return split_live_ranges(func, regs, am);
 }
 
 }  // namespace tadfa::opt

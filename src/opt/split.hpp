@@ -10,6 +10,10 @@
 
 #include "ir/function.hpp"
 
+namespace tadfa::pipeline {
+class AnalysisManager;
+}
+
 namespace tadfa::opt {
 
 struct SplitResult {
@@ -21,10 +25,18 @@ struct SplitResult {
 /// Splits `reg` in place: in every block where `reg` is live-in and used,
 /// a fresh copy is made at block entry and the block's uses (up to the
 /// first redefinition of `reg`, if any) are rewritten to the copy.
-/// Semantics-preserving by construction.
+/// Semantics-preserving by construction. Liveness is requested through
+/// the manager and invalidated only when copies were actually inserted.
+SplitResult split_live_range(ir::Function& func, ir::Reg reg,
+                             pipeline::AnalysisManager& am);
+
+/// Standalone wrapper with a private AnalysisManager.
 SplitResult split_live_range(ir::Function& func, ir::Reg reg);
 
 /// Splits each of `regs`, returning total copies created.
+SplitResult split_live_ranges(ir::Function& func,
+                              const std::vector<ir::Reg>& regs,
+                              pipeline::AnalysisManager& am);
 SplitResult split_live_ranges(ir::Function& func,
                               const std::vector<ir::Reg>& regs);
 

@@ -1,0 +1,249 @@
+#include "pipeline/analysis_manager.hpp"
+
+#include "core/access_model.hpp"
+#include "support/assert.hpp"
+
+namespace tadfa::pipeline {
+
+PreservedAnalyses PreservedAnalyses::structure() {
+  PreservedAnalyses p;
+  p.preserve<dataflow::Cfg>();
+  p.preserve<dataflow::Dominators>();
+  p.preserve<dataflow::LoopInfo>();
+  p.preserve<BlockFrequencies>();
+  return p;
+}
+
+void AnalysisManager::bind(const ir::Function* func) {
+  if (bound_ == func) {
+    return;
+  }
+  if (bound_ != nullptr) {
+    invalidate_all();
+  }
+  bound_ = func;
+}
+
+void AnalysisManager::note_dependency(AnalysisKey key) {
+  if (build_stack_.empty()) {
+    return;
+  }
+  const AnalysisKey dependent = build_stack_.back();
+  auto& fwd = deps_[dependent];
+  if (std::find(fwd.begin(), fwd.end(), key) == fwd.end()) {
+    fwd.push_back(key);
+  }
+  auto& rev = dependents_[key];
+  if (std::find(rev.begin(), rev.end(), dependent) == rev.end()) {
+    rev.push_back(dependent);
+  }
+}
+
+AnalysisManager::Entry* AnalysisManager::find(AnalysisKey key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const AnalysisManager::Entry* AnalysisManager::find(AnalysisKey key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const void* AnalysisManager::store(AnalysisKey key, const char* name,
+                                   std::shared_ptr<void> value,
+                                   bool registered) {
+  TADFA_ASSERT(value != nullptr);
+  Entry& entry = entries_[key];
+  if (entry.value != nullptr && !caching_) {
+    // Keep the replaced object alive: the caller that triggered this
+    // recomputation may still hold a reference to it.
+    retired_.push_back(std::move(entry.value));
+  }
+  entry.value = std::move(value);
+  entry.name = name;
+  entry.registered = registered;
+  fresh_.insert(key);
+  return entry.value.get();
+}
+
+AnalysisManager::AnalysisStats& AnalysisManager::stat(AnalysisKey key,
+                                                      const char* name) {
+  AnalysisStats& s = stats_[key];
+  if (s.name.empty()) {
+    s.name = name;
+  }
+  return s;
+}
+
+void AnalysisManager::erase_entry(AnalysisKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  ++stat(key, it->second.name).invalidations;
+  entries_.erase(it);
+  fresh_.erase(key);
+}
+
+void AnalysisManager::invalidate_key(AnalysisKey key) {
+  erase_entry(key);
+  // The dependency graph is a DAG (edges are recorded while analyses are
+  // being built), so the walk terminates; edges outlive their entries on
+  // purpose — a re-registered analysis keeps its old dependents, which
+  // only ever over-invalidates.
+  auto it = dependents_.find(key);
+  if (it == dependents_.end()) {
+    return;
+  }
+  const std::vector<AnalysisKey> downstream = it->second;
+  for (AnalysisKey dependent : downstream) {
+    if (entries_.count(dependent) != 0) {
+      invalidate_key(dependent);
+    }
+  }
+}
+
+void AnalysisManager::invalidate_all() {
+  for (auto& [key, entry] : entries_) {
+    ++stat(key, entry.name).invalidations;
+  }
+  entries_.clear();
+  deps_.clear();
+  dependents_.clear();
+  fresh_.clear();
+  retired_.clear();
+  TADFA_ASSERT_MSG(build_stack_.empty(),
+                   "analysis cache cleared mid-construction");
+}
+
+void AnalysisManager::keep_only(const PreservedAnalyses& preserved) {
+  if (preserved.preserves_all()) {
+    return;
+  }
+  // Roots: explicitly preserved entries plus everything computed or
+  // registered since begin_pass() (fresh entries were produced against
+  // the pass's final IR — the in-place helpers invalidate through the
+  // manager before mutating, so survivors are valid by construction).
+  std::vector<AnalysisKey> worklist;
+  std::set<AnalysisKey> keep;
+  for (const auto& [key, entry] : entries_) {
+    if (preserved.preserves(key) || fresh_.count(key) != 0) {
+      keep.insert(key);
+      worklist.push_back(key);
+    }
+  }
+  // Closure under dependencies: a kept analysis may hold references into
+  // its inputs (Liveness points at Cfg), so those inputs survive too.
+  while (!worklist.empty()) {
+    const AnalysisKey key = worklist.back();
+    worklist.pop_back();
+    auto it = deps_.find(key);
+    if (it == deps_.end()) {
+      continue;
+    }
+    for (AnalysisKey dep : it->second) {
+      if (entries_.count(dep) != 0 && keep.insert(dep).second) {
+        worklist.push_back(dep);
+      }
+    }
+  }
+  std::vector<AnalysisKey> drop;
+  for (const auto& [key, entry] : entries_) {
+    if (keep.count(key) == 0) {
+      drop.push_back(key);
+    }
+  }
+  for (AnalysisKey key : drop) {
+    erase_entry(key);
+  }
+}
+
+void AnalysisManager::on_function_moved() {
+  std::vector<AnalysisKey> drop;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.registered) {
+      drop.push_back(key);
+    }
+  }
+  for (AnalysisKey key : drop) {
+    erase_entry(key);
+  }
+  retired_.clear();
+  bound_ = nullptr;
+}
+
+std::vector<AnalysisManager::AnalysisStats> AnalysisManager::stats() const {
+  std::vector<AnalysisStats> out;
+  out.reserve(stats_.size());
+  for (const auto& [key, s] : stats_) {
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AnalysisStats& a, const AnalysisStats& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::uint64_t AnalysisManager::total_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, s] : stats_) {
+    total += s.hits;
+  }
+  return total;
+}
+
+std::uint64_t AnalysisManager::total_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, s] : stats_) {
+    total += s.misses;
+  }
+  return total;
+}
+
+TextTable AnalysisManager::stats_table(const std::string& title) const {
+  TextTable table(title);
+  table.set_header({"analysis", "hits", "misses", "puts", "invalidated"});
+  for (const AnalysisStats& s : stats()) {
+    table.add_row({s.name, std::to_string(s.hits), std::to_string(s.misses),
+                   std::to_string(s.puts), std::to_string(s.invalidations)});
+  }
+  return table;
+}
+
+// --- Trait factories needing out-of-line definitions -------------------------
+
+std::unique_ptr<BlockFrequencies> AnalysisTraits<BlockFrequencies>::run(
+    const ir::Function& func, AnalysisManager& am, const double& trip_guess) {
+  auto freq = std::make_unique<BlockFrequencies>();
+  freq->counts = dataflow::estimate_block_frequencies(
+      am.get<dataflow::Cfg>(func), am.get<dataflow::LoopInfo>(func),
+      trip_guess);
+  freq->trip_count_guess = trip_guess;
+  return freq;
+}
+
+std::unique_ptr<core::ThermalDfaResult>
+AnalysisTraits<core::ThermalDfaResult>::run(const ir::Function& func,
+                                            AnalysisManager& am,
+                                            const PipelineContext& ctx) {
+  const auto* assignment = am.result<machine::RegisterAssignment>();
+  TADFA_ASSERT_MSG(assignment != nullptr,
+                   "thermal-dfa analysis requires a registered assignment");
+  const core::ThermalDfa dfa(*ctx.grid, *ctx.power, ctx.timing,
+                             ctx.dfa_config);
+  return std::make_unique<core::ThermalDfaResult>(
+      dfa.analyze_post_ra(func, *assignment, am));
+}
+
+const std::vector<double>& block_frequencies(AnalysisManager& am,
+                                             const ir::Function& func,
+                                             double trip_guess) {
+  if (const auto* cached = am.result<BlockFrequencies>();
+      cached != nullptr && cached->trip_count_guess != trip_guess) {
+    am.invalidate<BlockFrequencies>();
+  }
+  return am.get<BlockFrequencies>(func, trip_guess).counts;
+}
+
+}  // namespace tadfa::pipeline

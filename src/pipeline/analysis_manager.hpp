@@ -1,0 +1,352 @@
+// AnalysisManager: a typed, per-function analysis cache with lazy
+// construction and dependency-aware transitive invalidation — the
+// new-pass-manager idiom the pipeline was missing.
+//
+// Before it, every pass re-derived Cfg/Liveness/Dominators/LoopInfo from
+// scratch (`Cfg cfg(func); Liveness liveness(cfg);` was copy-pasted across
+// opt, regalloc, and core), and PipelineState::invalidate_derived()
+// dropped *all* artifacts on any IR reshape. Now:
+//
+//   * `am.get<dataflow::Liveness>(func)` lazily computes and caches;
+//     repeated requests are O(1) pointer returns (pointer-stable until
+//     invalidated).
+//   * Dependencies are recorded as analyses are built (Liveness pulls Cfg
+//     through the manager, so the edge Cfg -> Liveness exists), and
+//     `invalidate<Cfg>()` transitively drops Liveness, LiveIntervals,
+//     InterferenceGraph, ... anything downstream.
+//   * Pass products (assignment, thermal-DFA result, critical ranking,
+//     gating plan) are registered with `put<T>()` and retrieved with
+//     `result<T>()`; a pass reports what it kept intact via a
+//     PreservedAnalyses set and the PassManager calls `keep_only()`
+//     instead of dropping everything.
+//
+// Registering a new analysis = specializing AnalysisTraits<T> (a name
+// plus, for lazily computed analyses, a `run` factory that requests its
+// dependencies through the manager). Result-only artifacts can use the
+// TADFA_REGISTER_ANALYSIS_RESULT macro.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/critical.hpp"
+#include "core/thermal_dfa.hpp"
+#include "dataflow/cfg.hpp"
+#include "dataflow/dominators.hpp"
+#include "dataflow/interference.hpp"
+#include "dataflow/live_intervals.hpp"
+#include "dataflow/liveness.hpp"
+#include "dataflow/loop_info.hpp"
+#include "ir/function.hpp"
+#include "machine/assignment.hpp"
+#include "pipeline/context.hpp"
+#include "support/table.hpp"
+
+namespace tadfa::pipeline {
+
+class AnalysisManager;
+
+/// Identity of an analysis type, unique per T across the process.
+using AnalysisKey = const void*;
+
+template <typename A>
+AnalysisKey analysis_key() {
+  static const char tag = 0;
+  return &tag;
+}
+
+/// How to build (and name) analysis T. Lazily computed analyses define
+/// `run(func, am, extra...)`; explicitly registered results only need the
+/// name. The `extra` pack carries construction context (e.g. the
+/// PipelineContext for the thermal DFA) — it participates only at
+/// construction time, a cache hit ignores it.
+template <typename A>
+struct AnalysisTraits;
+
+/// Registers a result-only artifact type: names it for the cache stats
+/// without providing a lazy factory.
+#define TADFA_REGISTER_ANALYSIS_RESULT(TYPE, NAME)  \
+  template <>                                       \
+  struct AnalysisTraits<TYPE> {                     \
+    static constexpr const char* name = NAME;       \
+  }
+
+/// Critical-variable ranking from the last thermal-dfa pass, descending.
+/// split-hot/spill-critical consume entries from the front so a later
+/// pass never re-treats an already-handled variable.
+struct CriticalRanking {
+  std::vector<core::CriticalVariable> vars;
+};
+
+/// Estimated relative block execution counts (loop-depth scaled). Cached
+/// per trip-count guess; use pipeline::block_frequencies() which
+/// recomputes on a guess change.
+struct BlockFrequencies {
+  std::vector<double> counts;
+  double trip_count_guess = 0;
+};
+
+/// The set of analyses a pass left valid. Defaults to "none": anything
+/// not explicitly preserved (and not freshly computed/registered during
+/// the pass itself) is dropped by PassManager after the pass runs.
+class PreservedAnalyses {
+ public:
+  static PreservedAnalyses all() {
+    PreservedAnalyses p;
+    p.all_ = true;
+    return p;
+  }
+  static PreservedAnalyses none() { return {}; }
+  /// Cfg + Dominators + LoopInfo + BlockFrequencies: what survives any
+  /// pass that rewrites instructions without touching block structure or
+  /// terminators (every rewrite in src/opt qualifies).
+  static PreservedAnalyses structure();
+
+  template <typename A>
+  PreservedAnalyses& preserve() {
+    return preserve_key(analysis_key<A>());
+  }
+  PreservedAnalyses& preserve_key(AnalysisKey key) {
+    if (!preserves(key)) {
+      preserved_.push_back(key);
+    }
+    return *this;
+  }
+
+  bool preserves_all() const { return all_; }
+  bool preserves(AnalysisKey key) const {
+    return all_ || std::find(preserved_.begin(), preserved_.end(), key) !=
+                       preserved_.end();
+  }
+
+ private:
+  bool all_ = false;
+  std::vector<AnalysisKey> preserved_;
+};
+
+class AnalysisManager {
+ public:
+  AnalysisManager() = default;
+  AnalysisManager(AnalysisManager&&) = default;
+  AnalysisManager& operator=(AnalysisManager&&) = default;
+  AnalysisManager(const AnalysisManager&) = delete;
+  AnalysisManager& operator=(const AnalysisManager&) = delete;
+
+  /// With caching off every get() recomputes — the old rebuild-every-pass
+  /// behavior, kept for A/B measurement (bench/perf_micro, tadfa
+  /// --no-analysis-cache). Registered results are unaffected.
+  void set_caching(bool enabled) { caching_ = enabled; }
+
+  /// Lazily computes (or returns the cached) analysis A of `func`. The
+  /// returned reference is pointer-stable until A is invalidated.
+  /// Requesting an analysis for a different Function object drops the
+  /// whole cache first (the manager serves one function at a time).
+  template <typename A, typename... Extra>
+  const A& get(const ir::Function& func, const Extra&... extra) {
+    bind(&func);
+    const AnalysisKey key = analysis_key<A>();
+    note_dependency(key);
+    Entry* entry = find(key);
+    if (entry != nullptr && caching_) {
+      ++stat(key, AnalysisTraits<A>::name).hits;
+      return *static_cast<const A*>(entry->value.get());
+    }
+    ++stat(key, AnalysisTraits<A>::name).misses;
+    build_stack_.push_back(key);
+    std::shared_ptr<A> value = AnalysisTraits<A>::run(func, *this, extra...);
+    build_stack_.pop_back();
+    return *static_cast<const A*>(
+        store(key, AnalysisTraits<A>::name, std::move(value),
+              /*registered=*/false));
+  }
+
+  /// Registers (or replaces) a pass product. Registered results are kept
+  /// across the registering pass's PreservedAnalyses application and are
+  /// only dropped when a later pass declines to preserve them.
+  template <typename A>
+  void put(A value) {
+    const AnalysisKey key = analysis_key<A>();
+    ++stat(key, AnalysisTraits<A>::name).puts;
+    store(key, AnalysisTraits<A>::name,
+          std::make_shared<A>(std::move(value)), /*registered=*/true);
+  }
+
+  /// Cached or registered value of A; nullptr when absent. Does not
+  /// compute. The non-const overload records a dependency edge when
+  /// called from inside an analysis build.
+  template <typename A>
+  const A* result() const {
+    const Entry* entry = find(analysis_key<A>());
+    return entry ? static_cast<const A*>(entry->value.get()) : nullptr;
+  }
+  template <typename A>
+  A* result_mut() {
+    note_dependency(analysis_key<A>());
+    Entry* entry = find(analysis_key<A>());
+    return entry ? static_cast<A*>(entry->value.get()) : nullptr;
+  }
+
+  /// Drops A and, transitively, everything recorded as depending on it.
+  template <typename A>
+  void invalidate() {
+    invalidate_key(analysis_key<A>());
+  }
+  void invalidate_key(AnalysisKey key);
+  void invalidate_all();
+
+  /// PassManager hook: drops every entry that is neither preserved, nor
+  /// freshly computed/registered since begin_pass(), nor a dependency of
+  /// a kept entry (kept analyses may hold references into their inputs —
+  /// Liveness points at Cfg — so dependencies of survivors survive too).
+  void keep_only(const PreservedAnalyses& preserved);
+
+  /// Marks the start of a pass: entries computed or put() from here on
+  /// count as fresh for the next keep_only().
+  void begin_pass() { fresh_.clear(); }
+
+  /// Called when the owning PipelineState is moved: cached analyses hold
+  /// pointers into the old Function storage, so computed entries are
+  /// dropped (registered results hold no IR references and survive).
+  void on_function_moved();
+
+  // --- Cache statistics ------------------------------------------------------
+  struct AnalysisStats {
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t invalidations = 0;
+  };
+  /// Per-analysis counters, sorted by name. Counters are cumulative:
+  /// invalidation does not reset them.
+  std::vector<AnalysisStats> stats() const;
+  std::uint64_t total_hits() const;
+  std::uint64_t total_misses() const;
+  TextTable stats_table(const std::string& title = "analysis cache") const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<void> value;
+    const char* name = nullptr;
+    bool registered = false;
+  };
+
+  void bind(const ir::Function* func);
+  void note_dependency(AnalysisKey key);
+  Entry* find(AnalysisKey key);
+  const Entry* find(AnalysisKey key) const;
+  const void* store(AnalysisKey key, const char* name,
+                    std::shared_ptr<void> value, bool registered);
+  AnalysisStats& stat(AnalysisKey key, const char* name);
+  void erase_entry(AnalysisKey key);
+
+  const ir::Function* bound_ = nullptr;
+  bool caching_ = true;
+  std::map<AnalysisKey, Entry> entries_;
+  /// Forward edges: entry -> the analyses it was built from.
+  std::map<AnalysisKey, std::vector<AnalysisKey>> deps_;
+  /// Reverse edges: entry -> the analyses built from it.
+  std::map<AnalysisKey, std::vector<AnalysisKey>> dependents_;
+  std::vector<AnalysisKey> build_stack_;
+  std::set<AnalysisKey> fresh_;
+  /// With caching off, replaced values parked here so outstanding
+  /// references from the current computation stay valid.
+  std::vector<std::shared_ptr<void>> retired_;
+  std::map<AnalysisKey, AnalysisStats> stats_;
+};
+
+// --- Analysis traits ---------------------------------------------------------
+
+template <>
+struct AnalysisTraits<dataflow::Cfg> {
+  static constexpr const char* name = "cfg";
+  static std::unique_ptr<dataflow::Cfg> run(const ir::Function& func,
+                                            AnalysisManager&) {
+    return std::make_unique<dataflow::Cfg>(func);
+  }
+};
+
+template <>
+struct AnalysisTraits<dataflow::Liveness> {
+  static constexpr const char* name = "liveness";
+  static std::unique_ptr<dataflow::Liveness> run(const ir::Function& func,
+                                                 AnalysisManager& am) {
+    return std::make_unique<dataflow::Liveness>(
+        am.get<dataflow::Cfg>(func));
+  }
+};
+
+template <>
+struct AnalysisTraits<dataflow::Dominators> {
+  static constexpr const char* name = "dominators";
+  static std::unique_ptr<dataflow::Dominators> run(const ir::Function& func,
+                                                   AnalysisManager& am) {
+    return std::make_unique<dataflow::Dominators>(
+        am.get<dataflow::Cfg>(func));
+  }
+};
+
+template <>
+struct AnalysisTraits<dataflow::LoopInfo> {
+  static constexpr const char* name = "loop-info";
+  static std::unique_ptr<dataflow::LoopInfo> run(const ir::Function& func,
+                                                 AnalysisManager& am) {
+    return std::make_unique<dataflow::LoopInfo>(
+        am.get<dataflow::Cfg>(func), am.get<dataflow::Dominators>(func));
+  }
+};
+
+template <>
+struct AnalysisTraits<dataflow::LiveIntervals> {
+  static constexpr const char* name = "live-intervals";
+  static std::unique_ptr<dataflow::LiveIntervals> run(
+      const ir::Function& func, AnalysisManager& am) {
+    return std::make_unique<dataflow::LiveIntervals>(
+        am.get<dataflow::Cfg>(func), am.get<dataflow::Liveness>(func));
+  }
+};
+
+template <>
+struct AnalysisTraits<dataflow::InterferenceGraph> {
+  static constexpr const char* name = "interference";
+  static std::unique_ptr<dataflow::InterferenceGraph> run(
+      const ir::Function& func, AnalysisManager& am) {
+    return std::make_unique<dataflow::InterferenceGraph>(
+        am.get<dataflow::Cfg>(func), am.get<dataflow::Liveness>(func));
+  }
+};
+
+template <>
+struct AnalysisTraits<BlockFrequencies> {
+  static constexpr const char* name = "block-freq";
+  static std::unique_ptr<BlockFrequencies> run(const ir::Function& func,
+                                               AnalysisManager& am,
+                                               const double& trip_guess);
+};
+
+/// Post-RA thermal DFA as a managed analysis: requires a registered
+/// machine::RegisterAssignment (the thermal-dfa pass checks; getting it
+/// without one asserts).
+template <>
+struct AnalysisTraits<core::ThermalDfaResult> {
+  static constexpr const char* name = "thermal-dfa";
+  static std::unique_ptr<core::ThermalDfaResult> run(
+      const ir::Function& func, AnalysisManager& am,
+      const PipelineContext& ctx);
+};
+
+TADFA_REGISTER_ANALYSIS_RESULT(machine::RegisterAssignment, "assignment");
+TADFA_REGISTER_ANALYSIS_RESULT(CriticalRanking, "ranking");
+
+/// Block frequencies for `trip_guess`, recomputing when the cached value
+/// was produced for a different guess.
+const std::vector<double>& block_frequencies(AnalysisManager& am,
+                                             const ir::Function& func,
+                                             double trip_guess);
+
+}  // namespace tadfa::pipeline

@@ -1,0 +1,30 @@
+// The compilation environment threaded through every pass and analysis.
+//
+// Split out of state.hpp so pipeline/analysis_manager.hpp (which the
+// thermal-DFA analysis trait needs) can name PipelineContext without
+// pulling in PipelineState.
+#pragma once
+
+#include <cstdint>
+
+#include "core/thermal_dfa.hpp"
+#include "machine/floorplan.hpp"
+#include "machine/timing.hpp"
+#include "power/model.hpp"
+#include "thermal/grid.hpp"
+
+namespace tadfa::pipeline {
+
+/// Everything that outlives a single run. Non-owning: the rig objects
+/// must outlive the PassManager.
+struct PipelineContext {
+  const machine::Floorplan* floorplan = nullptr;
+  const thermal::ThermalGrid* grid = nullptr;
+  const power::PowerModel* power = nullptr;
+  machine::TimingModel timing;
+  core::ThermalDfaConfig dfa_config;
+  /// Seed handed to stochastic assignment policies ("random").
+  std::uint64_t policy_seed = 42;
+};
+
+}  // namespace tadfa::pipeline

@@ -17,14 +17,34 @@ namespace tadfa::pipeline {
 /// Outcome of one pass execution.
 struct PassOutcome {
   bool ok = true;
+  /// True when the pass mutated the function or the assignment — the
+  /// state the verifier checkpoint looks at. Unchanged passes are
+  /// reported as "(no change)" and skip their checkpoint.
+  bool changed = true;
   /// Human-readable failure reason (unmet prerequisite, bad input...).
   std::string error;
   /// One-line statistic for reporting, e.g. "replaced 4 exprs".
   std::string summary;
+  /// What the pass left valid in the AnalysisManager. Defaults to none:
+  /// everything not preserved here (and not freshly computed/registered
+  /// during the pass) is dropped after the pass runs. Claims are audited
+  /// when checkpoints are on: preserving a liveness-class analysis while
+  /// mutating the IR, or a structure-class analysis while changing block
+  /// structure, fails the pipeline.
+  PreservedAnalyses preserved = PreservedAnalyses::none();
 
   static PassOutcome success(std::string summary = "") {
     PassOutcome o;
     o.summary = std::move(summary);
+    return o;
+  }
+  /// A pass that inspected but did not mutate the state: checkpoint is
+  /// skipped and every cached analysis survives.
+  static PassOutcome unchanged(std::string summary = "") {
+    PassOutcome o;
+    o.summary = std::move(summary);
+    o.changed = false;
+    o.preserved = PreservedAnalyses::all();
     return o;
   }
   static PassOutcome failure(std::string error) {
@@ -32,6 +52,11 @@ struct PassOutcome {
     o.ok = false;
     o.error = std::move(error);
     return o;
+  }
+
+  PassOutcome& preserve(PreservedAnalyses set) {
+    preserved = std::move(set);
+    return *this;
   }
 };
 

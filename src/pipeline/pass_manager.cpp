@@ -6,13 +6,54 @@
 #include "ir/verifier.hpp"
 
 namespace tadfa::pipeline {
+namespace {
+
+/// Audits a pass's self-report against cheap IR fingerprints. Returns ""
+/// when the claims are consistent with what actually happened.
+std::string audit_claims(const PassOutcome& outcome, std::uint64_t before_fp,
+                         std::uint64_t after_fp, std::uint64_t before_sfp,
+                         std::uint64_t after_sfp) {
+  if (!outcome.changed) {
+    if (after_fp != before_fp) {
+      return "reported no change but modified the function";
+    }
+    return "";
+  }
+  if (after_fp == before_fp) {
+    return "";  // only artifacts changed; every preservation claim is safe
+  }
+  // Liveness-class analyses read every def/use: no pass in this codebase
+  // can legitimately keep them across an instruction-stream change, so a
+  // claim to do so is treated as a bug (this is what catches a pass that
+  // "preserves Liveness" while mutating the IR).
+  if (outcome.preserved.preserves_all() ||
+      outcome.preserved.preserves(analysis_key<dataflow::Liveness>()) ||
+      outcome.preserved.preserves(analysis_key<dataflow::LiveIntervals>()) ||
+      outcome.preserved.preserves(
+          analysis_key<dataflow::InterferenceGraph>())) {
+    return "modified the function but claimed to preserve a liveness-class "
+           "analysis";
+  }
+  // Structure-class analyses only depend on block count and terminators.
+  if (after_sfp != before_sfp &&
+      (outcome.preserved.preserves(analysis_key<dataflow::Cfg>()) ||
+       outcome.preserved.preserves(analysis_key<dataflow::Dominators>()) ||
+       outcome.preserved.preserves(analysis_key<dataflow::LoopInfo>()) ||
+       outcome.preserved.preserves(analysis_key<BlockFrequencies>()))) {
+    return "changed the block structure but claimed to preserve a CFG-level "
+           "analysis";
+  }
+  return "";
+}
+
+}  // namespace
 
 std::string verify_checkpoint(const PipelineState& state) {
   const auto issues = ir::verify(state.func);
   if (!issues.empty()) {
     return "IR: " + issues.front().message;
   }
-  if (state.assignment.has_value() && !state.assignment->covers(state.func)) {
+  if (state.has_assignment() && !state.assignment()->covers(state.func)) {
     return "assignment does not cover every virtual register";
   }
   return "";
@@ -38,6 +79,7 @@ PipelineRunResult PassManager::run(const ir::Function& input,
 
   PipelineRunResult result;
   result.state = PipelineState(input);
+  result.state.analyses.set_caching(analysis_caching_);
 
   // Instantiate everything first: a typo in pass 7 must not leave a
   // half-transformed function behind.
@@ -62,6 +104,14 @@ PipelineRunResult PassManager::run(const ir::Function& input,
 
   const auto pipeline_start = Clock::now();
   for (const auto& pass : passes) {
+    result.state.analyses.begin_pass();
+    std::uint64_t before_fp = 0;
+    std::uint64_t before_sfp = 0;
+    if (checkpoints_) {
+      before_fp = ir::fingerprint(result.state.func);
+      before_sfp = ir::structure_fingerprint(result.state.func);
+    }
+
     const auto pass_start = Clock::now();
     const PassOutcome outcome = pass->run(result.state, ctx_);
     const double seconds =
@@ -71,16 +121,36 @@ PipelineRunResult PassManager::run(const ir::Function& input,
       return result;
     }
 
+    if (checkpoints_) {
+      const std::uint64_t after_fp = ir::fingerprint(result.state.func);
+      const std::uint64_t after_sfp =
+          ir::structure_fingerprint(result.state.func);
+      if (std::string claim = audit_claims(outcome, before_fp, after_fp,
+                                           before_sfp, after_sfp);
+          !claim.empty()) {
+        result.error = "pass '" + pass->name() + "' " + claim;
+        return result;
+      }
+    }
+
+    // Drop exactly what the pass clobbered: everything not preserved by
+    // its outcome (and not freshly produced during the pass).
+    result.state.analyses.keep_only(outcome.preserved);
+
     PassRunStats stats;
     stats.name = pass->name();
     stats.seconds = seconds;
     stats.summary = outcome.summary;
+    stats.changed = outcome.changed;
     stats.instructions_after = result.state.func.instruction_count();
     stats.vregs_after = result.state.func.reg_count();
     result.pass_stats.push_back(std::move(stats));
 
-    if (checkpoints_) {
-      if (std::string issue = verify_checkpoint(result.state); !issue.empty()) {
+    // No-change passes skip their checkpoint: nothing the verifier looks
+    // at moved.
+    if (checkpoints_ && outcome.changed) {
+      if (std::string issue = verify_checkpoint(result.state);
+          !issue.empty()) {
         result.error =
             "verifier checkpoint after pass '" + pass->name() + "': " + issue;
         return result;
@@ -99,10 +169,14 @@ TextTable PassManager::stats_table(const PipelineRunResult& result,
   table.set_header({"#", "pass", "ms", "instrs", "vregs", "summary"});
   for (std::size_t i = 0; i < result.pass_stats.size(); ++i) {
     const PassRunStats& s = result.pass_stats[i];
+    std::string summary = s.summary;
+    if (!s.changed) {
+      summary += summary.empty() ? "(no change)" : " (no change)";
+    }
     table.add_row({std::to_string(i + 1), s.name,
                    TextTable::num(s.seconds * 1e3, 3),
                    std::to_string(s.instructions_after),
-                   std::to_string(s.vregs_after), s.summary});
+                   std::to_string(s.vregs_after), summary});
   }
   return table;
 }

@@ -3,10 +3,17 @@
 // Responsibilities:
 //   * parse the spec and instantiate every pass up-front (an unknown pass
 //     or bad argument rejects the whole pipeline before anything runs);
-//   * thread one PipelineState through the passes;
-//   * time each pass and collect its statistics line;
-//   * run an IR-verifier (+ assignment coverage) checkpoint between
-//     passes, attributing any corruption to the pass that produced it.
+//   * thread one PipelineState (function + AnalysisManager) through the
+//     passes;
+//   * time each pass and collect its statistics line, marking passes that
+//     made no change;
+//   * apply each pass's PreservedAnalyses so only what the pass actually
+//     clobbered is dropped from the analysis cache;
+//   * run an IR-verifier (+ assignment coverage) checkpoint after passes
+//     that changed something, attributing any corruption to the pass that
+//     produced it — and audit preservation claims against cheap IR
+//     fingerprints (a pass that claims "no change" or "liveness
+//     preserved" while mutating the IR fails the pipeline).
 #pragma once
 
 #include <string>
@@ -24,6 +31,8 @@ struct PassRunStats {
   double seconds = 0;
   /// The pass's own statistic line ("removed 4", "12 iters, converged...").
   std::string summary;
+  /// False when the pass reported no state change (checkpoint skipped).
+  bool changed = true;
   std::size_t instructions_after = 0;
   std::uint32_t vregs_after = 0;
 };
@@ -34,6 +43,8 @@ struct PipelineRunResult {
   /// execution, or a verifier checkpoint) and why.
   std::string error;
   /// Final state; on failure, the state as of the last completed pass.
+  /// state.analyses carries the cumulative analysis-cache statistics
+  /// (`tadfa --analysis-stats`).
   PipelineState state;
   /// One entry per pass that ran to completion.
   std::vector<PassRunStats> pass_stats;
@@ -48,6 +59,10 @@ class PassManager {
 
   /// Toggles the verifier checkpoint between passes (default on).
   void set_checkpoints(bool enabled) { checkpoints_ = enabled; }
+
+  /// Toggles the analysis cache (default on). Off reproduces the old
+  /// rebuild-every-pass behavior — for A/B measurement only.
+  void set_analysis_caching(bool enabled) { analysis_caching_ = enabled; }
 
   PipelineRunResult run(const ir::Function& input,
                         const std::string& spec) const;
@@ -64,6 +79,7 @@ class PassManager {
   PipelineContext ctx_;
   const PassRegistry* registry_;
   bool checkpoints_ = true;
+  bool analysis_caching_ = true;
 };
 
 }  // namespace tadfa::pipeline

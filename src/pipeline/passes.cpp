@@ -18,6 +18,13 @@
 //   nops[=per_site[:threshold_k]]  cooling NOPs after hot instructions
 //   bank-gating[=temp_k]      plan power-gating of empty banks
 //   verify                    explicit structural + coverage checkpoint
+//
+// Every pass pulls derived analyses through state.analyses (the
+// AnalysisManager) and reports what it kept valid via
+// PassOutcome::preserved. The rule of thumb: nothing in src/opt touches
+// block structure, so structure-class analyses (Cfg, Dominators,
+// LoopInfo, block frequencies) survive every rewrite; liveness-class
+// analyses survive only passes that did not touch the instruction stream.
 #include <algorithm>
 #include <memory>
 #include <sstream>
@@ -35,6 +42,7 @@
 #include "opt/split.hpp"
 #include "pipeline/registry.hpp"
 #include "regalloc/allocator.hpp"
+#include "regalloc/verify.hpp"
 #include "support/string_utils.hpp"
 
 namespace tadfa::pipeline {
@@ -66,14 +74,20 @@ std::string fmt(double v) {
 
 // --- Pure IR rewrites --------------------------------------------------------
 
+/// Wraps a copy-based rewrite (cse, promote): on change, the structure
+/// survives but liveness and every registered artifact is stale — exactly
+/// the old invalidate_derived(), minus the structure-class analyses.
 template <typename RunFn>
 std::unique_ptr<Pass> make_rewrite_pass(const std::string& name, RunFn fn) {
   return std::make_unique<LambdaPass>(
       name, [fn](PipelineState& state, const PipelineContext&) {
-        auto [func, summary] = fn(state.func);
+        auto [func, count, summary] = fn(state.func);
+        if (count == 0) {
+          return PassOutcome::unchanged(summary);
+        }
         state.func = std::move(func);
-        state.invalidate_derived();
-        return PassOutcome::success(summary);
+        return PassOutcome::success(summary).preserve(
+            PreservedAnalyses::structure());
       });
 }
 
@@ -100,21 +114,42 @@ class AllocPass final : public Pass {
     if (allocator == nullptr) {
       return PassOutcome::failure("unknown allocator '" + kind_ + "'");
     }
-    const bool heat_guided = state.dfa.has_value();
+    const auto* dfa = state.dfa();
+    const bool heat_guided = dfa != nullptr;
     if (heat_guided) {
-      allocator->set_heat_scores(state.dfa->exit_reg_temps_k);
+      allocator->set_heat_scores(dfa->exit_reg_temps_k);
     }
     auto result = allocator->allocate(state.func);
+    const bool rewrote_ir = result.spilled_regs > 0;
     state.func = std::move(result.func);
-    state.assignment = std::move(result.assignment);
+    state.analyses.put<machine::RegisterAssignment>(
+        std::move(result.assignment));
     state.spilled_regs += result.spilled_regs;
-    state.gating.reset();
+    if (rewrote_ir) {
+      if (auto* stale = state.analyses.result_mut<core::ThermalDfaResult>()) {
+        // Spill rewriting shifted instruction indices: the exit
+        // temperatures stay useful guidance, the per-instruction states
+        // do not (same contract as split-hot / spill-critical).
+        stale->per_instruction.clear();
+      }
+    }
 
     std::ostringstream summary;
     summary << kind_ << "/" << policy_ << " rounds=" << result.rounds
             << " spilled=" << result.spilled_regs
             << (heat_guided ? " heat-guided" : "");
-    return PassOutcome::success(summary.str());
+    // The DFA's exit temperatures and the ranking stay useful guidance
+    // across re-allocation (the gating plan does not — it is keyed to the
+    // replaced assignment). Spill-free allocation leaves the IR byte
+    // identical, so liveness survives too.
+    PreservedAnalyses preserved = PreservedAnalyses::structure();
+    preserved.preserve<core::ThermalDfaResult>().preserve<CriticalRanking>();
+    if (!rewrote_ir) {
+      preserved.preserve<dataflow::Liveness>()
+          .preserve<dataflow::LiveIntervals>()
+          .preserve<dataflow::InterferenceGraph>();
+    }
+    return PassOutcome::success(summary.str()).preserve(preserved);
   }
 
  private:
@@ -152,175 +187,199 @@ std::unique_ptr<Pass> make_alloc_pass(const PassSpec& spec,
 // --- thermal-dfa -------------------------------------------------------------
 
 PassOutcome run_thermal_dfa(PipelineState& state, const PipelineContext& ctx) {
-  if (!state.assignment.has_value()) {
+  if (!state.has_assignment()) {
     return PassOutcome::failure(
         "thermal-dfa requires an assignment (run an alloc pass first)");
   }
-  const core::ThermalDfa dfa(*ctx.grid, *ctx.power, ctx.timing,
-                             ctx.dfa_config);
-  state.dfa = dfa.analyze_post_ra(state.func, *state.assignment);
+  // Always recompute: a cached result may have survived IR reshapes as
+  // exit-temperature guidance with its per-instruction states cleared.
+  state.analyses.invalidate<core::ThermalDfaResult>();
+  const core::ThermalDfaResult& dfa =
+      state.analyses.get<core::ThermalDfaResult>(state.func, ctx);
   const core::ExactAssignmentModel model(state.func, *ctx.floorplan,
-                                         *state.assignment);
-  state.ranking = core::rank_critical_variables(
-      state.func, model, *state.dfa, *ctx.grid, ctx.timing,
-      ctx.dfa_config.trip_count_guess);
+                                         *state.assignment());
+  CriticalRanking ranking;
+  ranking.vars = core::rank_critical_variables(
+      state.func, model, dfa, *ctx.grid, ctx.timing,
+      ctx.dfa_config.trip_count_guess, state.analyses);
 
   std::ostringstream summary;
-  summary << state.dfa->iterations << " iters, "
-          << (state.dfa->converged ? "converged" : "NOT converged")
-          << ", predicted peak " << fmt(state.dfa->exit_stats.peak_k - 273.15)
+  summary << dfa.iterations << " iters, "
+          << (dfa.converged ? "converged" : "NOT converged")
+          << ", predicted peak " << fmt(dfa.exit_stats.peak_k - 273.15)
           << " degC, critical:";
-  for (std::size_t i = 0; i < std::min<std::size_t>(3, state.ranking.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, ranking.vars.size());
        ++i) {
-    summary << " %" << state.ranking[i].vreg;
+    summary << " %" << ranking.vars[i].vreg;
   }
-  return PassOutcome::success(summary.str());
+  state.analyses.put<CriticalRanking>(std::move(ranking));
+  return PassOutcome::unchanged(summary.str());
 }
 
 // --- split-hot[=n] / spill-critical[=n] -------------------------------------
 
+/// The PreservedAnalyses both critical-variable transforms share: block
+/// structure and the (deliberately approximate) exit-temperature guidance
+/// survive; the assignment, gating plan, and liveness-class analyses die.
+PreservedAnalyses critical_transform_preserved() {
+  PreservedAnalyses preserved = PreservedAnalyses::structure();
+  preserved.preserve<core::ThermalDfaResult>().preserve<CriticalRanking>();
+  return preserved;
+}
+
 PassOutcome run_split_hot(PipelineState& state, std::size_t count) {
-  if (state.ranking.empty()) {
+  auto* ranking = state.analyses.result_mut<CriticalRanking>();
+  if (ranking == nullptr || ranking->vars.empty()) {
     return PassOutcome::failure(
         "split-hot requires a critical-variable ranking (run thermal-dfa "
         "first)");
   }
-  const std::size_t n = std::min(count, state.ranking.size());
+  const std::size_t n = std::min(count, ranking->vars.size());
   std::vector<ir::Reg> regs;
   std::ostringstream summary;
   summary << "split";
   for (std::size_t i = 0; i < n; ++i) {
-    regs.push_back(state.ranking[i].vreg);
-    summary << " %" << state.ranking[i].vreg;
+    regs.push_back(ranking->vars[i].vreg);
+    summary << " %" << ranking->vars[i].vreg;
   }
-  const auto result = opt::split_live_ranges(state.func, regs);
+  const auto result = opt::split_live_ranges(state.func, regs, state.analyses);
   // The split variables are handled; a later spill-critical starts at the
   // next-most-critical survivor.
-  state.ranking.erase(state.ranking.begin(), state.ranking.begin() + n);
-  state.assignment.reset();
-  state.gating.reset();
-  if (state.dfa.has_value()) {
+  ranking->vars.erase(ranking->vars.begin(),
+                      ranking->vars.begin() + static_cast<std::ptrdiff_t>(n));
+  if (auto* dfa = state.analyses.result_mut<core::ThermalDfaResult>()) {
     // The per-register exit temperatures stay valid guidance for the next
     // allocation, but the per-instruction states index the pre-split
     // function — drop them so `nops` cannot consume stale refs.
-    state.dfa->per_instruction.clear();
+    dfa->per_instruction.clear();
   }
   summary << " (copies=" << result.copies.size()
           << ", uses=" << result.rewritten_uses << ")";
-  return PassOutcome::success(summary.str());
+  return PassOutcome::success(summary.str())
+      .preserve(critical_transform_preserved());
 }
 
 PassOutcome run_spill_critical(PipelineState& state, std::size_t count) {
-  if (state.ranking.empty()) {
+  auto* ranking = state.analyses.result_mut<CriticalRanking>();
+  if (ranking == nullptr || ranking->vars.empty()) {
     return PassOutcome::failure(
         "spill-critical requires a critical-variable ranking (run "
         "thermal-dfa first)");
   }
   const auto result =
-      opt::spill_critical_variables(state.func, state.ranking, count);
+      opt::spill_critical_variables(state.func, ranking->vars, count);
   state.func = result.func;
-  std::erase_if(state.ranking, [&](const core::CriticalVariable& v) {
+  std::erase_if(ranking->vars, [&](const core::CriticalVariable& v) {
     return std::find(result.spilled.begin(), result.spilled.end(), v.vreg) !=
            result.spilled.end();
   });
-  state.assignment.reset();
-  state.gating.reset();
-  if (state.dfa.has_value()) {
+  if (auto* dfa = state.analyses.result_mut<core::ThermalDfaResult>()) {
     // Same rationale as split-hot: spill reloads reshape the instruction
     // stream, staling the per-instruction states but not the per-register
     // exit temperatures.
-    state.dfa->per_instruction.clear();
+    dfa->per_instruction.clear();
   }
   std::ostringstream summary;
   summary << "spilled " << result.spilled.size() << " vars, +"
           << result.inserted_instructions << " instrs";
-  return PassOutcome::success(summary.str());
+  return PassOutcome::success(summary.str())
+      .preserve(critical_transform_preserved());
 }
 
 // --- reassign ----------------------------------------------------------------
 
 PassOutcome run_reassign(PipelineState& state, const PipelineContext& ctx) {
-  if (!state.assignment.has_value()) {
+  if (!state.has_assignment()) {
     return PassOutcome::failure(
         "reassign requires an assignment (run an alloc pass first)");
   }
   regalloc::AllocationResult initial;
   initial.func = state.func;
-  initial.assignment = *state.assignment;
+  initial.assignment = *state.assignment();
   const core::ThermalDfa dfa(*ctx.grid, *ctx.power, ctx.timing,
                              ctx.dfa_config);
   auto result = opt::thermally_reassign(state.func, initial, dfa);
   state.func = std::move(result.alloc.func);
-  state.assignment = std::move(result.alloc.assignment);
+  state.analyses.put<machine::RegisterAssignment>(
+      std::move(result.alloc.assignment));
   state.spilled_regs += result.alloc.spilled_regs;
-  state.dfa.reset();
-  state.gating.reset();
   std::ostringstream summary;
   summary << "predicted peak " << fmt(result.predicted_before.peak_k - 273.15)
           << " -> " << fmt(result.predicted_after.peak_k - 273.15) << " degC";
-  return PassOutcome::success(summary.str());
+  // The ranking still names the hottest variables; the pre-reassign DFA
+  // prediction and gating plan do not survive the new placement.
+  PreservedAnalyses preserved = PreservedAnalyses::structure();
+  preserved.preserve<CriticalRanking>();
+  return PassOutcome::success(summary.str()).preserve(preserved);
 }
 
 // --- schedule ----------------------------------------------------------------
 
 PassOutcome run_schedule(PipelineState& state, const PipelineContext&) {
-  if (!state.assignment.has_value()) {
+  if (!state.has_assignment()) {
     return PassOutcome::failure(
         "schedule requires an assignment (run an alloc pass first)");
   }
-  auto result = opt::thermal_schedule(state.func, *state.assignment);
+  auto result = opt::thermal_schedule(state.func, *state.assignment());
   state.func = std::move(result.func);
-  // Instruction positions changed: the per-instruction DFA states are
-  // stale, the assignment (keyed by vreg) is not.
-  state.dfa.reset();
-  state.ranking.clear();
-  return PassOutcome::success("moved " + std::to_string(result.moved));
+  // Instruction positions changed: the per-instruction DFA states and the
+  // ranking are stale, the assignment (keyed by vreg) is not.
+  PreservedAnalyses preserved = PreservedAnalyses::structure();
+  preserved.preserve<machine::RegisterAssignment>()
+      .preserve<opt::BankGatingPlan>();
+  return PassOutcome::success("moved " + std::to_string(result.moved))
+      .preserve(preserved);
 }
 
 // --- nops[=per_site[:threshold_k]] ------------------------------------------
 
 PassOutcome run_nops(PipelineState& state, int per_site,
                      std::optional<double> threshold_k) {
-  if (!state.dfa.has_value() || state.dfa->per_instruction.empty()) {
+  const auto* dfa = state.dfa();
+  if (dfa == nullptr || dfa->per_instruction.empty()) {
     return PassOutcome::failure(
         "nops requires a thermal-dfa result over the current function "
         "(re-run thermal-dfa after any IR-reshaping pass)");
   }
-  if (!state.assignment.has_value()) {
+  if (!state.has_assignment()) {
     return PassOutcome::failure(
         "nops requires an assignment (run an alloc pass first)");
   }
   const double threshold =
-      threshold_k.value_or(opt::default_cooling_threshold(*state.dfa));
+      threshold_k.value_or(opt::default_cooling_threshold(*dfa));
   auto result =
-      opt::insert_cooling_nops(state.func, *state.dfa, threshold, per_site);
+      opt::insert_cooling_nops(state.func, *dfa, threshold, per_site);
   state.func = std::move(result.func);
   // NOPs touch no registers (assignment survives) but shift instruction
   // indices (the DFA's per-instruction refs do not).
-  state.dfa.reset();
-  state.ranking.clear();
+  PreservedAnalyses preserved = PreservedAnalyses::structure();
+  preserved.preserve<machine::RegisterAssignment>()
+      .preserve<opt::BankGatingPlan>();
   return PassOutcome::success(
-      "inserted " + std::to_string(result.nops_inserted) + " (threshold " +
-      fmt(threshold - 273.15) + " degC)");
+             "inserted " + std::to_string(result.nops_inserted) +
+             " (threshold " + fmt(threshold - 273.15) + " degC)")
+      .preserve(preserved);
 }
 
 // --- bank-gating[=temp_k] ----------------------------------------------------
 
 PassOutcome run_bank_gating(PipelineState& state, const PipelineContext& ctx,
                             std::optional<double> temp_k) {
-  if (!state.assignment.has_value()) {
+  if (!state.has_assignment()) {
     return PassOutcome::failure(
         "bank-gating requires an assignment (run an alloc pass first)");
   }
+  const auto* dfa = state.dfa();
   const double temp = temp_k.value_or(
-      state.dfa.has_value() ? state.dfa->exit_stats.mean_k
-                            : ctx.floorplan->config().tech.substrate_temp_k);
-  state.gating =
-      opt::plan_bank_gating(*ctx.floorplan, *state.assignment, temp);
+      dfa != nullptr ? dfa->exit_stats.mean_k
+                     : ctx.floorplan->config().tech.substrate_temp_k);
+  opt::BankGatingPlan plan =
+      opt::plan_bank_gating(*ctx.floorplan, *state.assignment(), temp);
   std::ostringstream summary;
-  summary << "gated " << state.gating->gated_banks << " banks, "
-          << fmt(state.gating->leakage_saved_w * 1e3) << " mW leakage saved";
-  return PassOutcome::success(summary.str());
+  summary << "gated " << plan.gated_banks << " banks, "
+          << fmt(plan.leakage_saved_w * 1e3) << " mW leakage saved";
+  state.analyses.put<opt::BankGatingPlan>(std::move(plan));
+  return PassOutcome::unchanged(summary.str());
 }
 
 // --- verify ------------------------------------------------------------------
@@ -329,7 +388,15 @@ PassOutcome run_verify(PipelineState& state, const PipelineContext&) {
   if (std::string issue = verify_checkpoint(state); !issue.empty()) {
     return PassOutcome::failure(issue);
   }
-  return PassOutcome::success("ok");
+  if (state.has_assignment()) {
+    // Full legality (interference) check, sharing the cached graph.
+    const auto issues = regalloc::verify_allocation(
+        state.func, *state.assignment(), state.analyses);
+    if (!issues.empty()) {
+      return PassOutcome::failure(issues.front().message);
+    }
+  }
+  return PassOutcome::unchanged("ok");
 }
 
 }  // namespace
@@ -343,8 +410,8 @@ void register_builtin_passes(PassRegistry& registry) {
         }
         return make_rewrite_pass("cse", [](const ir::Function& func) {
           auto r = opt::eliminate_common_subexpressions(func);
-          return std::pair{std::move(r.func),
-                           "replaced " + std::to_string(r.replaced)};
+          return std::tuple{std::move(r.func), r.replaced,
+                            "replaced " + std::to_string(r.replaced)};
         });
       });
 
@@ -354,11 +421,21 @@ void register_builtin_passes(PassRegistry& registry) {
         if (!spec.args.empty()) {
           return fail(error, "dce takes no arguments");
         }
-        return make_rewrite_pass("dce", [](const ir::Function& func) {
-          auto r = opt::eliminate_dead_code(func);
-          return std::pair{std::move(r.func),
-                           "removed " + std::to_string(r.removed)};
-        });
+        return std::make_unique<LambdaPass>(
+            "dce", [](PipelineState& state, const PipelineContext&) {
+              const std::size_t removed =
+                  opt::eliminate_dead_code(state.func, state.analyses);
+              const std::string summary =
+                  "removed " + std::to_string(removed);
+              if (removed == 0) {
+                return PassOutcome::unchanged(summary);
+              }
+              // The in-place DCE invalidated liveness through the manager
+              // as it rewrote; the final sweep's analyses are fresh and
+              // survive on their own.
+              return PassOutcome::success(summary).preserve(
+                  PreservedAnalyses::structure());
+            });
       });
 
   registry.register_pass(
@@ -367,11 +444,18 @@ void register_builtin_passes(PassRegistry& registry) {
         if (!spec.args.empty()) {
           return fail(error, "coalesce takes no arguments");
         }
-        return make_rewrite_pass("coalesce", [](const ir::Function& func) {
-          auto r = opt::coalesce_copies(func);
-          return std::pair{std::move(r.func),
-                           "coalesced " + std::to_string(r.coalesced)};
-        });
+        return std::make_unique<LambdaPass>(
+            "coalesce", [](PipelineState& state, const PipelineContext&) {
+              const std::size_t merged =
+                  opt::coalesce_copies(state.func, state.analyses);
+              const std::string summary =
+                  "coalesced " + std::to_string(merged);
+              if (merged == 0) {
+                return PassOutcome::unchanged(summary);
+              }
+              return PassOutcome::success(summary).preserve(
+                  PreservedAnalyses::structure());
+            });
       });
 
   registry.register_pass(
@@ -385,8 +469,9 @@ void register_builtin_passes(PassRegistry& registry) {
         return make_rewrite_pass(
             spec.text(), [min_loads](const ir::Function& func) {
               auto r = opt::promote_memory_scalars(func, min_loads);
-              return std::pair{
+              return std::tuple{
                   std::move(r.func),
+                  r.promoted_addresses.size() + r.loads_replaced,
                   "promoted " + std::to_string(r.promoted_addresses.size()) +
                       " addrs, " + std::to_string(r.loads_replaced) +
                       " loads"};
@@ -511,7 +596,7 @@ void register_builtin_passes(PassRegistry& registry) {
       });
 
   registry.register_pass(
-      "verify", "explicit structural + assignment-coverage checkpoint",
+      "verify", "explicit structural + assignment-legality checkpoint",
       [](const PassSpec& spec, std::string* error) -> std::unique_ptr<Pass> {
         if (!spec.args.empty()) {
           return fail(error, "verify takes no arguments");

@@ -4,61 +4,39 @@
 // split/spill -> cool-first re-allocation -> thermal scheduling) used to be
 // hand-wired differently in every example and bench driver. The pipeline
 // subsystem makes it declarative: a PipelineState carries the function
-// being compiled plus the analysis artifacts passes produce and consume,
-// and each pass declares what it needs by reading (and failing on) the
-// optional fields.
+// being compiled plus an AnalysisManager holding every derived artifact —
+// lazily computed analyses (Cfg, Liveness, ...) and registered pass
+// products (assignment, thermal-DFA result, ranking, gating plan). Passes
+// read artifacts through the accessors below (failing on absent
+// prerequisites) and report what they kept valid via
+// PassOutcome::preserved instead of the old blanket invalidate_derived().
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "core/critical.hpp"
 #include "core/thermal_dfa.hpp"
 #include "ir/function.hpp"
 #include "machine/assignment.hpp"
-#include "machine/floorplan.hpp"
-#include "machine/timing.hpp"
 #include "opt/bank_gating.hpp"
-#include "power/model.hpp"
-#include "thermal/grid.hpp"
+#include "pipeline/analysis_manager.hpp"
+#include "pipeline/context.hpp"
 
 namespace tadfa::pipeline {
 
-/// The compilation environment — everything that outlives a single run.
-/// Non-owning: the rig objects must outlive the PassManager.
-struct PipelineContext {
-  const machine::Floorplan* floorplan = nullptr;
-  const thermal::ThermalGrid* grid = nullptr;
-  const power::PowerModel* power = nullptr;
-  machine::TimingModel timing;
-  core::ThermalDfaConfig dfa_config;
-  /// Seed handed to stochastic assignment policies ("random").
-  std::uint64_t policy_seed = 42;
-};
+TADFA_REGISTER_ANALYSIS_RESULT(opt::BankGatingPlan, "bank-gating-plan");
 
-/// Mutable state a pipeline run threads from pass to pass.
+/// Mutable state a pipeline run threads from pass to pass. Move-only: the
+/// analysis cache inside holds pointers into `func`, so moves drop the
+/// computed analyses (registered results survive; see
+/// AnalysisManager::on_function_moved).
 struct PipelineState {
   /// The function being compiled (spill-rewritten, split, scheduled...).
   ir::Function func;
 
-  /// Physical assignment of `func`, present after an `alloc=` pass and
-  /// dropped by IR-reshaping passes (cse, dce, split-hot, ...).
-  std::optional<machine::RegisterAssignment> assignment;
-
-  /// Most recent thermal-DFA prediction. Its per-register exit
-  /// temperatures guide subsequent heat-aware allocation; its
-  /// per-instruction states refer to the func at analysis time, so passes
-  /// that reshape instructions drop it.
-  std::optional<core::ThermalDfaResult> dfa;
-
-  /// Critical-variable ranking from the last `thermal-dfa` pass,
-  /// descending. split-hot/spill-critical consume entries from the front
-  /// so a later pass never re-treats an already-handled variable.
-  std::vector<core::CriticalVariable> ranking;
-
-  /// Bank power-gating plan from a `bank-gating` pass.
-  std::optional<opt::BankGatingPlan> gating;
+  /// Analysis cache + registered pass products for `func`.
+  AnalysisManager analyses;
 
   /// Virtual registers spilled across all allocation passes so far.
   std::uint32_t spilled_regs = 0;
@@ -66,13 +44,49 @@ struct PipelineState {
   PipelineState() : func("") {}
   explicit PipelineState(ir::Function f) : func(std::move(f)) {}
 
-  /// Called by passes that rewrite the IR in ways that stale every
-  /// derived artifact.
-  void invalidate_derived() {
-    assignment.reset();
-    dfa.reset();
-    ranking.clear();
-    gating.reset();
+  PipelineState(PipelineState&& other) noexcept
+      : func(std::move(other.func)),
+        analyses(std::move(other.analyses)),
+        spilled_regs(other.spilled_regs) {
+    analyses.on_function_moved();
+  }
+  PipelineState& operator=(PipelineState&& other) noexcept {
+    func = std::move(other.func);
+    analyses = std::move(other.analyses);
+    spilled_regs = other.spilled_regs;
+    analyses.on_function_moved();
+    return *this;
+  }
+  PipelineState(const PipelineState&) = delete;
+  PipelineState& operator=(const PipelineState&) = delete;
+
+  // --- Artifact accessors ----------------------------------------------------
+  // nullptr when the artifact has not been produced (or was invalidated).
+
+  /// Physical assignment of `func`, registered by `alloc=` passes and
+  /// dropped by IR-reshaping passes (cse, dce, split-hot, ...).
+  const machine::RegisterAssignment* assignment() const {
+    return analyses.result<machine::RegisterAssignment>();
+  }
+  bool has_assignment() const { return assignment() != nullptr; }
+
+  /// Most recent thermal-DFA prediction. Its per-register exit
+  /// temperatures guide subsequent heat-aware allocation; its
+  /// per-instruction states refer to the func at analysis time, so passes
+  /// that reshape instructions clear them (but keep the exit temps).
+  const core::ThermalDfaResult* dfa() const {
+    return analyses.result<core::ThermalDfaResult>();
+  }
+
+  /// Critical-variable ranking from the last `thermal-dfa` pass.
+  const std::vector<core::CriticalVariable>* ranking() const {
+    const auto* r = analyses.result<CriticalRanking>();
+    return r ? &r->vars : nullptr;
+  }
+
+  /// Bank power-gating plan from a `bank-gating` pass.
+  const opt::BankGatingPlan* gating() const {
+    return analyses.result<opt::BankGatingPlan>();
   }
 };
 

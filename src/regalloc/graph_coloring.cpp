@@ -5,6 +5,7 @@
 
 #include "dataflow/interference.hpp"
 #include "dataflow/live_intervals.hpp"
+#include "pipeline/analysis_manager.hpp"
 #include "regalloc/spill.hpp"
 #include "support/assert.hpp"
 
@@ -41,11 +42,16 @@ AllocationResult GraphColoringAllocator::allocate(const ir::Function& func) {
   const std::uint32_t k = floorplan_->num_registers();
   constexpr int kMaxRounds = 64;
 
+  // Private analysis cache over the working copy: Cfg persists across
+  // spill rounds, liveness/graph/intervals are rebuilt only after a
+  // rewrite (and liveness is shared between the graph and the intervals).
+  pipeline::AnalysisManager am;
+
   for (result.rounds = 1; result.rounds <= kMaxRounds; ++result.rounds) {
-    const dataflow::Cfg cfg(result.func);
-    const dataflow::Liveness liveness(cfg);
-    const dataflow::InterferenceGraph graph(cfg, liveness);
-    const dataflow::LiveIntervals intervals(cfg, liveness);
+    const dataflow::InterferenceGraph& graph =
+        am.get<dataflow::InterferenceGraph>(result.func);
+    const dataflow::LiveIntervals& intervals =
+        am.get<dataflow::LiveIntervals>(result.func);
 
     const std::vector<bool> present = live_regs(result.func);
     const std::uint32_t n = result.func.reg_count();
@@ -151,6 +157,7 @@ AllocationResult GraphColoringAllocator::allocate(const ir::Function& func) {
     to_spill.erase(std::unique(to_spill.begin(), to_spill.end()),
                    to_spill.end());
     const SpillResult spilled = spill_registers(result.func, to_spill);
+    am.invalidate<dataflow::Liveness>();
     result.spilled_regs += static_cast<std::uint32_t>(to_spill.size());
     for (ir::Reg t : spilled.new_temps) {
       no_spill.insert(t);

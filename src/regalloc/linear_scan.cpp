@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "dataflow/live_intervals.hpp"
+#include "pipeline/analysis_manager.hpp"
 #include "regalloc/spill.hpp"
 #include "support/assert.hpp"
 
@@ -29,10 +30,14 @@ AllocationResult LinearScanAllocator::allocate(const ir::Function& func) {
   const std::uint32_t num_phys = floorplan_->num_registers();
   constexpr int kMaxRounds = 64;
 
+  // Private analysis cache over the working copy: the Cfg is built once
+  // (spill rewriting inserts loads/stores but moves no CFG edge) and only
+  // liveness/intervals are recomputed per spill round.
+  pipeline::AnalysisManager am;
+
   for (result.rounds = 1; result.rounds <= kMaxRounds; ++result.rounds) {
-    const dataflow::Cfg cfg(result.func);
-    const dataflow::Liveness liveness(cfg);
-    const dataflow::LiveIntervals intervals(cfg, liveness);
+    const dataflow::LiveIntervals& intervals =
+        am.get<dataflow::LiveIntervals>(result.func);
 
     machine::RegisterAssignment assignment(result.func.reg_count());
     std::vector<std::uint32_t> usage(num_phys, 0);
@@ -102,6 +107,7 @@ AllocationResult LinearScanAllocator::allocate(const ir::Function& func) {
     to_spill.erase(std::unique(to_spill.begin(), to_spill.end()),
                    to_spill.end());
     const SpillResult spilled = spill_registers(result.func, to_spill);
+    am.invalidate<dataflow::Liveness>();
     result.spilled_regs += static_cast<std::uint32_t>(to_spill.size());
     for (ir::Reg t : spilled.new_temps) {
       no_spill.insert(t);

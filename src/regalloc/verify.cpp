@@ -2,20 +2,21 @@
 
 #include "dataflow/interference.hpp"
 #include "dataflow/liveness.hpp"
+#include "pipeline/analysis_manager.hpp"
 
 namespace tadfa::regalloc {
 
 std::vector<AllocationIssue> verify_allocation(
-    const ir::Function& func, const machine::RegisterAssignment& assignment) {
+    const ir::Function& func, const machine::RegisterAssignment& assignment,
+    pipeline::AnalysisManager& am) {
   std::vector<AllocationIssue> issues;
 
   if (!assignment.covers(func)) {
     issues.push_back({"assignment does not cover every used register"});
   }
 
-  const dataflow::Cfg cfg(func);
-  const dataflow::Liveness liveness(cfg);
-  const dataflow::InterferenceGraph graph(cfg, liveness);
+  const dataflow::InterferenceGraph& graph =
+      am.get<dataflow::InterferenceGraph>(func);
 
   for (ir::Reg a = 0; a < func.reg_count(); ++a) {
     if (!assignment.assigned(a)) {
@@ -33,6 +34,12 @@ std::vector<AllocationIssue> verify_allocation(
     }
   }
   return issues;
+}
+
+std::vector<AllocationIssue> verify_allocation(
+    const ir::Function& func, const machine::RegisterAssignment& assignment) {
+  pipeline::AnalysisManager am;
+  return verify_allocation(func, assignment, am);
 }
 
 bool allocation_is_legal(const ir::Function& func,

@@ -8,6 +8,10 @@
 #include "ir/function.hpp"
 #include "machine/assignment.hpp"
 
+namespace tadfa::pipeline {
+class AnalysisManager;
+}
+
 namespace tadfa::regalloc {
 
 struct AllocationIssue {
@@ -15,7 +19,13 @@ struct AllocationIssue {
 };
 
 /// Returns all legality violations: unassigned used registers, and
-/// interfering pairs mapped to the same physical register.
+/// interfering pairs mapped to the same physical register. The
+/// manager-taking overload reuses a cached interference graph (the
+/// pipeline's `verify` pass passes the pipeline cache); the plain one
+/// builds its own.
+std::vector<AllocationIssue> verify_allocation(
+    const ir::Function& func, const machine::RegisterAssignment& assignment,
+    pipeline::AnalysisManager& am);
 std::vector<AllocationIssue> verify_allocation(
     const ir::Function& func, const machine::RegisterAssignment& assignment);
 

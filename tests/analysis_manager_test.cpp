@@ -1,0 +1,363 @@
+// Tests for pipeline::AnalysisManager — caching, dependency-aware
+// transitive invalidation, PreservedAnalyses application, and the
+// PassManager's audit of preservation claims (a pass that lies about
+// what it kept valid must fail the pipeline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "dataflow/interference.hpp"
+#include "dataflow/live_intervals.hpp"
+#include "dataflow/liveness.hpp"
+#include "dataflow/loop_info.hpp"
+#include "ir/printer.hpp"
+#include "pipeline/analysis_manager.hpp"
+#include "pipeline/pass_manager.hpp"
+#include "workload/kernels.hpp"
+
+namespace tadfa {
+namespace {
+
+using pipeline::AnalysisManager;
+using pipeline::PreservedAnalyses;
+
+ir::Function test_function(const char* kernel = "crc32") {
+  return workload::make_kernel(kernel)->func;
+}
+
+std::uint64_t hits(const AnalysisManager& am, const std::string& name) {
+  for (const auto& s : am.stats()) {
+    if (s.name == name) {
+      return s.hits;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t misses(const AnalysisManager& am, const std::string& name) {
+  for (const auto& s : am.stats()) {
+    if (s.name == name) {
+      return s.misses;
+    }
+  }
+  return 0;
+}
+
+// --- Caching -----------------------------------------------------------------
+
+TEST(AnalysisManager, CachesAndCountsHitsAndMisses) {
+  const ir::Function func = test_function();
+  AnalysisManager am;
+
+  const auto& cfg1 = am.get<dataflow::Cfg>(func);
+  const auto& cfg2 = am.get<dataflow::Cfg>(func);
+  EXPECT_EQ(&cfg1, &cfg2);  // pointer-stable on hit
+  EXPECT_EQ(misses(am, "cfg"), 1u);
+  EXPECT_EQ(hits(am, "cfg"), 1u);
+
+  // Liveness pulls Cfg through the manager: another cfg hit, no rebuild.
+  am.get<dataflow::Liveness>(func);
+  EXPECT_EQ(misses(am, "cfg"), 1u);
+  EXPECT_EQ(hits(am, "cfg"), 2u);
+  EXPECT_EQ(misses(am, "liveness"), 1u);
+}
+
+TEST(AnalysisManager, ResultDoesNotCompute) {
+  const ir::Function func = test_function();
+  AnalysisManager am;
+  EXPECT_EQ(am.result<dataflow::Cfg>(), nullptr);
+  am.get<dataflow::Cfg>(func);
+  EXPECT_NE(am.result<dataflow::Cfg>(), nullptr);
+}
+
+TEST(AnalysisManager, RequestingADifferentFunctionDropsTheCache) {
+  const ir::Function a = test_function("crc32");
+  const ir::Function b = test_function("fir");
+  AnalysisManager am;
+  am.get<dataflow::Liveness>(a);
+  am.get<dataflow::Liveness>(b);  // rebind: everything for `a` is gone
+  EXPECT_EQ(misses(am, "liveness"), 2u);
+  EXPECT_EQ(hits(am, "liveness"), 0u);
+}
+
+TEST(AnalysisManager, CachingDisabledRebuildsEveryTime) {
+  const ir::Function func = test_function();
+  AnalysisManager am;
+  am.set_caching(false);
+  am.get<dataflow::Liveness>(func);
+  am.get<dataflow::Liveness>(func);
+  EXPECT_EQ(misses(am, "liveness"), 2u);
+  EXPECT_EQ(hits(am, "liveness"), 0u);
+}
+
+// --- Transitive invalidation -------------------------------------------------
+
+TEST(AnalysisManager, InvalidatingCfgDropsEverythingDownstream) {
+  const ir::Function func = test_function();
+  AnalysisManager am;
+  am.get<dataflow::LoopInfo>(func);       // cfg -> dominators -> loop-info
+  am.get<dataflow::LiveIntervals>(func);  // cfg -> liveness -> intervals
+
+  am.invalidate<dataflow::Cfg>();
+  EXPECT_EQ(am.result<dataflow::Cfg>(), nullptr);
+  EXPECT_EQ(am.result<dataflow::Dominators>(), nullptr);
+  EXPECT_EQ(am.result<dataflow::LoopInfo>(), nullptr);
+  EXPECT_EQ(am.result<dataflow::Liveness>(), nullptr);
+  EXPECT_EQ(am.result<dataflow::LiveIntervals>(), nullptr);
+}
+
+TEST(AnalysisManager, InvalidatingLivenessKeepsTheCfg) {
+  const ir::Function func = test_function();
+  AnalysisManager am;
+  am.get<dataflow::InterferenceGraph>(func);
+
+  am.invalidate<dataflow::Liveness>();
+  EXPECT_EQ(am.result<dataflow::Liveness>(), nullptr);
+  EXPECT_EQ(am.result<dataflow::InterferenceGraph>(), nullptr);
+  EXPECT_NE(am.result<dataflow::Cfg>(), nullptr);
+}
+
+// --- PreservedAnalyses / keep_only -------------------------------------------
+
+TEST(AnalysisManager, KeepOnlyRetainsPreservedAndTheirDependencies) {
+  const ir::Function func = test_function();
+  AnalysisManager am;
+  const auto& liveness = am.get<dataflow::Liveness>(func);
+  am.get<dataflow::LoopInfo>(func);
+
+  am.begin_pass();  // nothing below is "fresh"
+  PreservedAnalyses pa;
+  pa.preserve<dataflow::Liveness>();
+  am.keep_only(pa);
+
+  // Liveness survives pointer-stable — and keeps its Cfg input alive.
+  EXPECT_EQ(am.result<dataflow::Liveness>(), &liveness);
+  EXPECT_NE(am.result<dataflow::Cfg>(), nullptr);
+  // LoopInfo and Dominators were not preserved by anything.
+  EXPECT_EQ(am.result<dataflow::LoopInfo>(), nullptr);
+  EXPECT_EQ(am.result<dataflow::Dominators>(), nullptr);
+}
+
+TEST(AnalysisManager, KeepOnlyNoneDropsStaleButKeepsFresh) {
+  const ir::Function func = test_function();
+  AnalysisManager am;
+  am.get<dataflow::LoopInfo>(func);  // stale after begin_pass
+
+  am.begin_pass();
+  const auto& liveness = am.get<dataflow::Liveness>(func);  // fresh
+  am.keep_only(PreservedAnalyses::none());
+
+  EXPECT_EQ(am.result<dataflow::Liveness>(), &liveness);
+  EXPECT_NE(am.result<dataflow::Cfg>(), nullptr);  // dependency of a survivor
+  EXPECT_EQ(am.result<dataflow::LoopInfo>(), nullptr);
+}
+
+TEST(AnalysisManager, RegisteredResultsFollowTheSameLifecycle) {
+  AnalysisManager am;
+  machine::RegisterAssignment assignment(4);
+  assignment.assign(0, 1);
+  am.put<machine::RegisterAssignment>(std::move(assignment));
+  ASSERT_NE(am.result<machine::RegisterAssignment>(), nullptr);
+  EXPECT_EQ(am.result<machine::RegisterAssignment>()->phys(0), 1u);
+
+  am.begin_pass();
+  am.keep_only(PreservedAnalyses::none());
+  EXPECT_EQ(am.result<machine::RegisterAssignment>(), nullptr);
+}
+
+// --- Block frequencies -------------------------------------------------------
+
+TEST(AnalysisManager, BlockFrequenciesRecomputeOnTripGuessChange) {
+  const ir::Function func = test_function();
+  AnalysisManager am;
+  const auto& f10 = pipeline::block_frequencies(am, func, 10.0);
+  const double inner10 = *std::max_element(f10.begin(), f10.end());
+  pipeline::block_frequencies(am, func, 10.0);
+  EXPECT_EQ(hits(am, "block-freq"), 1u);
+
+  const auto& f2 = pipeline::block_frequencies(am, func, 2.0);
+  const double inner2 = *std::max_element(f2.begin(), f2.end());
+  EXPECT_EQ(misses(am, "block-freq"), 2u);
+  EXPECT_GT(inner10, inner2);  // crc32 loops actually scale with the guess
+}
+
+// --- Pipeline integration ----------------------------------------------------
+
+class AnalysisPipelineTest : public ::testing::Test {
+ protected:
+  AnalysisPipelineTest()
+      : fp_(machine::RegisterFileConfig::default_config()),
+        grid_(fp_),
+        power_(fp_.config()) {
+    ctx_.floorplan = &fp_;
+    ctx_.grid = &grid_;
+    ctx_.power = &power_;
+    pipeline::register_builtin_passes(registry_);
+  }
+
+  machine::Floorplan fp_;
+  thermal::ThermalGrid grid_;
+  power::PowerModel power_;
+  pipeline::PipelineContext ctx_;
+  pipeline::PassRegistry registry_;
+};
+
+TEST_F(AnalysisPipelineTest, ReadmeSpecProducesCacheHits) {
+  const auto kernel = workload::make_kernel("crc32");
+  const pipeline::PassManager manager(ctx_);
+  const auto run = manager.run(
+      kernel->func,
+      "alloc=linear:first_free,thermal-dfa,split-hot=1,spill-critical=1,"
+      "alloc=coloring:coolest_first,schedule");
+  ASSERT_TRUE(run.ok) << run.error;
+  // The ranking stage reuses the DFA's Cfg/LoopInfo/frequencies, split
+  // reuses the Cfg: the cache must report real hits.
+  EXPECT_GT(run.state.analyses.total_hits(), 0u);
+  EXPECT_GT(hits(run.state.analyses, "cfg"), 0u);
+}
+
+TEST_F(AnalysisPipelineTest, CachedAnalysesArePointerStableAcrossPasses) {
+  // Pass 1 computes liveness and reports "unchanged"; pass 2 must observe
+  // the identical object.
+  const dataflow::Liveness* seen = nullptr;
+  registry_.register_pass(
+      "probe-a", "test-only",
+      [&seen](const pipeline::PassSpec&, std::string*) {
+        return std::make_unique<pipeline::LambdaPass>(
+            "probe-a", [&seen](pipeline::PipelineState& state,
+                               const pipeline::PipelineContext&) {
+              seen = &state.analyses.get<dataflow::Liveness>(state.func);
+              return pipeline::PassOutcome::unchanged("probed");
+            });
+      });
+  registry_.register_pass(
+      "probe-b", "test-only",
+      [&seen](const pipeline::PassSpec&, std::string*) {
+        return std::make_unique<pipeline::LambdaPass>(
+            "probe-b", [&seen](pipeline::PipelineState& state,
+                               const pipeline::PipelineContext&) {
+              const auto& liveness =
+                  state.analyses.get<dataflow::Liveness>(state.func);
+              if (&liveness != seen) {
+                return pipeline::PassOutcome::failure(
+                    "liveness was rebuilt between preserving passes");
+              }
+              return pipeline::PassOutcome::unchanged("stable");
+            });
+      });
+  const pipeline::PassManager manager(ctx_, registry_);
+  const auto kernel = workload::make_kernel("counter");
+  const auto run = manager.run(kernel->func, "probe-a,probe-b");
+  EXPECT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(hits(run.state.analyses, "liveness"), 1u);
+}
+
+TEST_F(AnalysisPipelineTest, PassLyingAboutNoChangeIsCaught) {
+  registry_.register_pass(
+      "sneaky-nop", "test-only: mutates the IR but reports no change",
+      [](const pipeline::PassSpec&, std::string*) {
+        return std::make_unique<pipeline::LambdaPass>(
+            "sneaky-nop", [](pipeline::PipelineState& state,
+                             const pipeline::PipelineContext&) {
+              state.func.block(state.func.entry())
+                  .insert(0, ir::Instruction(ir::Opcode::kNop,
+                                             ir::kInvalidReg, {}));
+              return pipeline::PassOutcome::unchanged("nothing to see");
+            });
+      });
+  const pipeline::PassManager manager(ctx_, registry_);
+  const auto kernel = workload::make_kernel("counter");
+  const auto run = manager.run(kernel->func, "sneaky-nop");
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("reported no change"), std::string::npos)
+      << run.error;
+}
+
+TEST_F(AnalysisPipelineTest, PassClaimingToPreserveLivenessWhileMutatingIsCaught) {
+  registry_.register_pass(
+      "stale-liveness", "test-only: mutates the IR, claims liveness intact",
+      [](const pipeline::PassSpec&, std::string*) {
+        return std::make_unique<pipeline::LambdaPass>(
+            "stale-liveness", [](pipeline::PipelineState& state,
+                                 const pipeline::PipelineContext&) {
+              // Warm the cache, then mutate behind the manager's back.
+              state.analyses.get<dataflow::Liveness>(state.func);
+              state.func.block(state.func.entry())
+                  .insert(0, ir::Instruction(ir::Opcode::kNop,
+                                             ir::kInvalidReg, {}));
+              pipeline::PreservedAnalyses pa;
+              pa.preserve<dataflow::Liveness>();
+              return pipeline::PassOutcome::success("mutated").preserve(pa);
+            });
+      });
+  const pipeline::PassManager manager(ctx_, registry_);
+  const auto kernel = workload::make_kernel("counter");
+  const auto run = manager.run(kernel->func, "stale-liveness");
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("liveness-class"), std::string::npos) << run.error;
+
+  // With checkpoints off the audit is off too — measurement mode trusts
+  // the pass.
+  pipeline::PassManager unchecked(ctx_, registry_);
+  unchecked.set_checkpoints(false);
+  EXPECT_TRUE(unchecked.run(kernel->func, "stale-liveness").ok);
+}
+
+TEST_F(AnalysisPipelineTest, PassClaimingToPreserveCfgWhileRestructuringIsCaught) {
+  registry_.register_pass(
+      "block-adder", "test-only: adds a block, claims the CFG is intact",
+      [](const pipeline::PassSpec&, std::string*) {
+        return std::make_unique<pipeline::LambdaPass>(
+            "block-adder", [](pipeline::PipelineState& state,
+                              const pipeline::PipelineContext&) {
+              const ir::BlockId b = state.func.add_block();
+              state.func.block(b).append(
+                  ir::Instruction(ir::Opcode::kRet, ir::kInvalidReg, {}));
+              pipeline::PreservedAnalyses pa;
+              pa.preserve<dataflow::Cfg>();
+              return pipeline::PassOutcome::success("grew").preserve(pa);
+            });
+      });
+  const pipeline::PassManager manager(ctx_, registry_);
+  const auto kernel = workload::make_kernel("counter");
+  const auto run = manager.run(kernel->func, "block-adder");
+  EXPECT_FALSE(run.ok);
+  EXPECT_NE(run.error.find("block structure"), std::string::npos) << run.error;
+}
+
+TEST_F(AnalysisPipelineTest, UnchangedPassesSkipCheckpointAndAreReported) {
+  // A pass that corrupts the IR but truthfully reports "changed" is
+  // caught; dce on dead-code-free IR reports no change and the stats
+  // table marks it.
+  const auto kernel = workload::make_kernel("counter");
+  const pipeline::PassManager manager(ctx_);
+  const auto run = manager.run(kernel->func, "dce,dce");
+  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_EQ(run.pass_stats.size(), 2u);
+  EXPECT_FALSE(run.pass_stats[1].changed);
+
+  std::ostringstream os;
+  pipeline::PassManager::stats_table(run).print(os);
+  EXPECT_NE(os.str().find("(no change)"), std::string::npos);
+}
+
+TEST_F(AnalysisPipelineTest, CacheOffMatchesCacheOnResults) {
+  const auto kernel = workload::make_kernel("fir");
+  constexpr const char* kSpec =
+      "cse,dce,alloc=linear:first_free,thermal-dfa,split-hot=1,"
+      "alloc=coloring:coolest_first,schedule";
+  pipeline::PassManager cached(ctx_);
+  pipeline::PassManager cold(ctx_);
+  cold.set_analysis_caching(false);
+  const auto a = cached.run(kernel->func, kSpec);
+  const auto b = cold.run(kernel->func, kSpec);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(ir::to_string(a.state.func), ir::to_string(b.state.func));
+  EXPECT_EQ(b.state.analyses.total_hits(), 0u);
+  EXPECT_GT(a.state.analyses.total_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace tadfa

@@ -223,7 +223,7 @@ TEST_F(PipelineTest, AllocPassMatchesDirectLinearScan) {
     const auto kernel = workload::make_kernel(name);
     const auto run = manager().run(kernel->func, "alloc=linear:first_free");
     ASSERT_TRUE(run.ok) << name << ": " << run.error;
-    ASSERT_TRUE(run.state.assignment.has_value());
+    ASSERT_TRUE(run.state.has_assignment());
 
     regalloc::FirstFreePolicy policy;
     regalloc::LinearScanAllocator allocator(fp_, policy);
@@ -231,15 +231,15 @@ TEST_F(PipelineTest, AllocPassMatchesDirectLinearScan) {
 
     EXPECT_EQ(ir::to_string(run.state.func), ir::to_string(direct.func))
         << name;
-    ASSERT_EQ(run.state.assignment->vreg_count(),
+    ASSERT_EQ(run.state.assignment()->vreg_count(),
               direct.assignment.vreg_count())
         << name;
     for (ir::Reg r = 0; r < direct.assignment.vreg_count(); ++r) {
-      ASSERT_EQ(run.state.assignment->assigned(r),
+      ASSERT_EQ(run.state.assignment()->assigned(r),
                 direct.assignment.assigned(r))
           << name << " %" << r;
       if (direct.assignment.assigned(r)) {
-        EXPECT_EQ(run.state.assignment->phys(r), direct.assignment.phys(r))
+        EXPECT_EQ(run.state.assignment()->phys(r), direct.assignment.phys(r))
             << name << " %" << r;
       }
     }
@@ -258,7 +258,7 @@ TEST_F(PipelineTest, SpecDrivenSec4FlowMatchesHandWiredFlow) {
     const auto kernel = workload::make_kernel(name);
     const auto run = manager().run(kernel->func, kSpec);
     ASSERT_TRUE(run.ok) << name << ": " << run.error;
-    ASSERT_TRUE(run.state.assignment.has_value());
+    ASSERT_TRUE(run.state.has_assignment());
 
     // Hand-wired equivalent, step by step.
     const core::ThermalDfa dfa(grid_, power_, timing_);
@@ -294,15 +294,15 @@ TEST_F(PipelineTest, SpecDrivenSec4FlowMatchesHandWiredFlow) {
     EXPECT_EQ(ir::to_string(run.state.func), ir::to_string(scheduled.func))
         << name;
     // ...same final assignment...
-    ASSERT_EQ(run.state.assignment->vreg_count(),
+    ASSERT_EQ(run.state.assignment()->vreg_count(),
               improved.assignment.vreg_count())
         << name;
     for (ir::Reg r = 0; r < improved.assignment.vreg_count(); ++r) {
-      ASSERT_EQ(run.state.assignment->assigned(r),
+      ASSERT_EQ(run.state.assignment()->assigned(r),
                 improved.assignment.assigned(r))
           << name << " %" << r;
       if (improved.assignment.assigned(r)) {
-        EXPECT_EQ(run.state.assignment->phys(r),
+        EXPECT_EQ(run.state.assignment()->phys(r),
                   improved.assignment.phys(r))
             << name << " %" << r;
       }
@@ -346,7 +346,7 @@ TEST_F(PipelineTest, SemanticsPreservedAcrossRepresentativeSpecs) {
     for (const char* spec : specs) {
       const auto run = manager().run(kernel->func, spec);
       ASSERT_TRUE(run.ok) << name << " / " << spec << ": " << run.error;
-      ASSERT_TRUE(run.state.assignment.has_value()) << name << " / " << spec;
+      ASSERT_TRUE(run.state.has_assignment()) << name << " / " << spec;
       EXPECT_EQ(run_kernel(*kernel, run.state.func), expected)
           << name << " / " << spec;
     }

@@ -47,6 +47,8 @@ struct Options {
   bool verify = true;
   bool maps = true;
   bool csv = false;
+  bool analysis_stats = false;
+  bool analysis_cache = true;
 };
 
 int usage(const char* argv0) {
@@ -62,6 +64,10 @@ int usage(const char* argv0) {
       << "  --no-verify       disable between-pass verifier checkpoints\n"
       << "  --no-map          skip the heatmaps\n"
       << "  --csv             emit tables as CSV\n"
+      << "  --analysis-stats  dump per-analysis cache hits/misses after the "
+         "run\n"
+      << "  --no-analysis-cache  rebuild analyses on every request (A/B "
+         "baseline)\n"
       << "  --list-passes     available passes\n"
       << "  --list-kernels    available kernels\n";
   return 2;
@@ -87,7 +93,7 @@ Measured measure(const machine::Floorplan& fp,
     init(interp.memory());
   }
   power::AccessTrace trace(fp.num_registers());
-  const auto run = interp.run_traced(args, *state.assignment, trace);
+  const auto run = interp.run_traced(args, *state.assignment(), trace);
   if (!run.ok()) {
     m.trap = run.trap.value_or("?");
     return m;
@@ -97,8 +103,8 @@ Measured measure(const machine::Floorplan& fp,
   const sim::ThermalReplay replay(grid, power);
   sim::ReplayConfig cfg;
   cfg.max_repeats = 60;
-  if (state.gating.has_value()) {
-    cfg.gated_banks = state.gating->gated;
+  if (state.gating() != nullptr) {
+    cfg.gated_banks = state.gating()->gated;
   }
   const auto r = replay.replay(trace, cfg);
   m.stats = r.final_stats;
@@ -147,6 +153,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-verify") {
       opt.verify = false;
+    } else if (arg == "--analysis-stats") {
+      opt.analysis_stats = true;
+    } else if (arg == "--no-analysis-cache") {
+      opt.analysis_cache = false;
     } else if (arg == "--no-map") {
       opt.maps = false;
     } else if (arg == "--csv") {
@@ -236,6 +246,7 @@ int main(int argc, char** argv) {
 
   pipeline::PassManager manager(ctx);
   manager.set_checkpoints(opt.verify);
+  manager.set_analysis_caching(opt.analysis_cache);
 
   const auto run = manager.run(kernel.func, opt.pipeline);
   if (!run.ok) {
@@ -245,8 +256,11 @@ int main(int argc, char** argv) {
   print_table(pipeline::PassManager::stats_table(
                   run, "pipeline '" + opt.pipeline + "' on " + kernel.name),
               opt.csv);
+  if (opt.analysis_stats) {
+    print_table(run.state.analyses.stats_table("analysis cache"), opt.csv);
+  }
 
-  if (!run.state.assignment.has_value()) {
+  if (!run.state.has_assignment()) {
     std::cout << "(no assignment produced; add an alloc= pass to measure "
                  "thermal effect)\n";
     return 0;
@@ -266,7 +280,7 @@ int main(int argc, char** argv) {
       std::cerr << "baseline pipeline failed: " << base_run.error << "\n";
       return 1;
     }
-    if (base_run.state.assignment.has_value()) {
+    if (base_run.state.has_assignment()) {
       before =
           measure(fp, base_run.state, kernel.default_args, kernel.init_memory);
       if (!before->ok) {
