@@ -4,6 +4,10 @@
 // primitives (thermal step, steady state, liveness, allocation).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <span>
+#include <vector>
+
 #include "bench_common.hpp"
 #include "dataflow/interference.hpp"
 #include "dataflow/liveness.hpp"
@@ -47,6 +51,112 @@ void BM_ThermalStep(benchmark::State& state) {
   state.SetLabel(std::to_string(grid.node_count()) + " nodes");
 }
 BENCHMARK(BM_ThermalStep)->Arg(1)->Arg(2)->Arg(4);
+
+// --- ThermalGrid::step: edge-checked reference vs. flat neighbor tables ------
+// step() used to walk nested row/col loops with four boundary branches
+// per node; the grid now precomputes flat neighbor-index/conductance
+// arrays and runs one branch-free loop. This reference reproduces the old
+// inner loop (same math, same constants) so the pair measures exactly the
+// hot-path rewrite.
+
+struct ReferenceStepper {
+  const machine::Floorplan* fp;
+  unsigned sub;
+  std::size_t rows, cols;
+  double substrate_k, g_vertical, g_lateral_h, g_lateral_v, cap, stable_dt;
+  std::vector<std::vector<std::size_t>> cell_nodes;
+
+  ReferenceStepper(const machine::Floorplan& floorplan, unsigned subdivision)
+      : fp(&floorplan), sub(subdivision) {
+    const auto& tech = fp->config().tech;
+    rows = static_cast<std::size_t>(fp->config().rows) * sub;
+    cols = static_cast<std::size_t>(fp->config().cols) * sub;
+    substrate_k = tech.substrate_temp_k;
+    const double node_w = tech.cell_width_m / sub;
+    const double node_h = tech.cell_height_m / sub;
+    const double k = tech.silicon_conductivity;
+    cap = node_w * node_h * tech.die_thickness_m *
+          tech.silicon_volumetric_heat;
+    const double r_cell =
+        tech.vertical_resistance_scale /
+        (2.0 * k * std::sqrt(tech.cell_area_m2() / 3.14159265358979));
+    g_vertical = (1.0 / r_cell) / (sub * sub);
+    g_lateral_h = k * (node_h * tech.die_thickness_m) / node_w;
+    g_lateral_v = k * (node_w * tech.die_thickness_m) / node_h;
+    stable_dt =
+        0.9 * cap / (g_vertical + 2 * g_lateral_h + 2 * g_lateral_v);
+    cell_nodes.assign(fp->num_registers(), {});
+    for (machine::PhysReg r = 0; r < fp->num_registers(); ++r) {
+      const std::size_t base_row =
+          static_cast<std::size_t>(fp->row_of(r)) * sub;
+      const std::size_t base_col =
+          static_cast<std::size_t>(fp->col_of(r)) * sub;
+      for (unsigned dr = 0; dr < sub; ++dr) {
+        for (unsigned dc = 0; dc < sub; ++dc) {
+          cell_nodes[r].push_back((base_row + dr) * cols + base_col + dc);
+        }
+      }
+    }
+  }
+
+  // The pre-flat-table ThermalGrid::step, verbatim: per-call power
+  // spreading + scratch allocation, then nested row/col loops with four
+  // boundary branches per node.
+  void step(std::vector<double>& t, std::span<const double> reg_power_w,
+            double dt) const {
+    const std::size_t n = rows * cols;
+    std::vector<double> p(n, 0.0);
+    const double per_node = 1.0 / (sub * sub);
+    for (machine::PhysReg r = 0; r < reg_power_w.size(); ++r) {
+      const double share = reg_power_w[r] * per_node;
+      for (std::size_t idx : cell_nodes[r]) {
+        p[idx] += share;
+      }
+    }
+    const int substeps =
+        std::max(1, static_cast<int>(std::ceil(dt / stable_dt)));
+    const double h = dt / substeps;
+    std::vector<double> flux(n);
+    for (int s = 0; s < substeps; ++s) {
+      for (std::size_t row = 0; row < rows; ++row) {
+        for (std::size_t col = 0; col < cols; ++col) {
+          const std::size_t i = row * cols + col;
+          double q = p[i] + g_vertical * (substrate_k - t[i]);
+          if (col > 0) {
+            q += g_lateral_h * (t[i - 1] - t[i]);
+          }
+          if (col + 1 < cols) {
+            q += g_lateral_h * (t[i + 1] - t[i]);
+          }
+          if (row > 0) {
+            q += g_lateral_v * (t[i - cols] - t[i]);
+          }
+          if (row + 1 < rows) {
+            q += g_lateral_v * (t[i + cols] - t[i]);
+          }
+          flux[i] = q;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        t[i] += h * flux[i] / cap;
+      }
+    }
+  }
+};
+
+void BM_ThermalStep_Reference(benchmark::State& state) {
+  const auto sub = static_cast<unsigned>(state.range(0));
+  const ReferenceStepper ref(rig().fp, sub);
+  std::vector<double> t(ref.rows * ref.cols, ref.substrate_k);
+  std::vector<double> p(rig().fp.num_registers(), 1e-4);
+  for (auto _ : state) {
+    ref.step(t, p, ref.stable_dt);
+    benchmark::DoNotOptimize(t.data());
+  }
+  state.SetLabel(std::to_string(ref.rows * ref.cols) +
+                 " nodes (edge-checked loops)");
+}
+BENCHMARK(BM_ThermalStep_Reference)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SteadyState(benchmark::State& state) {
   const auto sub = static_cast<unsigned>(state.range(0));

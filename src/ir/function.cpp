@@ -172,6 +172,11 @@ Function& Module::add_function(std::string name) {
   return functions_.back();
 }
 
+Function& Module::add_function(Function func) {
+  functions_.push_back(std::move(func));
+  return functions_.back();
+}
+
 const Function* Module::find(const std::string& name) const {
   for (const Function& f : functions_) {
     if (f.name() == name) {

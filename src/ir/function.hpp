@@ -72,6 +72,9 @@ class Function {
   explicit Function(std::string name) : name_(std::move(name)) {}
 
   const std::string& name() const { return name_; }
+  /// Renames the function (module generators derive unique names from a
+  /// template kernel's).
+  void set_name(std::string name) { name_ = std::move(name); }
 
   // --- Blocks -------------------------------------------------------------
   BlockId add_block(std::string block_name = "");
@@ -142,6 +145,10 @@ std::uint64_t structure_fingerprint(const Function& func);
 class Module {
  public:
   Function& add_function(std::string name);
+  /// Adopts an already-built function (keeps its name).
+  Function& add_function(Function func);
+  std::size_t size() const { return functions_.size(); }
+  bool empty() const { return functions_.empty(); }
   const std::vector<Function>& functions() const { return functions_; }
   std::vector<Function>& functions() { return functions_; }
   const Function* find(const std::string& name) const;

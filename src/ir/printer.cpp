@@ -67,4 +67,10 @@ std::string to_string(const Function& func) {
   return os.str();
 }
 
+std::string to_string(const Module& module) {
+  std::ostringstream os;
+  print(os, module);
+  return os.str();
+}
+
 }  // namespace tadfa::ir

@@ -21,4 +21,8 @@ void print(std::ostream& os, const Module& module);
 /// Returns the canonical text of a function.
 std::string to_string(const Function& func);
 
+/// Returns the canonical text of a whole module (round-trips through
+/// parse_module).
+std::string to_string(const Module& module);
+
 }  // namespace tadfa::ir

@@ -1,6 +1,8 @@
 #include "ir/verifier.hpp"
 
 #include <cstdio>
+#include <iterator>
+#include <set>
 #include <sstream>
 
 #include "ir/printer.hpp"
@@ -86,6 +88,9 @@ void check_arity(const Function& func, const BasicBlock& block,
 std::vector<VerifyIssue> verify(const Function& func) {
   std::vector<VerifyIssue> issues;
 
+  if (func.name().empty()) {
+    issues.push_back({"function has no name"});
+  }
   if (func.block_count() == 0) {
     issues.push_back({func.name() + ": function has no blocks"});
     return issues;
@@ -136,6 +141,21 @@ std::vector<VerifyIssue> verify(const Function& func) {
     }
   }
 
+  return issues;
+}
+
+std::vector<VerifyIssue> verify(const Module& module) {
+  std::vector<VerifyIssue> issues;
+  std::set<std::string> seen;
+  for (const Function& func : module.functions()) {
+    if (!seen.insert(func.name()).second) {
+      issues.push_back({"duplicate function name '" + func.name() + "'"});
+    }
+    auto func_issues = verify(func);
+    issues.insert(issues.end(),
+                  std::make_move_iterator(func_issues.begin()),
+                  std::make_move_iterator(func_issues.end()));
+  }
   return issues;
 }
 

@@ -17,6 +17,7 @@ struct VerifyIssue {
 };
 
 /// Returns all structural problems found. An empty result means:
+///  - the function has a (non-empty) name;
 ///  - every block ends in exactly one terminator, with none mid-block;
 ///  - every branch target is a valid block id;
 ///  - every operand register is < reg_count;
@@ -24,6 +25,10 @@ struct VerifyIssue {
 ///    preheader requirement violated (informational checks stay out of scope);
 ///  - each opcode has the operand/target arity it requires.
 std::vector<VerifyIssue> verify(const Function& func);
+
+/// Module-level checks: every function verifies individually and function
+/// names are unique (the driver addresses results by name).
+std::vector<VerifyIssue> verify(const Module& module);
 
 /// True when verify() returns no issues.
 bool is_well_formed(const Function& func);

@@ -1,0 +1,221 @@
+#include "pipeline/driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <optional>
+#include <thread>
+
+namespace tadfa::pipeline {
+namespace {
+
+/// Runs one function through the (shared, const) manager, converting a
+/// stray exception into a failed result so one function cannot take down
+/// the pool.
+PipelineRunResult compile_one(const PassManager& manager,
+                              const ir::Function& func,
+                              const std::vector<PassSpec>& passes) {
+  try {
+    return manager.run(func, passes);
+  } catch (const std::exception& e) {
+    PipelineRunResult result(func);
+    result.error = std::string("uncaught exception: ") + e.what();
+    return result;
+  } catch (...) {
+    PipelineRunResult result(func);
+    result.error = "uncaught non-standard exception";
+    return result;
+  }
+}
+
+}  // namespace
+
+unsigned CompilationDriver::effective_jobs(std::size_t work_items) const {
+  unsigned jobs = jobs_;
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+    if (jobs == 0) {
+      jobs = 1;
+    }
+  }
+  if (work_items < jobs) {
+    jobs = static_cast<unsigned>(work_items);
+  }
+  return jobs == 0 ? 1 : jobs;
+}
+
+ModulePipelineResult CompilationDriver::compile(const ir::Module& module,
+                                                const std::string& spec) const {
+  SpecError parse_error;
+  const auto passes = parse_pipeline_spec(spec, &parse_error);
+  if (!passes.has_value()) {
+    ModulePipelineResult result;
+    result.error = format_spec_error(parse_error);
+    return result;
+  }
+  return compile(module, *passes);
+}
+
+ModulePipelineResult CompilationDriver::compile(
+    const ir::Module& module, const std::vector<PassSpec>& passes) const {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  const std::vector<ir::Function>& funcs = module.functions();
+  const std::size_t n = funcs.size();
+
+  ModulePipelineResult result;
+  result.jobs = effective_jobs(n);
+
+  // A pipeline that cannot even be instantiated (unknown pass, bad
+  // argument) rejects the whole module before any function compiles.
+  if (std::string error = manager_.validate(passes); !error.empty()) {
+    result.error = error;
+    return result;
+  }
+
+  // Slot per function: written by exactly one worker, read after join.
+  std::vector<std::optional<PipelineRunResult>> slots(n);
+
+  if (result.jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      slots[i].emplace(compile_one(manager_, funcs[i], passes));
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        slots[i].emplace(compile_one(manager_, funcs[i], passes));
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(result.jobs);
+    // Under thread exhaustion emplace_back throws std::system_error;
+    // already-started workers must be joined before the exception can
+    // destroy `pool`, and they drain the whole queue so no slot is left
+    // empty. Fewer threads than asked for is degraded, not failed.
+    try {
+      for (unsigned t = 0; t < result.jobs; ++t) {
+        pool.emplace_back(worker);
+      }
+    } catch (const std::system_error&) {
+      if (pool.empty()) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!slots[i].has_value()) {
+            slots[i].emplace(compile_one(manager_, funcs[i], passes));
+          }
+        }
+      }
+      result.jobs = pool.empty() ? 1 : static_cast<unsigned>(pool.size());
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  // Aggregate in module order, independent of completion order.
+  result.ok = true;
+  result.functions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PipelineRunResult run = std::move(*slots[i]);
+    result.work_seconds += run.total_seconds;
+    if (!run.ok && result.ok) {
+      result.ok = false;
+      result.error = "function '" + funcs[i].name() + "': " + run.error;
+    }
+    result.functions.emplace_back(funcs[i].name(), std::move(run));
+  }
+  result.total_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+std::vector<PassRunStats> ModulePipelineResult::merged_pass_stats() const {
+  std::vector<PassRunStats> merged;
+  std::size_t contributors = 0;
+  std::vector<std::size_t> changed_counts;
+  for (const FunctionCompileResult& f : functions) {
+    if (!f.run.ok) {
+      continue;
+    }
+    ++contributors;
+    const auto& stats = f.run.pass_stats;
+    if (merged.empty()) {
+      merged = stats;
+      changed_counts.assign(stats.size(), 0);
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        changed_counts[i] = stats[i].changed ? 1 : 0;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < merged.size() && i < stats.size(); ++i) {
+      merged[i].seconds += stats[i].seconds;
+      merged[i].instructions_after += stats[i].instructions_after;
+      merged[i].vregs_after += stats[i].vregs_after;
+      merged[i].changed = merged[i].changed || stats[i].changed;
+      if (stats[i].changed) {
+        ++changed_counts[i];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    merged[i].summary = "changed " + std::to_string(changed_counts[i]) + "/" +
+                        std::to_string(contributors) + " functions";
+  }
+  return merged;
+}
+
+std::vector<AnalysisManager::AnalysisStats>
+ModulePipelineResult::merged_analysis_stats() const {
+  std::map<std::string, AnalysisManager::AnalysisStats> by_name;
+  for (const FunctionCompileResult& f : functions) {
+    for (const AnalysisManager::AnalysisStats& s :
+         f.run.state.analyses.stats()) {
+      AnalysisManager::AnalysisStats& merged = by_name[s.name];
+      merged.name = s.name;
+      merged.hits += s.hits;
+      merged.misses += s.misses;
+      merged.puts += s.puts;
+      merged.invalidations += s.invalidations;
+    }
+  }
+  std::vector<AnalysisManager::AnalysisStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, s] : by_name) {
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TextTable ModulePipelineResult::function_table(
+    const std::string& title) const {
+  TextTable table(title);
+  table.set_header({"#", "function", "ok", "ms", "instrs", "vregs", "spills"});
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const FunctionCompileResult& f = functions[i];
+    table.add_row({std::to_string(i + 1), f.name, f.run.ok ? "yes" : "NO",
+                   TextTable::num(f.run.total_seconds * 1e3, 3),
+                   std::to_string(f.run.state.func.instruction_count()),
+                   std::to_string(f.run.state.func.reg_count()),
+                   std::to_string(f.run.state.spilled_regs)});
+  }
+  return table;
+}
+
+TextTable ModulePipelineResult::stats_table(const std::string& title) const {
+  TextTable table(title);
+  table.set_header({"#", "pass", "ms", "instrs", "vregs", "summary"});
+  const auto merged = merged_pass_stats();
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const PassRunStats& s = merged[i];
+    table.add_row({std::to_string(i + 1), s.name,
+                   TextTable::num(s.seconds * 1e3, 3),
+                   std::to_string(s.instructions_after),
+                   std::to_string(s.vregs_after), s.summary});
+  }
+  return table;
+}
+
+}  // namespace tadfa::pipeline

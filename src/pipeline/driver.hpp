@@ -1,0 +1,101 @@
+// CompilationDriver: the module-level, multi-threaded front end of the
+// pipeline layer.
+//
+// PassManager compiles one ir::Function; real inputs are modules. The
+// driver fans a module's functions out over a fixed-size worker pool
+// (`--jobs N`, default hardware_concurrency). Per-function thermal DFA is
+// embarrassingly parallel — every function gets its own RC-grid state —
+// so the only shared objects are immutable: the Floorplan, ThermalGrid
+// conductance tables, PowerModel, TimingModel, and the PassRegistry, all
+// reached through const references. Each worker owns everything mutable
+// (PipelineState, AnalysisManager, pass instances) for the function it is
+// compiling.
+//
+// Determinism guarantee: results are stored by module index, not
+// completion order, and every pass is a pure function of its input
+// function plus the shared immutable context. Compiling the same module
+// with any job count therefore yields byte-identical per-function IR,
+// fingerprints, and pass statistics (timing fields excepted — wall-clock
+// is the one thing threads are allowed to change).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "pipeline/pass_manager.hpp"
+
+namespace tadfa::pipeline {
+
+/// One function's compilation inside a module run (module order).
+struct FunctionCompileResult {
+  FunctionCompileResult(std::string function_name, PipelineRunResult r)
+      : name(std::move(function_name)), run(std::move(r)) {}
+
+  std::string name;
+  PipelineRunResult run;
+};
+
+struct ModulePipelineResult {
+  /// True when every function compiled.
+  bool ok = false;
+  /// First failure in module order, prefixed with the function name.
+  std::string error;
+  /// One entry per module function, in module order.
+  std::vector<FunctionCompileResult> functions;
+  /// Wall-clock time of the whole module compile.
+  double total_seconds = 0;
+  /// Sum of per-function pipeline times (the serial cost the pool hid).
+  double work_seconds = 0;
+  /// Worker threads actually used.
+  unsigned jobs = 1;
+
+  /// Pass statistics summed position-wise over all successful functions
+  /// (every function runs the same spec). Deterministic except for the
+  /// `seconds` field; `summary` becomes "changed K/N functions".
+  std::vector<PassRunStats> merged_pass_stats() const;
+
+  /// Analysis-cache counters summed by analysis name over all functions.
+  std::vector<AnalysisManager::AnalysisStats> merged_analysis_stats() const;
+
+  /// Per-function result table (name, instrs, vregs, spills, time).
+  TextTable function_table(const std::string& title = "module") const;
+
+  /// Merged per-pass table, same shape as PassManager::stats_table.
+  TextTable stats_table(const std::string& title = "module pipeline") const;
+};
+
+class CompilationDriver {
+ public:
+  explicit CompilationDriver(PipelineContext ctx,
+                             const PassRegistry& registry = default_registry())
+      : manager_(ctx, registry) {}
+
+  /// Worker-pool size; 0 (default) means std::thread::hardware_concurrency.
+  void set_jobs(unsigned jobs) { jobs_ = jobs; }
+  /// The pool size a module of `work_items` functions would get.
+  unsigned effective_jobs(std::size_t work_items) const;
+
+  void set_checkpoints(bool enabled) { manager_.set_checkpoints(enabled); }
+  void set_analysis_caching(bool enabled) {
+    manager_.set_analysis_caching(enabled);
+  }
+
+  /// Compiles every function of `module` under `spec`. A spec error
+  /// rejects the whole module before any work runs; a per-function
+  /// failure still compiles the remaining functions (result.ok is false
+  /// and result.error names the first failure in module order).
+  ModulePipelineResult compile(const ir::Module& module,
+                               const std::string& spec) const;
+  ModulePipelineResult compile(const ir::Module& module,
+                               const std::vector<PassSpec>& passes) const;
+
+  const PassManager& pass_manager() const { return manager_; }
+  const PipelineContext& context() const { return manager_.context(); }
+
+ private:
+  PassManager manager_;
+  unsigned jobs_ = 0;
+};
+
+}  // namespace tadfa::pipeline

@@ -64,21 +64,28 @@ PipelineRunResult PassManager::run(const ir::Function& input,
   SpecError parse_error;
   const auto passes = parse_pipeline_spec(spec, &parse_error);
   if (!passes.has_value()) {
-    PipelineRunResult result;
-    result.state = PipelineState(input);
-    result.error = "spec element #" + std::to_string(parse_error.index + 1) +
-                   ": " + parse_error.message;
+    PipelineRunResult result(input);
+    result.error = format_spec_error(parse_error);
     return result;
   }
   return run(input, *passes);
+}
+
+std::string PassManager::validate(const std::vector<PassSpec>& specs) const {
+  for (const PassSpec& spec : specs) {
+    std::string error;
+    if (registry_->create(spec, &error) == nullptr) {
+      return error;
+    }
+  }
+  return "";
 }
 
 PipelineRunResult PassManager::run(const ir::Function& input,
                                    const std::vector<PassSpec>& specs) const {
   using Clock = std::chrono::steady_clock;
 
-  PipelineRunResult result;
-  result.state = PipelineState(input);
+  PipelineRunResult result(input);
   result.state.analyses.set_caching(analysis_caching_);
 
   // Instantiate everything first: a typo in pass 7 must not leave a

@@ -38,6 +38,11 @@ struct PassRunStats {
 };
 
 struct PipelineRunResult {
+  /// A result always wraps the compiled (or partially compiled) function;
+  /// PipelineState has no default constructor, so neither does this.
+  explicit PipelineRunResult(ir::Function input)
+      : state(std::move(input)) {}
+
   bool ok = false;
   /// On failure: which stage failed (spec parse, pass construction, pass
   /// execution, or a verifier checkpoint) and why.
@@ -68,6 +73,12 @@ class PassManager {
                         const std::string& spec) const;
   PipelineRunResult run(const ir::Function& input,
                         const std::vector<PassSpec>& passes) const;
+
+  /// Instantiates every pass without running anything; returns the first
+  /// construction error, or "" when the pipeline is well-formed. The
+  /// driver uses this to reject a bad pipeline before compiling any of a
+  /// module's functions.
+  std::string validate(const std::vector<PassSpec>& passes) const;
 
   /// Per-pass timing/statistics table for reporting drivers.
   static TextTable stats_table(const PipelineRunResult& result,

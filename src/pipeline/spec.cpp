@@ -78,6 +78,11 @@ std::optional<std::vector<PassSpec>> parse_pipeline_spec(
   return passes;
 }
 
+std::string format_spec_error(const SpecError& error) {
+  return "spec element #" + std::to_string(error.index + 1) + ": " +
+         error.message;
+}
+
 std::string spec_to_string(const std::vector<PassSpec>& passes) {
   std::vector<std::string> elements;
   elements.reserve(passes.size());

@@ -35,6 +35,10 @@ struct SpecError {
   std::string message;
 };
 
+/// The one user-facing rendering of a SpecError ("spec element #N: ..."),
+/// shared by the single-function and module compile paths.
+std::string format_spec_error(const SpecError& error);
+
 /// Parses a spec string. On failure returns nullopt and fills `error`.
 std::optional<std::vector<PassSpec>> parse_pipeline_spec(
     const std::string& spec, SpecError* error = nullptr);

@@ -41,7 +41,10 @@ struct PipelineState {
   /// Virtual registers spilled across all allocation passes so far.
   std::uint32_t spilled_regs = 0;
 
-  PipelineState() : func("") {}
+  /// A state always wraps a real function: the old default constructor
+  /// manufactured a nameless ir::Function("") that sailed through the
+  /// verifier and hid "forgot to set the function" bugs.
+  PipelineState() = delete;
   explicit PipelineState(ir::Function f) : func(std::move(f)) {}
 
   PipelineState(PipelineState&& other) noexcept

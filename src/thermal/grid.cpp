@@ -49,6 +49,26 @@ ThermalGrid::ThermalGrid(const machine::Floorplan& floorplan,
   const double g_max = g_node + 2 * g_lateral_h_ + 2 * g_lateral_v_;
   stable_dt_ = 0.9 * c_node / g_max;
 
+  // Flat neighbor tables for the transient hot loop: slot order W/E/N/S,
+  // missing neighbors self-linked with zero conductance.
+  nbr_index_.assign(4 * n, 0);
+  nbr_g_.assign(4 * n, 0.0);
+  for (std::size_t row = 0; row < node_rows_; ++row) {
+    for (std::size_t col = 0; col < node_cols_; ++col) {
+      const std::size_t i = node_index(row, col);
+      std::size_t* idx = &nbr_index_[4 * i];
+      double* g = &nbr_g_[4 * i];
+      idx[0] = col > 0 ? i - 1 : i;
+      g[0] = col > 0 ? g_lateral_h_ : 0.0;
+      idx[1] = col + 1 < node_cols_ ? i + 1 : i;
+      g[1] = col + 1 < node_cols_ ? g_lateral_h_ : 0.0;
+      idx[2] = row > 0 ? i - node_cols_ : i;
+      g[2] = row > 0 ? g_lateral_v_ : 0.0;
+      idx[3] = row + 1 < node_rows_ ? i + node_cols_ : i;
+      g[3] = row + 1 < node_rows_ ? g_lateral_v_ : 0.0;
+    }
+  }
+
   // Register <-> node maps.
   cell_nodes_.assign(cfg.num_registers, {});
   node_owner_.assign(n, 0);
@@ -95,8 +115,14 @@ void ThermalGrid::step(ThermalState& state,
     return;
   }
 
-  // Spread per-register power uniformly over the cell's nodes.
-  std::vector<double> p(node_count(), 0.0);
+  // Spread per-register power uniformly over the cell's nodes. The
+  // scratch is thread_local — the DFA calls step() once per instruction
+  // per iteration, and per-call mallocs both cost time and serialize the
+  // driver's worker pool on the allocator.
+  thread_local std::vector<double> scratch_power;
+  thread_local std::vector<double> scratch_flux;
+  std::vector<double>& p = scratch_power;
+  p.assign(node_count(), 0.0);
   const double per_node = 1.0 / (subdivision_ * subdivision_);
   for (machine::PhysReg r = 0; r < reg_power_w.size(); ++r) {
     const double share = reg_power_w[r] * per_node;
@@ -108,29 +134,27 @@ void ThermalGrid::step(ThermalState& state,
   const int substeps = std::max(1, static_cast<int>(std::ceil(dt / stable_dt_)));
   const double h = dt / substeps;
 
+  // Single branch-free pass over nodes per substep: the precomputed W/E/N/S
+  // slots replace the nested row/col loops with edge checks. Absent
+  // neighbors contribute exactly 0 (g = 0, self-index), so the sums are
+  // bit-identical to the old form.
+  const std::size_t n = node_count();
   std::vector<double>& t = state.node_temps;
-  std::vector<double> flux(node_count());
+  std::vector<double>& flux = scratch_flux;
+  flux.resize(n);
   for (int s = 0; s < substeps; ++s) {
-    for (std::size_t row = 0; row < node_rows_; ++row) {
-      for (std::size_t col = 0; col < node_cols_; ++col) {
-        const std::size_t i = node_index(row, col);
-        double q = p[i] + g_vertical_[i] * (substrate_temp_ - t[i]);
-        if (col > 0) {
-          q += g_lateral_h_ * (t[i - 1] - t[i]);
-        }
-        if (col + 1 < node_cols_) {
-          q += g_lateral_h_ * (t[i + 1] - t[i]);
-        }
-        if (row > 0) {
-          q += g_lateral_v_ * (t[i - node_cols_] - t[i]);
-        }
-        if (row + 1 < node_rows_) {
-          q += g_lateral_v_ * (t[i + node_cols_] - t[i]);
-        }
-        flux[i] = q;
-      }
+    const std::size_t* idx = nbr_index_.data();
+    const double* g = nbr_g_.data();
+    for (std::size_t i = 0; i < n; ++i, idx += 4, g += 4) {
+      const double ti = t[i];
+      double q = p[i] + g_vertical_[i] * (substrate_temp_ - ti);
+      q += g[0] * (t[idx[0]] - ti);
+      q += g[1] * (t[idx[1]] - ti);
+      q += g[2] * (t[idx[2]] - ti);
+      q += g[3] * (t[idx[3]] - ti);
+      flux[i] = q;
     }
-    for (std::size_t i = 0; i < node_count(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       t[i] += h * flux[i] / cap_[i];
     }
   }

@@ -92,6 +92,13 @@ class ThermalGrid {
   double g_lateral_v_ = 0;               // north-south neighbor link (W/K)
   double stable_dt_ = 0;
 
+  // Flattened update tables for step()'s inner loop: 4 neighbor slots per
+  // node in fixed W/E/N/S order (absent neighbors point at the node
+  // itself with conductance 0, so the flux loop is branch-free and still
+  // bit-identical to the old edge-checked form).
+  std::vector<std::size_t> nbr_index_;   // 4 per node
+  std::vector<double> nbr_g_;            // 4 per node (W/K; 0 = no link)
+
   std::vector<std::vector<std::size_t>> cell_nodes_;  // per register
   std::vector<machine::PhysReg> node_owner_;
 };

@@ -1,0 +1,76 @@
+#include "workload/modules.hpp"
+
+#include <string>
+
+#include "workload/kernels.hpp"
+#include "workload/random_program.hpp"
+
+namespace tadfa::workload {
+namespace {
+
+/// Deterministic per-index mixing of the config seed (splitmix64 step):
+/// spreads consecutive indices over the parameter space without an RNG
+/// object.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// A kernel-suite variant with size/pressure parameters varied by `salt`.
+ir::Function kernel_variant(std::uint64_t salt) {
+  switch (salt % 10) {
+    case 0:
+      return make_vecsum(64 + 16 * static_cast<std::int64_t>(salt % 8)).func;
+    case 1:
+      return make_fir(32 + 16 * static_cast<std::int64_t>(salt % 6),
+                      4 + static_cast<int>(salt % 5))
+          .func;
+    case 2:
+      return make_matmul(4 + static_cast<std::int64_t>(salt % 6)).func;
+    case 3:
+      return make_idct8(8 + 4 * static_cast<std::int64_t>(salt % 8)).func;
+    case 4:
+      return make_crc32(16 + 8 * static_cast<std::int64_t>(salt % 6)).func;
+    case 5:
+      return make_stencil3(32 + 16 * static_cast<std::int64_t>(salt % 6))
+          .func;
+    case 6:
+      return make_poly7(32 + 16 * static_cast<std::int64_t>(salt % 6)).func;
+    case 7:
+      return make_accumulators(64, 8 + static_cast<int>(salt % 16)).func;
+    case 8:
+      return make_hot_cold(64, 2 + static_cast<int>(salt % 4),
+                           4 + static_cast<int>(salt % 6))
+          .func;
+    default:
+      return make_counter(128 * (1 + static_cast<std::int64_t>(salt % 4)))
+          .func;
+  }
+}
+
+}  // namespace
+
+ir::Module make_mixed_module(const ModuleConfig& config) {
+  ir::Module module;
+  for (std::size_t i = 0; i < config.functions; ++i) {
+    const std::uint64_t salt = mix(config.seed, i);
+    ir::Function func("");
+    if (config.random_every != 0 && i % config.random_every == 0) {
+      RandomProgramConfig rcfg;
+      rcfg.seed = salt;
+      rcfg.target_instructions = config.random_target_instructions;
+      rcfg.value_pool = 8 + static_cast<int>(salt % 12);
+      rcfg.irregularity = static_cast<double>(salt % 4) / 4.0;
+      func = random_program(rcfg);
+    } else {
+      func = kernel_variant(salt);
+    }
+    func.set_name(func.name() + "_" + std::to_string(i));
+    module.add_function(std::move(func));
+  }
+  return module;
+}
+
+}  // namespace tadfa::workload

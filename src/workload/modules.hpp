@@ -1,0 +1,35 @@
+// Multi-function module generation: the driver's workload.
+//
+// A generated module mixes parameterized variants of the hand-built
+// kernel suite (FIR, DCT, CRC, stencils...) with seeded random programs,
+// giving the CompilationDriver a realistic spread of sizes, register
+// pressures, and control-flow shapes. Generation is fully deterministic
+// in (seed, index): the same config always produces the byte-identical
+// module, which the parallel-determinism tests and throughput bench rely
+// on.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.hpp"
+
+namespace tadfa::workload {
+
+struct ModuleConfig {
+  /// Number of functions to generate.
+  std::size_t functions = 64;
+  /// Varies kernel parameters and seeds the random programs.
+  std::uint64_t seed = 1;
+  /// Every k-th function is a seeded random program instead of a kernel
+  /// variant (0 disables random programs entirely).
+  std::size_t random_every = 3;
+  /// Size knob for the random programs.
+  int random_target_instructions = 120;
+};
+
+/// Generates a mixed kernel-suite module. Function names are unique
+/// (`<kernel>_<index>`), every function passes ir::verify, and the result
+/// depends only on `config`.
+ir::Module make_mixed_module(const ModuleConfig& config = {});
+
+}  // namespace tadfa::workload

@@ -1,12 +1,15 @@
 // tadfa — the pipeline as a command-line tool.
 //
-// Parses a named kernel or an IR text file, runs a spec-string pipeline
-// through pipeline::PassManager, and reports per-pass statistics plus the
-// measured thermal effect (trace -> replay) against a baseline pipeline.
+// Parses named kernels and/or IR text files, runs a spec-string pipeline,
+// and reports per-pass statistics. A single-function input additionally
+// measures the thermal effect (trace -> replay) against a baseline
+// pipeline; multiple inputs (or a multi-function .tir file) are compiled
+// as one module through the multi-threaded pipeline::CompilationDriver.
 //
 //   tadfa crc32
 //   tadfa --pipeline="cse,dce,alloc=linear:farthest_spread" fir
 //   tadfa --pipeline="alloc=linear:first_free,thermal-dfa,nops=3" my.tir
+//   tadfa --jobs=8 crc32 fir matmul suite.tir
 //   tadfa --list-passes
 #include <fstream>
 #include <iostream>
@@ -16,6 +19,8 @@
 #include <vector>
 
 #include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "pipeline/driver.hpp"
 #include "pipeline/pass_manager.hpp"
 #include "power/access_trace.hpp"
 #include "sim/interpreter.hpp"
@@ -38,12 +43,13 @@ constexpr const char* kDefaultBaseline = "alloc=linear:first_free";
 struct Options {
   std::string pipeline = kDefaultPipeline;
   std::string baseline = kDefaultBaseline;
-  std::string input;
+  std::vector<std::string> inputs;
   std::vector<std::int64_t> args;
   bool args_given = false;
   double delta_k = 0.01;
   int max_iterations = 100;
   std::uint64_t seed = 42;
+  unsigned jobs = 0;  // 0 = hardware_concurrency
   bool verify = true;
   bool maps = true;
   bool csv = false;
@@ -53,7 +59,7 @@ struct Options {
 
 int usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " [options] <kernel-name | file.tir>\n"
+      << "usage: " << argv0 << " [options] <kernel-name | file.tir>...\n"
       << "  --pipeline=SPEC   pass pipeline (default: the Sec. 4 flow)\n"
       << "  --baseline=SPEC   comparison pipeline (default "
       << kDefaultBaseline << "; 'none' disables)\n"
@@ -61,6 +67,9 @@ int usage(const char* argv0) {
       << "  --delta=K         thermal-DFA convergence threshold\n"
       << "  --max-iters=N     thermal-DFA iteration cap\n"
       << "  --seed=N          assignment-policy seed\n"
+      << "  --jobs=N          compile module functions on N worker threads\n"
+      << "                    (default: hardware concurrency; several inputs\n"
+      << "                    or a multi-function file form one module)\n"
       << "  --no-verify       disable between-pass verifier checkpoints\n"
       << "  --no-map          skip the heatmaps\n"
       << "  --csv             emit tables as CSV\n"
@@ -192,26 +201,40 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       opt.seed = static_cast<std::uint64_t>(n);
+    } else if (auto v = value("--jobs=")) {
+      long long n = 0;
+      if (!parse_int(*v, n) || n < 0) {
+        return usage(argv[0]);
+      }
+      opt.jobs = static_cast<unsigned>(n);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
-    } else if (opt.input.empty()) {
-      opt.input = arg;
     } else {
-      return usage(argv[0]);
+      opt.inputs.push_back(arg);
     }
   }
-  if (opt.input.empty()) {
+  if (opt.inputs.empty()) {
     return usage(argv[0]);
   }
 
-  // Resolve the input: named kernel first, IR file second.
+  // Resolve every input — named kernel first, IR file second — into one
+  // module. A single-kernel invocation keeps the kernel's run metadata
+  // (args, memory init, expected result) for the measurement path.
+  ir::Module module;
   workload::Kernel kernel;
-  if (auto named = workload::make_kernel(opt.input)) {
-    kernel = *named;
-  } else {
-    std::ifstream in(opt.input);
+  bool have_kernel_meta = false;
+  for (const std::string& input : opt.inputs) {
+    if (auto named = workload::make_kernel(input)) {
+      if (!have_kernel_meta) {
+        kernel = *named;
+        have_kernel_meta = true;
+      }
+      module.add_function(std::move(named->func));
+      continue;
+    }
+    std::ifstream in(input);
     if (!in) {
-      std::cerr << "'" << opt.input
+      std::cerr << "'" << input
                 << "' is neither a known kernel nor a readable file "
                    "(--list-kernels shows the kernels)\n";
       return 1;
@@ -219,14 +242,29 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     ir::ParseError error;
-    auto parsed = ir::parse_function(buffer.str(), &error);
+    auto parsed = ir::parse_module(buffer.str(), &error);
     if (!parsed) {
-      std::cerr << opt.input << ":" << error.line << ": " << error.message
+      std::cerr << input << ":" << error.line << ": " << error.message
                 << "\n";
       return 1;
     }
-    kernel.name = parsed->name();
-    kernel.func = *parsed;
+    for (ir::Function& f : parsed->functions()) {
+      module.add_function(std::move(f));
+    }
+  }
+  if (module.empty()) {
+    std::cerr << "no functions to compile\n";
+    return 1;
+  }
+  if (const auto issues = ir::verify(module); !issues.empty()) {
+    std::cerr << "input module is malformed: " << issues.front().message
+              << "\n";
+    return 1;
+  }
+  const bool single = module.size() == 1;
+  if (single && !have_kernel_meta) {
+    kernel.name = module.functions().front().name();
+    kernel.func = module.functions().front();
   }
   if (opt.args_given) {
     kernel.default_args = opt.args;
@@ -243,6 +281,52 @@ int main(int argc, char** argv) {
   ctx.dfa_config.delta_k = opt.delta_k;
   ctx.dfa_config.max_iterations = opt.max_iterations;
   ctx.policy_seed = opt.seed;
+
+  // Module mode: several inputs (or a multi-function file) go through the
+  // multi-threaded driver; measurement/heatmaps are per-function concerns
+  // and stay with the single-function path below.
+  if (!single) {
+    pipeline::CompilationDriver driver(ctx);
+    driver.set_jobs(opt.jobs);
+    driver.set_checkpoints(opt.verify);
+    driver.set_analysis_caching(opt.analysis_cache);
+    const auto mod_run = driver.compile(module, opt.pipeline);
+    if (mod_run.functions.empty()) {
+      // Nothing compiled (spec rejected up front).
+      std::cerr << "module compilation failed: " << mod_run.error << "\n";
+      return 1;
+    }
+    print_table(mod_run.function_table("module — " +
+                                       std::to_string(module.size()) +
+                                       " functions, jobs=" +
+                                       std::to_string(mod_run.jobs)),
+                opt.csv);
+    print_table(mod_run.stats_table("pipeline '" + opt.pipeline + "'"),
+                opt.csv);
+    if (opt.analysis_stats) {
+      TextTable table("analysis cache (module)");
+      table.set_header({"analysis", "hits", "misses", "puts", "invalidations"});
+      for (const auto& s : mod_run.merged_analysis_stats()) {
+        table.add_row({s.name, std::to_string(s.hits),
+                       std::to_string(s.misses), std::to_string(s.puts),
+                       std::to_string(s.invalidations)});
+      }
+      print_table(table, opt.csv);
+    }
+    if (!mod_run.ok) {
+      std::cerr << "module compilation failed: " << mod_run.error << "\n";
+      return 1;
+    }
+    std::cout << "compiled " << module.size() << " functions in "
+              << TextTable::num(mod_run.total_seconds * 1e3, 1) << " ms ("
+              << TextTable::num(
+                     static_cast<double>(module.size()) /
+                         (mod_run.total_seconds > 0 ? mod_run.total_seconds
+                                                    : 1e-12),
+                     1)
+              << " functions/sec on " << mod_run.jobs << " threads)\n";
+    return 0;
+  }
 
   pipeline::PassManager manager(ctx);
   manager.set_checkpoints(opt.verify);
