@@ -67,6 +67,12 @@ class Floorplan {
   /// (greedy farthest-point ordering from the array center).
   std::vector<PhysReg> spread_order() const;
 
+  /// Digest of the full configuration (shape + technology). Every
+  /// geometric query above is a pure function of the config, so equal
+  /// digests mean interchangeable floorplans — the persistent result
+  /// cache keys on this.
+  std::uint64_t config_digest() const { return config_.config_digest(); }
+
  private:
   RegisterFileConfig config_;
 };

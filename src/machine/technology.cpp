@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "support/serialize.hpp"
+
 namespace tadfa::machine {
 
 double TechnologyParams::leakage_at(double t_k) const {
@@ -40,6 +42,36 @@ bool RegisterFileConfig::valid() const {
     return false;
   }
   return true;
+}
+
+std::uint64_t TechnologyParams::config_digest() const {
+  return Hasher()
+      .mix(cell_width_m)
+      .mix(cell_height_m)
+      .mix(die_thickness_m)
+      .mix(read_energy_j)
+      .mix(write_energy_j)
+      .mix(memory_access_energy_j)
+      .mix(leakage_ref_w)
+      .mix(leakage_temp_coeff)
+      .mix(leakage_ref_temp_k)
+      .mix(silicon_conductivity)
+      .mix(silicon_volumetric_heat)
+      .mix(vertical_resistance_scale)
+      .mix(substrate_temp_k)
+      .mix(ambient_temp_k)
+      .mix(clock_hz)
+      .digest();
+}
+
+std::uint64_t RegisterFileConfig::config_digest() const {
+  return Hasher()
+      .mix(std::uint64_t{num_registers})
+      .mix(std::uint64_t{rows})
+      .mix(std::uint64_t{cols})
+      .mix(std::uint64_t{banks})
+      .mix(tech.config_digest())
+      .digest();
 }
 
 }  // namespace tadfa::machine

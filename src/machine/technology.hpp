@@ -64,6 +64,11 @@ struct TechnologyParams {
 
   /// Leakage power of one cell at temperature `t_k`.
   double leakage_at(double t_k) const;
+
+  /// Order-sensitive hash of every coefficient. Any parameter change
+  /// (and only a parameter change) produces a new digest — the
+  /// invalidation unit of the persistent result cache.
+  std::uint64_t config_digest() const;
 };
 
 /// Register-file shape: how many architectural registers and how they are
@@ -86,6 +91,9 @@ struct RegisterFileConfig {
 
   /// Checks rows*cols == num_registers, banks divides cols, etc.
   bool valid() const;
+
+  /// Hash of the shape plus the technology digest.
+  std::uint64_t config_digest() const;
 };
 
 }  // namespace tadfa::machine

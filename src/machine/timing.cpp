@@ -1,5 +1,7 @@
 #include "machine/timing.hpp"
 
+#include "support/serialize.hpp"
+
 namespace tadfa::machine {
 
 TimingModel::TimingModel() {
@@ -24,6 +26,14 @@ int TimingModel::latency(ir::Opcode op) const {
 void TimingModel::set_latency(ir::Opcode op, int cycles) {
   TADFA_ASSERT(cycles >= 1);
   latency_[static_cast<std::size_t>(op)] = cycles;
+}
+
+std::uint64_t TimingModel::config_digest() const {
+  Hasher h;
+  for (int l : latency_) {
+    h.mix(static_cast<std::uint64_t>(l));
+  }
+  return h.digest();
 }
 
 }  // namespace tadfa::machine

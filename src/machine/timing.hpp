@@ -26,6 +26,9 @@ class TimingModel {
   /// Overrides a latency (for sensitivity studies).
   void set_latency(ir::Opcode op, int cycles);
 
+  /// Digest of the whole latency table (set_latency overrides included).
+  std::uint64_t config_digest() const;
+
  private:
   int latency_[ir::kNumOpcodes];
 };

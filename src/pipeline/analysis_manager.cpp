@@ -172,16 +172,35 @@ void AnalysisManager::on_function_moved() {
   bound_ = nullptr;
 }
 
+void AnalysisManager::import_stats(const std::vector<AnalysisStats>& stats) {
+  for (const AnalysisStats& s : stats) {
+    AnalysisStats& merged = imported_[s.name];
+    merged.name = s.name;
+    merged.hits += s.hits;
+    merged.misses += s.misses;
+    merged.puts += s.puts;
+    merged.invalidations += s.invalidations;
+  }
+}
+
 std::vector<AnalysisManager::AnalysisStats> AnalysisManager::stats() const {
-  std::vector<AnalysisStats> out;
-  out.reserve(stats_.size());
+  // Merge live counters (keyed by AnalysisKey) with imported ones
+  // (keyed by name) — a warm cache hit has only imported counters, a
+  // cold run only live ones, and a mixed state sums per name.
+  std::map<std::string, AnalysisStats> by_name = imported_;
   for (const auto& [key, s] : stats_) {
+    AnalysisStats& merged = by_name[s.name];
+    merged.name = s.name;
+    merged.hits += s.hits;
+    merged.misses += s.misses;
+    merged.puts += s.puts;
+    merged.invalidations += s.invalidations;
+  }
+  std::vector<AnalysisStats> out;
+  out.reserve(by_name.size());
+  for (const auto& [name, s] : by_name) {
     out.push_back(s);
   }
-  std::sort(out.begin(), out.end(),
-            [](const AnalysisStats& a, const AnalysisStats& b) {
-              return a.name < b.name;
-            });
   return out;
 }
 
@@ -190,12 +209,18 @@ std::uint64_t AnalysisManager::total_hits() const {
   for (const auto& [key, s] : stats_) {
     total += s.hits;
   }
+  for (const auto& [name, s] : imported_) {
+    total += s.hits;
+  }
   return total;
 }
 
 std::uint64_t AnalysisManager::total_misses() const {
   std::uint64_t total = 0;
   for (const auto& [key, s] : stats_) {
+    total += s.misses;
+  }
+  for (const auto& [name, s] : imported_) {
     total += s.misses;
   }
   return total;

@@ -176,6 +176,16 @@ class AnalysisManager {
           std::make_shared<A>(std::move(value)), /*registered=*/true);
   }
 
+  /// put() without touching the statistics counters — used by the
+  /// persistent result cache when re-materializing artifacts recorded
+  /// by the producing run, whose counters arrive via import_stats()
+  /// (counting the re-registration would double them).
+  template <typename A>
+  void restore(A value) {
+    store(analysis_key<A>(), AnalysisTraits<A>::name,
+          std::make_shared<A>(std::move(value)), /*registered=*/true);
+  }
+
   /// Cached or registered value of A; nullptr when absent. Does not
   /// compute. The non-const overload records a dependency edge when
   /// called from inside an analysis build.
@@ -221,6 +231,9 @@ class AnalysisManager {
     std::uint64_t misses = 0;
     std::uint64_t puts = 0;
     std::uint64_t invalidations = 0;
+
+    friend bool operator==(const AnalysisStats&,
+                           const AnalysisStats&) = default;
   };
   /// Per-analysis counters, sorted by name. Counters are cumulative:
   /// invalidation does not reset them.
@@ -228,6 +241,13 @@ class AnalysisManager {
   std::uint64_t total_hits() const;
   std::uint64_t total_misses() const;
   TextTable stats_table(const std::string& title = "analysis cache") const;
+
+  /// Adopts counters recorded by an earlier run (the persistent result
+  /// cache replays the producing run's statistics into the restored
+  /// state, so warm and cold reporting are byte-identical). Imported
+  /// counters merge by name into stats()/total_hits()/total_misses();
+  /// live counters keep accumulating on top.
+  void import_stats(const std::vector<AnalysisStats>& stats);
 
  private:
   struct Entry {
@@ -258,6 +278,9 @@ class AnalysisManager {
   /// references from the current computation stay valid.
   std::vector<std::shared_ptr<void>> retired_;
   std::map<AnalysisKey, AnalysisStats> stats_;
+  /// Counters adopted from a cached run, keyed by analysis name (no
+  /// AnalysisKey exists for them in this process).
+  std::map<std::string, AnalysisStats> imported_;
 };
 
 // --- Analysis traits ---------------------------------------------------------

@@ -7,6 +7,8 @@
 #include <optional>
 #include <thread>
 
+#include "pipeline/result_cache.hpp"
+
 namespace tadfa::pipeline {
 namespace {
 
@@ -77,17 +79,68 @@ ModulePipelineResult CompilationDriver::compile(
 
   // Slot per function: written by exactly one worker, read after join.
   std::vector<std::optional<PipelineRunResult>> slots(n);
+  // unsigned char, not bool: workers write disjoint indices
+  // concurrently, which vector<bool>'s bit packing would race on.
+  std::vector<unsigned char> from_cache(n, 0);
+
+  // Cache-key ingredients shared by every worker. Keys mix the input
+  // fingerprint, the canonical spec, the compilation-environment
+  // digest, and the manager toggles that alter recorded statistics.
+  std::string canonical_spec;
+  std::uint64_t env_digest = 0;
+  if (cache_ != nullptr) {
+    canonical_spec = spec_to_string(passes);
+    env_digest =
+        Hasher()
+            .mix(ResultCache::context_digest(manager_.context()))
+            .mix(static_cast<std::uint64_t>(manager_.checkpoints()))
+            .mix(static_cast<std::uint64_t>(manager_.analysis_caching()))
+            .digest();
+  }
+
+  // One work item: probe the persistent cache (a warm restore is
+  // byte-identical to a fresh compile and parallelizes like one), and
+  // on a miss compile + insert. The result settles into its slot
+  // BEFORE the cache snapshot: moving a PipelineState drops computed
+  // analyses and counts their invalidations, and that move happens to
+  // every result on its way into `slots` — an entry captured pre-move
+  // would replay counters one invalidation short of a fresh run's.
+  auto process = [&](std::size_t i) {
+    CacheKey key;
+    if (cache_ != nullptr) {
+      key = ResultCache::make_key(ir::fingerprint(funcs[i]), canonical_spec,
+                                  env_digest);
+      if (auto hit = cache_->lookup(key, funcs[i].name())) {
+        slots[i].emplace(std::move(*hit));
+        from_cache[i] = 1;
+        return;
+      }
+    }
+    PipelineRunResult run = compile_one(manager_, funcs[i], passes);
+    // The thermal summary must be taken pre-move (the move into the
+    // slot sheds the computed ThermalDfaResult), while the statistics
+    // snapshot must be post-move (the move also counts the shedding as
+    // invalidations) — hence summary here, insert below.
+    std::optional<ThermalSummary> thermal;
+    if (cache_ != nullptr && run.ok && run.state.dfa() != nullptr) {
+      thermal = summarize_dfa(*run.state.dfa());
+    }
+    slots[i].emplace(std::move(run));
+    if (cache_ != nullptr && slots[i]->ok) {
+      cache_->insert(key, *slots[i], std::move(thermal));
+    }
+  };
 
   if (result.jobs <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
-      slots[i].emplace(compile_one(manager_, funcs[i], passes));
+      process(i);
     }
   } else {
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
       for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
            i = next.fetch_add(1, std::memory_order_relaxed)) {
-        slots[i].emplace(compile_one(manager_, funcs[i], passes));
+        process(i);
       }
     };
     std::vector<std::thread> pool;
@@ -104,7 +157,7 @@ ModulePipelineResult CompilationDriver::compile(
       if (pool.empty()) {
         for (std::size_t i = 0; i < n; ++i) {
           if (!slots[i].has_value()) {
-            slots[i].emplace(compile_one(manager_, funcs[i], passes));
+            process(i);
           }
         }
       }
@@ -126,10 +179,26 @@ ModulePipelineResult CompilationDriver::compile(
       result.error = "function '" + funcs[i].name() + "': " + run.error;
     }
     result.functions.emplace_back(funcs[i].name(), std::move(run));
+    result.functions.back().from_cache = from_cache[i] != 0;
   }
   result.total_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   return result;
+}
+
+std::size_t ModulePipelineResult::cache_hits() const {
+  std::size_t hits = 0;
+  for (const FunctionCompileResult& f : functions) {
+    hits += f.from_cache ? 1 : 0;
+  }
+  return hits;
+}
+
+double ModulePipelineResult::cache_hit_rate() const {
+  return functions.empty()
+             ? 0.0
+             : static_cast<double>(cache_hits()) /
+                   static_cast<double>(functions.size());
 }
 
 std::vector<PassRunStats> ModulePipelineResult::merged_pass_stats() const {

@@ -27,6 +27,8 @@
 
 namespace tadfa::pipeline {
 
+class ResultCache;
+
 /// One function's compilation inside a module run (module order).
 struct FunctionCompileResult {
   FunctionCompileResult(std::string function_name, PipelineRunResult r)
@@ -34,6 +36,9 @@ struct FunctionCompileResult {
 
   std::string name;
   PipelineRunResult run;
+  /// True when the result was restored from the persistent ResultCache
+  /// instead of compiled in this run.
+  bool from_cache = false;
 };
 
 struct ModulePipelineResult {
@@ -58,6 +63,11 @@ struct ModulePipelineResult {
   /// Analysis-cache counters summed by analysis name over all functions.
   std::vector<AnalysisManager::AnalysisStats> merged_analysis_stats() const;
 
+  /// Functions restored from the persistent result cache.
+  std::size_t cache_hits() const;
+  /// cache_hits() over the module size (0 when the module is empty).
+  double cache_hit_rate() const;
+
   /// Per-function result table (name, instrs, vregs, spills, time).
   TextTable function_table(const std::string& title = "module") const;
 
@@ -81,6 +91,15 @@ class CompilationDriver {
     manager_.set_analysis_caching(enabled);
   }
 
+  /// Attaches a persistent result cache (nullptr detaches; not owned).
+  /// Every work item probes the cache before compiling — restores run
+  /// on the pool just like compiles, so a warm run parallelizes too —
+  /// and inserts its result after a miss compiles. A warm run over an
+  /// unchanged module re-runs no pass at all and produces byte-identical
+  /// module output to the cold run at any job count, extending the
+  /// determinism guarantee across processes.
+  void set_result_cache(ResultCache* cache) { cache_ = cache; }
+
   /// Compiles every function of `module` under `spec`. A spec error
   /// rejects the whole module before any work runs; a per-function
   /// failure still compiles the remaining functions (result.ok is false
@@ -96,6 +115,7 @@ class CompilationDriver {
  private:
   PassManager manager_;
   unsigned jobs_ = 0;
+  ResultCache* cache_ = nullptr;
 };
 
 }  // namespace tadfa::pipeline

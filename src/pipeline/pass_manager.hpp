@@ -35,6 +35,8 @@ struct PassRunStats {
   bool changed = true;
   std::size_t instructions_after = 0;
   std::uint32_t vregs_after = 0;
+
+  friend bool operator==(const PassRunStats&, const PassRunStats&) = default;
 };
 
 struct PipelineRunResult {
@@ -68,6 +70,9 @@ class PassManager {
   /// Toggles the analysis cache (default on). Off reproduces the old
   /// rebuild-every-pass behavior — for A/B measurement only.
   void set_analysis_caching(bool enabled) { analysis_caching_ = enabled; }
+
+  bool checkpoints() const { return checkpoints_; }
+  bool analysis_caching() const { return analysis_caching_; }
 
   PipelineRunResult run(const ir::Function& input,
                         const std::string& spec) const;

@@ -1,0 +1,577 @@
+#include "pipeline/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "support/string_utils.hpp"
+
+namespace tadfa::pipeline {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// 64-bit magic at the head of every entry file ("TADFA RC").
+constexpr std::uint64_t kMagic = 0x5441444641524331ull;
+
+constexpr const char* kIndexName = "index.txt";
+constexpr const char* kIndexHeader = "tadfa-result-cache-index v1";
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+bool is_hex(const std::string& s) {
+  for (char c : s) {
+    if ((c < '0' || c > '9') && (c < 'a' || c > 'f')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Process+thread-unique temp suffix so concurrent writers (threads or
+/// processes) never collide on the same temp file.
+std::string temp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream os;
+  os << ".tmp-" << ::getpid() << "-"
+     << counter.fetch_add(1, std::memory_order_relaxed);
+  return os.str();
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return std::nullopt;
+  }
+  return buffer.str();
+}
+
+/// Crash-safe write: temp file in the destination directory, then an
+/// atomic rename over the final name.
+bool write_file_atomic(const fs::path& path, const std::string& bytes) {
+  const fs::path tmp = path.string() + temp_suffix();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string CacheKey::text() const { return hex64(hi) + hex64(lo); }
+
+// --- CachedResult ------------------------------------------------------------
+
+ThermalSummary summarize_dfa(const core::ThermalDfaResult& dfa) {
+  ThermalSummary summary;
+  summary.converged = dfa.converged;
+  summary.iterations = dfa.iterations;
+  summary.final_delta_k = dfa.final_delta_k;
+  summary.peak_anywhere_k = dfa.peak_anywhere_k;
+  summary.exit_stats = dfa.exit_stats;
+  summary.exit_reg_temps_k = dfa.exit_reg_temps_k;
+  return summary;
+}
+
+CachedResult CachedResult::from_run(const PipelineRunResult& run) {
+  CachedResult entry;
+  entry.function_text = ir::to_string(run.state.func);
+  entry.reg_count = run.state.func.reg_count();
+  entry.stack_slots = run.state.func.stack_slot_count();
+  entry.spilled_regs = run.state.spilled_regs;
+  entry.function_fingerprint = ir::fingerprint(run.state.func);
+  entry.total_seconds = run.total_seconds;
+  entry.pass_stats = run.pass_stats;
+  entry.analysis_stats = run.state.analyses.stats();
+  if (const core::ThermalDfaResult* dfa = run.state.dfa()) {
+    entry.thermal = summarize_dfa(*dfa);
+  }
+  return entry;
+}
+
+std::optional<PipelineRunResult> CachedResult::to_run(
+    const std::string& function_name) const {
+  ir::ParseError error;
+  auto func = ir::parse_function(function_text, &error);
+  if (!func.has_value()) {
+    return std::nullopt;
+  }
+  // The text format carries neither trailing unused registers nor the
+  // stack-slot counter; restore both so the reconstructed function is
+  // indistinguishable from the one that was stored.
+  func->set_name(function_name);
+  func->ensure_regs(reg_count);
+  while (func->stack_slot_count() < stack_slots) {
+    func->allocate_stack_slot();
+  }
+  if (ir::fingerprint(*func) != function_fingerprint) {
+    return std::nullopt;
+  }
+  PipelineRunResult run(std::move(*func));
+  run.ok = true;
+  run.total_seconds = total_seconds;
+  run.pass_stats = pass_stats;
+  run.state.spilled_regs = spilled_regs;
+  run.state.analyses.import_stats(analysis_stats);
+  if (thermal.has_value()) {
+    // Re-materialize the thermal result so state.dfa() answers on a
+    // warm run just as it does on a cold one — in summary form: the
+    // convergence verdict, exit map, and exit temperatures survive the
+    // cache; the bulky per-instruction states and δ history do not
+    // (nothing downstream of a finished module compile reads them).
+    core::ThermalDfaResult dfa;
+    dfa.converged = thermal->converged;
+    dfa.iterations = thermal->iterations;
+    dfa.final_delta_k = thermal->final_delta_k;
+    dfa.peak_anywhere_k = thermal->peak_anywhere_k;
+    dfa.exit_stats = thermal->exit_stats;
+    dfa.exit_reg_temps_k = thermal->exit_reg_temps_k;
+    run.state.analyses.restore(std::move(dfa));
+  }
+  return run;
+}
+
+void CachedResult::serialize(ByteWriter& w) const {
+  w.str(function_text);
+  w.u32(reg_count);
+  w.u32(stack_slots);
+  w.u32(spilled_regs);
+  w.u64(function_fingerprint);
+  w.f64(total_seconds);
+  w.u64(pass_stats.size());
+  for (const PassRunStats& s : pass_stats) {
+    w.str(s.name);
+    w.f64(s.seconds);
+    w.str(s.summary);
+    w.boolean(s.changed);
+    w.u64(s.instructions_after);
+    w.u32(s.vregs_after);
+  }
+  w.u64(analysis_stats.size());
+  for (const AnalysisManager::AnalysisStats& s : analysis_stats) {
+    w.str(s.name);
+    w.u64(s.hits);
+    w.u64(s.misses);
+    w.u64(s.puts);
+    w.u64(s.invalidations);
+  }
+  w.boolean(thermal.has_value());
+  if (thermal.has_value()) {
+    const ThermalSummary& t = *thermal;
+    w.boolean(t.converged);
+    w.u32(static_cast<std::uint32_t>(t.iterations));
+    w.f64(t.final_delta_k);
+    w.f64(t.peak_anywhere_k);
+    w.f64(t.exit_stats.peak_k);
+    w.f64(t.exit_stats.min_k);
+    w.f64(t.exit_stats.mean_k);
+    w.f64(t.exit_stats.stddev_k);
+    w.f64(t.exit_stats.range_k);
+    w.f64(t.exit_stats.max_gradient_k);
+    w.f64(t.exit_stats.mean_gradient_k);
+    w.u64(t.exit_reg_temps_k.size());
+    for (double temp : t.exit_reg_temps_k) {
+      w.f64(temp);
+    }
+  }
+}
+
+std::optional<CachedResult> CachedResult::deserialize(ByteReader& r) {
+  CachedResult entry;
+  entry.function_text = r.str();
+  entry.reg_count = r.u32();
+  entry.stack_slots = r.u32();
+  entry.spilled_regs = r.u32();
+  entry.function_fingerprint = r.u64();
+  entry.total_seconds = r.f64();
+  const std::uint64_t num_passes = r.u64();
+  for (std::uint64_t i = 0; i < num_passes && r.ok(); ++i) {
+    PassRunStats s;
+    s.name = r.str();
+    s.seconds = r.f64();
+    s.summary = r.str();
+    s.changed = r.boolean();
+    s.instructions_after = r.u64();
+    s.vregs_after = r.u32();
+    entry.pass_stats.push_back(std::move(s));
+  }
+  const std::uint64_t num_analyses = r.u64();
+  for (std::uint64_t i = 0; i < num_analyses && r.ok(); ++i) {
+    AnalysisManager::AnalysisStats s;
+    s.name = r.str();
+    s.hits = r.u64();
+    s.misses = r.u64();
+    s.puts = r.u64();
+    s.invalidations = r.u64();
+    entry.analysis_stats.push_back(std::move(s));
+  }
+  if (r.boolean()) {
+    ThermalSummary t;
+    t.converged = r.boolean();
+    t.iterations = static_cast<int>(r.u32());
+    t.final_delta_k = r.f64();
+    t.peak_anywhere_k = r.f64();
+    t.exit_stats.peak_k = r.f64();
+    t.exit_stats.min_k = r.f64();
+    t.exit_stats.mean_k = r.f64();
+    t.exit_stats.stddev_k = r.f64();
+    t.exit_stats.range_k = r.f64();
+    t.exit_stats.max_gradient_k = r.f64();
+    t.exit_stats.mean_gradient_k = r.f64();
+    const std::uint64_t num_temps = r.u64();
+    for (std::uint64_t i = 0; i < num_temps && r.ok(); ++i) {
+      t.exit_reg_temps_k.push_back(r.f64());
+    }
+    entry.thermal = std::move(t);
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return entry;
+}
+
+// --- ResultCache -------------------------------------------------------------
+
+ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    error_ = "cannot create cache directory '" + dir_.string() +
+             "': " + (ec ? ec.message() : "not a directory");
+    return;
+  }
+  ok_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  load_index_locked();
+}
+
+std::uint64_t ResultCache::context_digest(const PipelineContext& ctx) {
+  Hasher h;
+  h.mix(ctx.floorplan != nullptr ? ctx.floorplan->config_digest() : 0);
+  h.mix(ctx.grid != nullptr ? ctx.grid->config_digest() : 0);
+  h.mix(ctx.power != nullptr ? ctx.power->config_digest() : 0);
+  h.mix(ctx.timing.config_digest());
+  h.mix(ctx.dfa_config.delta_k);
+  h.mix(static_cast<std::uint64_t>(ctx.dfa_config.max_iterations));
+  h.mix(ctx.dfa_config.trip_count_guess);
+  h.mix(static_cast<std::uint64_t>(ctx.dfa_config.include_leakage));
+  h.mix(static_cast<std::uint64_t>(ctx.dfa_config.join_mode));
+  h.mix(ctx.policy_seed);
+  return h.digest();
+}
+
+CacheKey ResultCache::make_key(std::uint64_t function_fingerprint,
+                               const std::string& canonical_spec,
+                               std::uint64_t context_digest) {
+  CacheKey key;
+  key.hi = Hasher(0x68692d6b6579ull /* "hi-key" */)
+               .mix(function_fingerprint)
+               .mix(canonical_spec)
+               .mix(context_digest)
+               .digest();
+  key.lo = Hasher(0x6c6f2d6b6579ull /* "lo-key" */)
+               .mix(function_fingerprint)
+               .mix(canonical_spec)
+               .mix(context_digest)
+               .digest();
+  return key;
+}
+
+fs::path ResultCache::entry_path(const CacheKey& key) const {
+  const std::string text = key.text();
+  return dir_ / text.substr(0, 2) / (text.substr(2) + ".entry");
+}
+
+std::optional<CachedResult> ResultCache::read_entry(const CacheKey& key) {
+  const auto bytes = read_file(entry_path(key));
+  if (!bytes.has_value()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ByteReader r(*bytes);
+  const bool header_ok = r.u64() == kMagic && r.u32() == kFormatVersion &&
+                         r.u64() == key.hi && r.u64() == key.lo;
+  std::optional<CachedResult> entry;
+  if (header_ok) {
+    entry = CachedResult::deserialize(r);
+    // Trailing garbage means the record is not what serialize() wrote.
+    if (entry.has_value() && r.remaining() != 0) {
+      entry.reset();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entry.has_value()) {
+    ++stats_.misses;
+    remove_entry_locked(key.text(), /*count_bad=*/true);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  auto it = index_.find(key.text());
+  if (it != index_.end()) {
+    it->second.seq = next_seq_++;  // LRU touch (persisted on next insert)
+  }
+  return entry;
+}
+
+std::optional<CachedResult> ResultCache::lookup_entry(const CacheKey& key) {
+  if (!ok_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  return read_entry(key);
+}
+
+std::optional<PipelineRunResult> ResultCache::lookup(
+    const CacheKey& key, const std::string& function_name) {
+  auto entry = lookup_entry(key);
+  if (!entry.has_value()) {
+    return std::nullopt;
+  }
+  auto run = entry->to_run(function_name);
+  if (!run.has_value()) {
+    // Parsed header but unreconstructable payload: re-classify the hit
+    // as a corrupt entry and fall back to a clean recompile.
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.hits;
+    ++stats_.misses;
+    remove_entry_locked(key.text(), /*count_bad=*/true);
+    return std::nullopt;
+  }
+  return run;
+}
+
+bool ResultCache::insert(const CacheKey& key, const PipelineRunResult& run,
+                         std::optional<ThermalSummary> thermal) {
+  if (!ok_ || !run.ok) {
+    return false;
+  }
+  ByteWriter w;
+  w.u64(kMagic);
+  w.u32(kFormatVersion);
+  w.u64(key.hi);
+  w.u64(key.lo);
+  CachedResult entry = CachedResult::from_run(run);
+  if (!entry.thermal.has_value()) {
+    entry.thermal = std::move(thermal);
+  }
+  entry.serialize(w);
+
+  const fs::path path = entry_path(key);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec || !write_file_atomic(path, w.data())) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.store_failures;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+  IndexEntry& row = index_[key.text()];
+  bytes_total_ += w.data().size() - row.bytes;  // 0 for a fresh row
+  row.bytes = w.data().size();
+  row.seq = next_seq_++;
+  evict_until_fits_locked();
+  // Index persistence is batched: rewriting it per store would make a
+  // cold run O(entries²) in index bytes and serialize the workers on
+  // it. A stale index only costs accounting (load reconciles).
+  if (++index_dirty_ >= kIndexSaveInterval) {
+    save_index_locked();
+    index_dirty_ = 0;
+  }
+  return true;
+}
+
+ResultCache::~ResultCache() { flush(); }
+
+void ResultCache::flush() {
+  if (!ok_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_dirty_ != 0) {
+    save_index_locked();
+    index_dirty_ = 0;
+  }
+}
+
+void ResultCache::load_index_locked() {
+  if (const auto bytes = read_file(dir_ / kIndexName); bytes.has_value()) {
+    std::istringstream in(*bytes);
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+      if (first) {
+        first = false;
+        if (trim(line) != kIndexHeader) {
+          break;  // foreign or older index; the directory scan rebuilds
+        }
+        continue;
+      }
+      const auto fields = split_whitespace(line);
+      long long bytes_field = 0;
+      long long seq_field = 0;
+      if (fields.size() != 3 || fields[0].size() != 32 ||
+          !is_hex(fields[0]) || !parse_int(fields[1], bytes_field) ||
+          !parse_int(fields[2], seq_field) || bytes_field < 0 ||
+          seq_field < 0) {
+        continue;  // torn or hand-edited row; files are the truth anyway
+      }
+      index_[fields[0]] = {static_cast<std::uint64_t>(bytes_field),
+                           static_cast<std::uint64_t>(seq_field)};
+      next_seq_ = std::max(next_seq_,
+                           static_cast<std::uint64_t>(seq_field) + 1);
+    }
+  }
+  // Reconcile against the files that actually exist: rows without a
+  // file are dropped, files without a row (another process's inserts,
+  // a lost index) are adopted. Lookups never consult the index, so
+  // this only affects size accounting and eviction order.
+  std::map<std::string, IndexEntry> reconciled;
+  std::error_code ec;
+  for (fs::directory_iterator dir_it(dir_, ec);
+       !ec && dir_it != fs::directory_iterator(); ++dir_it) {
+    if (!dir_it->is_directory()) {
+      continue;
+    }
+    const std::string prefix = dir_it->path().filename().string();
+    if (prefix.size() != 2 || !is_hex(prefix)) {
+      continue;
+    }
+    for (fs::directory_iterator file_it(dir_it->path(), ec);
+         !ec && file_it != fs::directory_iterator(); ++file_it) {
+      const fs::path& p = file_it->path();
+      if (p.extension() != ".entry") {
+        continue;
+      }
+      const std::string stem = p.stem().string();
+      if (stem.size() != 30 || !is_hex(stem)) {
+        continue;
+      }
+      const std::string key_text = prefix + stem;
+      IndexEntry entry;
+      if (auto it = index_.find(key_text); it != index_.end()) {
+        entry = it->second;
+      }
+      std::error_code size_ec;
+      const auto size = fs::file_size(p, size_ec);
+      entry.bytes = size_ec ? entry.bytes : size;
+      reconciled[key_text] = entry;
+    }
+  }
+  index_ = std::move(reconciled);
+  bytes_total_ = 0;
+  for (const auto& [key_text, entry] : index_) {
+    bytes_total_ += entry.bytes;
+  }
+}
+
+void ResultCache::save_index_locked() {
+  std::ostringstream out;
+  out << kIndexHeader << "\n";
+  for (const auto& [key_text, entry] : index_) {
+    out << key_text << " " << entry.bytes << " " << entry.seq << "\n";
+  }
+  write_file_atomic(dir_ / kIndexName, out.str());
+}
+
+void ResultCache::remove_entry_locked(const std::string& key_text,
+                                      bool count_bad) {
+  if (count_bad) {
+    ++stats_.bad_entries;
+  }
+  if (key_text.size() == 32) {
+    std::error_code ec;
+    fs::remove(dir_ / key_text.substr(0, 2) /
+                   (key_text.substr(2) + ".entry"),
+               ec);
+  }
+  if (auto it = index_.find(key_text); it != index_.end()) {
+    bytes_total_ -= it->second.bytes;
+    index_.erase(it);
+  }
+}
+
+void ResultCache::evict_until_fits_locked() {
+  if (max_bytes_ == 0) {
+    return;
+  }
+  while (index_.size() > 1 && bytes_total_ > max_bytes_) {
+    auto oldest = index_.begin();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (it->second.seq < oldest->second.seq) {
+        oldest = it;
+      }
+    }
+    remove_entry_locked(oldest->first, /*count_bad=*/false);
+    ++stats_.evictions;
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ResultCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+std::uint64_t ResultCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_total_;
+}
+
+TextTable ResultCache::stats_table(const std::string& title) const {
+  const ResultCacheStats s = stats();
+  TextTable table(title);
+  table.set_header({"counter", "value"});
+  table.add_row({"hits", std::to_string(s.hits)});
+  table.add_row({"misses", std::to_string(s.misses)});
+  table.add_row({"hit rate", TextTable::num(s.hit_rate() * 100.0, 1) + "%"});
+  table.add_row({"stores", std::to_string(s.stores)});
+  table.add_row({"bad entries", std::to_string(s.bad_entries)});
+  table.add_row({"evictions", std::to_string(s.evictions)});
+  table.add_row({"store failures", std::to_string(s.store_failures)});
+  table.add_row({"entries", std::to_string(entry_count())});
+  table.add_row({"bytes", std::to_string(total_bytes())});
+  return table;
+}
+
+}  // namespace tadfa::pipeline

@@ -1,0 +1,246 @@
+// ResultCache: a persistent, content-addressed store of finished
+// PipelineRunResults.
+//
+// The thermal DFA is the expensive step of every compile (iterate-to-δ
+// over an RC grid per instruction); the AnalysisManager (PR 2) caches it
+// within a run and the CompilationDriver (PR 3) parallelizes across
+// functions, but nothing survived process exit — recompiling a module
+// redid every converged DFA from scratch. This cache closes that gap.
+//
+// Keying. An entry is addressed by a 128-bit key derived from exactly
+// the inputs a pipeline run is a pure function of:
+//
+//     key = H( ir::fingerprint(input function)
+//            ⊕ canonical pass-spec string
+//            ⊕ context digest )
+//
+// where the context digest folds Floorplan/ThermalGrid/PowerModel/
+// TimingModel::config_digest(), the ThermalDfaConfig, and the policy
+// seed. Changing any one of these — and nothing else — invalidates
+// exactly the entries it should. The function *name* is deliberately
+// not part of the key: two identically-shaped functions share an entry,
+// and lookup() re-stamps the requested name onto the restored function.
+//
+// On disk. Entries live under a two-level hash layout,
+// `<dir>/<key[0:2]>/<key[2:]>.entry`, next to an `index.txt` used for
+// size accounting and LRU eviction (lookups address entry files
+// directly, so a stale or lost index can never hide an entry). Each
+// entry is a versioned binary record: magic, format version, key echo,
+// the output function via the canonical printer (re-parsed on load),
+// and a sidecar with pass statistics, analysis-cache counters, spill
+// counts and the thermal summary. Writes are crash-safe: temp file +
+// atomic rename, so readers see an old entry or a new one, never half
+// of one. A truncated, corrupted, or version-bumped entry is detected
+// (magic/version/key/fingerprint checks plus a totalizing reader),
+// counted in `bad_entries`, deleted, and reported as a miss — the
+// driver then recompiles cleanly.
+//
+// Thread safety: all public methods are safe to call from concurrent
+// driver workers (and from concurrent processes sharing the directory;
+// the index degrades to best-effort accounting there).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/pass_manager.hpp"
+#include "support/serialize.hpp"
+#include "thermal/map_stats.hpp"
+
+namespace tadfa::pipeline {
+
+/// 128-bit content address of a cache entry (two independently seeded
+/// 64-bit digests over the same inputs).
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// 32 lowercase hex chars; the on-disk entry name.
+  std::string text() const;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+/// The thermal-DFA outcome worth keeping across processes: convergence
+/// and the exit map, not the per-instruction states (those are bulky
+/// and refer to instruction positions no later consumer needs). On a
+/// warm hit this is restored as a summary-only ThermalDfaResult, so
+/// state.dfa() answers warm exactly where it answered cold — with
+/// empty per_instruction/delta_history vectors.
+struct ThermalSummary {
+  bool converged = false;
+  int iterations = 0;
+  double final_delta_k = 0;
+  double peak_anywhere_k = 0;
+  thermal::MapStats exit_stats;
+  std::vector<double> exit_reg_temps_k;
+
+  friend bool operator==(const ThermalSummary&,
+                         const ThermalSummary&) = default;
+};
+
+/// The summary of a full DFA result (what the cache keeps of it).
+ThermalSummary summarize_dfa(const core::ThermalDfaResult& dfa);
+
+/// One serializable pipeline result: the output function as canonical
+/// text plus the sidecar fields the text format cannot carry.
+struct CachedResult {
+  std::string function_text;
+  /// The printer/parser round-trip loses trailing *unused* registers
+  /// (reg_count is re-derived as highest-mentioned + 1) and the stack
+  /// slot counter; both are restored from here so the reconstructed
+  /// function is fingerprint-identical to the one that was stored.
+  std::uint32_t reg_count = 0;
+  std::uint32_t stack_slots = 0;
+  std::uint32_t spilled_regs = 0;
+  /// ir::fingerprint of the stored output; verified after re-parsing.
+  std::uint64_t function_fingerprint = 0;
+  double total_seconds = 0;
+  std::vector<PassRunStats> pass_stats;
+  std::vector<AnalysisManager::AnalysisStats> analysis_stats;
+  std::optional<ThermalSummary> thermal;
+
+  /// Captures a finished (ok) run. The thermal summary is taken from
+  /// the run's registered ThermalDfaResult when one survived.
+  static CachedResult from_run(const PipelineRunResult& run);
+
+  /// Reconstructs a ready PipelineRunResult named `function_name`.
+  /// nullopt when the text does not parse or the reconstructed function
+  /// does not match `function_fingerprint` (a corrupt entry).
+  std::optional<PipelineRunResult> to_run(
+      const std::string& function_name) const;
+
+  void serialize(ByteWriter& w) const;
+  /// nullopt on any truncation/implausibility; the reader's failure
+  /// flag is totalizing, so no partially-filled record escapes.
+  static std::optional<CachedResult> deserialize(ByteReader& r);
+
+  friend bool operator==(const CachedResult&, const CachedResult&) = default;
+};
+
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  /// Entries rejected by the magic/version/key/fingerprint checks or
+  /// the totalizing reader (each also counts as a miss).
+  std::uint64_t bad_entries = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t store_failures = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class ResultCache {
+ public:
+  /// Bumped whenever the entry encoding changes; entries written by any
+  /// other version are treated as misses and removed on contact.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Opens (creating directories as needed) a cache rooted at `dir`.
+  /// `max_bytes` = 0 means unbounded; otherwise inserts evict
+  /// least-recently-used entries until the total fits.
+  explicit ResultCache(std::string dir, std::uint64_t max_bytes = 0);
+  /// Persists any unwritten index rows (see flush()).
+  ~ResultCache();
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// False when the directory could not be created/read; a disabled
+  /// cache misses every lookup and drops every insert.
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  std::string dir() const { return dir_.string(); }
+
+  /// Digest of everything in the compilation environment a pipeline
+  /// output depends on: the four model digests, the DFA config, and the
+  /// policy seed.
+  static std::uint64_t context_digest(const PipelineContext& ctx);
+
+  /// Derives the content address (see file comment for the recipe).
+  static CacheKey make_key(std::uint64_t function_fingerprint,
+                           const std::string& canonical_spec,
+                           std::uint64_t context_digest);
+
+  /// Full reconstruction: entry -> ready PipelineRunResult named
+  /// `function_name`. nullopt on miss or bad entry.
+  std::optional<PipelineRunResult> lookup(const CacheKey& key,
+                                          const std::string& function_name);
+
+  /// Raw entry access (tests, `tadfa --cache-verify`). Counts toward
+  /// hit/miss statistics exactly like lookup().
+  std::optional<CachedResult> lookup_entry(const CacheKey& key);
+
+  /// Persists a finished run. Failed runs are never cached (their
+  /// error is cheap to reproduce and their state is partial). Returns
+  /// false when the run was not ok, the cache is disabled, or the
+  /// filesystem write failed. `thermal` backfills the summary when the
+  /// run's own ThermalDfaResult is already gone — a moved PipelineState
+  /// sheds computed analyses, and the driver moves every result into
+  /// its slot before snapshotting it (stats must be post-move), so it
+  /// captures the summary pre-move and hands it in here.
+  bool insert(const CacheKey& key, const PipelineRunResult& run,
+              std::optional<ThermalSummary> thermal = std::nullopt);
+
+  ResultCacheStats stats() const;
+  std::size_t entry_count() const;
+  std::uint64_t total_bytes() const;
+
+  /// Rewrites index.txt now. Inserts batch index persistence (one
+  /// rewrite every kIndexSaveInterval stores, plus one at destruction)
+  /// so a cold run is not O(entries²) in index bytes written; the index
+  /// is advisory and reconciled against the entry files on open, so a
+  /// crash between flushes loses accounting hints, never entries.
+  void flush();
+
+  /// Hit/miss/store/evict counter table, printed by `tadfa
+  /// --cache-stats` next to the analysis-cache statistics.
+  TextTable stats_table(const std::string& title = "result cache") const;
+
+ private:
+  struct IndexEntry {
+    std::uint64_t bytes = 0;
+    /// Recency stamp for LRU eviction (monotone per process; persisted
+    /// best-effort through the index file).
+    std::uint64_t seq = 0;
+  };
+
+  std::filesystem::path entry_path(const CacheKey& key) const;
+  /// Reads `index.txt` and reconciles it against the entry files that
+  /// actually exist (files win; the index is advisory).
+  void load_index_locked();
+  /// Atomically rewrites `index.txt` (temp + rename).
+  void save_index_locked();
+  /// Deletes the entry file and index row; `count_bad` attributes the
+  /// removal to corruption rather than eviction.
+  void remove_entry_locked(const std::string& key_text, bool count_bad);
+  void evict_until_fits_locked();
+  std::optional<CachedResult> read_entry(const CacheKey& key);
+
+  std::filesystem::path dir_;
+  std::uint64_t max_bytes_ = 0;
+  bool ok_ = false;
+  std::string error_;
+
+  static constexpr std::uint32_t kIndexSaveInterval = 64;
+
+  mutable std::mutex mu_;
+  std::map<std::string, IndexEntry> index_;
+  /// Running sum of index_ entry bytes (kept incrementally so inserts
+  /// do not rescan the map).
+  std::uint64_t bytes_total_ = 0;
+  /// Stores since the last index rewrite.
+  std::uint32_t index_dirty_ = 0;
+  std::uint64_t next_seq_ = 1;
+  ResultCacheStats stats_;
+};
+
+}  // namespace tadfa::pipeline

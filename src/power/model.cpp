@@ -1,6 +1,7 @@
 #include "power/model.hpp"
 
 #include "support/assert.hpp"
+#include "support/serialize.hpp"
 
 namespace tadfa::power {
 
@@ -61,6 +62,15 @@ double PowerModel::trace_energy(const AccessTrace& trace, double temp_k,
     leakage += p * duration_s;
   }
   return dynamic + leakage;
+}
+
+std::uint64_t PowerModel::config_digest() const {
+  // Distinguish the power model's view of a config from the floorplan's:
+  // equal configs still hash differently per consumer, so a key mixes
+  // both without the two digests cancelling structure.
+  return Hasher(0x704f574552ull /* "pPOWER" */)
+      .mix(config_.config_digest())
+      .digest();
 }
 
 }  // namespace tadfa::power

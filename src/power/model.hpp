@@ -54,6 +54,10 @@ class PowerModel {
   double trace_energy(const AccessTrace& trace, double temp_k,
                       const std::vector<bool>& gated_banks = {}) const;
 
+  /// Digest of the configuration (energy/leakage coefficients included);
+  /// all power numbers are pure functions of it.
+  std::uint64_t config_digest() const;
+
  private:
   machine::RegisterFileConfig config_;
 };

@@ -1,0 +1,98 @@
+#include "support/serialize.hpp"
+
+#include <bit>
+
+namespace tadfa {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+bool ByteReader::need(std::size_t n) {
+  if (!ok_ || n > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!need(1)) {
+    return 0;
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!need(4)) {
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (!need(8)) {
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t len = u64();
+  // A length prefix beyond the bytes that actually remain means the
+  // buffer is truncated or corrupt; refuse before allocating.
+  if (!need(len)) {
+    return {};
+  }
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Hasher& Hasher::mix(double v) { return mix(std::bit_cast<std::uint64_t>(v)); }
+
+Hasher& Hasher::mix(std::string_view s) {
+  mix(static_cast<std::uint64_t>(s.size()));
+  for (char c : s) {
+    state_ = (state_ ^ static_cast<std::uint8_t>(c)) * kPrime;
+  }
+  return *this;
+}
+
+std::uint64_t Hasher::digest() const {
+  // splitmix64 finalizer: avalanches the accumulated state so nearby
+  // inputs (e.g. configs differing in one field) spread over the space.
+  std::uint64_t z = state_ + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace tadfa

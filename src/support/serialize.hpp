@@ -1,0 +1,92 @@
+// Binary serialization and hashing primitives for the persistent result
+// cache (src/pipeline/result_cache.*).
+//
+// ByteWriter/ByteReader implement a tiny, explicitly little-endian wire
+// format (fixed-width integers, IEEE doubles by bit pattern,
+// length-prefixed strings). The reader is totalizing: any read past the
+// end of the buffer, or a length prefix larger than the bytes that
+// remain, trips a sticky failure flag instead of throwing — a truncated
+// or corrupted cache entry must degrade to a cache miss, never to UB.
+//
+// Hasher is a seedable FNV-1a accumulator with a final avalanche,
+// shared by the model config digests (Floorplan, ThermalGrid,
+// PowerModel, TimingModel) and the cache-key derivation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tadfa {
+
+/// Appends little-endian primitives to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern; exact round-trip, no text formatting loss.
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// u64 length prefix + raw bytes.
+  void str(std::string_view s);
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Consumes a byte buffer written by ByteWriter. All getters return a
+/// zero value once the buffer is exhausted or a length prefix is
+/// implausible; check ok() (and ideally remaining() == 0) after the last
+/// field to decide whether the decoded record is trustworthy.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  /// True when `n` more bytes exist; otherwise sets the sticky failure.
+  bool need(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Seedable 64-bit FNV-1a accumulator with a splitmix64 finalizer.
+/// Distinct seeds give independent hash streams over the same input
+/// (the cache key uses two to form a 128-bit key).
+class Hasher {
+ public:
+  explicit Hasher(std::uint64_t seed = 0) : state_(kOffset ^ seed) {}
+
+  Hasher& mix(std::uint64_t v) {
+    state_ = (state_ ^ v) * kPrime;
+    return *this;
+  }
+  Hasher& mix(double v);
+  /// Length-prefixed, so mix("ab").mix("c") != mix("a").mix("bc").
+  Hasher& mix(std::string_view s);
+
+  std::uint64_t digest() const;
+
+ private:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  std::uint64_t state_;
+};
+
+}  // namespace tadfa

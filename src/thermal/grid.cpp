@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/assert.hpp"
+#include "support/serialize.hpp"
 
 namespace tadfa::thermal {
 
@@ -236,6 +237,13 @@ double ThermalGrid::stored_energy(const ThermalState& state) const {
     e += cap_[i] * (state.node_temps[i] - substrate_temp_);
   }
   return e;
+}
+
+std::uint64_t ThermalGrid::config_digest() const {
+  return Hasher()
+      .mix(floorplan_->config_digest())
+      .mix(std::uint64_t{subdivision_})
+      .digest();
 }
 
 }  // namespace tadfa::thermal

@@ -75,6 +75,12 @@ class ThermalGrid {
 
   double substrate_temp() const { return substrate_temp_; }
 
+  /// Digest of everything the solution depends on: the floorplan config
+  /// (geometry and thermal coefficients) plus the subdivision knob. The
+  /// conductance/capacitance tables are derived deterministically from
+  /// these, so they carry no information of their own.
+  std::uint64_t config_digest() const;
+
  private:
   std::size_t node_index(std::size_t row, std::size_t col) const {
     return row * node_cols_ + col;

@@ -23,6 +23,8 @@ struct MapStats {
   double max_gradient_k = 0;
   /// Mean absolute neighbor-to-neighbor difference.
   double mean_gradient_k = 0;
+
+  friend bool operator==(const MapStats&, const MapStats&) = default;
 };
 
 /// Computes statistics of a per-register temperature map.

@@ -1,7 +1,9 @@
 #include "workload/modules.hpp"
 
+#include <set>
 #include <string>
 
+#include "support/assert.hpp"
 #include "workload/kernels.hpp"
 #include "workload/random_program.hpp"
 
@@ -54,18 +56,36 @@ ir::Function kernel_variant(std::uint64_t salt) {
 
 ir::Module make_mixed_module(const ModuleConfig& config) {
   ir::Module module;
+  // Bodies already emitted, by ir::fingerprint (which ignores names).
+  // The kernel-variant parameter space is small (≈ a hundred distinct
+  // shapes), so a per-index salt alone can emit the same body twice
+  // under different names — which silently inflated every cache-hit-
+  // rate number measured on these modules. Re-salt on collision, and
+  // past a few attempts escape into the (practically collision-free)
+  // random-program space so generation always terminates.
+  std::set<std::uint64_t> seen;
   for (std::size_t i = 0; i < config.functions; ++i) {
-    const std::uint64_t salt = mix(config.seed, i);
     ir::Function func("");
-    if (config.random_every != 0 && i % config.random_every == 0) {
-      RandomProgramConfig rcfg;
-      rcfg.seed = salt;
-      rcfg.target_instructions = config.random_target_instructions;
-      rcfg.value_pool = 8 + static_cast<int>(salt % 12);
-      rcfg.irregularity = static_cast<double>(salt % 4) / 4.0;
-      func = random_program(rcfg);
-    } else {
-      func = kernel_variant(salt);
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      TADFA_ASSERT_MSG(attempt < 1000,
+                       "make_mixed_module failed to find a fresh function");
+      const std::uint64_t salt = mix(mix(config.seed, i), attempt);
+      const bool random =
+          (config.random_every != 0 && i % config.random_every == 0) ||
+          attempt >= 8;
+      if (random) {
+        RandomProgramConfig rcfg;
+        rcfg.seed = salt;
+        rcfg.target_instructions = config.random_target_instructions;
+        rcfg.value_pool = 8 + static_cast<int>(salt % 12);
+        rcfg.irregularity = static_cast<double>(salt % 4) / 4.0;
+        func = random_program(rcfg);
+      } else {
+        func = kernel_variant(salt);
+      }
+      if (seen.insert(ir::fingerprint(func)).second) {
+        break;
+      }
     }
     func.set_name(func.name() + "_" + std::to_string(i));
     module.add_function(std::move(func));

@@ -28,8 +28,10 @@ struct ModuleConfig {
 };
 
 /// Generates a mixed kernel-suite module. Function names are unique
-/// (`<kernel>_<index>`), every function passes ir::verify, and the result
-/// depends only on `config`.
+/// (`<kernel>_<index>`), function *bodies* are unique by
+/// ir::fingerprint (duplicate variants are re-salted away, so measured
+/// cache-hit rates are not inflated by accidental twins), every
+/// function passes ir::verify, and the result depends only on `config`.
 ir::Module make_mixed_module(const ModuleConfig& config = {});
 
 }  // namespace tadfa::workload

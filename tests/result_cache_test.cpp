@@ -1,0 +1,443 @@
+// Tests for pipeline::ResultCache — the persistent, content-addressed
+// store of finished pipeline results. Load-bearing properties: an entry
+// round-trips byte-for-byte (function, stats, thermal summary
+// included); the key is sensitive to exactly the inputs a run is a pure
+// function of (spec, input fingerprint, and each model's config digest
+// independently); corruption of any kind degrades to a clean recompile,
+// never to wrong output; and a warm CompilationDriver run over a mixed
+// module is byte-identical to the cold run at any job count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/printer.hpp"
+#include "machine/floorplan.hpp"
+#include "pipeline/driver.hpp"
+#include "pipeline/result_cache.hpp"
+#include "power/model.hpp"
+#include "thermal/grid.hpp"
+#include "workload/kernels.hpp"
+#include "workload/modules.hpp"
+
+namespace tadfa {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kSpec =
+    "cse,dce,alloc=linear:first_free,thermal-dfa,"
+    "alloc=coloring:coolest_first,schedule";
+
+struct ResultCacheTest : ::testing::Test {
+  machine::Floorplan fp{machine::RegisterFileConfig::default_config()};
+  thermal::ThermalGrid grid{fp};
+  power::PowerModel power{fp.config()};
+  fs::path dir;
+
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir = fs::temp_directory_path() /
+          (std::string("tadfa-result-cache-test-") + info->name());
+    fs::remove_all(dir);
+  }
+  void TearDown() override { fs::remove_all(dir); }
+
+  pipeline::PipelineContext context() const {
+    pipeline::PipelineContext ctx;
+    ctx.floorplan = &fp;
+    ctx.grid = &grid;
+    ctx.power = &power;
+    return ctx;
+  }
+
+  ir::Module test_module(std::size_t functions, std::uint64_t seed = 11) {
+    workload::ModuleConfig cfg;
+    cfg.functions = functions;
+    cfg.seed = seed;
+    cfg.random_target_instructions = 60;  // keep the suite fast
+    return workload::make_mixed_module(cfg);
+  }
+
+  /// Every .entry file currently in the cache directory.
+  std::vector<fs::path> entry_files() const {
+    std::vector<fs::path> files;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (e.is_regular_file() && e.path().extension() == ".entry") {
+        files.push_back(e.path());
+      }
+    }
+    return files;
+  }
+
+  static std::string slurp(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  static void spit(const fs::path& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+};
+
+/// Deterministic fields of two module results must match exactly
+/// (printed IR, fingerprints, spills, merged pass + analysis stats).
+void expect_identical(const pipeline::ModulePipelineResult& a,
+                      const pipeline::ModulePipelineResult& b) {
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  for (std::size_t i = 0; i < a.functions.size(); ++i) {
+    EXPECT_EQ(a.functions[i].name, b.functions[i].name);
+    EXPECT_EQ(ir::to_string(a.functions[i].run.state.func),
+              ir::to_string(b.functions[i].run.state.func));
+    EXPECT_EQ(ir::fingerprint(a.functions[i].run.state.func),
+              ir::fingerprint(b.functions[i].run.state.func));
+    EXPECT_EQ(a.functions[i].run.state.func.reg_count(),
+              b.functions[i].run.state.func.reg_count());
+    EXPECT_EQ(a.functions[i].run.state.spilled_regs,
+              b.functions[i].run.state.spilled_regs);
+  }
+  const auto a_pass = a.merged_pass_stats();
+  const auto b_pass = b.merged_pass_stats();
+  ASSERT_EQ(a_pass.size(), b_pass.size());
+  for (std::size_t i = 0; i < a_pass.size(); ++i) {
+    EXPECT_EQ(a_pass[i].name, b_pass[i].name);
+    EXPECT_EQ(a_pass[i].summary, b_pass[i].summary);
+    EXPECT_EQ(a_pass[i].changed, b_pass[i].changed);
+    EXPECT_EQ(a_pass[i].instructions_after, b_pass[i].instructions_after);
+    EXPECT_EQ(a_pass[i].vregs_after, b_pass[i].vregs_after);
+  }
+  const auto a_an = a.merged_analysis_stats();
+  const auto b_an = b.merged_analysis_stats();
+  ASSERT_EQ(a_an.size(), b_an.size());
+  for (std::size_t i = 0; i < a_an.size(); ++i) {
+    EXPECT_EQ(a_an[i], b_an[i]) << a_an[i].name;
+  }
+}
+
+TEST_F(ResultCacheTest, CachedResultRoundTripsByteForByte) {
+  pipeline::PassManager manager(context());
+  // Stop right after the DFA so the thermal summary is registered.
+  const auto run = manager.run(workload::make_kernel("crc32")->func,
+                               "alloc=linear:first_free,thermal-dfa");
+  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_NE(run.state.dfa(), nullptr);
+
+  const auto entry = pipeline::CachedResult::from_run(run);
+  ASSERT_TRUE(entry.thermal.has_value());
+  EXPECT_FALSE(entry.analysis_stats.empty());
+  EXPECT_EQ(entry.pass_stats, run.pass_stats);
+
+  ByteWriter w;
+  entry.serialize(w);
+  ByteReader r(w.data());
+  const auto decoded = pipeline::CachedResult::deserialize(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(*decoded, entry);
+
+  // Serializing the decoded copy reproduces the exact bytes.
+  ByteWriter w2;
+  decoded->serialize(w2);
+  EXPECT_EQ(w.data(), w2.data());
+
+  // And the decoded entry reconstructs a run whose function is
+  // fingerprint-identical to the original, stats included.
+  const auto restored = decoded->to_run(run.state.func.name());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(ir::to_string(restored->state.func),
+            ir::to_string(run.state.func));
+  EXPECT_EQ(ir::fingerprint(restored->state.func),
+            ir::fingerprint(run.state.func));
+  EXPECT_EQ(restored->state.func.reg_count(), run.state.func.reg_count());
+  EXPECT_EQ(restored->state.func.stack_slot_count(),
+            run.state.func.stack_slot_count());
+  EXPECT_EQ(restored->pass_stats, run.pass_stats);
+  EXPECT_EQ(restored->state.analyses.stats(), run.state.analyses.stats());
+}
+
+TEST_F(ResultCacheTest, LookupRestampsTheRequestedName) {
+  pipeline::PassManager manager(context());
+  const auto run =
+      manager.run(workload::make_kernel("fir")->func, "dce");
+  ASSERT_TRUE(run.ok) << run.error;
+
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  const auto key = pipeline::ResultCache::make_key(1, "dce", 2);
+  ASSERT_TRUE(cache.insert(key, run));
+
+  // The key ignores names on purpose: an identically-shaped function
+  // under another name shares the entry and gets its own name back.
+  const auto hit = cache.lookup(key, "fir_clone_7");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->state.func.name(), "fir_clone_7");
+  EXPECT_EQ(ir::fingerprint(hit->state.func),
+            ir::fingerprint(run.state.func));
+}
+
+TEST_F(ResultCacheTest, WarmModuleRunIsByteIdenticalAtAnyJobCount) {
+  // The acceptance-criterion workload: a ≥200-function mixed module.
+  const ir::Module module = test_module(200, /*seed=*/7);
+
+  pipeline::CompilationDriver driver(context());
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  driver.set_result_cache(&cache);
+
+  driver.set_jobs(1);
+  const auto cold = driver.compile(module, kSpec);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.cache_hits(), 0u);
+  EXPECT_EQ(cache.stats().stores, module.size());
+
+  const auto warm1 = driver.compile(module, kSpec);
+  ASSERT_TRUE(warm1.ok) << warm1.error;
+  driver.set_jobs(8);
+  const auto warm8 = driver.compile(module, kSpec);
+  ASSERT_TRUE(warm8.ok) << warm8.error;
+
+  EXPECT_GE(warm1.cache_hit_rate(), 0.95);
+  EXPECT_GE(warm8.cache_hit_rate(), 0.95);
+  expect_identical(cold, warm1);
+  expect_identical(cold, warm8);
+}
+
+TEST_F(ResultCacheTest, WarmHitsRematerializeTheThermalSummary) {
+  // A spec whose every pass keeps the DFA result alive to the end, so
+  // the cold run records a thermal summary for each function — warm
+  // hits must answer state.dfa() with the converged exit data (summary
+  // form: per-instruction states are not kept across processes).
+  const char* spec = "alloc=linear:first_free,thermal-dfa";
+  const ir::Module module = test_module(6, /*seed=*/17);
+
+  pipeline::CompilationDriver driver(context());
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  driver.set_result_cache(&cache);
+  ASSERT_TRUE(driver.compile(module, spec).ok);
+
+  const auto warm = driver.compile(module, spec);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  for (const auto& f : warm.functions) {
+    ASSERT_TRUE(f.from_cache) << f.name;
+    const core::ThermalDfaResult* dfa = f.run.state.dfa();
+    ASSERT_NE(dfa, nullptr) << f.name;
+    EXPECT_FALSE(dfa->exit_reg_temps_k.empty()) << f.name;
+    EXPECT_GT(dfa->exit_stats.peak_k, 0.0) << f.name;
+  }
+}
+
+TEST_F(ResultCacheTest, ContextDigestRespondsToEachModelIndependently) {
+  const pipeline::PipelineContext base = context();
+  const std::uint64_t base_digest =
+      pipeline::ResultCache::context_digest(base);
+
+  // Same inputs, same digest.
+  EXPECT_EQ(pipeline::ResultCache::context_digest(context()), base_digest);
+
+  // Floorplan geometry.
+  machine::Floorplan small_fp(machine::RegisterFileConfig::small_config());
+  pipeline::PipelineContext ctx = context();
+  ctx.floorplan = &small_fp;
+  EXPECT_NE(pipeline::ResultCache::context_digest(ctx), base_digest);
+
+  // Thermal grid resolution.
+  thermal::ThermalGrid fine_grid(fp, /*subdivision=*/2);
+  ctx = context();
+  ctx.grid = &fine_grid;
+  EXPECT_NE(pipeline::ResultCache::context_digest(ctx), base_digest);
+
+  // Power coefficients.
+  machine::RegisterFileConfig hot_cfg = fp.config();
+  hot_cfg.tech.read_energy_j *= 2.0;
+  power::PowerModel hot_power(hot_cfg);
+  ctx = context();
+  ctx.power = &hot_power;
+  EXPECT_NE(pipeline::ResultCache::context_digest(ctx), base_digest);
+
+  // Timing table.
+  ctx = context();
+  ctx.timing.set_latency(ir::Opcode::kMul, 5);
+  EXPECT_NE(pipeline::ResultCache::context_digest(ctx), base_digest);
+
+  // DFA configuration and policy seed.
+  ctx = context();
+  ctx.dfa_config.delta_k = 0.5;
+  EXPECT_NE(pipeline::ResultCache::context_digest(ctx), base_digest);
+  ctx = context();
+  ctx.policy_seed = 1234;
+  EXPECT_NE(pipeline::ResultCache::context_digest(ctx), base_digest);
+}
+
+TEST_F(ResultCacheTest, KeyFlipsOnFingerprintSpecAndContext) {
+  const auto base = pipeline::ResultCache::make_key(10, "dce", 20);
+  EXPECT_EQ(pipeline::ResultCache::make_key(10, "dce", 20), base);
+  EXPECT_NE(pipeline::ResultCache::make_key(11, "dce", 20), base);
+  EXPECT_NE(pipeline::ResultCache::make_key(10, "cse", 20), base);
+  EXPECT_NE(pipeline::ResultCache::make_key(10, "dce", 21), base);
+  EXPECT_EQ(base.text().size(), 32u);
+}
+
+TEST_F(ResultCacheTest, CorruptedEntriesFallBackToACleanRecompile) {
+  const ir::Module module = test_module(4, /*seed=*/5);
+  pipeline::CompilationDriver driver(context());
+
+  {
+    pipeline::ResultCache cache(dir.string());
+    ASSERT_TRUE(cache.ok()) << cache.error();
+    driver.set_result_cache(&cache);
+    const auto cold = driver.compile(module, kSpec);
+    ASSERT_TRUE(cold.ok) << cold.error;
+  }
+  const auto files = entry_files();
+  ASSERT_EQ(files.size(), module.size());
+
+  // Three corruption flavors: truncation, an emptied file, and a bit
+  // flip in the payload (which must be caught by the fingerprint check
+  // even when the record still parses).
+  const std::string original = slurp(files[0]);
+  spit(files[0], original.substr(0, original.size() / 2));
+  spit(files[1], "");
+  std::string flipped = slurp(files[2]);
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0x20);
+  spit(files[2], flipped);
+
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  driver.set_result_cache(&cache);
+  const auto mixed = driver.compile(module, kSpec);
+  ASSERT_TRUE(mixed.ok) << mixed.error;
+
+  // Correct output regardless, and the damage is visible in counters.
+  pipeline::CompilationDriver clean_driver(context());
+  const auto reference = clean_driver.compile(module, kSpec);
+  expect_identical(reference, mixed);
+  EXPECT_GE(cache.stats().bad_entries, 3u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, module.size());
+
+  // The recompile replaced every damaged entry: fully warm again.
+  const auto warm = driver.compile(module, kSpec);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_EQ(warm.cache_hits(), module.size());
+}
+
+TEST_F(ResultCacheTest, FormatVersionBumpInvalidatesEntries) {
+  const ir::Module module = test_module(2, /*seed=*/9);
+  pipeline::CompilationDriver driver(context());
+  {
+    pipeline::ResultCache cache(dir.string());
+    ASSERT_TRUE(cache.ok()) << cache.error();
+    driver.set_result_cache(&cache);
+    ASSERT_TRUE(driver.compile(module, "dce").ok);
+  }
+  // The u32 format version sits right after the 8-byte magic; bump it
+  // in place to fake an entry written by a future format.
+  for (const fs::path& file : entry_files()) {
+    std::string bytes = slurp(file);
+    ASSERT_GT(bytes.size(), 12u);
+    bytes[8] = static_cast<char>(bytes[8] + 1);
+    spit(file, bytes);
+  }
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  driver.set_result_cache(&cache);
+  const auto run = driver.compile(module, "dce");
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.cache_hits(), 0u);
+  EXPECT_EQ(cache.stats().bad_entries, module.size());
+  EXPECT_EQ(cache.stats().stores, module.size());  // rewritten fresh
+}
+
+TEST_F(ResultCacheTest, EvictionKeepsTheCacheUnderItsByteBudget) {
+  const ir::Module module = test_module(8, /*seed=*/13);
+  pipeline::CompilationDriver driver(context());
+  // Size the budget from reality: fill an unbounded cache first, then
+  // redo the run against a cache allowed half those bytes.
+  std::uint64_t full_bytes = 0;
+  {
+    pipeline::ResultCache cache(dir.string());
+    ASSERT_TRUE(cache.ok()) << cache.error();
+    driver.set_result_cache(&cache);
+    ASSERT_TRUE(driver.compile(module, "dce").ok);
+    full_bytes = cache.total_bytes();
+  }
+  fs::remove_all(dir);
+  const std::uint64_t budget = full_bytes / 2;
+  pipeline::ResultCache cache(dir.string(), budget);
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  driver.set_result_cache(&cache);
+  ASSERT_TRUE(driver.compile(module, "dce").ok);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.stores, module.size());
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LT(cache.entry_count(), module.size());
+  EXPECT_GE(cache.entry_count(), 1u);
+  // Within budget — except that the newest entry is never evicted, so
+  // a single oversized survivor is the one tolerated excess.
+  EXPECT_TRUE(cache.total_bytes() <= budget || cache.entry_count() == 1);
+  // Index and directory agree after eviction.
+  EXPECT_EQ(entry_files().size(), cache.entry_count());
+}
+
+TEST_F(ResultCacheTest, ConcurrentDriversShareOneCacheCleanly) {
+  // Two drivers race warm/cold lookups and inserts on the same cache —
+  // the TSan CI job runs this suite to keep the locking honest.
+  const ir::Module module = test_module(8, /*seed=*/3);
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+
+  pipeline::CompilationDriver reference_driver(context());
+  const auto reference = reference_driver.compile(module, kSpec);
+  ASSERT_TRUE(reference.ok) << reference.error;
+
+  std::vector<pipeline::ModulePipelineResult> results(2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      pipeline::CompilationDriver driver(context());
+      driver.set_jobs(2);
+      driver.set_result_cache(&cache);
+      results[static_cast<std::size_t>(t)] = driver.compile(module, kSpec);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok) << result.error;
+    expect_identical(reference, result);
+  }
+  // Every probe resolved to a hit or a miss; nothing was lost.
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 2 * module.size());
+}
+
+TEST_F(ResultCacheTest, DisabledCacheDirectoryDegradesGracefully) {
+  // A path that cannot be a directory: a file stands in the way.
+  const fs::path blocker = fs::temp_directory_path() /
+                           "tadfa-result-cache-test-blocker";
+  spit(blocker, "not a directory");
+  pipeline::ResultCache cache((blocker / "sub").string());
+  EXPECT_FALSE(cache.ok());
+  EXPECT_FALSE(cache.error().empty());
+
+  // Lookups miss, inserts drop, compilation still works.
+  const ir::Module module = test_module(2);
+  pipeline::CompilationDriver driver(context());
+  driver.set_result_cache(&cache);
+  const auto run = driver.compile(module, "dce");
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.cache_hits(), 0u);
+  fs::remove(blocker);
+}
+
+}  // namespace
+}  // namespace tadfa

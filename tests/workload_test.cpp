@@ -3,11 +3,14 @@
 // deterministic per seed.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "machine/timing.hpp"
 #include "sim/interpreter.hpp"
 #include "workload/kernels.hpp"
+#include "workload/modules.hpp"
 #include "workload/random_program.hpp"
 
 namespace tadfa::workload {
@@ -184,6 +187,50 @@ TEST(RandomProgram, HigherIrregularityStillTerminates) {
     sim::Interpreter interp(f, timing);
     EXPECT_TRUE(interp.run(std::vector<std::int64_t>{7}).ok());
   }
+}
+
+// ------------------------------------------------------------ mixed modules ----
+
+TEST(MixedModule, FunctionBodiesAreUniqueByFingerprint) {
+  // Regression: the per-index salt reused kernel-variant parameters
+  // often enough that large modules contained identical bodies under
+  // distinct names, inflating every cache-hit-rate measured on them.
+  ModuleConfig cfg;
+  cfg.functions = 160;
+  cfg.seed = 7;
+  const ir::Module module = make_mixed_module(cfg);
+  ASSERT_EQ(module.size(), cfg.functions);
+
+  std::set<std::uint64_t> fingerprints;
+  std::set<std::string> names;
+  for (const ir::Function& f : module.functions()) {
+    EXPECT_TRUE(fingerprints.insert(ir::fingerprint(f)).second)
+        << "duplicate body: " << f.name();
+    EXPECT_TRUE(names.insert(f.name()).second)
+        << "duplicate name: " << f.name();
+  }
+  EXPECT_TRUE(ir::verify(module).empty());
+}
+
+TEST(MixedModule, GenerationIsDeterministicInConfig) {
+  ModuleConfig cfg;
+  cfg.functions = 24;
+  cfg.seed = 21;
+  const ir::Module a = make_mixed_module(cfg);
+  const ir::Module b = make_mixed_module(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(ir::to_string(a.functions()[i]),
+              ir::to_string(b.functions()[i]));
+  }
+  cfg.seed = 22;
+  const ir::Module c = make_mixed_module(cfg);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_differs = any_differs || ir::fingerprint(a.functions()[i]) !=
+                                     ir::fingerprint(c.functions()[i]);
+  }
+  EXPECT_TRUE(any_differs);
 }
 
 TEST(RandomProgram, LoopsActuallyLoop) {

@@ -19,9 +19,11 @@
 #include <vector>
 
 #include "ir/parser.hpp"
+#include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "pipeline/driver.hpp"
 #include "pipeline/pass_manager.hpp"
+#include "pipeline/result_cache.hpp"
 #include "power/access_trace.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/thermal_replay.hpp"
@@ -55,6 +57,9 @@ struct Options {
   bool csv = false;
   bool analysis_stats = false;
   bool analysis_cache = true;
+  std::string cache_dir;
+  bool cache_stats = false;
+  bool cache_verify = false;
 };
 
 int usage(const char* argv0) {
@@ -77,6 +82,10 @@ int usage(const char* argv0) {
          "run\n"
       << "  --no-analysis-cache  rebuild analyses on every request (A/B "
          "baseline)\n"
+      << "  --cache-dir=DIR   persistent result cache for module compiles\n"
+      << "  --cache-stats     dump result-cache hit/miss/evict counters\n"
+      << "  --cache-verify    recompile one cached hit and diff it against\n"
+      << "                    the cache (exit 1 on mismatch)\n"
       << "  --list-passes     available passes\n"
       << "  --list-kernels    available kernels\n";
   return 2;
@@ -166,6 +175,12 @@ int main(int argc, char** argv) {
       opt.analysis_stats = true;
     } else if (arg == "--no-analysis-cache") {
       opt.analysis_cache = false;
+    } else if (arg == "--cache-stats") {
+      opt.cache_stats = true;
+    } else if (arg == "--cache-verify") {
+      opt.cache_verify = true;
+    } else if (auto v = value("--cache-dir=")) {
+      opt.cache_dir = *v;
     } else if (arg == "--no-map") {
       opt.maps = false;
     } else if (arg == "--csv") {
@@ -290,6 +305,18 @@ int main(int argc, char** argv) {
     driver.set_jobs(opt.jobs);
     driver.set_checkpoints(opt.verify);
     driver.set_analysis_caching(opt.analysis_cache);
+    std::optional<pipeline::ResultCache> cache;
+    if (!opt.cache_dir.empty()) {
+      cache.emplace(opt.cache_dir);
+      if (!cache->ok()) {
+        std::cerr << cache->error() << "\n";
+        return 1;
+      }
+      driver.set_result_cache(&*cache);
+    } else if (opt.cache_stats || opt.cache_verify) {
+      std::cerr << "--cache-stats/--cache-verify need --cache-dir=DIR\n";
+      return 2;
+    }
     const auto mod_run = driver.compile(module, opt.pipeline);
     if (mod_run.functions.empty()) {
       // Nothing compiled (spec rejected up front).
@@ -313,9 +340,72 @@ int main(int argc, char** argv) {
       }
       print_table(table, opt.csv);
     }
+    if (opt.cache_stats && cache.has_value()) {
+      print_table(cache->stats_table("result cache (" + opt.cache_dir + ")"),
+                  opt.csv);
+      std::cout << "module cache hits: " << mod_run.cache_hits() << "/"
+                << mod_run.functions.size() << " ("
+                << TextTable::num(mod_run.cache_hit_rate() * 100.0, 1)
+                << "%)\n";
+    }
     if (!mod_run.ok) {
       std::cerr << "module compilation failed: " << mod_run.error << "\n";
       return 1;
+    }
+    if (opt.cache_verify && cache.has_value()) {
+      // Deterministic sample: the first function restored from the
+      // cache is recompiled from scratch and diffed field by field
+      // against what the cache returned.
+      const pipeline::FunctionCompileResult* hit = nullptr;
+      const ir::Function* input = nullptr;
+      for (std::size_t i = 0; i < mod_run.functions.size(); ++i) {
+        if (mod_run.functions[i].from_cache) {
+          hit = &mod_run.functions[i];
+          input = &module.functions()[i];
+          break;
+        }
+      }
+      if (hit == nullptr) {
+        std::cout << "cache-verify: no cached hit in this run (cold cache)\n";
+      } else {
+        pipeline::PassManager manager(ctx);
+        manager.set_checkpoints(opt.verify);
+        manager.set_analysis_caching(opt.analysis_cache);
+        const auto fresh = manager.run(*input, opt.pipeline);
+        std::string mismatch;
+        if (!fresh.ok) {
+          mismatch = "recompile failed: " + fresh.error;
+        } else if (ir::to_string(fresh.state.func) !=
+                   ir::to_string(hit->run.state.func)) {
+          mismatch = "printed IR differs";
+        } else if (ir::fingerprint(fresh.state.func) !=
+                   ir::fingerprint(hit->run.state.func)) {
+          mismatch = "fingerprint differs";
+        } else if (fresh.state.spilled_regs != hit->run.state.spilled_regs) {
+          mismatch = "spill count differs";
+        } else if (fresh.pass_stats.size() != hit->run.pass_stats.size()) {
+          mismatch = "pass count differs";
+        } else {
+          for (std::size_t p = 0; p < fresh.pass_stats.size(); ++p) {
+            const auto& a = fresh.pass_stats[p];
+            const auto& b = hit->run.pass_stats[p];
+            if (a.name != b.name || a.summary != b.summary ||
+                a.changed != b.changed ||
+                a.instructions_after != b.instructions_after ||
+                a.vregs_after != b.vregs_after) {
+              mismatch = "pass '" + a.name + "' statistics differ";
+              break;
+            }
+          }
+        }
+        if (!mismatch.empty()) {
+          std::cerr << "cache-verify FAILED on '" << hit->name
+                    << "': " << mismatch << "\n";
+          return 1;
+        }
+        std::cout << "cache-verify: '" << hit->name
+                  << "' matches a fresh recompile\n";
+      }
     }
     std::cout << "compiled " << module.size() << " functions in "
               << TextTable::num(mod_run.total_seconds * 1e3, 1) << " ms ("
@@ -326,6 +416,12 @@ int main(int argc, char** argv) {
                      1)
               << " functions/sec on " << mod_run.jobs << " threads)\n";
     return 0;
+  }
+
+  if (!opt.cache_dir.empty() || opt.cache_stats || opt.cache_verify) {
+    std::cerr << "note: the result cache applies to module compiles; a "
+                 "single input uses the measurement path (pass several "
+                 "inputs or a multi-function .tir)\n";
   }
 
   pipeline::PassManager manager(ctx);
