@@ -83,19 +83,10 @@ bool identical(const Snapshot& a, const Snapshot& b) {
 }
 
 double funcs_per_sec(std::size_t functions, double seconds) {
-  return static_cast<double>(functions) / (seconds > 0 ? seconds : 1e-12);
+  return bench::per_sec(functions, seconds);
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-    }
-    out += c;
-  }
-  return out;
-}
+using bench::json_escape;
 
 }  // namespace
 

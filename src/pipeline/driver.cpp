@@ -105,15 +105,25 @@ ModulePipelineResult CompilationDriver::compile(
   // analyses and counts their invalidations, and that move happens to
   // every result on its way into `slots` — an entry captured pre-move
   // would replay counters one invalidation short of a fresh run's.
+  // Both cache calls run shielded: this lambda executes on pool worker
+  // threads, where an escaping exception (a std::filesystem_error from a
+  // cache directory deleted mid-run, a full disk, a permission flip)
+  // would reach std::thread's trap and std::terminate the whole process.
+  // A throwing probe degrades to a miss and a throwing insert to a
+  // skipped store — the compile itself must never die of cache trouble.
   auto process = [&](std::size_t i) {
     CacheKey key;
     if (cache_ != nullptr) {
       key = ResultCache::make_key(ir::fingerprint(funcs[i]), canonical_spec,
                                   env_digest);
-      if (auto hit = cache_->lookup(key, funcs[i].name())) {
-        slots[i].emplace(std::move(*hit));
-        from_cache[i] = 1;
-        return;
+      try {
+        if (auto hit = cache_->lookup(key, funcs[i].name())) {
+          slots[i].emplace(std::move(*hit));
+          from_cache[i] = 1;
+          return;
+        }
+      } catch (...) {
+        cache_->count_lookup_fault();
       }
     }
     PipelineRunResult run = compile_one(manager_, funcs[i], passes);
@@ -127,7 +137,11 @@ ModulePipelineResult CompilationDriver::compile(
     }
     slots[i].emplace(std::move(run));
     if (cache_ != nullptr && slots[i]->ok) {
-      cache_->insert(key, *slots[i], std::move(thermal));
+      try {
+        cache_->insert(key, *slots[i], std::move(thermal));
+      } catch (...) {
+        cache_->count_store_fault();
+      }
     }
   };
 

@@ -349,6 +349,9 @@ std::optional<CachedResult> ResultCache::read_entry(const CacheKey& key) {
 }
 
 std::optional<CachedResult> ResultCache::lookup_entry(const CacheKey& key) {
+  if (fault_hook_) {
+    fault_hook_("lookup");
+  }
   if (!ok_) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
@@ -378,6 +381,9 @@ std::optional<PipelineRunResult> ResultCache::lookup(
 
 bool ResultCache::insert(const CacheKey& key, const PipelineRunResult& run,
                          std::optional<ThermalSummary> thermal) {
+  if (fault_hook_) {
+    fault_hook_("insert");
+  }
   if (!ok_ || !run.ok) {
     return false;
   }
@@ -543,6 +549,17 @@ void ResultCache::evict_until_fits_locked() {
   }
 }
 
+void ResultCache::count_lookup_fault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  ++stats_.lookup_faults;
+}
+
+void ResultCache::count_store_fault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.store_failures;
+}
+
 ResultCacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -569,6 +586,7 @@ TextTable ResultCache::stats_table(const std::string& title) const {
   table.add_row({"bad entries", std::to_string(s.bad_entries)});
   table.add_row({"evictions", std::to_string(s.evictions)});
   table.add_row({"store failures", std::to_string(s.store_failures)});
+  table.add_row({"lookup faults", std::to_string(s.lookup_faults)});
   table.add_row({"entries", std::to_string(entry_count())});
   table.add_row({"bytes", std::to_string(total_bytes())});
   return table;

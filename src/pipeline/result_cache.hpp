@@ -42,10 +42,12 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pipeline/pass_manager.hpp"
@@ -132,6 +134,9 @@ struct ResultCacheStats {
   std::uint64_t bad_entries = 0;
   std::uint64_t evictions = 0;
   std::uint64_t store_failures = 0;
+  /// Lookups that threw (filesystem failure under the cache) and were
+  /// degraded to misses by the caller (each also counts as a miss).
+  std::uint64_t lookup_faults = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -190,6 +195,25 @@ class ResultCache {
   bool insert(const CacheKey& key, const PipelineRunResult& run,
               std::optional<ThermalSummary> thermal = std::nullopt);
 
+  /// Books a lookup that threw out of the cache as a miss plus a
+  /// lookup fault. The CompilationDriver shields its work items from
+  /// cache exceptions (a broken cache degrades the compile, never kills
+  /// it) and attributes the fault here so stats_table shows it.
+  void count_lookup_fault();
+  /// Books an insert that threw as a store failure (the result simply
+  /// goes unpersisted).
+  void count_store_fault();
+
+  /// Test-only fault injection: when set, the hook runs at the top of
+  /// every lookup and insert with the operation name ("lookup" /
+  /// "insert") and may throw to simulate a filesystem failure (cache
+  /// directory deleted mid-run, disk full, permission flip). Set it
+  /// before handing the cache to concurrent workers; it is read without
+  /// synchronization while compiles run.
+  void set_fault_hook(std::function<void(std::string_view op)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
   ResultCacheStats stats() const;
   std::size_t entry_count() const;
   std::uint64_t total_bytes() const;
@@ -241,6 +265,7 @@ class ResultCache {
   std::uint32_t index_dirty_ = 0;
   std::uint64_t next_seq_ = 1;
   ResultCacheStats stats_;
+  std::function<void(std::string_view)> fault_hook_;
 };
 
 }  // namespace tadfa::pipeline

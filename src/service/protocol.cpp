@@ -1,0 +1,358 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tadfa::service {
+namespace {
+
+/// Reads exactly `n` bytes unless the peer closes first. Returns the
+/// byte count actually read (short means EOF); -1 on a hard error.
+ssize_t read_exact(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      break;  // peer closed
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return -1;
+  }
+  return static_cast<ssize_t>(got);
+}
+
+/// Writes all of `data`. MSG_NOSIGNAL: a vanished peer must surface as
+/// EPIPE, not kill the server with SIGPIPE.
+bool write_all(int fd, std::string_view data, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t w =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) {
+      continue;
+    }
+    if (error != nullptr) {
+      *error = std::string("write failed: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+void serialize_pass_stats(ByteWriter& w,
+                          const std::vector<pipeline::PassRunStats>& stats) {
+  w.u64(stats.size());
+  for (const pipeline::PassRunStats& s : stats) {
+    w.str(s.name);
+    w.f64(s.seconds);
+    w.str(s.summary);
+    w.boolean(s.changed);
+    w.u64(s.instructions_after);
+    w.u32(s.vregs_after);
+  }
+}
+
+std::vector<pipeline::PassRunStats> deserialize_pass_stats(ByteReader& r) {
+  std::vector<pipeline::PassRunStats> stats;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    pipeline::PassRunStats s;
+    s.name = r.str();
+    s.seconds = r.f64();
+    s.summary = r.str();
+    s.changed = r.boolean();
+    s.instructions_after = r.u64();
+    s.vregs_after = r.u32();
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+void serialize_analysis_stats(
+    ByteWriter& w,
+    const std::vector<pipeline::AnalysisManager::AnalysisStats>& stats) {
+  w.u64(stats.size());
+  for (const auto& s : stats) {
+    w.str(s.name);
+    w.u64(s.hits);
+    w.u64(s.misses);
+    w.u64(s.puts);
+    w.u64(s.invalidations);
+  }
+}
+
+std::vector<pipeline::AnalysisManager::AnalysisStats>
+deserialize_analysis_stats(ByteReader& r) {
+  std::vector<pipeline::AnalysisManager::AnalysisStats> stats;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    pipeline::AnalysisManager::AnalysisStats s;
+    s.name = r.str();
+    s.hits = r.u64();
+    s.misses = r.u64();
+    s.puts = r.u64();
+    s.invalidations = r.u64();
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+}  // namespace
+
+// --- CompileRequest ----------------------------------------------------------
+
+void CompileRequest::serialize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(MessageType::kCompileRequest));
+  w.str(spec);
+  w.boolean(checkpoints);
+  w.boolean(analysis_cache);
+  w.u64(kernels.size());
+  for (const std::string& kernel : kernels) {
+    w.str(kernel);
+  }
+  w.str(module_text);
+}
+
+std::optional<CompileRequest> CompileRequest::deserialize(ByteReader& r) {
+  if (r.u8() != static_cast<std::uint8_t>(MessageType::kCompileRequest)) {
+    return std::nullopt;
+  }
+  CompileRequest request;
+  request.spec = r.str();
+  request.checkpoints = r.boolean();
+  request.analysis_cache = r.boolean();
+  const std::uint64_t num_kernels = r.u64();
+  for (std::uint64_t i = 0; i < num_kernels && r.ok(); ++i) {
+    request.kernels.push_back(r.str());
+  }
+  request.module_text = r.str();
+  if (!r.ok() || r.remaining() != 0) {
+    return std::nullopt;
+  }
+  return request;
+}
+
+// --- CompileResponse ---------------------------------------------------------
+
+std::size_t CompileResponse::cache_hits() const {
+  std::size_t hits = 0;
+  for (const FunctionResult& f : functions) {
+    hits += f.from_cache ? 1 : 0;
+  }
+  return hits;
+}
+
+double CompileResponse::cache_hit_rate() const {
+  return functions.empty()
+             ? 0.0
+             : static_cast<double>(cache_hits()) /
+                   static_cast<double>(functions.size());
+}
+
+void CompileResponse::serialize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(MessageType::kCompileResponse));
+  w.boolean(ok);
+  w.str(error);
+  w.u64(functions.size());
+  for (const FunctionResult& f : functions) {
+    w.str(f.name);
+    w.boolean(f.ok);
+    w.str(f.error);
+    w.boolean(f.from_cache);
+    w.str(f.printed);
+    w.u64(f.instructions);
+    w.u32(f.vregs);
+    w.u32(f.spilled_regs);
+    w.f64(f.seconds);
+  }
+  serialize_pass_stats(w, pass_stats);
+  serialize_analysis_stats(w, analysis_stats);
+  w.boolean(cache_attached);
+  w.u64(cache.hits);
+  w.u64(cache.misses);
+  w.u64(cache.stores);
+  w.u64(cache.bad_entries);
+  w.u64(cache.evictions);
+  w.u64(cache.store_failures);
+  w.u64(cache.lookup_faults);
+  w.f64(server_seconds);
+}
+
+std::optional<CompileResponse> CompileResponse::deserialize(ByteReader& r) {
+  if (r.u8() != static_cast<std::uint8_t>(MessageType::kCompileResponse)) {
+    return std::nullopt;
+  }
+  CompileResponse response;
+  response.ok = r.boolean();
+  response.error = r.str();
+  const std::uint64_t num_functions = r.u64();
+  for (std::uint64_t i = 0; i < num_functions && r.ok(); ++i) {
+    FunctionResult f;
+    f.name = r.str();
+    f.ok = r.boolean();
+    f.error = r.str();
+    f.from_cache = r.boolean();
+    f.printed = r.str();
+    f.instructions = r.u64();
+    f.vregs = r.u32();
+    f.spilled_regs = r.u32();
+    f.seconds = r.f64();
+    response.functions.push_back(std::move(f));
+  }
+  response.pass_stats = deserialize_pass_stats(r);
+  response.analysis_stats = deserialize_analysis_stats(r);
+  response.cache_attached = r.boolean();
+  response.cache.hits = r.u64();
+  response.cache.misses = r.u64();
+  response.cache.stores = r.u64();
+  response.cache.bad_entries = r.u64();
+  response.cache.evictions = r.u64();
+  response.cache.store_failures = r.u64();
+  response.cache.lookup_faults = r.u64();
+  response.server_seconds = r.f64();
+  if (!r.ok() || r.remaining() != 0) {
+    return std::nullopt;
+  }
+  return response;
+}
+
+CompileResponse error_response(std::string message) {
+  CompileResponse response;
+  response.ok = false;
+  response.error = std::move(message);
+  return response;
+}
+
+// --- Framing -----------------------------------------------------------------
+
+bool write_frame(int fd, std::string_view payload, std::string* error) {
+  ByteWriter header;
+  header.u32(kFrameMagic);
+  header.u32(kProtocolVersion);
+  header.u64(payload.size());
+  if (!write_all(fd, header.data(), error)) {
+    return false;
+  }
+  return write_all(fd, payload, error);
+}
+
+FrameStatus read_frame(int fd, std::string* payload, std::string* error) {
+  char header[16];
+  const ssize_t got = read_exact(fd, header, sizeof(header));
+  if (got == 0) {
+    return FrameStatus::kClosed;
+  }
+  if (got < 0 || got != static_cast<ssize_t>(sizeof(header))) {
+    *error = got < 0 ? std::string("read failed: ") + std::strerror(errno)
+                     : "truncated frame header";
+    return FrameStatus::kError;
+  }
+  ByteReader r(std::string_view(header, sizeof(header)));
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t version = r.u32();
+  const std::uint64_t length = r.u64();
+  if (magic != kFrameMagic) {
+    *error = "bad frame magic (not a tadfa service client?)";
+    return FrameStatus::kError;
+  }
+  if (version != kProtocolVersion) {
+    *error = "protocol version mismatch: peer speaks v" +
+             std::to_string(version) + ", this build speaks v" +
+             std::to_string(kProtocolVersion);
+    return FrameStatus::kError;
+  }
+  if (length > kMaxFrameBytes) {
+    *error = "frame of " + std::to_string(length) +
+             " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+             "-byte limit";
+    return FrameStatus::kError;
+  }
+  payload->resize(length);
+  if (length != 0) {
+    const ssize_t body = read_exact(fd, payload->data(), length);
+    if (body < 0 || body != static_cast<ssize_t>(length)) {
+      *error = body < 0
+                   ? std::string("read failed: ") + std::strerror(errno)
+                   : "frame truncated: announced " + std::to_string(length) +
+                         " payload bytes, got " + std::to_string(body);
+      return FrameStatus::kError;
+    }
+  }
+  return FrameStatus::kOk;
+}
+
+bool write_request(int fd, const CompileRequest& request, std::string* error) {
+  ByteWriter w;
+  request.serialize(w);
+  return write_frame(fd, w.data(), error);
+}
+
+bool write_response(int fd, const CompileResponse& response,
+                    std::string* error) {
+  ByteWriter w;
+  response.serialize(w);
+  return write_frame(fd, w.data(), error);
+}
+
+std::optional<CompileResponse> read_response(int fd, std::string* error) {
+  std::string payload;
+  const FrameStatus status = read_frame(fd, &payload, error);
+  if (status == FrameStatus::kClosed) {
+    *error = "server closed the connection before responding";
+    return std::nullopt;
+  }
+  if (status != FrameStatus::kOk) {
+    return std::nullopt;
+  }
+  ByteReader r(payload);
+  auto response = CompileResponse::deserialize(r);
+  if (!response.has_value()) {
+    *error = "undecodable response payload";
+  }
+  return response;
+}
+
+int connect_unix(const std::string& socket_path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path too long: " + socket_path;
+    }
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket failed: ") + std::strerror(errno);
+    }
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "cannot connect to '" + socket_path +
+               "': " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace tadfa::service

@@ -1,0 +1,154 @@
+// Wire protocol of the persistent compile service (`tadfa serve`).
+//
+// Messages travel over a stream socket as length-prefixed frames:
+//
+//   [u32 magic][u32 protocol version][u64 payload bytes][payload]
+//
+// all little-endian via support/serialize (the same primitives the
+// persistent result cache trusts). The payload is one serialized
+// message, tagged by a leading MessageType byte. Framing is versioned
+// independently of the cache format: kProtocolVersion is bumped on any
+// wire-visible change, and a server answers a mismatched client with a
+// structured error naming both versions instead of guessing at the
+// bytes. A frame announcing more than kMaxFrameBytes is rejected before
+// any allocation — garbage on the socket must never look like a 16 EiB
+// request.
+//
+// The reader side is totalizing end to end: a truncated frame, a short
+// payload, or trailing garbage degrades to a decode error the server
+// answers with CompileResponse{ok = false, error = ...} — never a hang,
+// never a crash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pipeline/analysis_manager.hpp"
+#include "pipeline/pass_manager.hpp"
+#include "pipeline/result_cache.hpp"
+#include "support/serialize.hpp"
+
+namespace tadfa::service {
+
+/// "TDFA" — first four bytes of every frame.
+constexpr std::uint32_t kFrameMagic = 0x41464454u;
+/// Bumped on any wire-visible change to the frame or message encoding.
+constexpr std::uint32_t kProtocolVersion = 1;
+/// Upper bound on a single frame's payload (64 MiB). A length prefix
+/// beyond this is treated as a framing error, not an allocation.
+constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
+
+enum class MessageType : std::uint8_t {
+  kCompileRequest = 1,
+  kCompileResponse = 2,
+};
+
+/// One compile submission: a pipeline spec plus the functions to
+/// compile, named (server-side kernel suite) and/or as IR module text.
+struct CompileRequest {
+  /// Pipeline spec string; empty means the server's default pipeline.
+  std::string spec;
+  /// Verifier checkpoints between passes (the CLI's --no-verify).
+  bool checkpoints = true;
+  /// Analysis caching (the CLI's --no-analysis-cache).
+  bool analysis_cache = true;
+  /// Named kernels resolved by the server (workload::make_kernel).
+  std::vector<std::string> kernels;
+  /// IR module text parsed by the server; appended after the kernels.
+  std::string module_text;
+
+  void serialize(ByteWriter& w) const;
+  /// nullopt on any truncation or implausibility.
+  static std::optional<CompileRequest> deserialize(ByteReader& r);
+
+  friend bool operator==(const CompileRequest&,
+                         const CompileRequest&) = default;
+};
+
+/// One function's outcome inside a CompileResponse (request order).
+struct FunctionResult {
+  std::string name;
+  bool ok = false;
+  std::string error;
+  /// Restored from the server's persistent result cache.
+  bool from_cache = false;
+  /// The compiled function via the canonical printer — byte-identical
+  /// to a direct CompilationDriver compile of the same input.
+  std::string printed;
+  std::uint64_t instructions = 0;
+  std::uint32_t vregs = 0;
+  std::uint32_t spilled_regs = 0;
+  double seconds = 0;
+
+  friend bool operator==(const FunctionResult&,
+                         const FunctionResult&) = default;
+};
+
+struct CompileResponse {
+  /// False when the request itself failed (bad spec, unknown kernel,
+  /// unparsable module text, malformed frame) or any function failed.
+  bool ok = false;
+  /// Request-level structured error; per-function errors live on the
+  /// FunctionResult entries.
+  std::string error;
+  std::vector<FunctionResult> functions;
+  /// Pass statistics merged position-wise over this request's
+  /// functions (same shape as ModulePipelineResult::merged_pass_stats).
+  std::vector<pipeline::PassRunStats> pass_stats;
+  /// Analysis-cache counters merged by name over this request.
+  std::vector<pipeline::AnalysisManager::AnalysisStats> analysis_stats;
+  /// Snapshot of the server's shared ResultCache counters after this
+  /// request (all zeros when the server runs uncached).
+  bool cache_attached = false;
+  pipeline::ResultCacheStats cache;
+  /// Server-side wall clock from dequeue to compiled.
+  double server_seconds = 0;
+
+  /// Functions of *this request* restored from the persistent cache.
+  std::size_t cache_hits() const;
+  /// cache_hits() over the function count (0 for an empty response).
+  double cache_hit_rate() const;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<CompileResponse> deserialize(ByteReader& r);
+};
+
+/// Convenience: a ready error response.
+CompileResponse error_response(std::string message);
+
+// --- Framing over file descriptors ------------------------------------------
+
+enum class FrameStatus {
+  /// A whole frame arrived; `payload` holds its bytes.
+  kOk,
+  /// Clean end of stream exactly at a frame boundary.
+  kClosed,
+  /// Bad magic, version mismatch, oversize announcement, or EOF inside
+  /// a frame; `error` says which. The stream can no longer be trusted.
+  kError,
+};
+
+/// Sends one frame (header + payload). False on any write failure.
+bool write_frame(int fd, std::string_view payload, std::string* error);
+
+/// Receives one frame into `payload`.
+FrameStatus read_frame(int fd, std::string* payload, std::string* error);
+
+/// Serializes `request` and sends it as one frame.
+bool write_request(int fd, const CompileRequest& request, std::string* error);
+
+/// Serializes `response` and sends it as one frame.
+bool write_response(int fd, const CompileResponse& response,
+                    std::string* error);
+
+/// Receives one frame and decodes a CompileResponse from it. nullopt on
+/// stream or decode failure (with `error` filled in).
+std::optional<CompileResponse> read_response(int fd, std::string* error);
+
+/// Connects to a Unix-domain socket; -1 on failure (with `error`).
+int connect_unix(const std::string& socket_path, std::string* error);
+
+}  // namespace tadfa::service

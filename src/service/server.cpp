@@ -1,0 +1,619 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "pipeline/spec.hpp"
+#include "support/statistics.hpp"
+#include "workload/kernels.hpp"
+
+namespace tadfa::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+/// A batch of compatible pendings compiled as one module: every member
+/// shares the canonical spec and manager toggles, and no two members'
+/// functions collide on a name (module-level ir::verify would reject
+/// duplicates, and results are demuxed back by position).
+struct CompileServer::Group {
+  std::string key;
+  std::set<std::string> names;
+  ir::Module module;
+  std::vector<Pending*> members;
+  /// members[i]'s functions occupy module positions
+  /// [offsets[i], offsets[i] + counts[i]).
+  std::vector<std::size_t> offsets;
+  std::vector<std::size_t> counts;
+};
+
+CompileServer::CompileServer(pipeline::PipelineContext ctx,
+                             ServerConfig config)
+    : config_(std::move(config)), driver_(ctx) {
+  driver_.set_jobs(config_.jobs);
+}
+
+CompileServer::~CompileServer() { shutdown(); }
+
+bool CompileServer::start() {
+  if (started_) {
+    error_ = "server already started";
+    return false;
+  }
+  if (config_.socket_path.empty()) {
+    error_ = "no socket path configured";
+    return false;
+  }
+  if (!config_.cache_dir.empty()) {
+    cache_.emplace(config_.cache_dir, config_.cache_max_bytes);
+    if (!cache_->ok()) {
+      error_ = cache_->error();
+      cache_.reset();
+      return false;
+    }
+    driver_.set_result_cache(&*cache_);
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path too long: " + config_.socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  // A stale socket file from a dead server is reclaimed; anything else
+  // at that path is someone's data and refuses the bind.
+  struct stat st{};
+  if (::lstat(config_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      error_ = "'" + config_.socket_path + "' exists and is not a socket";
+      return false;
+    }
+    ::unlink(config_.socket_path.c_str());
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    error_ = "cannot listen on '" + config_.socket_path +
+             "': " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    error_ = std::string("pipe failed: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  start_time_ = Clock::now();
+  stopping_.store(false);
+  dispatcher_stop_ = false;
+  dispatch_thread_ = std::thread(&CompileServer::dispatch_loop, this);
+  accept_thread_ = std::thread(&CompileServer::accept_loop, this);
+  started_ = true;
+  return true;
+}
+
+void CompileServer::shutdown() {
+  if (!started_) {
+    return;
+  }
+  // Phase 1: no new connections. Wake the accept loop and retire it.
+  stopping_.store(true);
+  const char wake = 'w';
+  [[maybe_unused]] const ssize_t w = ::write(wake_pipe_[1], &wake, 1);
+  accept_thread_.join();
+
+  // Phase 2: half-close every live connection. Handlers blocked in
+  // read see EOF and exit; a handler mid-request still enqueues, waits
+  // for its response, and writes it — that is the drain.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RD);
+    }
+  }
+  for (std::thread& handler : handlers_) {
+    handler.join();
+  }
+  handlers_.clear();
+  finished_handlers_.clear();
+
+  // Phase 3: with every producer gone, let the dispatcher finish the
+  // queue (it is already empty — each handler waited for its response)
+  // and stop.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    dispatcher_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatch_thread_.join();
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  ::unlink(config_.socket_path.c_str());
+  if (cache_.has_value()) {
+    cache_->flush();
+  }
+  started_ = false;
+}
+
+void CompileServer::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) {
+      return;
+    }
+    if ((fds[0].revents & POLLIN) == 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    // Bounded sends: a client that stops reading must eventually error
+    // the handler's write instead of blocking it (and with it, a later
+    // shutdown()'s join) forever.
+    timeval send_timeout{};
+    send_timeout.tv_sec = 60;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    reap_finished_handlers();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    handlers_.emplace_back(&CompileServer::handle_connection, this, fd);
+    {
+      std::lock_guard<std::mutex> mlock(metrics_mu_);
+      ++connections_;
+    }
+  }
+}
+
+void CompileServer::handle_connection(int fd) {
+  std::string io_error;
+  for (;;) {
+    std::string payload;
+    io_error.clear();
+    const FrameStatus status = read_frame(fd, &payload, &io_error);
+    if (status == FrameStatus::kClosed) {
+      break;
+    }
+    if (status == FrameStatus::kError) {
+      // The stream cannot be trusted past a framing error; answer with
+      // a structured error (best effort) and hang up.
+      record_malformed();
+      write_response(fd, error_response("malformed request: " + io_error),
+                     &io_error);
+      break;
+    }
+    const auto accepted = Clock::now();
+    ByteReader reader(payload);
+    auto request = CompileRequest::deserialize(reader);
+    if (!request.has_value()) {
+      // Framing was intact, the payload was not: respond and keep the
+      // connection — the next frame may be fine.
+      record_malformed();
+      if (!write_response(
+              fd, error_response("malformed request: undecodable payload"),
+              &io_error)) {
+        break;
+      }
+      continue;
+    }
+
+    std::unique_ptr<Pending> pending;
+    CompileResponse response;
+    if (auto immediate = resolve(std::move(*request), &pending)) {
+      response = std::move(*immediate);
+    } else {
+      pending->accepted = accepted;
+      std::future<CompileResponse> future = pending->promise.get_future();
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        queue_.push_back(std::move(pending));
+      }
+      queue_cv_.notify_one();
+      response = future.get();
+    }
+    record_request(response, ms_since(accepted));
+    if (!write_response(fd, response, &io_error)) {
+      break;
+    }
+  }
+  // De-register before closing: once closed, the fd number can be
+  // reused, and a concurrent shutdown() iterating conn_fds_ must never
+  // shoot down an unrelated descriptor. The finished-handler mark lets
+  // the accept loop join this thread instead of letting one joinable
+  // thread per connection ever served pile up until shutdown.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (std::size_t i = 0; i < conn_fds_.size(); ++i) {
+      if (conn_fds_[i] == fd) {
+        conn_fds_.erase(conn_fds_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    finished_handlers_.push_back(std::this_thread::get_id());
+  }
+  ::close(fd);
+}
+
+void CompileServer::reap_finished_handlers() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const std::thread::id id : finished_handlers_) {
+    for (std::size_t i = 0; i < handlers_.size(); ++i) {
+      if (handlers_[i].get_id() == id) {
+        // The marked thread is at most a few instructions from
+        // returning, so this join is effectively immediate.
+        handlers_[i].join();
+        handlers_.erase(handlers_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  finished_handlers_.clear();
+}
+
+std::optional<CompileResponse> CompileServer::resolve(
+    CompileRequest request, std::unique_ptr<Pending>* out) {
+  const std::string spec_text =
+      request.spec.empty() ? config_.default_spec : request.spec;
+  pipeline::SpecError spec_error;
+  auto passes = pipeline::parse_pipeline_spec(spec_text, &spec_error);
+  if (!passes.has_value()) {
+    return error_response("bad pipeline spec: " +
+                          pipeline::format_spec_error(spec_error));
+  }
+
+  auto pending = std::make_unique<Pending>();
+  pending->passes = std::move(*passes);
+  pending->canonical_spec = pipeline::spec_to_string(pending->passes);
+  pending->checkpoints = request.checkpoints;
+  pending->analysis_cache = request.analysis_cache;
+
+  std::set<std::string> names;
+  for (const std::string& name : request.kernels) {
+    auto kernel = workload::make_kernel(name);
+    if (!kernel.has_value()) {
+      return error_response("unknown kernel '" + name + "'");
+    }
+    if (!names.insert(kernel->func.name()).second) {
+      return error_response("duplicate function name '" +
+                            kernel->func.name() + "' in request");
+    }
+    pending->functions.push_back(std::move(kernel->func));
+  }
+  if (!request.module_text.empty()) {
+    ir::ParseError parse_error;
+    auto module = ir::parse_module(request.module_text, &parse_error);
+    if (!module.has_value()) {
+      return error_response("module text line " +
+                            std::to_string(parse_error.line) + ": " +
+                            parse_error.message);
+    }
+    for (ir::Function& func : module->functions()) {
+      if (!names.insert(func.name()).second) {
+        return error_response("duplicate function name '" + func.name() +
+                              "' in request");
+      }
+      pending->functions.push_back(std::move(func));
+    }
+  }
+  if (pending->functions.empty()) {
+    return error_response("empty request: no kernels and no module text");
+  }
+  ir::Module check;
+  for (ir::Function& func : pending->functions) {
+    check.add_function(std::move(func));
+  }
+  if (const auto issues = ir::verify(check); !issues.empty()) {
+    return error_response("malformed input module: " +
+                          issues.front().message);
+  }
+  pending->functions = std::move(check.functions());
+
+  *out = std::move(pending);
+  return std::nullopt;
+}
+
+void CompileServer::dispatch_loop() {
+  auto last_flush = Clock::now();
+  const auto flush_interval = std::chrono::duration<double>(
+      config_.flush_every_seconds > 0 ? config_.flush_every_seconds : 5.0);
+  for (;;) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(lock, flush_interval, [&] {
+        return dispatcher_stop_ || !queue_.empty();
+      });
+      if (queue_.empty() && dispatcher_stop_) {
+        return;
+      }
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (!batch.empty()) {
+      process_batch(std::move(batch));
+    }
+    if (cache_.has_value() &&
+        Clock::now() - last_flush >= flush_interval) {
+      // A long-lived server must persist the cache index on a clock,
+      // not on its destructor.
+      cache_->flush();
+      last_flush = Clock::now();
+    }
+  }
+}
+
+void CompileServer::respond(Pending& pending, CompileResponse response) {
+  if (pending.responded) {
+    return;
+  }
+  pending.responded = true;
+  pending.promise.set_value(std::move(response));
+}
+
+void CompileServer::process_batch(
+    std::vector<std::unique_ptr<Pending>> batch) {
+  // Whatever happens below, every pending's promise must be fulfilled —
+  // a handler is blocked on it, and an unfulfilled promise would wedge
+  // that connection and any later shutdown(). An exception anywhere in
+  // grouping or response assembly (bad_alloc under a huge batch, a bug)
+  // degrades to an internal-error response, never a terminate or hang.
+  try {
+    process_batch_unguarded(batch);
+  } catch (const std::exception& e) {
+    for (auto& pending : batch) {
+      respond(*pending, error_response(std::string("internal server error: ") +
+                                       e.what()));
+    }
+  } catch (...) {
+    for (auto& pending : batch) {
+      respond(*pending, error_response("internal server error"));
+    }
+  }
+}
+
+void CompileServer::process_batch_unguarded(
+    std::vector<std::unique_ptr<Pending>>& batch) {
+  // Greedy batching in arrival order: a pending joins the first open
+  // group with its (spec, toggles) key whose names it does not collide
+  // with and whose function budget it fits; otherwise it opens one.
+  std::vector<Group> groups;
+  for (auto& pending : batch) {
+    const std::string key = pending->canonical_spec + '\x01' +
+                            (pending->checkpoints ? '1' : '0') +
+                            (pending->analysis_cache ? '1' : '0');
+    Group* target = nullptr;
+    for (Group& group : groups) {
+      if (group.key != key ||
+          group.module.size() + pending->functions.size() >
+              config_.max_batch_functions) {
+        continue;
+      }
+      bool collides = false;
+      for (const ir::Function& func : pending->functions) {
+        if (group.names.count(func.name()) != 0) {
+          collides = true;
+          break;
+        }
+      }
+      if (!collides) {
+        target = &group;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      groups.emplace_back();
+      target = &groups.back();
+      target->key = key;
+    }
+    target->offsets.push_back(target->module.size());
+    target->counts.push_back(pending->functions.size());
+    for (ir::Function& func : pending->functions) {
+      target->names.insert(func.name());
+      target->module.add_function(std::move(func));
+    }
+    target->members.push_back(pending.get());
+  }
+  for (Group& group : groups) {
+    compile_group(group);
+  }
+}
+
+void CompileServer::compile_group(Group& group) {
+  Pending& lead = *group.members.front();
+  driver_.set_checkpoints(lead.checkpoints);
+  driver_.set_analysis_caching(lead.analysis_cache);
+
+  pipeline::ModulePipelineResult result;
+  std::string failure;
+  try {
+    result = driver_.compile(group.module, lead.passes);
+  } catch (const std::exception& e) {
+    failure = std::string("uncaught exception: ") + e.what();
+  } catch (...) {
+    failure = "uncaught non-standard exception";
+  }
+  if (failure.empty() && result.functions.empty()) {
+    // The driver rejected the whole module up front (spec/pass
+    // construction error) — every member gets that structured error.
+    failure = result.error.empty() ? "module compilation produced no results"
+                                   : result.error;
+  }
+
+  for (std::size_t m = 0; m < group.members.size(); ++m) {
+    Pending& pending = *group.members[m];
+    CompileResponse response;
+    if (!failure.empty()) {
+      response = error_response(failure);
+    } else {
+      // Slice this member's functions out of the module result and let
+      // ModulePipelineResult do the merging it already knows.
+      pipeline::ModulePipelineResult member;
+      member.jobs = result.jobs;
+      for (std::size_t i = 0; i < group.counts[m]; ++i) {
+        member.functions.push_back(
+            std::move(result.functions[group.offsets[m] + i]));
+      }
+      response.ok = true;
+      for (const pipeline::FunctionCompileResult& f : member.functions) {
+        FunctionResult out;
+        out.name = f.name;
+        out.ok = f.run.ok;
+        out.error = f.run.error;
+        out.from_cache = f.from_cache;
+        out.printed = ir::to_string(f.run.state.func);
+        out.instructions = f.run.state.func.instruction_count();
+        out.vregs = f.run.state.func.reg_count();
+        out.spilled_regs = f.run.state.spilled_regs;
+        out.seconds = f.run.total_seconds;
+        if (!out.ok && response.ok) {
+          response.ok = false;
+          response.error = "function '" + out.name + "': " + out.error;
+        }
+        response.functions.push_back(std::move(out));
+      }
+      response.pass_stats = member.merged_pass_stats();
+      response.analysis_stats = member.merged_analysis_stats();
+    }
+    if (cache_.has_value()) {
+      response.cache_attached = true;
+      response.cache = cache_->stats();
+    }
+    response.server_seconds = ms_since(pending.accepted) / 1e3;
+    respond(pending, std::move(response));
+  }
+}
+
+void CompileServer::record_request(const CompileResponse& response,
+                                   double latency_ms) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++requests_;
+  if (response.ok) {
+    ++requests_ok_;
+  } else {
+    ++requests_failed_;
+  }
+  functions_ += response.functions.size();
+  functions_from_cache_ += response.cache_hits();
+  if (latencies_ms_.size() < kLatencyWindow) {
+    latencies_ms_.push_back(latency_ms);
+  } else {
+    latencies_ms_[latency_next_] = latency_ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+void CompileServer::record_malformed() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++malformed_;
+}
+
+ServerMetrics CompileServer::metrics() const {
+  ServerMetrics m;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    m.connections = connections_;
+    m.requests = requests_;
+    m.requests_ok = requests_ok_;
+    m.requests_failed = requests_failed_;
+    m.malformed = malformed_;
+    m.functions = functions_;
+    m.functions_from_cache = functions_from_cache_;
+    m.uptime_seconds =
+        std::chrono::duration<double>(Clock::now() - start_time_).count();
+    if (!latencies_ms_.empty()) {
+      m.latency_p50_ms = stats::percentile(latencies_ms_, 50.0);
+      m.latency_p95_ms = stats::percentile(latencies_ms_, 95.0);
+    }
+  }
+  const double up = m.uptime_seconds > 0 ? m.uptime_seconds : 1e-12;
+  m.requests_per_sec = static_cast<double>(m.requests) / up;
+  m.functions_per_sec = static_cast<double>(m.functions) / up;
+  m.warm_hit_rate =
+      m.functions == 0 ? 0.0
+                       : static_cast<double>(m.functions_from_cache) /
+                             static_cast<double>(m.functions);
+  if (cache_.has_value()) {
+    m.cache_attached = true;
+    m.cache = cache_->stats();
+  }
+  return m;
+}
+
+TextTable CompileServer::metrics_table(const std::string& title) const {
+  const ServerMetrics m = metrics();
+  TextTable table(title);
+  table.set_header({"metric", "value"});
+  table.add_row({"uptime s", TextTable::num(m.uptime_seconds, 1)});
+  table.add_row({"connections", std::to_string(m.connections)});
+  table.add_row({"requests", std::to_string(m.requests)});
+  table.add_row({"requests ok", std::to_string(m.requests_ok)});
+  table.add_row({"requests failed", std::to_string(m.requests_failed)});
+  table.add_row({"malformed", std::to_string(m.malformed)});
+  table.add_row({"requests/sec", TextTable::num(m.requests_per_sec, 2)});
+  table.add_row({"functions", std::to_string(m.functions)});
+  table.add_row({"functions/sec", TextTable::num(m.functions_per_sec, 1)});
+  table.add_row(
+      {"warm hit rate", TextTable::num(m.warm_hit_rate * 100.0, 1) + "%"});
+  table.add_row({"latency p50 ms", TextTable::num(m.latency_p50_ms, 2)});
+  table.add_row({"latency p95 ms", TextTable::num(m.latency_p95_ms, 2)});
+  if (m.cache_attached) {
+    table.add_row({"cache hits", std::to_string(m.cache.hits)});
+    table.add_row({"cache misses", std::to_string(m.cache.misses)});
+    table.add_row({"cache stores", std::to_string(m.cache.stores)});
+    table.add_row(
+        {"cache store failures", std::to_string(m.cache.store_failures)});
+    table.add_row(
+        {"cache lookup faults", std::to_string(m.cache.lookup_faults)});
+  }
+  return table;
+}
+
+}  // namespace tadfa::service

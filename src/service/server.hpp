@@ -1,0 +1,203 @@
+// CompileServer: the pipeline as a long-lived service.
+//
+// `tadfa serve` wraps everything PR 3 and PR 4 built — the module-level
+// CompilationDriver worker pool and the persistent ResultCache — behind
+// a Unix-domain socket so compiles stop being one-shot CLI processes.
+// Concurrent clients submit CompileRequests (protocol.hpp); a handler
+// thread per connection resolves each request into ir::Functions and
+// queues it; a single dispatcher drains the queue, batches compatible
+// requests (same canonical spec and toggles, no function-name
+// collisions) into one ir::Module, and runs it through the one shared
+// driver + cache. Batching is the point of the service: ten clients
+// each submitting one function cost one module compile over the full
+// worker pool, and every warm function is served from the shared cache
+// without running a single pass.
+//
+// The per-function determinism guarantee carries over unchanged: a
+// pipeline run is a pure function of (function, spec, context), so a
+// function compiled inside a server batch is byte-identical to the same
+// function compiled by a direct CompilationDriver::compile — the
+// service tests and the CI smoke step gate on exactly that.
+//
+// Lifetime: start() binds the socket and spawns the threads; shutdown()
+// drains — it stops accepting, half-closes every connection's read
+// side, lets in-flight requests finish compiling and responding, and
+// only then stops the dispatcher and flushes the cache. The dispatcher
+// also flushes the cache periodically while serving: a long-lived
+// server must never depend on the destructor-flush path a batch tool
+// gets for free.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/driver.hpp"
+#include "pipeline/result_cache.hpp"
+#include "service/protocol.hpp"
+#include "support/table.hpp"
+
+namespace tadfa::service {
+
+struct ServerConfig {
+  /// Filesystem path of the Unix-domain listening socket.
+  std::string socket_path;
+  /// Worker-pool size per module compile (0 = hardware concurrency).
+  unsigned jobs = 0;
+  /// Pipeline used when a request leaves its spec empty.
+  std::string default_spec;
+  /// Persistent result cache directory; empty serves uncached.
+  std::string cache_dir;
+  /// ResultCache size budget (0 = unbounded).
+  std::uint64_t cache_max_bytes = 0;
+  /// Seconds between periodic cache index flushes.
+  double flush_every_seconds = 5.0;
+  /// Ceiling on functions batched into one module compile.
+  std::size_t max_batch_functions = 256;
+};
+
+/// Aggregate counters since start(), snapshotted by metrics().
+struct ServerMetrics {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_failed = 0;
+  /// Frames or payloads that could not be decoded (answered with a
+  /// structured error, never a hang).
+  std::uint64_t malformed = 0;
+  std::uint64_t functions = 0;
+  std::uint64_t functions_from_cache = 0;
+  double uptime_seconds = 0;
+  double requests_per_sec = 0;
+  double functions_per_sec = 0;
+  /// Request latency (frame decoded -> response written), over the
+  /// most recent samples.
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  /// functions_from_cache over functions (0 when nothing served).
+  double warm_hit_rate = 0;
+  bool cache_attached = false;
+  pipeline::ResultCacheStats cache;
+};
+
+class CompileServer {
+ public:
+  /// The rig objects behind `ctx` must outlive the server.
+  CompileServer(pipeline::PipelineContext ctx, ServerConfig config);
+  /// Calls shutdown().
+  ~CompileServer();
+  CompileServer(const CompileServer&) = delete;
+  CompileServer& operator=(const CompileServer&) = delete;
+
+  /// Binds the socket, opens the cache, spawns the accept and dispatch
+  /// threads. False (with error()) when any of that fails.
+  bool start();
+  /// Graceful drain; safe to call twice (second call is a no-op).
+  void shutdown();
+
+  const std::string& error() const { return error_; }
+  const ServerConfig& config() const { return config_; }
+  bool running() const { return started_ && !stopping_.load(); }
+
+  ServerMetrics metrics() const;
+  TextTable metrics_table(const std::string& title = "compile server") const;
+
+  /// The shared persistent cache; nullptr when serving uncached.
+  pipeline::ResultCache* cache() {
+    return cache_.has_value() ? &*cache_ : nullptr;
+  }
+
+ private:
+  /// One resolved request waiting for the dispatcher.
+  struct Pending {
+    std::vector<ir::Function> functions;
+    std::vector<pipeline::PassSpec> passes;
+    std::string canonical_spec;
+    bool checkpoints = true;
+    bool analysis_cache = true;
+    std::chrono::steady_clock::time_point accepted;
+    /// Fulfilled by the dispatcher; the handler blocks on it. Always
+    /// set exactly once (respond() guards), or the handler would wait
+    /// forever and wedge shutdown.
+    std::promise<CompileResponse> promise;
+    bool responded = false;
+  };
+
+  /// Fulfills a pending's promise once; further calls are no-ops.
+  static void respond(Pending& pending, CompileResponse response);
+
+  /// A batch of compatible pendings compiled as one module.
+  struct Group;
+
+  void accept_loop();
+  void handle_connection(int fd);
+  void dispatch_loop();
+  /// Responds to every pending in `batch`, converting any escaped
+  /// exception into internal-error responses (a promise left unset
+  /// would wedge its handler and shutdown()).
+  void process_batch(std::vector<std::unique_ptr<Pending>> batch);
+  void process_batch_unguarded(std::vector<std::unique_ptr<Pending>>& batch);
+  void compile_group(Group& group);
+
+  /// Resolves a decoded request into a Pending, or a ready error
+  /// response (bad spec, unknown kernel, unparsable module text).
+  std::optional<CompileResponse> resolve(CompileRequest request,
+                                         std::unique_ptr<Pending>* out);
+
+  void record_request(const CompileResponse& response, double latency_ms);
+  void record_malformed();
+
+  ServerConfig config_;
+  pipeline::CompilationDriver driver_;
+  std::optional<pipeline::ResultCache> cache_;
+  std::string error_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  /// Joins handler threads that have announced completion (accept loop
+  /// housekeeping, so a long-lived server does not accumulate one
+  /// joinable thread per connection ever served).
+  void reap_finished_handlers();
+
+  /// Guarded by conn_mu_: handler threads, their live socket fds, and
+  /// the ids of handlers that have finished and await a join.
+  std::mutex conn_mu_;
+  std::vector<std::thread> handlers_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread::id> finished_handlers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool dispatcher_stop_ = false;
+
+  mutable std::mutex metrics_mu_;
+  std::uint64_t connections_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t requests_ok_ = 0;
+  std::uint64_t requests_failed_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t functions_ = 0;
+  std::uint64_t functions_from_cache_ = 0;
+  /// Latency ring (most recent kLatencyWindow samples).
+  static constexpr std::size_t kLatencyWindow = 4096;
+  std::vector<double> latencies_ms_;
+  std::size_t latency_next_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace tadfa::service

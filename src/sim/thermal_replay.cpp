@@ -59,7 +59,10 @@ ReplayResult ThermalReplay::replay(const power::AccessTrace& trace,
 
     const auto temps = grid_->register_temps(result.final_state);
     const double peak = *std::max_element(temps.begin(), temps.end());
-    if (rep > 0 && std::abs(peak - prev_peak) < config.settle_tolerance_k) {
+    // prev_peak starts at the substrate temperature, so the first repeat
+    // is measured against the initial state — without that, `settled`
+    // could never become true under max_repeats == 1.
+    if (std::abs(peak - prev_peak) < config.settle_tolerance_k) {
       result.settled = true;
       break;
     }

@@ -18,8 +18,12 @@ struct ReplayConfig {
   std::uint64_t window_cycles = 256;
   /// Repeat the trace up to this many times...
   int max_repeats = 1;
-  /// ...stopping early once the hottest register changes less than this
-  /// between consecutive repeats (K).
+  /// ...stopping early once the hottest register moves less than this
+  /// (K) over one full repeat. The first repeat compares against the
+  /// initial (substrate-temperature) state, so every configuration —
+  /// including max_repeats == 1 — can report `settled`: a single-repeat
+  /// replay settles iff its one pass left the peak within the tolerance
+  /// of where it started.
   double settle_tolerance_k = 1e-3;
   /// Include temperature-dependent leakage in the power input.
   bool include_leakage = true;
@@ -34,6 +38,8 @@ struct ReplayResult {
   std::vector<double> peak_reg_temps;
   thermal::MapStats final_stats;
   int repeats_run = 0;
+  /// True when the last repeat moved the peak temperature less than
+  /// ReplayConfig::settle_tolerance_k (see there for the exact rule).
   bool settled = false;
   double dynamic_energy_j = 0;
   double leakage_energy_j = 0;

@@ -1,0 +1,85 @@
+// Subprocess tests for the tadfa CLI's failure behavior: any exception
+// escaping a command path must surface as "tadfa: error: <what>" with
+// exit status 1 — never as std::terminate/SIGABRT with no diagnostic.
+//
+// The binary's path arrives via the TADFA_CLI_PATH compile definition
+// (see CMakeLists.txt); without it the suite compiles to a skip.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  bool exited = false;  // normal exit, not a signal
+  int status = -1;
+  std::string stderr_text;
+};
+
+RunResult run_cli(const std::string& args) {
+#ifndef TADFA_CLI_PATH
+  ADD_FAILURE() << "TADFA_CLI_PATH not defined";
+  return {};
+#else
+  const auto err_path = std::filesystem::temp_directory_path() /
+                        ("tadfa-cli-test-" + std::to_string(::getpid()) +
+                         ".stderr");
+  const std::string command = std::string(TADFA_CLI_PATH) + " " + args +
+                              " >/dev/null 2>" + err_path.string();
+  const int raw = std::system(command.c_str());
+  RunResult result;
+  result.exited = WIFEXITED(raw);
+  result.status = result.exited ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(err_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  result.stderr_text = buffer.str();
+  std::filesystem::remove(err_path);
+  return result;
+#endif
+}
+
+TEST(CliTest, EscapedExceptionBecomesDiagnosticAndExit1) {
+  const RunResult r = run_cli("--self-test-throw");
+  ASSERT_TRUE(r.exited) << "CLI died of a signal instead of exiting";
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.stderr_text.find("tadfa: error: self-test exception"),
+            std::string::npos)
+      << r.stderr_text;
+}
+
+TEST(CliTest, UnknownInputFailsCleanly) {
+  const RunResult r = run_cli("no-such-kernel-or-file.tir");
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.stderr_text.find("neither a known kernel"), std::string::npos)
+      << r.stderr_text;
+}
+
+TEST(CliTest, UncreatableCacheDirFailsCleanly) {
+  // /dev/null/x cannot be a directory: the cache constructor reports it
+  // and the CLI exits 1 with a diagnostic — under the old unwrapped
+  // main a filesystem exception here would have aborted.
+  const RunResult r = run_cli(
+      "--cache-dir=/dev/null/x --pipeline=dce crc32 fir");
+  ASSERT_TRUE(r.exited) << "CLI died of a signal instead of exiting";
+  EXPECT_EQ(r.status, 1);
+  EXPECT_FALSE(r.stderr_text.empty());
+}
+
+TEST(CliTest, ClientWithoutServerFailsCleanly) {
+  const RunResult r = run_cli("client --socket=/nonexistent/tadfa.sock crc32");
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.status, 1);
+  EXPECT_NE(r.stderr_text.find("cannot connect"), std::string::npos)
+      << r.stderr_text;
+}
+
+}  // namespace

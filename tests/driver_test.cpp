@@ -5,7 +5,11 @@
 // purely a wall-clock optimization.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
 #include <string>
+#include <string_view>
+#include <system_error>
 #include <vector>
 
 #include "ir/parser.hpp"
@@ -13,6 +17,7 @@
 #include "ir/verifier.hpp"
 #include "machine/floorplan.hpp"
 #include "pipeline/driver.hpp"
+#include "pipeline/result_cache.hpp"
 #include "power/model.hpp"
 #include "thermal/grid.hpp"
 #include "workload/modules.hpp"
@@ -174,6 +179,81 @@ TEST_F(DriverTest, PerFunctionFailureNamesFirstFailureInModuleOrder) {
       result.error.find("function '" + module.functions()[0].name() + "'"),
       std::string::npos)
       << result.error;
+}
+
+TEST_F(DriverTest, CacheFaultsDegradeToMissesInsteadOfTerminating) {
+  // Regression for the headline PR 5 bug: the work item called
+  // cache_->lookup/insert outside any try/catch, so a filesystem
+  // exception thrown under the cache escaped the worker thread and
+  // std::terminate'd the whole process. With the fix, a compile against
+  // a cache whose every touch throws must complete — byte-identical to
+  // an uncached compile — with the faults visible in the counters.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "tadfa-driver-fault-cache";
+  fs::remove_all(dir);
+  const ir::Module module = test_module(10);
+
+  pipeline::CompilationDriver driver(context());
+  driver.set_jobs(4);
+  const auto reference = driver.compile(module, kSpec);
+  ASSERT_TRUE(reference.ok) << reference.error;
+
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  cache.set_fault_hook([](std::string_view) {
+    throw fs::filesystem_error("injected cache I/O failure",
+                               std::make_error_code(std::errc::io_error));
+  });
+  driver.set_result_cache(&cache);
+  const auto faulted = driver.compile(module, kSpec);
+  ASSERT_TRUE(faulted.ok) << faulted.error;
+  ASSERT_EQ(faulted.functions.size(), module.size());
+  EXPECT_EQ(faulted.cache_hits(), 0u);
+  for (std::size_t i = 0; i < module.size(); ++i) {
+    EXPECT_EQ(ir::to_string(faulted.functions[i].run.state.func),
+              ir::to_string(reference.functions[i].run.state.func));
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookup_faults, module.size());
+  EXPECT_EQ(stats.store_failures, module.size());
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.stores, 0u);
+  fs::remove_all(dir);
+}
+
+TEST_F(DriverTest, CacheDirectoryRemovedMidCompileStillCompletes) {
+  // The other flavor of the same failure: the cache directory vanishes
+  // while workers are mid-module (an operator `rm -rf`, a tmpfs
+  // cleaner). The first warm lookup triggers the removal; everything
+  // after must degrade gracefully and the module must still come out
+  // byte-identical to the cold run.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "tadfa-driver-vanish-cache";
+  fs::remove_all(dir);
+  const ir::Module module = test_module(10);
+
+  pipeline::CompilationDriver driver(context());
+  driver.set_jobs(4);
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  driver.set_result_cache(&cache);
+  const auto cold = driver.compile(module, kSpec);
+  ASSERT_TRUE(cold.ok) << cold.error;
+
+  std::atomic<bool> removed{false};
+  cache.set_fault_hook([&](std::string_view op) {
+    if (op == "lookup" && !removed.exchange(true)) {
+      fs::remove_all(dir);
+    }
+  });
+  const auto warm = driver.compile(module, kSpec);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  ASSERT_EQ(warm.functions.size(), module.size());
+  for (std::size_t i = 0; i < module.size(); ++i) {
+    EXPECT_EQ(ir::to_string(warm.functions[i].run.state.func),
+              ir::to_string(cold.functions[i].run.state.func));
+  }
+  fs::remove_all(dir);
 }
 
 TEST_F(DriverTest, JobCountClampsToModuleSize) {

@@ -315,6 +315,38 @@ TEST(ThermalReplay, RepeatsSettle) {
   EXPECT_LT(result.repeats_run, 400);
 }
 
+TEST(ThermalReplay, SingleRepeatCanSettle) {
+  // Regression: the old `rep > 0` guard made `settled` unreachable under
+  // max_repeats == 1. A trace that injects no power leaves the map at
+  // the substrate temperature, which is exactly the "already settled"
+  // case a single-repeat replay must be able to report.
+  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
+  const thermal::ThermalGrid grid(fp);
+  const power::PowerModel model(fp.config());
+  const ThermalReplay replay(grid, model);
+
+  power::AccessTrace idle(fp.num_registers());
+  idle.set_duration_cycles(512);
+  ReplayConfig cfg;
+  cfg.max_repeats = 1;
+  cfg.include_leakage = false;  // zero power in, zero temperature motion
+  const auto settled = replay.replay(idle, cfg);
+  EXPECT_EQ(settled.repeats_run, 1);
+  EXPECT_TRUE(settled.settled);
+
+  // A genuinely heating trace must still report unsettled after one
+  // repeat — the fix may not turn every single-repeat run "settled".
+  workload::Kernel k = workload::make_counter(256);
+  ir::Function allocated("");
+  const auto assignment = allocate(k.func, allocated);
+  Interpreter interp(allocated, timing);
+  power::AccessTrace hot(64);
+  ASSERT_TRUE(interp.run_traced(k.default_args, assignment, hot).ok());
+  const auto heating = replay.replay(hot, cfg);
+  EXPECT_EQ(heating.repeats_run, 1);
+  EXPECT_FALSE(heating.settled);
+}
+
 TEST(ThermalReplay, GatedBanksRunCooler) {
   workload::Kernel k = workload::make_vecsum(64);
   ir::Function allocated("");

@@ -10,11 +10,16 @@
 //   tadfa --pipeline="cse,dce,alloc=linear:farthest_spread" fir
 //   tadfa --pipeline="alloc=linear:first_free,thermal-dfa,nops=3" my.tir
 //   tadfa --jobs=8 crc32 fir matmul suite.tir
+//   tadfa serve --socket=/tmp/tadfa.sock --cache-dir=/var/cache/tadfa
+//   tadfa client --socket=/tmp/tadfa.sock crc32 fir my.tir
 //   tadfa --list-passes
+#include <csignal>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,6 +30,8 @@
 #include "pipeline/pass_manager.hpp"
 #include "pipeline/result_cache.hpp"
 #include "power/access_trace.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/thermal_replay.hpp"
 #include "support/heatmap.hpp"
@@ -65,6 +72,9 @@ struct Options {
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options] <kernel-name | file.tir>...\n"
+      << "       " << argv0 << " serve  --socket=PATH [serve options]\n"
+      << "       " << argv0 << " client --socket=PATH [client options] "
+         "<kernel-name | file.tir>...\n"
       << "  --pipeline=SPEC   pass pipeline (default: the Sec. 4 flow)\n"
       << "  --baseline=SPEC   comparison pipeline (default "
       << kDefaultBaseline << "; 'none' disables)\n"
@@ -142,9 +152,8 @@ void print_table(const TextTable& table, bool csv) {
   std::cout << '\n';
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// The original one-shot compile path (no subcommand).
+int run_compile(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -517,4 +526,331 @@ int main(int argc, char** argv) {
   row(opt.pipeline, after);
   print_table(table, opt.csv);
   return 0;
+}
+
+int serve_usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " serve --socket=PATH [options]\n"
+      << "  --socket=PATH        Unix-domain socket to listen on (required)\n"
+      << "  --jobs=N             worker threads per module compile\n"
+      << "                       (default: hardware concurrency)\n"
+      << "  --pipeline=SPEC      pipeline for requests that send none\n"
+      << "                       (default: the Sec. 4 flow)\n"
+      << "  --cache-dir=DIR      shared persistent result cache\n"
+      << "  --cache-max-bytes=N  cache size budget (0 = unbounded)\n"
+      << "  --metrics-every=SEC  print aggregate metrics every SEC seconds\n"
+      << "  --delta=K            thermal-DFA convergence threshold\n"
+      << "  --max-iters=N        thermal-DFA iteration cap\n"
+      << "  --seed=N             assignment-policy seed\n"
+      << "Stop with SIGINT/SIGTERM; in-flight requests drain first.\n";
+  return 2;
+}
+
+/// `tadfa serve`: the compile pipeline as a persistent service.
+int run_serve(const char* argv0, int argc, char** argv) {
+  service::ServerConfig cfg;
+  cfg.default_spec = kDefaultPipeline;
+  double metrics_every = 0;
+  double delta_k = 0.01;
+  int max_iterations = 100;
+  std::uint64_t seed = 42;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (starts_with(arg, prefix)) {
+        return arg.substr(prefix.size());
+      }
+      return std::nullopt;
+    };
+    long long n = 0;
+    if (auto v = value("--socket=")) {
+      cfg.socket_path = *v;
+    } else if (auto v = value("--pipeline=")) {
+      cfg.default_spec = *v;
+    } else if (auto v = value("--cache-dir=")) {
+      cfg.cache_dir = *v;
+    } else if (auto v = value("--cache-max-bytes=")) {
+      if (!parse_int(*v, n) || n < 0) {
+        return serve_usage(argv0);
+      }
+      cfg.cache_max_bytes = static_cast<std::uint64_t>(n);
+    } else if (auto v = value("--jobs=")) {
+      if (!parse_int(*v, n) || n < 0) {
+        return serve_usage(argv0);
+      }
+      cfg.jobs = static_cast<unsigned>(n);
+    } else if (auto v = value("--metrics-every=")) {
+      if (!parse_double(*v, metrics_every) || metrics_every < 0) {
+        return serve_usage(argv0);
+      }
+    } else if (auto v = value("--delta=")) {
+      if (!parse_double(*v, delta_k)) {
+        return serve_usage(argv0);
+      }
+    } else if (auto v = value("--max-iters=")) {
+      if (!parse_int(*v, n) || n < 1) {
+        return serve_usage(argv0);
+      }
+      max_iterations = static_cast<int>(n);
+    } else if (auto v = value("--seed=")) {
+      if (!parse_int(*v, n) || n < 0) {
+        return serve_usage(argv0);
+      }
+      seed = static_cast<std::uint64_t>(n);
+    } else {
+      return serve_usage(argv0);
+    }
+  }
+  if (cfg.socket_path.empty()) {
+    return serve_usage(argv0);
+  }
+
+  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
+  const thermal::ThermalGrid grid(fp);
+  const power::PowerModel power(fp.config());
+  pipeline::PipelineContext ctx;
+  ctx.floorplan = &fp;
+  ctx.grid = &grid;
+  ctx.power = &power;
+  ctx.dfa_config.delta_k = delta_k;
+  ctx.dfa_config.max_iterations = max_iterations;
+  ctx.policy_seed = seed;
+
+  // Block the shutdown signals before any thread exists so every server
+  // thread inherits the mask; only this thread's sigtimedwait consumes
+  // them, which is what makes the drain graceful.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  service::CompileServer server(ctx, cfg);
+  if (!server.start()) {
+    std::cerr << "tadfa serve: " << server.error() << "\n";
+    return 1;
+  }
+  std::cout << "tadfa serve: listening on " << cfg.socket_path << " (jobs="
+            << (cfg.jobs == 0 ? std::string("auto")
+                              : std::to_string(cfg.jobs))
+            << (cfg.cache_dir.empty() ? std::string(", uncached")
+                                      : ", cache=" + cfg.cache_dir)
+            << ")\n"
+            << std::flush;
+
+  using Clock = std::chrono::steady_clock;
+  auto last_metrics = Clock::now();
+  for (;;) {
+    timespec tick{};
+    tick.tv_sec = 1;
+    const int sig = sigtimedwait(&signals, nullptr, &tick);
+    if (sig == SIGINT || sig == SIGTERM) {
+      std::cout << "tadfa serve: caught "
+                << (sig == SIGINT ? "SIGINT" : "SIGTERM")
+                << ", draining\n";
+      break;
+    }
+    if (metrics_every > 0 &&
+        std::chrono::duration<double>(Clock::now() - last_metrics).count() >=
+            metrics_every) {
+      server.metrics_table().print(std::cout);
+      std::cout << std::flush;
+      last_metrics = Clock::now();
+    }
+  }
+  server.shutdown();
+  server.metrics_table("compile server — final").print(std::cout);
+  return 0;
+}
+
+int client_usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " client --socket=PATH [options] <kernel-name | file.tir>...\n"
+      << "  --socket=PATH        server socket (required)\n"
+      << "  --pipeline=SPEC      pipeline spec (default: server's default)\n"
+      << "  --no-verify          disable verifier checkpoints\n"
+      << "  --no-analysis-cache  disable the analysis cache\n"
+      << "  --min-hit-rate=P     exit 1 unless the response's cache hit\n"
+      << "                       rate is at least P (0..1); CI warm gate\n"
+      << "  --print-ir           dump each compiled function's IR\n"
+      << "  --csv                emit tables as CSV\n"
+      << "  --quiet              only errors and the summary line\n";
+  return 2;
+}
+
+/// `tadfa client`: submit kernels/files to a running server.
+int run_client(const char* argv0, int argc, char** argv) {
+  std::string socket_path;
+  service::CompileRequest request;
+  double min_hit_rate = -1;
+  bool print_ir = false;
+  bool csv = false;
+  bool quiet = false;
+  std::vector<std::string> inputs;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (starts_with(arg, prefix)) {
+        return arg.substr(prefix.size());
+      }
+      return std::nullopt;
+    };
+    if (auto v = value("--socket=")) {
+      socket_path = *v;
+    } else if (auto v = value("--pipeline=")) {
+      request.spec = *v;
+    } else if (arg == "--no-verify") {
+      request.checkpoints = false;
+    } else if (arg == "--no-analysis-cache") {
+      request.analysis_cache = false;
+    } else if (auto v = value("--min-hit-rate=")) {
+      if (!parse_double(*v, min_hit_rate) || min_hit_rate < 0 ||
+          min_hit_rate > 1) {
+        return client_usage(argv0);
+      }
+    } else if (arg == "--print-ir") {
+      print_ir = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return client_usage(argv0);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (socket_path.empty() || inputs.empty()) {
+    return client_usage(argv0);
+  }
+
+  // Named kernels travel by name (the server owns the suite); files
+  // travel as IR text.
+  for (const std::string& input : inputs) {
+    if (workload::make_kernel(input).has_value()) {
+      request.kernels.push_back(input);
+      continue;
+    }
+    std::ifstream in(input);
+    if (!in) {
+      std::cerr << "'" << input
+                << "' is neither a known kernel nor a readable file\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    request.module_text += buffer.str();
+    request.module_text += '\n';
+  }
+
+  std::string error;
+  const int fd = service::connect_unix(socket_path, &error);
+  if (fd < 0) {
+    std::cerr << "tadfa client: " << error << "\n";
+    return 1;
+  }
+  std::optional<service::CompileResponse> response;
+  if (service::write_request(fd, request, &error)) {
+    response = service::read_response(fd, &error);
+  }
+  ::close(fd);
+  if (!response.has_value()) {
+    std::cerr << "tadfa client: " << error << "\n";
+    return 1;
+  }
+  if (!response->error.empty()) {
+    std::cerr << "tadfa client: server error: " << response->error << "\n";
+  }
+
+  if (!quiet) {
+    TextTable table("server compile — " +
+                    std::to_string(response->functions.size()) +
+                    " functions");
+    table.set_header({"#", "function", "ok", "cached", "ms", "instrs",
+                      "vregs", "spills"});
+    for (std::size_t i = 0; i < response->functions.size(); ++i) {
+      const service::FunctionResult& f = response->functions[i];
+      table.add_row({std::to_string(i + 1), f.name, f.ok ? "yes" : "NO",
+                     f.from_cache ? "yes" : "no",
+                     TextTable::num(f.seconds * 1e3, 3),
+                     std::to_string(f.instructions),
+                     std::to_string(f.vregs),
+                     std::to_string(f.spilled_regs)});
+    }
+    print_table(table, csv);
+    if (!response->pass_stats.empty()) {
+      TextTable stats("pipeline (merged over request)");
+      stats.set_header({"#", "pass", "ms", "instrs", "vregs", "summary"});
+      for (std::size_t i = 0; i < response->pass_stats.size(); ++i) {
+        const pipeline::PassRunStats& s = response->pass_stats[i];
+        stats.add_row({std::to_string(i + 1), s.name,
+                       TextTable::num(s.seconds * 1e3, 3),
+                       std::to_string(s.instructions_after),
+                       std::to_string(s.vregs_after), s.summary});
+      }
+      print_table(stats, csv);
+    }
+  }
+  if (print_ir) {
+    for (const service::FunctionResult& f : response->functions) {
+      std::cout << f.printed << "\n";
+    }
+  }
+  std::cout << "compiled " << response->functions.size()
+            << " functions via server in "
+            << TextTable::num(response->server_seconds * 1e3, 1)
+            << " ms, cache hits " << response->cache_hits() << "/"
+            << response->functions.size() << " ("
+            << TextTable::num(response->cache_hit_rate() * 100.0, 1)
+            << "%)\n";
+  if (!response->ok) {
+    return 1;
+  }
+  if (min_hit_rate >= 0 && response->cache_hit_rate() < min_hit_rate) {
+    std::cerr << "tadfa client: cache hit rate "
+              << TextTable::num(response->cache_hit_rate() * 100.0, 1)
+              << "% is below the required "
+              << TextTable::num(min_hit_rate * 100.0, 1) << "%\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// Dispatches subcommands; exceptions are caught by main().
+int tadfa_main(int argc, char** argv) {
+  if (argc >= 2) {
+    const std::string subcommand = argv[1];
+    // Deliberate failure path exercised by the CLI subprocess test: an
+    // exception thrown from anywhere under tadfa_main must surface as
+    // "tadfa: error: ..." with exit 1, never as std::terminate.
+    if (subcommand == "--self-test-throw") {
+      throw std::runtime_error("self-test exception");
+    }
+    if (subcommand == "serve") {
+      return run_serve(argv[0], argc - 2, argv + 2);
+    }
+    if (subcommand == "client") {
+      return run_client(argv[0], argc - 2, argv + 2);
+    }
+  }
+  return run_compile(argc, argv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Last-resort handler: any exception that escapes the command paths
+  // (a std::filesystem_error from a cache directory, a bad_alloc, a
+  // parser bug) becomes a diagnostic and exit 1 — without this, the
+  // process dies in std::terminate with no message at all.
+  try {
+    return tadfa_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "tadfa: error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "tadfa: error: unknown non-standard exception\n";
+    return 1;
+  }
 }
