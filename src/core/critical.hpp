@@ -28,6 +28,9 @@ struct CriticalVariable {
   double expected_cell_temp_k = 0;
   /// Frequency-weighted access count.
   double weighted_accesses = 0;
+
+  friend bool operator==(const CriticalVariable&,
+                         const CriticalVariable&) = default;
 };
 
 /// Ranks all virtual registers by criticality, descending. `model`

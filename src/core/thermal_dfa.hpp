@@ -65,6 +65,9 @@ struct InstructionThermal {
   ir::InstrRef ref;
   std::vector<double> reg_temps_k;
   double peak_k = 0;
+
+  friend bool operator==(const InstructionThermal&,
+                         const InstructionThermal&) = default;
 };
 
 struct ThermalDfaResult {
@@ -87,6 +90,9 @@ struct ThermalDfaResult {
   /// max-|Δ| between consecutive iterations, one entry per iteration
   /// (monotone decay = well-behaved program; plateaus = irregular).
   std::vector<double> delta_history_k;
+
+  friend bool operator==(const ThermalDfaResult&,
+                         const ThermalDfaResult&) = default;
 };
 
 class ThermalDfa {

@@ -21,6 +21,9 @@ struct BankGatingPlan {
   std::uint32_t gated_banks = 0;
   /// Leakage power saved at the given uniform temperature (W).
   double leakage_saved_w = 0;
+
+  friend bool operator==(const BankGatingPlan&,
+                         const BankGatingPlan&) = default;
 };
 
 /// Plans gating from an assignment: a bank is gateable iff no virtual

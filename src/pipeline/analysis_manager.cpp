@@ -172,6 +172,28 @@ void AnalysisManager::on_function_moved() {
   bound_ = nullptr;
 }
 
+void AnalysisManager::reset_computed() {
+  std::vector<AnalysisKey> drop;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.registered) {
+      drop.push_back(key);
+    }
+  }
+  for (AnalysisKey key : drop) {
+    erase_entry(key);
+  }
+  // A restored snapshot's manager has no recorded edges; drop ours too,
+  // or keep_only()'s dependency closure could keep different survivors
+  // on the cold side than on the resumed side. Safe: the remaining
+  // registered artifacts are plain data built without manager deps.
+  deps_.clear();
+  dependents_.clear();
+  retired_.clear();
+  bound_ = nullptr;
+  TADFA_ASSERT_MSG(build_stack_.empty(),
+                   "analysis cache reset mid-construction");
+}
+
 void AnalysisManager::import_stats(const std::vector<AnalysisStats>& stats) {
   for (const AnalysisStats& s : stats) {
     AnalysisStats& merged = imported_[s.name];

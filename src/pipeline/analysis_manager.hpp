@@ -224,6 +224,15 @@ class AnalysisManager {
   /// dropped (registered results hold no IR references and survive).
   void on_function_moved();
 
+  /// Pass-boundary reduction for incremental snapshots: drops every
+  /// computed entry (counting invalidations, exactly like a state move)
+  /// *and* the dependency edges, leaving only registered artifacts —
+  /// the same contents a PipelineSnapshot restore reconstructs into a
+  /// fresh manager. A cold run that calls this at a boundary and a
+  /// resumed run starting from the restored snapshot therefore evolve
+  /// their caches (and counters) identically from there on.
+  void reset_computed();
+
   // --- Cache statistics ------------------------------------------------------
   struct AnalysisStats {
     std::string name;

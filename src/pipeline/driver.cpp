@@ -17,9 +17,10 @@ namespace {
 /// the pool.
 PipelineRunResult compile_one(const PassManager& manager,
                               const ir::Function& func,
-                              const std::vector<PassSpec>& passes) {
+                              const std::vector<PassSpec>& passes,
+                              const SnapshotHooks& hooks) {
   try {
-    return manager.run(func, passes);
+    return manager.run(func, passes, hooks);
   } catch (const std::exception& e) {
     PipelineRunResult result(func);
     result.error = std::string("uncaught exception: ") + e.what();
@@ -31,7 +32,58 @@ PipelineRunResult compile_one(const PassManager& manager,
   }
 }
 
+/// resume() with the same exception shield as compile_one. A failed
+/// resume (stray exception, verifier rejection of the restored state, a
+/// pass error) is reported back so the caller can fall back to a full
+/// recompile.
+PipelineRunResult resume_one(const PassManager& manager, ResumeState resume,
+                             const ir::Function& func,
+                             const std::vector<PassSpec>& passes,
+                             const SnapshotHooks& hooks) {
+  try {
+    return manager.resume(std::move(resume), passes, hooks);
+  } catch (const std::exception& e) {
+    PipelineRunResult result(func);
+    result.error = std::string("uncaught exception: ") + e.what();
+    return result;
+  } catch (...) {
+    PipelineRunResult result(func);
+    result.error = "uncaught non-standard exception";
+    return result;
+  }
+}
+
+/// The passes whose re-run dominates a compile, for
+/// StagePolicy::after_expensive.
+bool is_expensive_pass(const PassSpec& spec) {
+  return spec.name == "thermal-dfa" || spec.name == "alloc" ||
+         spec.name == "reassign";
+}
+
 }  // namespace
+
+bool StagePolicy::wants(std::size_t index,
+                        const std::vector<PassSpec>& passes) const {
+  if (!enabled || index >= passes.size()) {
+    return false;
+  }
+  if (at_end && index + 1 == passes.size()) {
+    return true;
+  }
+  if (after_expensive && is_expensive_pass(passes[index])) {
+    return true;
+  }
+  return every_k != 0 && (index + 1) % every_k == 0;
+}
+
+std::uint64_t StagePolicy::digest() const {
+  return Hasher(0x7374672d706f6cull /* "stg-pol" */)
+      .mix(static_cast<std::uint64_t>(enabled))
+      .mix(static_cast<std::uint64_t>(after_expensive))
+      .mix(static_cast<std::uint64_t>(every_k))
+      .mix(static_cast<std::uint64_t>(at_end))
+      .digest();
+}
 
 unsigned CompilationDriver::effective_jobs(std::size_t work_items) const {
   unsigned jobs = jobs_;
@@ -82,20 +134,40 @@ ModulePipelineResult CompilationDriver::compile(
   // unsigned char, not bool: workers write disjoint indices
   // concurrently, which vector<bool>'s bit packing would race on.
   std::vector<unsigned char> from_cache(n, 0);
+  std::vector<std::uint32_t> resumed(n, 0);
 
   // Cache-key ingredients shared by every worker. Keys mix the input
   // fingerprint, the canonical spec, the compilation-environment
   // digest, and the manager toggles that alter recorded statistics.
+  // Incremental mode folds the stage policy in as well: boundary
+  // normalization changes the recorded analysis counters, so staged and
+  // unstaged runs of the same spec must not share entries (a disabled
+  // policy contributes nothing, keeping pre-incremental caches warm).
+  const bool staged = cache_ != nullptr && stage_policy_.enabled;
   std::string canonical_spec;
   std::uint64_t env_digest = 0;
   if (cache_ != nullptr) {
     canonical_spec = spec_to_string(passes);
-    env_digest =
-        Hasher()
-            .mix(ResultCache::context_digest(manager_.context()))
-            .mix(static_cast<std::uint64_t>(manager_.checkpoints()))
-            .mix(static_cast<std::uint64_t>(manager_.analysis_caching()))
-            .digest();
+    Hasher h;
+    h.mix(ResultCache::context_digest(manager_.context()))
+        .mix(static_cast<std::uint64_t>(manager_.checkpoints()))
+        .mix(static_cast<std::uint64_t>(manager_.analysis_caching()));
+    if (staged) {
+      h.mix(stage_policy_.digest());
+    }
+    env_digest = h.digest();
+  }
+
+  // Boundary mask and spec-prefix digests, computed once: the workers
+  // share them read-only. prefix_digests[k] keys the stage after the
+  // first k passes.
+  std::vector<unsigned char> boundary(passes.size(), 0);
+  std::vector<std::uint64_t> prefix_digests(passes.size() + 1, 0);
+  if (staged) {
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+      boundary[i] = stage_policy_.wants(i, passes) ? 1 : 0;
+      prefix_digests[i + 1] = spec_prefix_digest(passes, i + 1);
+    }
   }
 
   // One work item: probe the persistent cache (a warm restore is
@@ -113,9 +185,10 @@ ModulePipelineResult CompilationDriver::compile(
   // skipped store — the compile itself must never die of cache trouble.
   auto process = [&](std::size_t i) {
     CacheKey key;
+    std::uint64_t input_fp = 0;
     if (cache_ != nullptr) {
-      key = ResultCache::make_key(ir::fingerprint(funcs[i]), canonical_spec,
-                                  env_digest);
+      input_fp = ir::fingerprint(funcs[i]);
+      key = ResultCache::make_key(input_fp, canonical_spec, env_digest);
       try {
         if (auto hit = cache_->lookup(key, funcs[i].name())) {
           slots[i].emplace(std::move(*hit));
@@ -126,7 +199,76 @@ ModulePipelineResult CompilationDriver::compile(
         cache_->count_lookup_fault();
       }
     }
-    PipelineRunResult run = compile_one(manager_, funcs[i], passes);
+
+    // Incremental mode: every compile (cold or resumed) freezes a stage
+    // snapshot at each policy boundary, keyed by the input fingerprint
+    // and the spec prefix it completes. A throwing store degrades to a
+    // skipped one, same as the full-entry insert below.
+    SnapshotHooks hooks;
+    if (staged) {
+      hooks.want = [&boundary](std::size_t index) {
+        return boundary[index] != 0;
+      };
+      hooks.sink = [this, input_fp, env_digest, &prefix_digests](
+                       std::size_t passes_done,
+                       const PipelineSnapshot& snapshot,
+                       const std::vector<PassRunStats>& pass_stats,
+                       const std::vector<AnalysisManager::AnalysisStats>&
+                           analysis_stats,
+                       double prefix_seconds) {
+        StageEntry entry;
+        entry.passes_done = static_cast<std::uint32_t>(passes_done);
+        entry.snapshot = snapshot;
+        entry.pass_stats = pass_stats;
+        entry.analysis_stats = analysis_stats;
+        entry.prefix_seconds = prefix_seconds;
+        try {
+          cache_->insert_stage(
+              ResultCache::make_stage_key(
+                  input_fp, prefix_digests[passes_done], env_digest),
+              entry);
+        } catch (...) {
+          cache_->count_store_fault();
+        }
+      };
+    }
+
+    // Longest-prefix probe: resume from the deepest cached boundary of
+    // this spec instead of compiling from pass 0. A failed resume (a
+    // pass error on the restored state, a verifier rejection, a stray
+    // exception) falls through to the full compile below.
+    if (staged) {
+      std::optional<ResumeState> resume;
+      try {
+        resume = cache_->lookup_longest_stage(input_fp, passes, env_digest,
+                                              funcs[i].name());
+      } catch (...) {
+        cache_->count_lookup_fault();
+      }
+      if (resume.has_value()) {
+        const auto done = static_cast<std::uint32_t>(resume->passes_done);
+        PipelineRunResult run =
+            resume_one(manager_, std::move(*resume), funcs[i], passes, hooks);
+        if (run.ok) {
+          std::optional<ThermalSummary> thermal;
+          if (run.state.dfa() != nullptr) {
+            thermal = summarize_dfa(*run.state.dfa());
+          }
+          slots[i].emplace(std::move(run));
+          resumed[i] = done;
+          // A resumed success is byte-identical to a cold compile, so
+          // it also warms the full-run entry this probe missed above.
+          try {
+            cache_->insert(key, *slots[i], std::move(thermal));
+          } catch (...) {
+            cache_->count_store_fault();
+          }
+          return;
+        }
+      }
+    }
+
+    PipelineRunResult run = compile_one(manager_, funcs[i], passes, hooks);
     // The thermal summary must be taken pre-move (the move into the
     // slot sheds the computed ThermalDfaResult), while the statistics
     // snapshot must be post-move (the move also counts the shedding as
@@ -194,6 +336,7 @@ ModulePipelineResult CompilationDriver::compile(
     }
     result.functions.emplace_back(funcs[i].name(), std::move(run));
     result.functions.back().from_cache = from_cache[i] != 0;
+    result.functions.back().resumed_passes = resumed[i];
   }
   result.total_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
@@ -213,6 +356,22 @@ double ModulePipelineResult::cache_hit_rate() const {
              ? 0.0
              : static_cast<double>(cache_hits()) /
                    static_cast<double>(functions.size());
+}
+
+std::size_t ModulePipelineResult::prefix_hits() const {
+  std::size_t hits = 0;
+  for (const FunctionCompileResult& f : functions) {
+    hits += f.resumed_passes > 0 ? 1 : 0;
+  }
+  return hits;
+}
+
+std::size_t ModulePipelineResult::passes_skipped() const {
+  std::size_t skipped = 0;
+  for (const FunctionCompileResult& f : functions) {
+    skipped += f.resumed_passes;
+  }
+  return skipped;
 }
 
 std::vector<PassRunStats> ModulePipelineResult::merged_pass_stats() const {

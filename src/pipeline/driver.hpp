@@ -29,6 +29,30 @@ namespace tadfa::pipeline {
 
 class ResultCache;
 
+/// When (and whether) the driver freezes pass-boundary snapshots into
+/// the attached ResultCache, and therefore whether it probes for a
+/// resumable prefix before compiling (`tadfa --incremental`).
+struct StagePolicy {
+  /// Master switch; everything below is ignored while false.
+  bool enabled = false;
+  /// Snapshot after passes whose re-run dominates a compile — the
+  /// thermal DFA's iterate-to-δ fixpoint and register allocation.
+  bool after_expensive = true;
+  /// Also snapshot after every k-th pass (0 = off).
+  unsigned every_k = 0;
+  /// Snapshot after the final pass: the boundary a future spec
+  /// *extension* resumes from (a full-run entry stores no artifacts).
+  bool at_end = true;
+
+  /// True when boundary `index` (after passes[index]) gets a snapshot.
+  bool wants(std::size_t index, const std::vector<PassSpec>& passes) const;
+
+  /// Folded into the cache environment digest while enabled: boundary
+  /// normalization changes the recorded analysis counters, so runs
+  /// under different stage placements must not share entries.
+  std::uint64_t digest() const;
+};
+
 /// One function's compilation inside a module run (module order).
 struct FunctionCompileResult {
   FunctionCompileResult(std::string function_name, PipelineRunResult r)
@@ -39,6 +63,9 @@ struct FunctionCompileResult {
   /// True when the result was restored from the persistent ResultCache
   /// instead of compiled in this run.
   bool from_cache = false;
+  /// Passes skipped by resuming from a cached stage snapshot (0 when
+  /// the function was compiled from scratch or fully restored).
+  std::uint32_t resumed_passes = 0;
 };
 
 struct ModulePipelineResult {
@@ -67,6 +94,12 @@ struct ModulePipelineResult {
   std::size_t cache_hits() const;
   /// cache_hits() over the module size (0 when the module is empty).
   double cache_hit_rate() const;
+
+  /// Functions that resumed from a cached stage snapshot instead of
+  /// compiling from pass 0 (incremental mode).
+  std::size_t prefix_hits() const;
+  /// Total passes those resumes skipped, summed over the module.
+  std::size_t passes_skipped() const;
 
   /// Per-function result table (name, instrs, vregs, spills, time).
   TextTable function_table(const std::string& title = "module") const;
@@ -100,6 +133,13 @@ class CompilationDriver {
   /// determinism guarantee across processes.
   void set_result_cache(ResultCache* cache) { cache_ = cache; }
 
+  /// Enables incremental compilation against the attached cache: work
+  /// items probe for the longest cached spec prefix, resume from it,
+  /// and freeze new snapshots at the policy's boundaries. No effect
+  /// without a result cache.
+  void set_stage_policy(StagePolicy policy) { stage_policy_ = policy; }
+  const StagePolicy& stage_policy() const { return stage_policy_; }
+
   /// Compiles every function of `module` under `spec`. A spec error
   /// rejects the whole module before any work runs; a per-function
   /// failure still compiles the remaining functions (result.ok is false
@@ -116,6 +156,7 @@ class CompilationDriver {
   PassManager manager_;
   unsigned jobs_ = 0;
   ResultCache* cache_ = nullptr;
+  StagePolicy stage_policy_;
 };
 
 }  // namespace tadfa::pipeline

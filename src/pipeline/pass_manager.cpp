@@ -82,14 +82,40 @@ std::string PassManager::validate(const std::vector<PassSpec>& specs) const {
 }
 
 PipelineRunResult PassManager::run(const ir::Function& input,
-                                   const std::vector<PassSpec>& specs) const {
+                                   const std::vector<PassSpec>& specs,
+                                   const SnapshotHooks& hooks) const {
+  PipelineRunResult result(input);
+  run_impl(result, /*start=*/0, specs, hooks);
+  return result;
+}
+
+PipelineRunResult PassManager::resume(ResumeState resume,
+                                      const std::vector<PassSpec>& specs,
+                                      const SnapshotHooks& hooks) const {
+  PipelineRunResult result(std::move(resume.state));
+  if (resume.passes_done > specs.size()) {
+    result.error = "resume point (" + std::to_string(resume.passes_done) +
+                   " passes done) is past the end of a " +
+                   std::to_string(specs.size()) + "-pass pipeline";
+    return result;
+  }
+  result.pass_stats = std::move(resume.pass_stats);
+  result.total_seconds = resume.prefix_seconds;
+  run_impl(result, resume.passes_done, specs, hooks);
+  return result;
+}
+
+void PassManager::run_impl(PipelineRunResult& result, std::size_t start,
+                           const std::vector<PassSpec>& specs,
+                           const SnapshotHooks& hooks) const {
   using Clock = std::chrono::steady_clock;
 
-  PipelineRunResult result(input);
   result.state.analyses.set_caching(analysis_caching_);
 
-  // Instantiate everything first: a typo in pass 7 must not leave a
-  // half-transformed function behind.
+  // Instantiate everything first — including the prefix a resume never
+  // runs: a typo in pass 7 must not leave a half-transformed function
+  // behind, and a resumed pipeline must reject exactly the specs a cold
+  // one rejects.
   std::vector<std::unique_ptr<Pass>> passes;
   passes.reserve(specs.size());
   for (const PassSpec& spec : specs) {
@@ -97,20 +123,27 @@ PipelineRunResult PassManager::run(const ir::Function& input,
     auto pass = registry_->create(spec, &error);
     if (pass == nullptr) {
       result.error = error;
-      return result;
+      return;
     }
     passes.push_back(std::move(pass));
   }
 
   if (checkpoints_) {
     if (std::string issue = verify_checkpoint(result.state); !issue.empty()) {
-      result.error = "verifier checkpoint on pipeline input: " + issue;
-      return result;
+      result.error = (start == 0
+                          ? "verifier checkpoint on pipeline input: "
+                          : "verifier checkpoint on restored snapshot: ") +
+                     issue;
+      return;
     }
   }
 
+  // A resumed run's clock starts where the producing run's prefix
+  // stopped (ResumeState::prefix_seconds, parked in total_seconds).
+  const double prefix_seconds = result.total_seconds;
   const auto pipeline_start = Clock::now();
-  for (const auto& pass : passes) {
+  for (std::size_t index = start; index < passes.size(); ++index) {
+    const auto& pass = passes[index];
     result.state.analyses.begin_pass();
     std::uint64_t before_fp = 0;
     std::uint64_t before_sfp = 0;
@@ -125,7 +158,7 @@ PipelineRunResult PassManager::run(const ir::Function& input,
         std::chrono::duration<double>(Clock::now() - pass_start).count();
     if (!outcome.ok) {
       result.error = "pass '" + pass->name() + "': " + outcome.error;
-      return result;
+      return;
     }
 
     if (checkpoints_) {
@@ -136,7 +169,7 @@ PipelineRunResult PassManager::run(const ir::Function& input,
                                            before_sfp, after_sfp);
           !claim.empty()) {
         result.error = "pass '" + pass->name() + "' " + claim;
-        return result;
+        return;
       }
     }
 
@@ -160,14 +193,28 @@ PipelineRunResult PassManager::run(const ir::Function& input,
           !issue.empty()) {
         result.error =
             "verifier checkpoint after pass '" + pass->name() + "': " + issue;
-        return result;
+        return;
       }
+    }
+
+    // Snapshot boundary: normalize the live state to what a restore of
+    // the snapshot reconstructs, then hand the freeze to the sink. The
+    // normalization is unconditional on the want() answer being true —
+    // it is what makes the cold run's suffix byte-identical to a
+    // resumed run's (analysis counters included).
+    if (hooks.active() && hooks.want(index)) {
+      normalize_state_at_boundary(result.state);
+      const double elapsed =
+          prefix_seconds +
+          std::chrono::duration<double>(Clock::now() - pipeline_start).count();
+      hooks.sink(index + 1, PipelineSnapshot::capture(result.state),
+                 result.pass_stats, result.state.analyses.stats(), elapsed);
     }
   }
   result.total_seconds =
+      prefix_seconds +
       std::chrono::duration<double>(Clock::now() - pipeline_start).count();
   result.ok = true;
-  return result;
 }
 
 TextTable PassManager::stats_table(const PipelineRunResult& result,

@@ -16,6 +16,8 @@
 //     preserved" while mutating the IR fails the pipeline).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -39,11 +41,54 @@ struct PassRunStats {
   friend bool operator==(const PassRunStats&, const PassRunStats&) = default;
 };
 
+/// Observers of pass boundaries during a run. When both callbacks are
+/// set, every boundary `index` (0-based, meaning "after passes[index]
+/// ran and verified") for which want(index) answers true first has the
+/// live state normalized (normalize_state_at_boundary — this is part of
+/// the contract: the cold run's state after a snapshot boundary must
+/// equal what restoring that snapshot reconstructs) and then handed to
+/// sink as a PipelineSnapshot together with everything a resumed run
+/// needs to replay reporting byte-identically: the stats of the passes
+/// done so far, the analysis counters at the boundary, and the wall
+/// clock attributable to the prefix.
+struct SnapshotHooks {
+  std::function<bool(std::size_t index)> want;
+  std::function<void(
+      std::size_t passes_done, const PipelineSnapshot& snapshot,
+      const std::vector<PassRunStats>& pass_stats,
+      const std::vector<AnalysisManager::AnalysisStats>& analysis_stats,
+      double prefix_seconds)>
+      sink;
+
+  bool active() const {
+    return static_cast<bool>(want) && static_cast<bool>(sink);
+  }
+};
+
+/// A restored snapshot ready to continue at pass index `passes_done`,
+/// produced by ResultCache::lookup_longest_stage (or hand-built in
+/// tests) and consumed by PassManager::resume.
+struct ResumeState {
+  explicit ResumeState(PipelineState restored) : state(std::move(restored)) {}
+
+  PipelineState state;
+  std::size_t passes_done = 0;
+  /// Stats of the prefix passes, replayed verbatim into the resumed
+  /// run's result so its reporting matches a cold run's.
+  std::vector<PassRunStats> pass_stats;
+  /// Wall clock the producing run spent on the prefix; the resumed
+  /// run's total_seconds starts from here.
+  double prefix_seconds = 0;
+};
+
 struct PipelineRunResult {
   /// A result always wraps the compiled (or partially compiled) function;
   /// PipelineState has no default constructor, so neither does this.
   explicit PipelineRunResult(ir::Function input)
       : state(std::move(input)) {}
+  /// Wraps a restored mid-pipeline state (PassManager::resume).
+  explicit PipelineRunResult(PipelineState restored)
+      : state(std::move(restored)) {}
 
   bool ok = false;
   /// On failure: which stage failed (spec parse, pass construction, pass
@@ -77,7 +122,20 @@ class PassManager {
   PipelineRunResult run(const ir::Function& input,
                         const std::string& spec) const;
   PipelineRunResult run(const ir::Function& input,
-                        const std::vector<PassSpec>& passes) const;
+                        const std::vector<PassSpec>& passes,
+                        const SnapshotHooks& hooks = {}) const;
+
+  /// Continues a pipeline from a restored pass-boundary snapshot:
+  /// passes[0 .. resume.passes_done) are *instantiated but not run* (a
+  /// resumed pipeline must reject exactly the specs a cold one
+  /// rejects), the restored state is verifier-checkpointed, and the
+  /// remaining passes run normally — including any snapshot boundaries
+  /// at or past the resume point. The result carries the prefix's
+  /// replayed pass stats and prefix_seconds, so a successful resume is
+  /// byte-identical (timing aside) to the cold run of the full spec.
+  PipelineRunResult resume(ResumeState resume,
+                           const std::vector<PassSpec>& passes,
+                           const SnapshotHooks& hooks = {}) const;
 
   /// Instantiates every pass without running anything; returns the first
   /// construction error, or "" when the pipeline is well-formed. The
@@ -92,6 +150,17 @@ class PassManager {
   const PipelineContext& context() const { return ctx_; }
 
  private:
+  /// Shared tail of run() and resume(): `result` arrives holding the
+  /// starting state (fresh input or restored snapshot), the prefix's
+  /// pass stats, and the prefix wall clock in total_seconds; passes
+  /// [start, specs.size()) then run. Mutates the caller's local in
+  /// place — taking (or returning) the result by value would move the
+  /// PipelineState, which sheds computed analyses and bumps their
+  /// invalidation counters.
+  void run_impl(PipelineRunResult& result, std::size_t start,
+                const std::vector<PassSpec>& specs,
+                const SnapshotHooks& hooks) const;
+
   PipelineContext ctx_;
   const PassRegistry* registry_;
   bool checkpoints_ = true;

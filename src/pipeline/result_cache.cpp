@@ -15,8 +15,12 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// 64-bit magic at the head of every entry file ("TADFA RC").
+/// 64-bit magic at the head of every full-run entry file ("TADFA RC").
 constexpr std::uint64_t kMagic = 0x5441444641524331ull;
+/// 64-bit magic at the head of every stage entry file ("TADFA SG").
+constexpr std::uint64_t kStageMagic = 0x5441444641534731ull;
+/// Seed of the stage payload checksum stream.
+constexpr std::uint64_t kStagePayloadSeed = 0x7374672d73756d31ull;
 
 constexpr const char* kIndexName = "index.txt";
 constexpr const char* kIndexHeader = "tadfa-result-cache-index v1";
@@ -95,17 +99,6 @@ std::string CacheKey::text() const { return hex64(hi) + hex64(lo); }
 
 // --- CachedResult ------------------------------------------------------------
 
-ThermalSummary summarize_dfa(const core::ThermalDfaResult& dfa) {
-  ThermalSummary summary;
-  summary.converged = dfa.converged;
-  summary.iterations = dfa.iterations;
-  summary.final_delta_k = dfa.final_delta_k;
-  summary.peak_anywhere_k = dfa.peak_anywhere_k;
-  summary.exit_stats = dfa.exit_stats;
-  summary.exit_reg_temps_k = dfa.exit_reg_temps_k;
-  return summary;
-}
-
 CachedResult CachedResult::from_run(const PipelineRunResult& run) {
   CachedResult entry;
   entry.function_text = ir::to_string(run.state.func);
@@ -152,14 +145,7 @@ std::optional<PipelineRunResult> CachedResult::to_run(
     // convergence verdict, exit map, and exit temperatures survive the
     // cache; the bulky per-instruction states and δ history do not
     // (nothing downstream of a finished module compile reads them).
-    core::ThermalDfaResult dfa;
-    dfa.converged = thermal->converged;
-    dfa.iterations = thermal->iterations;
-    dfa.final_delta_k = thermal->final_delta_k;
-    dfa.peak_anywhere_k = thermal->peak_anywhere_k;
-    dfa.exit_stats = thermal->exit_stats;
-    dfa.exit_reg_temps_k = thermal->exit_reg_temps_k;
-    run.state.analyses.restore(std::move(dfa));
+    run.state.analyses.restore(thermal->to_result());
   }
   return run;
 }
@@ -190,22 +176,7 @@ void CachedResult::serialize(ByteWriter& w) const {
   }
   w.boolean(thermal.has_value());
   if (thermal.has_value()) {
-    const ThermalSummary& t = *thermal;
-    w.boolean(t.converged);
-    w.u32(static_cast<std::uint32_t>(t.iterations));
-    w.f64(t.final_delta_k);
-    w.f64(t.peak_anywhere_k);
-    w.f64(t.exit_stats.peak_k);
-    w.f64(t.exit_stats.min_k);
-    w.f64(t.exit_stats.mean_k);
-    w.f64(t.exit_stats.stddev_k);
-    w.f64(t.exit_stats.range_k);
-    w.f64(t.exit_stats.max_gradient_k);
-    w.f64(t.exit_stats.mean_gradient_k);
-    w.u64(t.exit_reg_temps_k.size());
-    for (double temp : t.exit_reg_temps_k) {
-      w.f64(temp);
-    }
+    thermal->serialize(w);
   }
 }
 
@@ -239,24 +210,86 @@ std::optional<CachedResult> CachedResult::deserialize(ByteReader& r) {
     entry.analysis_stats.push_back(std::move(s));
   }
   if (r.boolean()) {
-    ThermalSummary t;
-    t.converged = r.boolean();
-    t.iterations = static_cast<int>(r.u32());
-    t.final_delta_k = r.f64();
-    t.peak_anywhere_k = r.f64();
-    t.exit_stats.peak_k = r.f64();
-    t.exit_stats.min_k = r.f64();
-    t.exit_stats.mean_k = r.f64();
-    t.exit_stats.stddev_k = r.f64();
-    t.exit_stats.range_k = r.f64();
-    t.exit_stats.max_gradient_k = r.f64();
-    t.exit_stats.mean_gradient_k = r.f64();
-    const std::uint64_t num_temps = r.u64();
-    for (std::uint64_t i = 0; i < num_temps && r.ok(); ++i) {
-      t.exit_reg_temps_k.push_back(r.f64());
-    }
-    entry.thermal = std::move(t);
+    entry.thermal = ThermalSummary::deserialize(r);
   }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return entry;
+}
+
+// --- StageEntry --------------------------------------------------------------
+
+std::optional<ResumeState> StageEntry::to_resume(
+    const std::string& function_name) const {
+  auto state = snapshot.restore(function_name);
+  if (!state.has_value()) {
+    return std::nullopt;
+  }
+  ResumeState resume(std::move(*state));
+  resume.passes_done = passes_done;
+  resume.pass_stats = pass_stats;
+  resume.prefix_seconds = prefix_seconds;
+  // The producing run's counters ride the sidecar; restored artifacts
+  // were re-registered stat-neutrally, so this is the only source and
+  // the resumed run's reporting matches the cold run's exactly.
+  resume.state.analyses.import_stats(analysis_stats);
+  return resume;
+}
+
+void StageEntry::serialize(ByteWriter& w) const {
+  w.u32(passes_done);
+  snapshot.serialize(w);
+  w.u64(pass_stats.size());
+  for (const PassRunStats& s : pass_stats) {
+    w.str(s.name);
+    w.f64(s.seconds);
+    w.str(s.summary);
+    w.boolean(s.changed);
+    w.u64(s.instructions_after);
+    w.u32(s.vregs_after);
+  }
+  w.u64(analysis_stats.size());
+  for (const AnalysisManager::AnalysisStats& s : analysis_stats) {
+    w.str(s.name);
+    w.u64(s.hits);
+    w.u64(s.misses);
+    w.u64(s.puts);
+    w.u64(s.invalidations);
+  }
+  w.f64(prefix_seconds);
+}
+
+std::optional<StageEntry> StageEntry::deserialize(ByteReader& r) {
+  StageEntry entry;
+  entry.passes_done = r.u32();
+  auto snapshot = PipelineSnapshot::deserialize(r);
+  if (!snapshot.has_value()) {
+    return std::nullopt;
+  }
+  entry.snapshot = std::move(*snapshot);
+  const std::uint64_t num_passes = r.u64();
+  for (std::uint64_t i = 0; i < num_passes && r.ok(); ++i) {
+    PassRunStats s;
+    s.name = r.str();
+    s.seconds = r.f64();
+    s.summary = r.str();
+    s.changed = r.boolean();
+    s.instructions_after = r.u64();
+    s.vregs_after = r.u32();
+    entry.pass_stats.push_back(std::move(s));
+  }
+  const std::uint64_t num_analyses = r.u64();
+  for (std::uint64_t i = 0; i < num_analyses && r.ok(); ++i) {
+    AnalysisManager::AnalysisStats s;
+    s.name = r.str();
+    s.hits = r.u64();
+    s.misses = r.u64();
+    s.puts = r.u64();
+    s.invalidations = r.u64();
+    entry.analysis_stats.push_back(std::move(s));
+  }
+  entry.prefix_seconds = r.f64();
   if (!r.ok()) {
     return std::nullopt;
   }
@@ -265,8 +298,12 @@ std::optional<CachedResult> CachedResult::deserialize(ByteReader& r) {
 
 // --- ResultCache -------------------------------------------------------------
 
-ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
-    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+ResultCache::ResultCache(Config config)
+    : dir_(std::move(config.dir)),
+      max_bytes_(config.max_bytes),
+      // 0 would mean "never reach the threshold"; clamp to flush-per-store.
+      index_flush_interval_(std::max<std::uint32_t>(
+          config.index_flush_interval, 1)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_)) {
@@ -306,6 +343,23 @@ CacheKey ResultCache::make_key(std::uint64_t function_fingerprint,
   key.lo = Hasher(0x6c6f2d6b6579ull /* "lo-key" */)
                .mix(function_fingerprint)
                .mix(canonical_spec)
+               .mix(context_digest)
+               .digest();
+  return key;
+}
+
+CacheKey ResultCache::make_stage_key(std::uint64_t function_fingerprint,
+                                     std::uint64_t spec_prefix_digest,
+                                     std::uint64_t context_digest) {
+  CacheKey key;
+  key.hi = Hasher(0x68692d737467ull /* "hi-stg" */)
+               .mix(function_fingerprint)
+               .mix(spec_prefix_digest)
+               .mix(context_digest)
+               .digest();
+  key.lo = Hasher(0x6c6f2d737467ull /* "lo-stg" */)
+               .mix(function_fingerprint)
+               .mix(spec_prefix_digest)
                .mix(context_digest)
                .digest();
   return key;
@@ -397,30 +451,163 @@ bool ResultCache::insert(const CacheKey& key, const PipelineRunResult& run,
     entry.thermal = std::move(thermal);
   }
   entry.serialize(w);
+  return store_bytes_locked_free(key, w.data(), /*is_stage=*/false);
+}
 
+bool ResultCache::store_bytes_locked_free(const CacheKey& key,
+                                          const std::string& bytes,
+                                          bool is_stage) {
   const fs::path path = entry_path(key);
   std::error_code ec;
   fs::create_directories(path.parent_path(), ec);
-  if (ec || !write_file_atomic(path, w.data())) {
+  if (ec || !write_file_atomic(path, bytes)) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.store_failures;
     return false;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.stores;
+  if (is_stage) {
+    ++stats_.stage_stores;
+  } else {
+    ++stats_.stores;
+  }
   IndexEntry& row = index_[key.text()];
-  bytes_total_ += w.data().size() - row.bytes;  // 0 for a fresh row
-  row.bytes = w.data().size();
+  bytes_total_ += bytes.size() - row.bytes;  // 0 for a fresh row
+  row.bytes = bytes.size();
   row.seq = next_seq_++;
   evict_until_fits_locked();
   // Index persistence is batched: rewriting it per store would make a
   // cold run O(entries²) in index bytes and serialize the workers on
   // it. A stale index only costs accounting (load reconciles).
-  if (++index_dirty_ >= kIndexSaveInterval) {
+  if (++index_dirty_ >= index_flush_interval_) {
     save_index_locked();
     index_dirty_ = 0;
   }
   return true;
+}
+
+// --- Stage entries -----------------------------------------------------------
+
+bool ResultCache::insert_stage(const CacheKey& key, const StageEntry& stage) {
+  if (fault_hook_) {
+    fault_hook_("stage-insert");
+  }
+  if (!ok_) {
+    return false;
+  }
+  ByteWriter payload;
+  stage.serialize(payload);
+  ByteWriter w;
+  w.u64(kStageMagic);
+  w.u32(kStageFormatVersion);
+  w.u64(key.hi);
+  w.u64(key.lo);
+  w.str(payload.data());
+  // Whole-payload checksum: the snapshot's function fingerprint cannot
+  // vouch for the artifacts riding along (assignment, ranking, gating),
+  // so a bit flip anywhere in the payload must fail loudly here.
+  w.u64(Hasher(kStagePayloadSeed)
+            .mix(std::string_view(payload.data()))
+            .digest());
+  return store_bytes_locked_free(key, w.data(), /*is_stage=*/true);
+}
+
+std::optional<StageEntry> ResultCache::read_stage(const CacheKey& key,
+                                                  bool count_stats) {
+  const auto bytes = read_file(entry_path(key));
+  if (!bytes.has_value()) {
+    if (count_stats) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.stage_misses;
+    }
+    return std::nullopt;
+  }
+  ByteReader r(*bytes);
+  const bool header_ok = r.u64() == kStageMagic &&
+                         r.u32() == kStageFormatVersion &&
+                         r.u64() == key.hi && r.u64() == key.lo;
+  std::optional<StageEntry> entry;
+  if (header_ok) {
+    const std::string payload = r.str();
+    const std::uint64_t digest = r.u64();
+    if (r.ok() && r.remaining() == 0 &&
+        Hasher(kStagePayloadSeed)
+                .mix(std::string_view(payload))
+                .digest() == digest) {
+      ByteReader pr(payload);
+      entry = StageEntry::deserialize(pr);
+      if (entry.has_value() && pr.remaining() != 0) {
+        entry.reset();
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!entry.has_value()) {
+    if (count_stats) {
+      ++stats_.stage_misses;
+    }
+    remove_entry_locked(key.text(), /*count_bad=*/true);
+    return std::nullopt;
+  }
+  if (count_stats) {
+    ++stats_.stage_hits;
+  }
+  auto it = index_.find(key.text());
+  if (it != index_.end()) {
+    it->second.seq = next_seq_++;  // LRU touch (persisted on next insert)
+  }
+  return entry;
+}
+
+std::optional<StageEntry> ResultCache::lookup_stage(const CacheKey& key) {
+  if (fault_hook_) {
+    fault_hook_("stage-lookup");
+  }
+  if (!ok_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stage_misses;
+    return std::nullopt;
+  }
+  return read_stage(key, /*count_stats=*/true);
+}
+
+std::optional<ResumeState> ResultCache::lookup_longest_stage(
+    std::uint64_t function_fingerprint, const std::vector<PassSpec>& passes,
+    std::uint64_t context_digest, const std::string& function_name) {
+  if (fault_hook_) {
+    fault_hook_("stage-lookup");
+  }
+  if (!ok_ || passes.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stage_misses;
+    return std::nullopt;
+  }
+  for (std::size_t k = passes.size(); k >= 1; --k) {
+    const CacheKey key = make_stage_key(
+        function_fingerprint, spec_prefix_digest(passes, k), context_digest);
+    auto entry = read_stage(key, /*count_stats=*/false);
+    if (!entry.has_value()) {
+      continue;  // absent or already removed as corrupt; try shorter
+    }
+    if (entry->passes_done != k) {
+      // The payload disagrees with the key it was stored under.
+      std::lock_guard<std::mutex> lock(mu_);
+      remove_entry_locked(key.text(), /*count_bad=*/true);
+      continue;
+    }
+    auto resume = entry->to_resume(function_name);
+    if (!resume.has_value()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      remove_entry_locked(key.text(), /*count_bad=*/true);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stage_hits;
+    return resume;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stage_misses;
+  return std::nullopt;
 }
 
 ResultCache::~ResultCache() { flush(); }
@@ -587,6 +774,11 @@ TextTable ResultCache::stats_table(const std::string& title) const {
   table.add_row({"evictions", std::to_string(s.evictions)});
   table.add_row({"store failures", std::to_string(s.store_failures)});
   table.add_row({"lookup faults", std::to_string(s.lookup_faults)});
+  table.add_row({"stage hits", std::to_string(s.stage_hits)});
+  table.add_row({"stage misses", std::to_string(s.stage_misses)});
+  table.add_row({"stage hit rate",
+                 TextTable::num(s.stage_hit_rate() * 100.0, 1) + "%"});
+  table.add_row({"stage stores", std::to_string(s.stage_stores)});
   table.add_row({"entries", std::to_string(entry_count())});
   table.add_row({"bytes", std::to_string(total_bytes())});
   return table;

@@ -35,6 +35,34 @@
 // counted in `bad_entries`, deleted, and reported as a miss — the
 // driver then recompiles cleanly.
 //
+// Stage entries. Incremental compilation (PR 6) adds a second entry
+// kind to the same directory, index, size accounting, and eviction
+// order: a *stage entry* freezes a pipeline at a pass boundary rather
+// than at the end. It is keyed by
+//
+//     stage key = H( ir::fingerprint(input function)
+//                  ⊕ spec_prefix_digest(passes, k)
+//                  ⊕ env digest )
+//
+// so a spec that *extends* a previously compiled one shares every
+// prefix key with it, and lookup_longest_stage() can restore the
+// longest cached prefix (k = n, n-1, ... 1) and let the driver run only
+// the suffix. The stage record layout is
+//
+//     [u64 stage magic "TADFASG1"][u32 kStageFormatVersion]
+//     [u64 key.hi][u64 key.lo]
+//     [str payload][u64 payload digest]
+//
+// where the payload is a serialized StageEntry (PipelineSnapshot +
+// prefix pass stats + analysis counters + prefix wall clock) and the
+// trailing digest is a seeded hash over the payload bytes — the
+// snapshot's function fingerprint cannot vouch for the *artifacts*
+// riding along (assignment, ranking, gating), so the whole payload is
+// checksummed. Any mismatch (magic, version, key echo, payload digest,
+// totalizing reader, fingerprint after re-parse) counts a bad entry,
+// deletes the file, and degrades to probing a shorter prefix — worst
+// case a full recompile, never a corrupt resume.
+//
 // Thread safety: all public methods are safe to call from concurrent
 // driver workers (and from concurrent processes sharing the directory;
 // the index degrades to best-effort accounting there).
@@ -52,7 +80,6 @@
 
 #include "pipeline/pass_manager.hpp"
 #include "support/serialize.hpp"
-#include "thermal/map_stats.hpp"
 
 namespace tadfa::pipeline {
 
@@ -68,26 +95,9 @@ struct CacheKey {
   friend bool operator==(const CacheKey&, const CacheKey&) = default;
 };
 
-/// The thermal-DFA outcome worth keeping across processes: convergence
-/// and the exit map, not the per-instruction states (those are bulky
-/// and refer to instruction positions no later consumer needs). On a
-/// warm hit this is restored as a summary-only ThermalDfaResult, so
-/// state.dfa() answers warm exactly where it answered cold — with
-/// empty per_instruction/delta_history vectors.
-struct ThermalSummary {
-  bool converged = false;
-  int iterations = 0;
-  double final_delta_k = 0;
-  double peak_anywhere_k = 0;
-  thermal::MapStats exit_stats;
-  std::vector<double> exit_reg_temps_k;
-
-  friend bool operator==(const ThermalSummary&,
-                         const ThermalSummary&) = default;
-};
-
-/// The summary of a full DFA result (what the cache keeps of it).
-ThermalSummary summarize_dfa(const core::ThermalDfaResult& dfa);
+// ThermalSummary and summarize_dfa moved to pipeline/state.hpp in PR 6
+// (pass-boundary snapshots need them below the cache layer); they reach
+// this header through pass_manager.hpp.
 
 /// One serializable pipeline result: the output function as canonical
 /// text plus the sidecar fields the text format cannot carry.
@@ -125,6 +135,31 @@ struct CachedResult {
   friend bool operator==(const CachedResult&, const CachedResult&) = default;
 };
 
+/// One pass-boundary freeze: the snapshot plus the reporting sidecar a
+/// resumed run replays (prefix pass stats, analysis counters at the
+/// boundary, prefix wall clock). Stored/retrieved by insert_stage and
+/// lookup_longest_stage under spec-prefix keys.
+struct StageEntry {
+  /// Number of leading passes the snapshot accounts for (the resume
+  /// index).
+  std::uint32_t passes_done = 0;
+  PipelineSnapshot snapshot;
+  std::vector<PassRunStats> pass_stats;
+  std::vector<AnalysisManager::AnalysisStats> analysis_stats;
+  double prefix_seconds = 0;
+
+  /// Rebuilds a ResumeState named `function_name`: restores the
+  /// snapshot, imports the sidecar analysis counters, and threads the
+  /// prefix stats/clock through. nullopt when the snapshot does not
+  /// reconstruct (corruption caught past the payload digest).
+  std::optional<ResumeState> to_resume(const std::string& function_name) const;
+
+  void serialize(ByteWriter& w) const;
+  static std::optional<StageEntry> deserialize(ByteReader& r);
+
+  friend bool operator==(const StageEntry&, const StageEntry&) = default;
+};
+
 struct ResultCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -137,10 +172,22 @@ struct ResultCacheStats {
   /// Lookups that threw (filesystem failure under the cache) and were
   /// degraded to misses by the caller (each also counts as a miss).
   std::uint64_t lookup_faults = 0;
+  /// Stage-entry counters (incremental compilation). A hit is one
+  /// successful longest-prefix restore; a miss is one probe that found
+  /// no usable prefix at any length. Corrupt stage entries fold into
+  /// bad_entries above; stage stores that failed fold into
+  /// store_failures; evicted stage entries fold into evictions.
+  std::uint64_t stage_hits = 0;
+  std::uint64_t stage_misses = 0;
+  std::uint64_t stage_stores = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+  double stage_hit_rate() const {
+    const std::uint64_t total = stage_hits + stage_misses;
+    return total == 0 ? 0.0 : static_cast<double>(stage_hits) / total;
   }
 };
 
@@ -149,11 +196,27 @@ class ResultCache {
   /// Bumped whenever the entry encoding changes; entries written by any
   /// other version are treated as misses and removed on contact.
   static constexpr std::uint32_t kFormatVersion = 1;
+  /// Independently versioned stage-entry encoding (see file comment).
+  static constexpr std::uint32_t kStageFormatVersion = 1;
 
-  /// Opens (creating directories as needed) a cache rooted at `dir`.
-  /// `max_bytes` = 0 means unbounded; otherwise inserts evict
-  /// least-recently-used entries until the total fits.
-  explicit ResultCache(std::string dir, std::uint64_t max_bytes = 0);
+  struct Config {
+    std::string dir;
+    /// 0 = unbounded; otherwise inserts evict least-recently-used
+    /// entries (full-run and stage alike) until the total fits.
+    std::uint64_t max_bytes = 0;
+    /// Stores between batched index.txt rewrites (0 behaves as 1 —
+    /// every store flushes). The default keeps a cold run from being
+    /// O(entries²) in index bytes; long-lived processes that must not
+    /// rely on the destructor call flush() themselves.
+    std::uint32_t index_flush_interval = 64;
+  };
+
+  /// Opens (creating directories as needed) a cache rooted at
+  /// `config.dir`.
+  explicit ResultCache(Config config);
+  /// Convenience form with default index batching.
+  explicit ResultCache(std::string dir, std::uint64_t max_bytes = 0)
+      : ResultCache(Config{std::move(dir), max_bytes, 64}) {}
   /// Persists any unwritten index rows (see flush()).
   ~ResultCache();
   ResultCache(const ResultCache&) = delete;
@@ -175,6 +238,14 @@ class ResultCache {
                            const std::string& canonical_spec,
                            std::uint64_t context_digest);
 
+  /// Derives a stage-entry address from the input fingerprint, a
+  /// spec_prefix_digest, and the same environment digest full-run keys
+  /// use. Seeded differently from make_key, so the two entry kinds can
+  /// never collide on an address.
+  static CacheKey make_stage_key(std::uint64_t function_fingerprint,
+                                 std::uint64_t spec_prefix_digest,
+                                 std::uint64_t context_digest);
+
   /// Full reconstruction: entry -> ready PipelineRunResult named
   /// `function_name`. nullopt on miss or bad entry.
   std::optional<PipelineRunResult> lookup(const CacheKey& key,
@@ -195,6 +266,25 @@ class ResultCache {
   bool insert(const CacheKey& key, const PipelineRunResult& run,
               std::optional<ThermalSummary> thermal = std::nullopt);
 
+  /// Persists one pass-boundary freeze under a stage key. Counts a
+  /// stage store (or a store failure). Overwriting an existing stage
+  /// entry is fine — identical content modulo timing — and refreshes
+  /// its LRU stamp.
+  bool insert_stage(const CacheKey& key, const StageEntry& stage);
+
+  /// Raw stage-entry access (tests, diagnostics). Counts one stage hit
+  /// or miss; a corrupt entry counts bad_entries and is removed.
+  std::optional<StageEntry> lookup_stage(const CacheKey& key);
+
+  /// Longest-prefix probe: tries k = passes.size() .. 1 stage keys and
+  /// returns the first prefix that restores into a usable ResumeState
+  /// named `function_name` (one stage hit). Corrupt entries at any k
+  /// are removed (bad_entries) and the probe continues with shorter
+  /// prefixes; finding none counts one stage miss.
+  std::optional<ResumeState> lookup_longest_stage(
+      std::uint64_t function_fingerprint, const std::vector<PassSpec>& passes,
+      std::uint64_t context_digest, const std::string& function_name);
+
   /// Books a lookup that threw out of the cache as a miss plus a
   /// lookup fault. The CompilationDriver shields its work items from
   /// cache exceptions (a broken cache degrades the compile, never kills
@@ -206,7 +296,8 @@ class ResultCache {
 
   /// Test-only fault injection: when set, the hook runs at the top of
   /// every lookup and insert with the operation name ("lookup" /
-  /// "insert") and may throw to simulate a filesystem failure (cache
+  /// "insert" / "stage-lookup" / "stage-insert") and may throw to
+  /// simulate a filesystem failure (cache
   /// directory deleted mid-run, disk full, permission flip). Set it
   /// before handing the cache to concurrent workers; it is read without
   /// synchronization while compiles run.
@@ -219,10 +310,11 @@ class ResultCache {
   std::uint64_t total_bytes() const;
 
   /// Rewrites index.txt now. Inserts batch index persistence (one
-  /// rewrite every kIndexSaveInterval stores, plus one at destruction)
-  /// so a cold run is not O(entries²) in index bytes written; the index
-  /// is advisory and reconciled against the entry files on open, so a
-  /// crash between flushes loses accounting hints, never entries.
+  /// rewrite every Config::index_flush_interval stores, plus one at
+  /// destruction) so a cold run is not O(entries²) in index bytes
+  /// written; the index is advisory and reconciled against the entry
+  /// files on open, so a crash between flushes loses accounting hints,
+  /// never entries.
   void flush();
 
   /// Hit/miss/store/evict counter table, printed by `tadfa
@@ -248,13 +340,21 @@ class ResultCache {
   void remove_entry_locked(const std::string& key_text, bool count_bad);
   void evict_until_fits_locked();
   std::optional<CachedResult> read_entry(const CacheKey& key);
+  /// Reads + fully validates one stage entry. `count_stats` toggles the
+  /// per-probe hit/miss bookkeeping (the longest-prefix probe counts
+  /// once for the whole scan, not per k); corruption always counts
+  /// bad_entries and removes the file.
+  std::optional<StageEntry> read_stage(const CacheKey& key, bool count_stats);
+  /// Shared tail of insert/insert_stage: writes `bytes` under `key`'s
+  /// entry path and books the index row, eviction, and batched flush.
+  bool store_bytes_locked_free(const CacheKey& key, const std::string& bytes,
+                               bool is_stage);
 
   std::filesystem::path dir_;
   std::uint64_t max_bytes_ = 0;
+  std::uint32_t index_flush_interval_ = 64;
   bool ok_ = false;
   std::string error_;
-
-  static constexpr std::uint32_t kIndexSaveInterval = 64;
 
   mutable std::mutex mu_;
   std::map<std::string, IndexEntry> index_;

@@ -1,7 +1,9 @@
 #include "pipeline/spec.hpp"
 
+#include <algorithm>
 #include <cctype>
 
+#include "support/serialize.hpp"
 #include "support/string_utils.hpp"
 
 namespace tadfa::pipeline {
@@ -81,6 +83,20 @@ std::optional<std::vector<PassSpec>> parse_pipeline_spec(
 std::string format_spec_error(const SpecError& error) {
   return "spec element #" + std::to_string(error.index + 1) + ": " +
          error.message;
+}
+
+std::uint64_t spec_prefix_digest(const std::vector<PassSpec>& passes,
+                                 std::size_t k) {
+  k = std::min(k, passes.size());
+  // Seeded independently of the cache-key hash streams; the length is
+  // mixed first so a prefix of k bare names never collides with k-1
+  // (string mixing is already length-prefixed between elements).
+  Hasher h(0x737065632d707265ull /* "spec-pre" */);
+  h.mix(static_cast<std::uint64_t>(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    h.mix(passes[i].text());
+  }
+  return h.digest();
 }
 
 std::string spec_to_string(const std::vector<PassSpec>& passes) {

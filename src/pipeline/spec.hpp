@@ -10,6 +10,7 @@
 // around elements is ignored. Parsing and serialization round-trip.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,5 +46,15 @@ std::optional<std::vector<PassSpec>> parse_pipeline_spec(
 
 /// Canonical string for a parsed spec (inverse of parse_pipeline_spec).
 std::string spec_to_string(const std::vector<PassSpec>& passes);
+
+/// Canonical digest of the first `k` passes of a pipeline (`k` is
+/// clamped to passes.size()). Built over each pass's canonical text(),
+/// so any two spellings that parse to the same passes — extra
+/// whitespace, the whole spec re-serialized — share a digest. This is
+/// the spec half of a stage-entry cache key (ResultCache): a pipeline
+/// that extends a previously compiled spec shares every prefix digest
+/// with it and can restore the longest cached prefix.
+std::uint64_t spec_prefix_digest(const std::vector<PassSpec>& passes,
+                                 std::size_t k);
 
 }  // namespace tadfa::pipeline

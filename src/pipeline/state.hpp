@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/critical.hpp"
@@ -22,6 +24,8 @@
 #include "opt/bank_gating.hpp"
 #include "pipeline/analysis_manager.hpp"
 #include "pipeline/context.hpp"
+#include "support/serialize.hpp"
+#include "thermal/map_stats.hpp"
 
 namespace tadfa::pipeline {
 
@@ -92,5 +96,96 @@ struct PipelineState {
     return analyses.result<opt::BankGatingPlan>();
   }
 };
+
+/// The thermal-DFA outcome worth keeping across processes: convergence
+/// and the exit map, not the per-instruction states (those are bulky
+/// and refer to instruction positions no later consumer needs). On a
+/// warm hit this is restored as a summary-only ThermalDfaResult, so
+/// state.dfa() answers warm exactly where it answered cold — with
+/// empty per_instruction/delta_history vectors.
+struct ThermalSummary {
+  bool converged = false;
+  int iterations = 0;
+  double final_delta_k = 0;
+  double peak_anywhere_k = 0;
+  thermal::MapStats exit_stats;
+  std::vector<double> exit_reg_temps_k;
+
+  /// Re-materializes the summary as a ThermalDfaResult (summary form:
+  /// per-instruction states and δ history stay empty).
+  core::ThermalDfaResult to_result() const;
+
+  void serialize(ByteWriter& w) const;
+  static ThermalSummary deserialize(ByteReader& r);
+
+  friend bool operator==(const ThermalSummary&,
+                         const ThermalSummary&) = default;
+};
+
+/// The summary of a full DFA result (what the cache keeps of it).
+ThermalSummary summarize_dfa(const core::ThermalDfaResult& dfa);
+
+/// Full-fidelity DFA serialization for stage snapshots. Unlike the
+/// end-of-pipeline ThermalSummary, a mid-pipeline freeze must keep the
+/// per-instruction states and δ history: passes downstream of the
+/// boundary (nops, most directly) read them, and a resumed run must see
+/// exactly what the cold run saw.
+void serialize_dfa(ByteWriter& w, const core::ThermalDfaResult& dfa);
+core::ThermalDfaResult deserialize_dfa(ByteReader& r);
+
+/// A serializable freeze of a PipelineState at a pass boundary: the
+/// function via the canonical printer plus every *registered* artifact
+/// (assignment, full DFA result, critical ranking, gating plan).
+/// Computed analyses are deliberately absent — they are cheap to
+/// rebuild and hold pointers into the live function. restore()
+/// reconstructs a PipelineState a resumed pipeline can continue from;
+/// paired with normalize_state_at_boundary() on the producing side, the
+/// restored state is indistinguishable from the cold run's state at the
+/// same boundary (artifacts, analysis-cache contents, even the counters
+/// once the sidecar stats are imported).
+struct PipelineSnapshot {
+  std::string function_text;
+  /// The printer/parser round-trip loses trailing *unused* registers
+  /// and the stack-slot counter; both are restored from here so the
+  /// reconstructed function is fingerprint-identical.
+  std::uint32_t reg_count = 0;
+  std::uint32_t stack_slots = 0;
+  std::uint32_t spilled_regs = 0;
+  /// ir::fingerprint of the frozen function; verified after re-parsing.
+  std::uint64_t function_fingerprint = 0;
+  /// Raw vreg -> phys map including unassigned slots
+  /// (machine::RegisterAssignment::kUnassigned sentinel).
+  std::optional<std::vector<machine::PhysReg>> assignment;
+  std::optional<core::ThermalDfaResult> thermal;
+  std::optional<std::vector<core::CriticalVariable>> ranking;
+  std::optional<opt::BankGatingPlan> gating;
+
+  /// Freezes `state`. Capture what restore() reconstructs: callers that
+  /// need capture/restore to round-trip exactly must normalize the
+  /// state first (normalize_state_at_boundary).
+  static PipelineSnapshot capture(const PipelineState& state);
+
+  /// Rebuilds a PipelineState named `function_name`, with every
+  /// artifact re-registered stat-neutrally (AnalysisManager::restore).
+  /// nullopt when the text does not parse or the reconstructed function
+  /// does not match `function_fingerprint` (a corrupt snapshot).
+  std::optional<PipelineState> restore(const std::string& function_name) const;
+
+  void serialize(ByteWriter& w) const;
+  /// nullopt on any truncation/implausibility (totalizing reader).
+  static std::optional<PipelineSnapshot> deserialize(ByteReader& r);
+
+  friend bool operator==(const PipelineSnapshot&,
+                         const PipelineSnapshot&) = default;
+};
+
+/// Pass-boundary normalization: reduces a live state to exactly what a
+/// snapshot restore reconstructs — registered artifacts only, with the
+/// computed DFA result re-registered at full fidelity. Dropping the
+/// computed analyses counts their invalidations (same bookkeeping as
+/// moving the state), so a cold run that snapshots at a boundary and a
+/// resumed run that starts from the restored snapshot replay
+/// byte-identical analysis statistics.
+void normalize_state_at_boundary(PipelineState& state);
 
 }  // namespace tadfa::pipeline

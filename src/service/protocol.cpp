@@ -4,8 +4,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace tadfa::service {
 namespace {
@@ -163,6 +166,22 @@ double CompileResponse::cache_hit_rate() const {
                    static_cast<double>(functions.size());
 }
 
+std::size_t CompileResponse::prefix_hits() const {
+  std::size_t hits = 0;
+  for (const FunctionResult& f : functions) {
+    hits += f.resumed_passes > 0 ? 1 : 0;
+  }
+  return hits;
+}
+
+std::size_t CompileResponse::passes_skipped() const {
+  std::size_t skipped = 0;
+  for (const FunctionResult& f : functions) {
+    skipped += f.resumed_passes;
+  }
+  return skipped;
+}
+
 void CompileResponse::serialize(ByteWriter& w) const {
   w.u8(static_cast<std::uint8_t>(MessageType::kCompileResponse));
   w.boolean(ok);
@@ -173,6 +192,7 @@ void CompileResponse::serialize(ByteWriter& w) const {
     w.boolean(f.ok);
     w.str(f.error);
     w.boolean(f.from_cache);
+    w.u32(f.resumed_passes);
     w.str(f.printed);
     w.u64(f.instructions);
     w.u32(f.vregs);
@@ -189,6 +209,9 @@ void CompileResponse::serialize(ByteWriter& w) const {
   w.u64(cache.evictions);
   w.u64(cache.store_failures);
   w.u64(cache.lookup_faults);
+  w.u64(cache.stage_hits);
+  w.u64(cache.stage_misses);
+  w.u64(cache.stage_stores);
   w.f64(server_seconds);
 }
 
@@ -206,6 +229,7 @@ std::optional<CompileResponse> CompileResponse::deserialize(ByteReader& r) {
     f.ok = r.boolean();
     f.error = r.str();
     f.from_cache = r.boolean();
+    f.resumed_passes = r.u32();
     f.printed = r.str();
     f.instructions = r.u64();
     f.vregs = r.u32();
@@ -223,6 +247,9 @@ std::optional<CompileResponse> CompileResponse::deserialize(ByteReader& r) {
   response.cache.evictions = r.u64();
   response.cache.store_failures = r.u64();
   response.cache.lookup_faults = r.u64();
+  response.cache.stage_hits = r.u64();
+  response.cache.stage_misses = r.u64();
+  response.cache.stage_stores = r.u64();
   response.server_seconds = r.f64();
   if (!r.ok() || r.remaining() != 0) {
     return std::nullopt;
@@ -353,6 +380,32 @@ int connect_unix(const std::string& socket_path, std::string* error) {
     return -1;
   }
   return fd;
+}
+
+int connect_unix_retry(const std::string& socket_path, double timeout_seconds,
+                       std::string* error) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(timeout_seconds);
+  auto backoff = std::chrono::milliseconds(10);
+  constexpr auto kMaxBackoff = std::chrono::milliseconds(200);
+  for (;;) {
+    const int fd = connect_unix(socket_path, error);
+    if (fd >= 0) {
+      return fd;
+    }
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      return -1;
+    }
+    auto sleep_for = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    if (backoff < sleep_for) {
+      sleep_for = backoff;
+    }
+    std::this_thread::sleep_for(sleep_for);
+    backoff = std::min(backoff * 2, kMaxBackoff);
+  }
 }
 
 }  // namespace tadfa::service

@@ -36,7 +36,9 @@ namespace tadfa::service {
 /// "TDFA" — first four bytes of every frame.
 constexpr std::uint32_t kFrameMagic = 0x41464454u;
 /// Bumped on any wire-visible change to the frame or message encoding.
-constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: FunctionResult grew resumed_passes; the response cache-stats
+/// block grew the stage-entry counters (incremental compilation).
+constexpr std::uint32_t kProtocolVersion = 2;
 /// Upper bound on a single frame's payload (64 MiB). A length prefix
 /// beyond this is treated as a framing error, not an allocation.
 constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
@@ -75,6 +77,9 @@ struct FunctionResult {
   std::string error;
   /// Restored from the server's persistent result cache.
   bool from_cache = false;
+  /// Passes skipped by resuming from a cached stage snapshot (0 unless
+  /// the server compiles incrementally).
+  std::uint32_t resumed_passes = 0;
   /// The compiled function via the canonical printer — byte-identical
   /// to a direct CompilationDriver compile of the same input.
   std::string printed;
@@ -111,6 +116,11 @@ struct CompileResponse {
   std::size_t cache_hits() const;
   /// cache_hits() over the function count (0 for an empty response).
   double cache_hit_rate() const;
+  /// Functions of this request that resumed from a cached stage
+  /// snapshot instead of compiling from pass 0.
+  std::size_t prefix_hits() const;
+  /// Total passes those resumes skipped.
+  std::size_t passes_skipped() const;
 
   void serialize(ByteWriter& w) const;
   static std::optional<CompileResponse> deserialize(ByteReader& r);
@@ -150,5 +160,13 @@ std::optional<CompileResponse> read_response(int fd, std::string* error);
 
 /// Connects to a Unix-domain socket; -1 on failure (with `error`).
 int connect_unix(const std::string& socket_path, std::string* error);
+
+/// connect_unix with bounded exponential backoff: retries a refused or
+/// missing socket (a server still binding) until `timeout_seconds` of
+/// budget is spent, sleeping 10 ms, 20 ms, ... capped at 200 ms between
+/// attempts. Returns the connected fd, or -1 with the *last* attempt's
+/// error once the budget runs out.
+int connect_unix_retry(const std::string& socket_path, double timeout_seconds,
+                       std::string* error);
 
 }  // namespace tadfa::service

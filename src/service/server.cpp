@@ -71,6 +71,7 @@ bool CompileServer::start() {
       return false;
     }
     driver_.set_result_cache(&*cache_);
+    driver_.set_stage_policy(config_.stage_policy);
   }
 
   sockaddr_un addr{};
@@ -508,6 +509,7 @@ void CompileServer::compile_group(Group& group) {
         out.ok = f.run.ok;
         out.error = f.run.error;
         out.from_cache = f.from_cache;
+        out.resumed_passes = f.resumed_passes;
         out.printed = ir::to_string(f.run.state.func);
         out.instructions = f.run.state.func.instruction_count();
         out.vregs = f.run.state.func.reg_count();
@@ -542,6 +544,8 @@ void CompileServer::record_request(const CompileResponse& response,
   }
   functions_ += response.functions.size();
   functions_from_cache_ += response.cache_hits();
+  prefix_hits_ += response.prefix_hits();
+  passes_skipped_ += response.passes_skipped();
   if (latencies_ms_.size() < kLatencyWindow) {
     latencies_ms_.push_back(latency_ms);
   } else {
@@ -566,6 +570,8 @@ ServerMetrics CompileServer::metrics() const {
     m.malformed = malformed_;
     m.functions = functions_;
     m.functions_from_cache = functions_from_cache_;
+    m.prefix_hits = prefix_hits_;
+    m.passes_skipped = passes_skipped_;
     m.uptime_seconds =
         std::chrono::duration<double>(Clock::now() - start_time_).count();
     if (!latencies_ms_.empty()) {
@@ -602,6 +608,8 @@ TextTable CompileServer::metrics_table(const std::string& title) const {
   table.add_row({"functions/sec", TextTable::num(m.functions_per_sec, 1)});
   table.add_row(
       {"warm hit rate", TextTable::num(m.warm_hit_rate * 100.0, 1) + "%"});
+  table.add_row({"prefix hits", std::to_string(m.prefix_hits)});
+  table.add_row({"passes skipped", std::to_string(m.passes_skipped)});
   table.add_row({"latency p50 ms", TextTable::num(m.latency_p50_ms, 2)});
   table.add_row({"latency p95 ms", TextTable::num(m.latency_p95_ms, 2)});
   if (m.cache_attached) {
@@ -612,6 +620,9 @@ TextTable CompileServer::metrics_table(const std::string& title) const {
         {"cache store failures", std::to_string(m.cache.store_failures)});
     table.add_row(
         {"cache lookup faults", std::to_string(m.cache.lookup_faults)});
+    table.add_row({"stage hits", std::to_string(m.cache.stage_hits)});
+    table.add_row({"stage misses", std::to_string(m.cache.stage_misses)});
+    table.add_row({"stage stores", std::to_string(m.cache.stage_stores)});
   }
   return table;
 }

@@ -63,6 +63,10 @@ struct ServerConfig {
   double flush_every_seconds = 5.0;
   /// Ceiling on functions batched into one module compile.
   std::size_t max_batch_functions = 256;
+  /// Incremental compilation: when enabled, the driver freezes
+  /// pass-boundary snapshots into the cache and resumes from the
+  /// longest cached spec prefix. No effect without a cache_dir.
+  pipeline::StagePolicy stage_policy;
 };
 
 /// Aggregate counters since start(), snapshotted by metrics().
@@ -76,6 +80,10 @@ struct ServerMetrics {
   std::uint64_t malformed = 0;
   std::uint64_t functions = 0;
   std::uint64_t functions_from_cache = 0;
+  /// Functions that resumed from a cached stage snapshot (incremental
+  /// mode), and the total passes those resumes skipped.
+  std::uint64_t prefix_hits = 0;
+  std::uint64_t passes_skipped = 0;
   double uptime_seconds = 0;
   double requests_per_sec = 0;
   double functions_per_sec = 0;
@@ -193,6 +201,8 @@ class CompileServer {
   std::uint64_t malformed_ = 0;
   std::uint64_t functions_ = 0;
   std::uint64_t functions_from_cache_ = 0;
+  std::uint64_t prefix_hits_ = 0;
+  std::uint64_t passes_skipped_ = 0;
   /// Latency ring (most recent kLatencyWindow samples).
   static constexpr std::size_t kLatencyWindow = 4096;
   std::vector<double> latencies_ms_;

@@ -70,6 +70,91 @@ TEST(PipelineSpec, RejectsMalformedSpecs) {
   EXPECT_FALSE(pipeline::parse_pipeline_spec("c se", &error).has_value());
 }
 
+TEST(PipelineSpec, EveryRegisteredSpellingIsAParseFixpoint) {
+  // One spelling per registered pass plus the argument variants the
+  // tools and docs use. parse -> spec_to_string -> parse must be a
+  // fixed point for each: spec canonicalization is what stage-cache
+  // keys are built on, so a spelling that drifts under re-serialization
+  // would silently split the cache.
+  const std::vector<std::string> spellings = {
+      "cse",
+      "dce",
+      "coalesce",
+      "promote",
+      "promote=2",
+      "alloc=linear",
+      "alloc=linear:first_free",
+      "alloc=linear:round_robin",
+      "alloc=coloring:coolest_first",
+      "alloc=coloring:coolest_first:7",
+      "thermal-dfa",
+      "split-hot",
+      "split-hot=1",
+      "split-hot=2",
+      "spill-critical",
+      "spill-critical=1",
+      "reassign",
+      "schedule",
+      "nops",
+      "nops=2",
+      "nops=2:340",
+      "bank-gating",
+      "bank-gating=330",
+      "verify",
+  };
+  for (const std::string& spelling : spellings) {
+    const auto parsed = pipeline::parse_pipeline_spec(spelling);
+    ASSERT_TRUE(parsed.has_value()) << spelling;
+    ASSERT_EQ(parsed->size(), 1u) << spelling;
+    const std::string canonical = pipeline::spec_to_string(*parsed);
+    const auto reparsed = pipeline::parse_pipeline_spec(canonical);
+    ASSERT_TRUE(reparsed.has_value()) << canonical;
+    EXPECT_EQ(*reparsed, *parsed) << spelling;
+    EXPECT_EQ(pipeline::spec_to_string(*reparsed), canonical) << spelling;
+  }
+}
+
+TEST(PipelineSpec, PrefixDigestIsStableAcrossEquivalentSpellings) {
+  const auto canonical = pipeline::parse_pipeline_spec(
+      "cse,dce,alloc=coloring:coolest_first,thermal-dfa,schedule");
+  const auto respaced = pipeline::parse_pipeline_spec(
+      "  cse ,dce , alloc=coloring:coolest_first,  thermal-dfa ,schedule ");
+  ASSERT_TRUE(canonical.has_value());
+  ASSERT_TRUE(respaced.has_value());
+  const auto reserialized =
+      pipeline::parse_pipeline_spec(pipeline::spec_to_string(*canonical));
+  ASSERT_TRUE(reserialized.has_value());
+  for (std::size_t k = 0; k <= canonical->size(); ++k) {
+    EXPECT_EQ(pipeline::spec_prefix_digest(*canonical, k),
+              pipeline::spec_prefix_digest(*respaced, k))
+        << k;
+    EXPECT_EQ(pipeline::spec_prefix_digest(*canonical, k),
+              pipeline::spec_prefix_digest(*reserialized, k))
+        << k;
+  }
+
+  // Every prefix length digests differently, k clamps to the spec
+  // length, and a one-pass change (or an argument change) at any
+  // position flips every digest that covers it.
+  for (std::size_t k = 1; k <= canonical->size(); ++k) {
+    EXPECT_NE(pipeline::spec_prefix_digest(*canonical, k),
+              pipeline::spec_prefix_digest(*canonical, k - 1))
+        << k;
+  }
+  EXPECT_EQ(pipeline::spec_prefix_digest(*canonical, 99),
+            pipeline::spec_prefix_digest(*canonical, canonical->size()));
+  const auto retargeted = pipeline::parse_pipeline_spec(
+      "cse,dce,alloc=coloring:hottest_first,thermal-dfa,schedule");
+  ASSERT_TRUE(retargeted.has_value());
+  EXPECT_EQ(pipeline::spec_prefix_digest(*canonical, 2),
+            pipeline::spec_prefix_digest(*retargeted, 2));
+  for (std::size_t k = 3; k <= canonical->size(); ++k) {
+    EXPECT_NE(pipeline::spec_prefix_digest(*canonical, k),
+              pipeline::spec_prefix_digest(*retargeted, k))
+        << k;
+  }
+}
+
 // --- Fixture -----------------------------------------------------------------
 
 class PipelineTest : public ::testing::Test {

@@ -439,5 +439,167 @@ TEST_F(ResultCacheTest, DisabledCacheDirectoryDegradesGracefully) {
   fs::remove(blocker);
 }
 
+/// Runs `passes` over the crc32 kernel with a snapshot hook at pass
+/// boundary `boundary`, returning the captured StageEntry.
+pipeline::StageEntry capture_stage(const pipeline::PassManager& manager,
+                                   const std::vector<pipeline::PassSpec>& passes,
+                                   std::size_t boundary) {
+  pipeline::StageEntry captured;
+  bool fired = false;
+  pipeline::SnapshotHooks hooks;
+  hooks.want = [boundary](std::size_t index) { return index == boundary; };
+  hooks.sink = [&](std::size_t done, const pipeline::PipelineSnapshot& snap,
+                   const std::vector<pipeline::PassRunStats>& pass_stats,
+                   const std::vector<pipeline::AnalysisManager::AnalysisStats>&
+                       analysis_stats,
+                   double prefix_seconds) {
+    captured = pipeline::StageEntry{static_cast<std::uint32_t>(done), snap,
+                                    pass_stats, analysis_stats, prefix_seconds};
+    fired = true;
+  };
+  const auto run =
+      manager.run(workload::make_kernel("crc32")->func, passes, hooks);
+  EXPECT_TRUE(run.ok) << run.error;
+  EXPECT_TRUE(fired);
+  return captured;
+}
+
+TEST_F(ResultCacheTest, StageEntryRoundTripsThroughTheCache) {
+  pipeline::PassManager manager(context());
+  const auto passes = *pipeline::parse_pipeline_spec(kSpec);
+  const auto stage = capture_stage(manager, passes, /*boundary=*/3);
+  ASSERT_EQ(stage.passes_done, 4u);  // cse,dce,alloc,thermal-dfa done
+  ASSERT_TRUE(stage.snapshot.thermal.has_value());
+  // Stage snapshots carry the DFA at full fidelity: per-instruction
+  // states must survive so passes like nops can run past the boundary.
+  EXPECT_FALSE(stage.snapshot.thermal->per_instruction.empty());
+
+  const std::uint64_t input_fp =
+      ir::fingerprint(workload::make_kernel("crc32")->func);
+  const auto key = pipeline::ResultCache::make_stage_key(
+      input_fp, pipeline::spec_prefix_digest(passes, 4),
+      pipeline::ResultCache::context_digest(context()));
+
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  ASSERT_TRUE(cache.insert_stage(key, stage));
+  const auto restored = cache.lookup_stage(key);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, stage);
+
+  // A shorter prefix was never stored: distinct key, clean miss.
+  const auto other_key = pipeline::ResultCache::make_stage_key(
+      input_fp, pipeline::spec_prefix_digest(passes, 3),
+      pipeline::ResultCache::context_digest(context()));
+  EXPECT_FALSE(cache.lookup_stage(other_key).has_value());
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.stage_stores, 1u);
+  EXPECT_EQ(stats.stage_hits, 1u);
+  EXPECT_EQ(stats.stage_misses, 1u);
+  EXPECT_EQ(stats.stores, 0u);  // full-run counters untouched
+}
+
+TEST_F(ResultCacheTest, CorruptStagePayloadIsRemovedAndCountedBad) {
+  pipeline::PassManager manager(context());
+  const auto passes = *pipeline::parse_pipeline_spec(kSpec);
+  const auto stage = capture_stage(manager, passes, /*boundary=*/3);
+  const auto key = pipeline::ResultCache::make_stage_key(
+      ir::fingerprint(workload::make_kernel("crc32")->func),
+      pipeline::spec_prefix_digest(passes, 4),
+      pipeline::ResultCache::context_digest(context()));
+
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  ASSERT_TRUE(cache.insert_stage(key, stage));
+  const auto files = entry_files();
+  ASSERT_EQ(files.size(), 1u);
+  std::string bytes = slurp(files[0]);
+  bytes[bytes.size() / 2] ^= 0x40;  // payload flip; the digest catches it
+  spit(files[0], bytes);
+
+  EXPECT_FALSE(cache.lookup_stage(key).has_value());
+  EXPECT_EQ(cache.stats().bad_entries, 1u);
+  EXPECT_TRUE(entry_files().empty());  // removed on contact
+}
+
+TEST_F(ResultCacheTest, IndexFlushIntervalControlsWhenTheIndexHitsDisk) {
+  pipeline::PassManager manager(context());
+  const auto passes = *pipeline::parse_pipeline_spec(kSpec);
+  const auto stage = capture_stage(manager, passes, /*boundary=*/3);
+  const std::uint64_t input_fp =
+      ir::fingerprint(workload::make_kernel("crc32")->func);
+  const std::uint64_t ctx = pipeline::ResultCache::context_digest(context());
+  const fs::path index = dir / "index.txt";
+
+  {
+    // Default batching: a couple of stores stay below the interval, so
+    // nothing hits disk until an explicit flush().
+    pipeline::ResultCache cache(dir.string());
+    ASSERT_TRUE(cache.ok()) << cache.error();
+    for (std::size_t k = 1; k <= 2; ++k) {
+      ASSERT_TRUE(cache.insert_stage(
+          pipeline::ResultCache::make_stage_key(
+              input_fp, pipeline::spec_prefix_digest(passes, k), ctx),
+          stage));
+    }
+    EXPECT_FALSE(fs::exists(index));
+    cache.flush();
+    EXPECT_TRUE(fs::exists(index));
+  }
+  fs::remove_all(dir);
+
+  // interval=1: every store persists the index — a long-lived process
+  // (tadfa serve) killed without running destructors loses nothing.
+  pipeline::ResultCache cache(
+      pipeline::ResultCache::Config{dir.string(), 0, 1});
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  ASSERT_TRUE(cache.insert_stage(
+      pipeline::ResultCache::make_stage_key(
+          input_fp, pipeline::spec_prefix_digest(passes, 1), ctx),
+      stage));
+  EXPECT_TRUE(fs::exists(index));
+  const std::string rows = slurp(index);
+  EXPECT_NE(rows.find("tadfa-result-cache-index"), std::string::npos);
+}
+
+TEST_F(ResultCacheTest, StageEntriesParticipateInEviction) {
+  pipeline::PassManager manager(context());
+  const auto passes = *pipeline::parse_pipeline_spec(kSpec);
+  const auto stage = capture_stage(manager, passes, /*boundary=*/3);
+  const std::uint64_t input_fp =
+      ir::fingerprint(workload::make_kernel("crc32")->func);
+  const std::uint64_t ctx = pipeline::ResultCache::context_digest(context());
+  auto key_at = [&](std::size_t k) {
+    return pipeline::ResultCache::make_stage_key(
+        input_fp, pipeline::spec_prefix_digest(passes, k), ctx);
+  };
+
+  // Size the budget from reality, as the full-entry eviction test does.
+  std::uint64_t full_bytes = 0;
+  {
+    pipeline::ResultCache cache(dir.string());
+    ASSERT_TRUE(cache.ok()) << cache.error();
+    for (std::size_t k = 1; k <= passes.size(); ++k) {
+      ASSERT_TRUE(cache.insert_stage(key_at(k), stage));
+    }
+    full_bytes = cache.total_bytes();
+  }
+  fs::remove_all(dir);
+
+  const std::uint64_t budget = full_bytes / 2;
+  pipeline::ResultCache cache(dir.string(), budget);
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  for (std::size_t k = 1; k <= passes.size(); ++k) {
+    ASSERT_TRUE(cache.insert_stage(key_at(k), stage));
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.stage_stores, passes.size());
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LT(cache.entry_count(), passes.size());
+  EXPECT_TRUE(cache.total_bytes() <= budget || cache.entry_count() == 1);
+  EXPECT_EQ(entry_files().size(), cache.entry_count());
+}
+
 }  // namespace
 }  // namespace tadfa

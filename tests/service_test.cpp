@@ -130,7 +130,7 @@ TEST_F(ServiceTest, RequestAndResponseSerializationRoundTrips) {
   service::CompileResponse response;
   response.ok = true;
   response.functions.push_back(
-      {"f", true, "", true, "func @f...", 12, 3, 1, 0.5});
+      {"f", true, "", true, 2, "func @f...", 12, 3, 1, 0.5});
   response.pass_stats.push_back({"dce", 0.1, "removed 2", true, 10, 3});
   response.cache_attached = true;
   response.cache.hits = 7;

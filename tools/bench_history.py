@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Append benchmark artifacts to the repo's bench history, warn-only.
+
+Each BENCH_*.json the benches emit (see bench/*.cpp) is one headline
+record: {"bench": ..., "config": {...}, <metrics...>, "git_sha": ...}.
+This tool appends those records to a JSON-Lines history file keyed by
+git sha and compares each new record against the most recent entry for
+the same bench, printing a warning when a headline metric regressed.
+
+The comparison is warn-only by design: CI runners are shared hardware,
+so absolute numbers jitter run to run and across runner generations. A
+warning in the log is a prompt to look, not a gate — the hard gates
+(determinism, hit-rate and speedup floors) live inside the benches
+themselves, which exit non-zero when violated.
+
+Every top-level numeric field outside "config" is treated as a
+higher-is-better metric (true of everything the benches emit today:
+functions_per_sec, cache_hit_rate, extension_speedup,
+prefix_skip_rate); a drop beyond --tolerance (default 20%) warns.
+
+Usage:
+    bench_history.py --history bench/history/history.jsonl \
+        --git-sha "$GITHUB_SHA" BENCH_throughput.json BENCH_incremental.json
+
+Exits 0 unless an artifact is unreadable; stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_history(path):
+    """Returns the history as a list of records; [] when absent."""
+    records = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as err:
+                    print(
+                        f"warning: {path}:{line_number}: unparseable history "
+                        f"row skipped ({err})",
+                        file=sys.stderr,
+                    )
+    except FileNotFoundError:
+        pass
+    return records
+
+
+def headline_metrics(record):
+    """Top-level numeric fields (bools excluded) outside config/git_sha."""
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in ("config", "git_sha", "bench")
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+
+
+def compare(previous, current, tolerance):
+    """Prints warn-only regressions of `current` against `previous`."""
+    warned = False
+    prev_metrics = headline_metrics(previous)
+    for key, value in headline_metrics(current).items():
+        if key not in prev_metrics:
+            continue
+        baseline = prev_metrics[key]
+        if baseline <= 0:
+            continue
+        drop = (baseline - value) / baseline
+        if drop > tolerance:
+            print(
+                f"warning: {current.get('bench', '?')}: {key} dropped "
+                f"{drop * 100.0:.1f}% vs {previous.get('git_sha', '?')[:12]} "
+                f"({baseline:g} -> {value:g})",
+                file=sys.stderr,
+            )
+            warned = True
+    return warned
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="+", help="BENCH_*.json files")
+    parser.add_argument("--history", required=True, help="history.jsonl path")
+    parser.add_argument("--git-sha", default="", help="overrides each record's sha")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="relative drop that triggers a warning (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    history = load_history(args.history)
+    last_by_bench = {}
+    for record in history:
+        if "bench" in record:
+            last_by_bench[record["bench"]] = record
+
+    appended = []
+    for path in args.artifacts:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot read {path}: {err}", file=sys.stderr)
+            return 1
+        if args.git_sha:
+            record["git_sha"] = args.git_sha
+        name = record.get("bench", "?")
+        previous = last_by_bench.get(name)
+        if previous is not None:
+            compare(previous, record, args.tolerance)
+        else:
+            print(f"note: {name}: no prior history entry; baseline recorded")
+        appended.append(record)
+
+    with open(args.history, "a", encoding="utf-8") as handle:
+        for record in appended:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended {len(appended)} record(s) to {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

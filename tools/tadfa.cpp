@@ -67,6 +67,8 @@ struct Options {
   std::string cache_dir;
   bool cache_stats = false;
   bool cache_verify = false;
+  bool incremental = false;
+  unsigned stage_every = 0;
 };
 
 int usage(const char* argv0) {
@@ -94,6 +96,10 @@ int usage(const char* argv0) {
          "baseline)\n"
       << "  --cache-dir=DIR   persistent result cache for module compiles\n"
       << "  --cache-stats     dump result-cache hit/miss/evict counters\n"
+      << "  --incremental     resume module compiles from cached pass-boundary\n"
+      << "                    snapshots (needs --cache-dir)\n"
+      << "  --stage-every=N   also snapshot after every N-th pass\n"
+      << "                    (implies --incremental)\n"
       << "  --cache-verify    recompile one cached hit and diff it against\n"
       << "                    the cache (exit 1 on mismatch)\n"
       << "  --list-passes     available passes\n"
@@ -190,6 +196,15 @@ int run_compile(int argc, char** argv) {
       opt.cache_verify = true;
     } else if (auto v = value("--cache-dir=")) {
       opt.cache_dir = *v;
+    } else if (arg == "--incremental") {
+      opt.incremental = true;
+    } else if (auto v = value("--stage-every=")) {
+      long long n = 0;
+      if (!parse_int(*v, n) || n < 1) {
+        return usage(argv[0]);
+      }
+      opt.incremental = true;
+      opt.stage_every = static_cast<unsigned>(n);
     } else if (arg == "--no-map") {
       opt.maps = false;
     } else if (arg == "--csv") {
@@ -322,8 +337,17 @@ int run_compile(int argc, char** argv) {
         return 1;
       }
       driver.set_result_cache(&*cache);
+      if (opt.incremental) {
+        pipeline::StagePolicy policy;
+        policy.enabled = true;
+        policy.every_k = opt.stage_every;
+        driver.set_stage_policy(policy);
+      }
     } else if (opt.cache_stats || opt.cache_verify) {
       std::cerr << "--cache-stats/--cache-verify need --cache-dir=DIR\n";
+      return 2;
+    } else if (opt.incremental) {
+      std::cerr << "--incremental needs --cache-dir=DIR\n";
       return 2;
     }
     const auto mod_run = driver.compile(module, opt.pipeline);
@@ -356,6 +380,11 @@ int run_compile(int argc, char** argv) {
                 << mod_run.functions.size() << " ("
                 << TextTable::num(mod_run.cache_hit_rate() * 100.0, 1)
                 << "%)\n";
+      if (opt.incremental) {
+        std::cout << "prefix hits: " << mod_run.prefix_hits() << "/"
+                  << mod_run.functions.size() << ", passes skipped: "
+                  << mod_run.passes_skipped() << "\n";
+      }
     }
     if (!mod_run.ok) {
       std::cerr << "module compilation failed: " << mod_run.error << "\n";
@@ -538,6 +567,10 @@ int serve_usage(const char* argv0) {
       << "                       (default: the Sec. 4 flow)\n"
       << "  --cache-dir=DIR      shared persistent result cache\n"
       << "  --cache-max-bytes=N  cache size budget (0 = unbounded)\n"
+      << "  --incremental        resume compiles from cached pass-boundary\n"
+      << "                       snapshots (needs --cache-dir)\n"
+      << "  --stage-every=N      also snapshot after every N-th pass\n"
+      << "                       (implies --incremental)\n"
       << "  --metrics-every=SEC  print aggregate metrics every SEC seconds\n"
       << "  --delta=K            thermal-DFA convergence threshold\n"
       << "  --max-iters=N        thermal-DFA iteration cap\n"
@@ -574,6 +607,14 @@ int run_serve(const char* argv0, int argc, char** argv) {
         return serve_usage(argv0);
       }
       cfg.cache_max_bytes = static_cast<std::uint64_t>(n);
+    } else if (arg == "--incremental") {
+      cfg.stage_policy.enabled = true;
+    } else if (auto v = value("--stage-every=")) {
+      if (!parse_int(*v, n) || n < 1) {
+        return serve_usage(argv0);
+      }
+      cfg.stage_policy.enabled = true;
+      cfg.stage_policy.every_k = static_cast<unsigned>(n);
     } else if (auto v = value("--jobs=")) {
       if (!parse_int(*v, n) || n < 0) {
         return serve_usage(argv0);
@@ -603,6 +644,10 @@ int run_serve(const char* argv0, int argc, char** argv) {
   }
   if (cfg.socket_path.empty()) {
     return serve_usage(argv0);
+  }
+  if (cfg.stage_policy.enabled && cfg.cache_dir.empty()) {
+    std::cerr << "--incremental needs --cache-dir=DIR\n";
+    return 2;
   }
 
   const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
@@ -673,6 +718,9 @@ int client_usage(const char* argv0) {
       << "  --no-analysis-cache  disable the analysis cache\n"
       << "  --min-hit-rate=P     exit 1 unless the response's cache hit\n"
       << "                       rate is at least P (0..1); CI warm gate\n"
+      << "  --connect-timeout=S  keep retrying the connect with backoff for\n"
+      << "                       S seconds (default 5; 0 = one attempt), so\n"
+      << "                       a client raced against server startup wins\n"
       << "  --print-ir           dump each compiled function's IR\n"
       << "  --csv                emit tables as CSV\n"
       << "  --quiet              only errors and the summary line\n";
@@ -684,6 +732,7 @@ int run_client(const char* argv0, int argc, char** argv) {
   std::string socket_path;
   service::CompileRequest request;
   double min_hit_rate = -1;
+  double connect_timeout = 5.0;
   bool print_ir = false;
   bool csv = false;
   bool quiet = false;
@@ -707,6 +756,10 @@ int run_client(const char* argv0, int argc, char** argv) {
     } else if (auto v = value("--min-hit-rate=")) {
       if (!parse_double(*v, min_hit_rate) || min_hit_rate < 0 ||
           min_hit_rate > 1) {
+        return client_usage(argv0);
+      }
+    } else if (auto v = value("--connect-timeout=")) {
+      if (!parse_double(*v, connect_timeout) || connect_timeout < 0) {
         return client_usage(argv0);
       }
     } else if (arg == "--print-ir") {
@@ -745,7 +798,10 @@ int run_client(const char* argv0, int argc, char** argv) {
   }
 
   std::string error;
-  const int fd = service::connect_unix(socket_path, &error);
+  const int fd =
+      connect_timeout > 0
+          ? service::connect_unix_retry(socket_path, connect_timeout, &error)
+          : service::connect_unix(socket_path, &error);
   if (fd < 0) {
     std::cerr << "tadfa client: " << error << "\n";
     return 1;
@@ -804,6 +860,11 @@ int run_client(const char* argv0, int argc, char** argv) {
             << response->functions.size() << " ("
             << TextTable::num(response->cache_hit_rate() * 100.0, 1)
             << "%)\n";
+  if (response->passes_skipped() > 0) {
+    std::cout << "prefix hits " << response->prefix_hits() << "/"
+              << response->functions.size() << ", passes skipped "
+              << response->passes_skipped() << "\n";
+  }
   if (!response->ok) {
     return 1;
   }
