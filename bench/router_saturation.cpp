@@ -1,0 +1,413 @@
+// ROUTER SATURATION — the sharded topology driven past capacity.
+//
+// Spins two in-process compile servers (deliberately starved: jobs=1,
+// a short bounded queue) behind a service::Router, then overwhelms the
+// router with client threads that fire requests as fast as responses
+// come back, no client-side backoff. This is the admission-control
+// acceptance harness; it gates, and exits 1 on any violation:
+//
+//   * every request gets a structured response — zero dropped
+//     connections, zero malformed responses, zero hangs;
+//   * overload is explicit: at saturation a nonzero fraction of
+//     requests is answered BUSY (shed by a shard's bounded queue or by
+//     the router's own waiter bound), never silently queued;
+//   * admitted requests stay bounded: p95/p99 latency of OK responses
+//     must not exceed a limit derived from the direct compile cost of
+//     one request (--p99-limit overrides);
+//   * the topology is transparent: every function in every OK response
+//     is byte-identical to a direct single-process
+//     CompilationDriver::compile of the same module.
+//
+// With --json=PATH the headline number is written as the repo's router
+// benchmark artifact (BENCH_router.json in CI):
+//
+//   {"bench": "router_saturation", "config": {... busy_fraction,
+//    p95_ms, p99_ms ...}, "admitted_per_sec": <OK responses/sec>,
+//    "git_sha": ...}
+//
+// Only admitted_per_sec sits at the top level: tools/bench_history.py
+// treats top-level numerics as higher-is-better headlines, and latency
+// or BUSY counts must not be "regressions" when they drop.
+//
+//   bench_router_saturation [--functions=N] [--clients=N]
+//                           [--per-request=N] [--requests=N]
+//                           [--max-queue=N] [--max-waiters=N]
+//                           [--p99-limit=S] [--json=PATH]
+//                           [--git-sha=SHA] [--csv]
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ir/printer.hpp"
+#include "pipeline/driver.hpp"
+#include "service/protocol.hpp"
+#include "service/router.hpp"
+#include "service/server.hpp"
+#include "support/statistics.hpp"
+#include "support/string_utils.hpp"
+#include "workload/modules.hpp"
+
+using namespace tadfa;
+
+namespace {
+
+constexpr const char* kSpec =
+    "cse,dce,alloc=linear:first_free,thermal-dfa,"
+    "alloc=coloring:coolest_first,schedule";
+
+constexpr std::uint64_t kSeed = 19;
+
+using bench::json_escape;
+using bench::per_sec;
+
+struct ClientTally {
+  std::size_t ok = 0;
+  std::size_t busy = 0;
+  std::size_t failed = 0;
+  /// Requests with no structured response at all (I/O error, hang cut
+  /// short, undecodable frame). Must end at zero.
+  std::size_t dropped = 0;
+  std::vector<double> ok_latencies_ms;
+  std::string first_error;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t functions = 32;
+  std::size_t clients = 8;
+  std::size_t per_request = 2;
+  std::size_t requests_per_client = 24;
+  std::size_t max_queue = 2;
+  std::size_t max_waiters = 2;
+  double p99_limit_s = 0;  // 0 = derive from the direct compile cost
+  std::string json_path;
+  std::string git_sha;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long n = 0;
+    if (starts_with(arg, "--functions=") && parse_int(arg.substr(12), n) &&
+        n > 0) {
+      functions = static_cast<std::size_t>(n);
+    } else if (starts_with(arg, "--clients=") && parse_int(arg.substr(10), n) &&
+               n > 0) {
+      clients = static_cast<std::size_t>(n);
+    } else if (starts_with(arg, "--per-request=") &&
+               parse_int(arg.substr(14), n) && n > 0) {
+      per_request = static_cast<std::size_t>(n);
+    } else if (starts_with(arg, "--requests=") &&
+               parse_int(arg.substr(11), n) && n > 0) {
+      requests_per_client = static_cast<std::size_t>(n);
+    } else if (starts_with(arg, "--max-queue=") &&
+               parse_int(arg.substr(12), n) && n > 0) {
+      max_queue = static_cast<std::size_t>(n);
+    } else if (starts_with(arg, "--max-waiters=") &&
+               parse_int(arg.substr(14), n) && n > 0) {
+      max_waiters = static_cast<std::size_t>(n);
+    } else if (starts_with(arg, "--p99-limit=") &&
+               parse_double(arg.substr(12), p99_limit_s) && p99_limit_s >= 0) {
+      // parsed in the condition
+    } else if (starts_with(arg, "--json=")) {
+      json_path = arg.substr(7);
+    } else if (starts_with(arg, "--git-sha=")) {
+      git_sha = arg.substr(10);
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--functions=N] [--clients=N] [--per-request=N]"
+                   " [--requests=N] [--max-queue=N] [--max-waiters=N]"
+                   " [--p99-limit=S] [--json=PATH] [--git-sha=SHA] [--csv]\n";
+      return 2;
+    }
+  }
+  if (git_sha.empty()) {
+    const char* env = std::getenv("GITHUB_SHA");
+    git_sha = env != nullptr ? env : "unknown";
+  }
+
+  namespace fs = std::filesystem;
+  const std::string stem = "tadfa-router-bench-" + std::to_string(::getpid());
+  auto sock = [&](const std::string& name) {
+    return (fs::temp_directory_path() / (stem + "-" + name + ".sock"))
+        .string();
+  };
+
+  workload::ModuleConfig mcfg;
+  mcfg.functions = functions;
+  mcfg.seed = kSeed;
+  const ir::Module module = workload::make_mixed_module(mcfg);
+
+  bench::Rig rig;
+  pipeline::PipelineContext ctx;
+  ctx.floorplan = &rig.fp;
+  ctx.grid = &rig.grid;
+  ctx.power = &rig.power;
+
+  // The determinism reference AND the latency yardstick: one direct
+  // single-threaded compile of the whole module.
+  pipeline::CompilationDriver reference_driver(ctx);
+  reference_driver.set_jobs(1);
+  const auto ref_start = std::chrono::steady_clock::now();
+  const auto reference = reference_driver.compile(module, kSpec);
+  const double ref_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ref_start)
+          .count();
+  if (!reference.ok) {
+    std::cerr << "reference compile failed: " << reference.error << "\n";
+    return 1;
+  }
+  // An admitted request compiles per_request functions; it may wait
+  // behind a full queue of batches on a jobs=1 shard. 25x that, floored
+  // at 2 s, absorbs CI noise while still catching an unbounded queue.
+  if (p99_limit_s == 0) {
+    const double per_request_s =
+        ref_seconds * static_cast<double>(per_request) /
+        static_cast<double>(module.size());
+    p99_limit_s =
+        std::max(2.0, 25.0 * per_request_s *
+                          static_cast<double>(max_queue + max_waiters + 1));
+  }
+
+  // Two deliberately starved shards: single worker, short queue.
+  std::vector<std::unique_ptr<service::CompileServer>> shards;
+  service::RouterConfig rcfg;
+  rcfg.socket_path = sock("router");
+  rcfg.max_shard_waiters = max_waiters;
+  for (int i = 0; i < 2; ++i) {
+    service::ServerConfig scfg;
+    scfg.socket_path = sock("shard" + std::to_string(i));
+    scfg.jobs = 1;
+    scfg.max_queue = max_queue;
+    scfg.default_spec = kSpec;
+    shards.push_back(std::make_unique<service::CompileServer>(ctx, scfg));
+    if (!shards.back()->start()) {
+      std::cerr << "shard start failed: " << shards.back()->error() << "\n";
+      return 1;
+    }
+    std::string perr;
+    rcfg.shards.push_back(
+        *service::parse_shard_address("unix:" + scfg.socket_path, &perr));
+  }
+  service::Router router(rcfg);
+  if (!router.start()) {
+    std::cerr << "router start failed: " << router.error() << "\n";
+    return 1;
+  }
+
+  // Saturation: every client fires requests back to back — no backoff
+  // on BUSY (the point is to keep the fleet pinned) — over one
+  // connection per request, round-robining its slice of the module.
+  std::vector<ClientTally> tallies(clients);
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      ClientTally& mine = tallies[c];
+      for (std::size_t r = 0; r < requests_per_client; ++r) {
+        service::CompileRequest request;
+        request.spec = kSpec;
+        std::vector<std::size_t> indices;
+        for (std::size_t k = 0; k < per_request; ++k) {
+          const std::size_t idx =
+              (c + (r * per_request + k) * clients) % module.size();
+          if (std::find(indices.begin(), indices.end(), idx) !=
+              indices.end()) {
+            break;  // tiny module wrapped around: no duplicate names
+          }
+          indices.push_back(idx);
+          request.module_text +=
+              ir::to_string(module.functions()[idx]) + "\n";
+        }
+        std::string error;
+        const int fd =
+            service::connect_unix_retry(rcfg.socket_path, 5.0, &error);
+        if (fd < 0) {
+          ++mine.dropped;
+          if (mine.first_error.empty()) {
+            mine.first_error = error;
+          }
+          continue;
+        }
+        const auto sent = std::chrono::steady_clock::now();
+        std::optional<service::CompileResponse> response;
+        if (service::write_request(fd, request, &error)) {
+          response = service::read_response(fd, &error);
+        }
+        ::close(fd);
+        if (!response.has_value()) {
+          ++mine.dropped;
+          if (mine.first_error.empty()) {
+            mine.first_error = error;
+          }
+          continue;
+        }
+        if (response->ok) {
+          ++mine.ok;
+          mine.ok_latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - sent)
+                  .count());
+          for (std::size_t k = 0; k < indices.size(); ++k) {
+            const auto& ref = reference.functions[indices[k]];
+            if (response->functions.size() <= k ||
+                response->functions[k].printed !=
+                    ir::to_string(ref.run.state.func)) {
+              ++mine.failed;
+              if (mine.first_error.empty()) {
+                mine.first_error = "function '" + ref.name +
+                                   "' served differently than compiled "
+                                   "directly";
+              }
+            }
+          }
+        } else if (response->code == service::ResponseCode::kBusy) {
+          ++mine.busy;
+        } else {
+          ++mine.failed;
+          if (mine.first_error.empty()) {
+            mine.first_error = response->error;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ClientTally total;
+  std::vector<double> latencies;
+  for (const ClientTally& mine : tallies) {
+    total.ok += mine.ok;
+    total.busy += mine.busy;
+    total.failed += mine.failed;
+    total.dropped += mine.dropped;
+    latencies.insert(latencies.end(), mine.ok_latencies_ms.begin(),
+                     mine.ok_latencies_ms.end());
+    if (total.first_error.empty()) {
+      total.first_error = mine.first_error;
+    }
+  }
+  const std::size_t issued = clients * requests_per_client;
+  const double busy_fraction =
+      issued == 0 ? 0.0
+                  : static_cast<double>(total.busy) /
+                        static_cast<double>(issued);
+  const double p50 =
+      latencies.empty() ? 0.0 : stats::percentile(latencies, 50.0);
+  const double p95 =
+      latencies.empty() ? 0.0 : stats::percentile(latencies, 95.0);
+  const double p99 =
+      latencies.empty() ? 0.0 : stats::percentile(latencies, 99.0);
+
+  router.shutdown();
+  for (auto& shard : shards) {
+    shard->shutdown();
+  }
+
+  TextTable table("router saturation — " + std::to_string(clients) +
+                  " clients x " + std::to_string(requests_per_client) +
+                  " requests, 2 starved shards");
+  table.set_header({"metric", "value"});
+  table.add_row({"wall s", bench::fmt(wall, 2)});
+  table.add_row({"issued", std::to_string(issued)});
+  table.add_row({"admitted (ok)", std::to_string(total.ok)});
+  table.add_row({"busy", std::to_string(total.busy)});
+  table.add_row({"failed", std::to_string(total.failed)});
+  table.add_row({"dropped", std::to_string(total.dropped)});
+  table.add_row({"busy fraction", bench::fmt(busy_fraction * 100.0, 1) + "%"});
+  table.add_row({"admitted/sec", bench::fmt(per_sec(total.ok, wall), 1)});
+  table.add_row({"ok p50 ms", bench::fmt(p50, 1)});
+  table.add_row({"ok p95 ms", bench::fmt(p95, 1)});
+  table.add_row({"ok p99 ms", bench::fmt(p99, 1)});
+  table.add_row({"p99 limit ms", bench::fmt(p99_limit_s * 1e3, 1)});
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"router_saturation\",\n"
+         << "  \"config\": {\n"
+         << "    \"functions\": " << functions << ",\n"
+         << "    \"clients\": " << clients << ",\n"
+         << "    \"per_request\": " << per_request << ",\n"
+         << "    \"requests_per_client\": " << requests_per_client << ",\n"
+         << "    \"max_queue\": " << max_queue << ",\n"
+         << "    \"max_waiters\": " << max_waiters << ",\n"
+         << "    \"seed\": " << kSeed << ",\n"
+         << "    \"spec\": \"" << json_escape(kSpec) << "\",\n"
+         << "    \"busy_fraction\": " << busy_fraction << ",\n"
+         << "    \"ok_p50_ms\": " << p50 << ",\n"
+         << "    \"ok_p95_ms\": " << p95 << ",\n"
+         << "    \"ok_p99_ms\": " << p99 << ",\n"
+         << "    \"p99_limit_ms\": " << p99_limit_s * 1e3 << ",\n"
+         << "    \"dropped\": " << total.dropped << ",\n"
+         << "    \"failed\": " << total.failed << "\n"
+         << "  },\n"
+         << "  \"admitted_per_sec\": " << per_sec(total.ok, wall) << ",\n"
+         << "  \"git_sha\": \"" << json_escape(git_sha) << "\"\n"
+         << "}\n";
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json.str();
+    if (!out.good()) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  bool gates_ok = true;
+  if (total.dropped != 0) {
+    std::cerr << "RESPONSES DROPPED: " << total.dropped
+              << " requests got no structured response ("
+              << total.first_error << ")\n";
+    gates_ok = false;
+  }
+  if (total.failed != 0) {
+    std::cerr << "RESPONSES WRONG: " << total.failed
+              << " malformed/mismatched responses (" << total.first_error
+              << ")\n";
+    gates_ok = false;
+  }
+  if (total.busy == 0) {
+    std::cerr << "ADMISSION CONTROL SILENT: " << issued << " requests from "
+              << clients
+              << " clients against starved shards produced zero BUSY "
+                 "responses\n";
+    gates_ok = false;
+  }
+  if (total.ok == 0) {
+    std::cerr << "NOTHING ADMITTED: every request was shed\n";
+    gates_ok = false;
+  }
+  if (p95 > p99_limit_s * 1e3 || p99 > p99_limit_s * 1e3) {
+    std::cerr << "LATENCY UNBOUNDED: admitted p95 " << bench::fmt(p95, 1)
+              << " ms / p99 " << bench::fmt(p99, 1)
+              << " ms exceed the limit of " << bench::fmt(p99_limit_s * 1e3, 1)
+              << " ms\n";
+    gates_ok = false;
+  }
+  return gates_ok ? 0 : 1;
+}

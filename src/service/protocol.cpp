@@ -13,14 +13,23 @@
 namespace tadfa::service {
 namespace {
 
-/// Reads exactly `n` bytes unless the peer closes first. Returns the
-/// byte count actually read (short means EOF); -1 on a hard error.
-ssize_t read_exact(int fd, char* buf, std::size_t n) {
+/// Outcome of a read_exact: how many bytes arrived and why it stopped
+/// short (fd receive deadline vs. hard error; EOF is just a short count
+/// with neither flag set).
+struct ReadOutcome {
   std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+  bool timed_out = false;
+  bool hard_error = false;
+};
+
+/// Reads exactly `n` bytes unless the peer closes first, the fd's
+/// SO_RCVTIMEO deadline expires, or a hard error hits.
+ReadOutcome read_exact(int fd, char* buf, std::size_t n) {
+  ReadOutcome out;
+  while (out.got < n) {
+    const ssize_t r = ::recv(fd, buf + out.got, n - out.got, 0);
     if (r > 0) {
-      got += static_cast<std::size_t>(r);
+      out.got += static_cast<std::size_t>(r);
       continue;
     }
     if (r == 0) {
@@ -29,9 +38,14 @@ ssize_t read_exact(int fd, char* buf, std::size_t n) {
     if (errno == EINTR) {
       continue;
     }
-    return -1;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.timed_out = true;
+      break;
+    }
+    out.hard_error = true;
+    break;
   }
-  return static_cast<ssize_t>(got);
+  return out;
 }
 
 /// Writes all of `data`. MSG_NOSIGNAL: a vanished peer must surface as
@@ -185,6 +199,7 @@ std::size_t CompileResponse::passes_skipped() const {
 void CompileResponse::serialize(ByteWriter& w) const {
   w.u8(static_cast<std::uint8_t>(MessageType::kCompileResponse));
   w.boolean(ok);
+  w.u8(static_cast<std::uint8_t>(code));
   w.str(error);
   w.u64(functions.size());
   for (const FunctionResult& f : functions) {
@@ -221,6 +236,11 @@ std::optional<CompileResponse> CompileResponse::deserialize(ByteReader& r) {
   }
   CompileResponse response;
   response.ok = r.boolean();
+  const std::uint8_t code = r.u8();
+  if (code > static_cast<std::uint8_t>(ResponseCode::kVersionMismatch)) {
+    return std::nullopt;
+  }
+  response.code = static_cast<ResponseCode>(code);
   response.error = r.str();
   const std::uint64_t num_functions = r.u64();
   for (std::uint64_t i = 0; i < num_functions && r.ok(); ++i) {
@@ -257,11 +277,51 @@ std::optional<CompileResponse> CompileResponse::deserialize(ByteReader& r) {
   return response;
 }
 
-CompileResponse error_response(std::string message) {
+std::string_view response_code_name(ResponseCode code) {
+  switch (code) {
+    case ResponseCode::kOk:
+      return "OK";
+    case ResponseCode::kError:
+      return "ERROR";
+    case ResponseCode::kBusy:
+      return "BUSY";
+    case ResponseCode::kTimeout:
+      return "TIMEOUT";
+    case ResponseCode::kVersionMismatch:
+      return "VERSION_MISMATCH";
+  }
+  return "?";
+}
+
+namespace {
+CompileResponse coded_response(ResponseCode code, std::string message) {
   CompileResponse response;
   response.ok = false;
+  response.code = code;
   response.error = std::move(message);
   return response;
+}
+}  // namespace
+
+CompileResponse error_response(std::string message) {
+  return coded_response(ResponseCode::kError, std::move(message));
+}
+
+CompileResponse busy_response(std::string message) {
+  return coded_response(ResponseCode::kBusy, std::move(message));
+}
+
+CompileResponse timeout_response(std::string message) {
+  return coded_response(ResponseCode::kTimeout, std::move(message));
+}
+
+CompileResponse version_mismatch_response(std::uint32_t peer_version) {
+  return coded_response(
+      ResponseCode::kVersionMismatch,
+      "protocol version mismatch: peer speaks v" +
+          std::to_string(peer_version) + ", this build speaks v" +
+          std::to_string(kProtocolVersion) +
+          " — upgrade the older side; mixed versions cannot share a wire");
 }
 
 // --- Framing -----------------------------------------------------------------
@@ -277,15 +337,24 @@ bool write_frame(int fd, std::string_view payload, std::string* error) {
   return write_all(fd, payload, error);
 }
 
-FrameStatus read_frame(int fd, std::string* payload, std::string* error) {
+FrameStatus read_frame(int fd, std::string* payload, std::string* error,
+                       std::uint32_t* peer_version) {
   char header[16];
-  const ssize_t got = read_exact(fd, header, sizeof(header));
-  if (got == 0) {
-    return FrameStatus::kClosed;
+  const ReadOutcome head = read_exact(fd, header, sizeof(header));
+  if (head.got == 0 && !head.hard_error) {
+    // Nothing of the next frame arrived: a clean close, or (under an
+    // I/O deadline) an idle connection — not a protocol violation.
+    return head.timed_out ? FrameStatus::kIdle : FrameStatus::kClosed;
   }
-  if (got < 0 || got != static_cast<ssize_t>(sizeof(header))) {
-    *error = got < 0 ? std::string("read failed: ") + std::strerror(errno)
-                     : "truncated frame header";
+  if (head.got != sizeof(header)) {
+    if (head.timed_out) {
+      *error = "peer stalled mid-frame: " + std::to_string(head.got) +
+               " of 16 header bytes before the I/O deadline";
+      return FrameStatus::kTimeout;
+    }
+    *error = head.hard_error
+                 ? std::string("read failed: ") + std::strerror(errno)
+                 : "truncated frame header";
     return FrameStatus::kError;
   }
   ByteReader r(std::string_view(header, sizeof(header)));
@@ -297,10 +366,17 @@ FrameStatus read_frame(int fd, std::string* payload, std::string* error) {
     return FrameStatus::kError;
   }
   if (version != kProtocolVersion) {
+    // The frame header layout is stable across versions, so the
+    // mismatch is trustworthy — but the payload encoding is not, so it
+    // is not consumed. The caller answers with a structured
+    // version_mismatch_response and hangs up.
+    if (peer_version != nullptr) {
+      *peer_version = version;
+    }
     *error = "protocol version mismatch: peer speaks v" +
              std::to_string(version) + ", this build speaks v" +
              std::to_string(kProtocolVersion);
-    return FrameStatus::kError;
+    return FrameStatus::kVersionMismatch;
   }
   if (length > kMaxFrameBytes) {
     *error = "frame of " + std::to_string(length) +
@@ -310,12 +386,18 @@ FrameStatus read_frame(int fd, std::string* payload, std::string* error) {
   }
   payload->resize(length);
   if (length != 0) {
-    const ssize_t body = read_exact(fd, payload->data(), length);
-    if (body < 0 || body != static_cast<ssize_t>(length)) {
-      *error = body < 0
+    const ReadOutcome body = read_exact(fd, payload->data(), length);
+    if (body.got != length) {
+      if (body.timed_out) {
+        *error = "peer stalled mid-frame: " + std::to_string(body.got) +
+                 " of " + std::to_string(length) +
+                 " payload bytes before the I/O deadline";
+        return FrameStatus::kTimeout;
+      }
+      *error = body.hard_error
                    ? std::string("read failed: ") + std::strerror(errno)
                    : "frame truncated: announced " + std::to_string(length) +
-                         " payload bytes, got " + std::to_string(body);
+                         " payload bytes, got " + std::to_string(body.got);
       return FrameStatus::kError;
     }
   }
@@ -342,7 +424,13 @@ std::optional<CompileResponse> read_response(int fd, std::string* error) {
     *error = "server closed the connection before responding";
     return std::nullopt;
   }
+  if (status == FrameStatus::kIdle || status == FrameStatus::kTimeout) {
+    *error = "server did not respond before the I/O deadline";
+    return std::nullopt;
+  }
   if (status != FrameStatus::kOk) {
+    // kVersionMismatch lands here too: read_frame already formatted the
+    // both-versions message into `error`.
     return std::nullopt;
   }
   ByteReader r(payload);

@@ -38,7 +38,13 @@ constexpr std::uint32_t kFrameMagic = 0x41464454u;
 /// Bumped on any wire-visible change to the frame or message encoding.
 /// v2: FunctionResult grew resumed_passes; the response cache-stats
 /// block grew the stage-entry counters (incremental compilation).
-constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: CompileResponse grew the structured ResponseCode (OK / ERROR /
+/// BUSY / TIMEOUT / VERSION_MISMATCH) that admission control and the
+/// sharding router key on, and a version-mismatched frame is answered
+/// with an explicit VERSION_MISMATCH error frame naming both versions
+/// instead of a bare framing error — a v2 client gets a structured
+/// refusal, never a hang.
+constexpr std::uint32_t kProtocolVersion = 3;
 /// Upper bound on a single frame's payload (64 MiB). A length prefix
 /// beyond this is treated as a framing error, not an allocation.
 constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
@@ -47,6 +53,23 @@ enum class MessageType : std::uint8_t {
   kCompileRequest = 1,
   kCompileResponse = 2,
 };
+
+/// Structured outcome class of a CompileResponse. Ordinary failures
+/// (bad spec, unknown kernel, failed pass) are kError; the other codes
+/// let a client or router react without parsing error text: kBusy means
+/// the server shed the request at admission (bounded queue full or no
+/// shard reachable — retry with backoff), kTimeout means the peer
+/// stalled past the I/O deadline mid-frame, and kVersionMismatch names
+/// a peer speaking a different kProtocolVersion.
+enum class ResponseCode : std::uint8_t {
+  kOk = 0,
+  kError = 1,
+  kBusy = 2,
+  kTimeout = 3,
+  kVersionMismatch = 4,
+};
+
+std::string_view response_code_name(ResponseCode code);
 
 /// One compile submission: a pipeline spec plus the functions to
 /// compile, named (server-side kernel suite) and/or as IR module text.
@@ -96,6 +119,10 @@ struct CompileResponse {
   /// False when the request itself failed (bad spec, unknown kernel,
   /// unparsable module text, malformed frame) or any function failed.
   bool ok = false;
+  /// Outcome class (v3): kOk iff `ok`; failures say *why* structurally
+  /// so a client can distinguish "retry later" (kBusy) from "fix the
+  /// request" (kError).
+  ResponseCode code = ResponseCode::kError;
   /// Request-level structured error; per-function errors live on the
   /// FunctionResult entries.
   std::string error;
@@ -126,8 +153,14 @@ struct CompileResponse {
   static std::optional<CompileResponse> deserialize(ByteReader& r);
 };
 
-/// Convenience: a ready error response.
+/// Convenience: a ready error response (code kError).
 CompileResponse error_response(std::string message);
+/// An admission-control shed: code kBusy, retry with backoff.
+CompileResponse busy_response(std::string message);
+/// An I/O-deadline expiry: code kTimeout.
+CompileResponse timeout_response(std::string message);
+/// A structured version refusal naming both versions (kVersionMismatch).
+CompileResponse version_mismatch_response(std::uint32_t peer_version);
 
 // --- Framing over file descriptors ------------------------------------------
 
@@ -136,16 +169,29 @@ enum class FrameStatus {
   kOk,
   /// Clean end of stream exactly at a frame boundary.
   kClosed,
-  /// Bad magic, version mismatch, oversize announcement, or EOF inside
-  /// a frame; `error` says which. The stream can no longer be trusted.
+  /// Bad magic, oversize announcement, or EOF inside a frame; `error`
+  /// says which. The stream can no longer be trusted.
   kError,
+  /// A well-formed header announcing a different kProtocolVersion
+  /// (reported via `peer_version`). The payload is NOT consumed; answer
+  /// with version_mismatch_response and hang up.
+  kVersionMismatch,
+  /// The fd's receive deadline (SO_RCVTIMEO) expired mid-frame: the
+  /// peer stalled after sending part of a header or payload. Answer
+  /// with timeout_response (best effort) and hang up.
+  kTimeout,
+  /// The receive deadline expired at a frame boundary with nothing
+  /// read: an idle connection, not a malformed one. Close quietly.
+  kIdle,
 };
 
 /// Sends one frame (header + payload). False on any write failure.
 bool write_frame(int fd, std::string_view payload, std::string* error);
 
-/// Receives one frame into `payload`.
-FrameStatus read_frame(int fd, std::string* payload, std::string* error);
+/// Receives one frame into `payload`. On kVersionMismatch the peer's
+/// announced version is stored into `peer_version` (when non-null).
+FrameStatus read_frame(int fd, std::string* payload, std::string* error,
+                       std::uint32_t* peer_version = nullptr);
 
 /// Serializes `request` and sends it as one frame.
 bool write_request(int fd, const CompileRequest& request, std::string* error);

@@ -1,0 +1,723 @@
+#include "service/router.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/statistics.hpp"
+#include "workload/kernels.hpp"
+
+namespace tadfa::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// splitmix64 finalizer: fingerprints are already hashes, but mixing
+/// protects the modulo reduction from any residual low-bit structure.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Outbound shard sockets get a send deadline only: a shard that stops
+/// reading must not wedge a router handler, but a shard legitimately
+/// compiling a large batch may take arbitrarily long to respond.
+void apply_send_deadline(int fd) {
+  timeval tv{};
+  tv.tv_sec = 60;
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Parses a merged pass summary of the shape "changed X/Y functions";
+/// false when the summary has any other shape.
+bool parse_changed_summary(const std::string& summary, std::uint64_t* changed,
+                           std::uint64_t* total) {
+  unsigned long long x = 0;
+  unsigned long long y = 0;
+  if (std::sscanf(summary.c_str(), "changed %llu/%llu functions", &x, &y) !=
+      2) {
+    return false;
+  }
+  *changed = x;
+  *total = y;
+  return true;
+}
+
+}  // namespace
+
+std::size_t FingerprintShardPolicy::shard_for(std::uint64_t fingerprint,
+                                              std::size_t num_shards) const {
+  if (num_shards == 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(mix64(fingerprint) % num_shards);
+}
+
+std::string ShardAddress::describe() const {
+  if (tcp) {
+    return "tcp:" + endpoint.host + ":" + std::to_string(endpoint.port);
+  }
+  return "unix:" + unix_path;
+}
+
+std::optional<ShardAddress> parse_shard_address(const std::string& text,
+                                                std::string* error) {
+  ShardAddress address;
+  std::string rest = text;
+  if (rest.rfind("unix:", 0) == 0) {
+    address.unix_path = rest.substr(5);
+    if (address.unix_path.empty()) {
+      if (error != nullptr) {
+        *error = "empty unix socket path in shard address '" + text + "'";
+      }
+      return std::nullopt;
+    }
+    return address;
+  }
+  if (rest.rfind("tcp:", 0) == 0) {
+    rest = rest.substr(4);
+  } else if (rest.find('/') != std::string::npos) {
+    // A bare filesystem path.
+    address.unix_path = rest;
+    return address;
+  }
+  auto endpoint = parse_host_port(rest, error);
+  if (!endpoint.has_value()) {
+    return std::nullopt;
+  }
+  if (endpoint->port == 0) {
+    if (error != nullptr) {
+      *error = "shard address '" + text + "' needs an explicit port";
+    }
+    return std::nullopt;
+  }
+  address.tcp = true;
+  address.endpoint = std::move(*endpoint);
+  return address;
+}
+
+Router::Router(RouterConfig config, std::unique_ptr<ShardPolicy> policy)
+    : config_(std::move(config)), policy_(std::move(policy)) {
+  if (policy_ == nullptr) {
+    policy_ = std::make_unique<FingerprintShardPolicy>();
+  }
+  for (const ShardAddress& address : config_.shards) {
+    auto shard = std::make_unique<ShardConnection>();
+    shard->stats.address = address.describe();
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Router::~Router() { shutdown(); }
+
+bool Router::start() {
+  if (started_) {
+    error_ = "router already started";
+    return false;
+  }
+  if (config_.shards.empty()) {
+    error_ = "no shards configured";
+    return false;
+  }
+  if (config_.socket_path.empty() && config_.tcp_host.empty()) {
+    error_ = "no listener configured (need a socket path or a TCP endpoint)";
+    return false;
+  }
+  if (!config_.socket_path.empty()) {
+    host_.add_listener(make_unix_listener(config_.socket_path));
+  }
+  if (!config_.tcp_host.empty()) {
+    host_.add_listener(make_tcp_listener(config_.tcp_host, config_.tcp_port));
+  }
+  host_.set_io_timeout(config_.io_timeout_seconds);
+  start_time_ = Clock::now();
+  if (!host_.start([this](int fd) { handle_connection(fd); }, &error_)) {
+    return false;
+  }
+  started_ = true;
+  return true;
+}
+
+void Router::shutdown() {
+  if (!started_) {
+    return;
+  }
+  host_.stop();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->fd >= 0) {
+      close(shard->fd);
+      shard->fd = -1;
+    }
+  }
+  started_ = false;
+}
+
+void Router::handle_connection(int fd) {
+  std::string io_error;
+  for (;;) {
+    std::string payload;
+    io_error.clear();
+    std::uint32_t peer_version = 0;
+    const FrameStatus status =
+        read_frame(fd, &payload, &io_error, &peer_version);
+    if (status == FrameStatus::kClosed || status == FrameStatus::kIdle) {
+      break;
+    }
+    if (status == FrameStatus::kTimeout) {
+      record_timeout();
+      write_response(fd, timeout_response("request timed out: " + io_error),
+                     &io_error);
+      break;
+    }
+    if (status == FrameStatus::kVersionMismatch) {
+      record_version_mismatch();
+      write_response(fd, version_mismatch_response(peer_version), &io_error);
+      break;
+    }
+    if (status == FrameStatus::kError) {
+      record_malformed();
+      write_response(fd, error_response("malformed request: " + io_error),
+                     &io_error);
+      break;
+    }
+    const auto accepted = Clock::now();
+    ByteReader reader(payload);
+    auto request = CompileRequest::deserialize(reader);
+    if (!request.has_value()) {
+      record_malformed();
+      if (!write_response(
+              fd, error_response("malformed request: undecodable payload"),
+              &io_error)) {
+        break;
+      }
+      continue;
+    }
+    CompileResponse response = route_request(std::move(*request));
+    record_request(response, ms_since(accepted));
+    if (!write_response(fd, response, &io_error)) {
+      break;
+    }
+  }
+}
+
+std::optional<CompileResponse> Router::resolve(
+    const CompileRequest& request, std::vector<RoutedFunction>* out) {
+  // Mirror CompileServer::resolve exactly: the router must reject what
+  // a server would reject, with the same error text, so a client cannot
+  // tell the two apart.
+  std::set<std::string> names;
+  std::vector<RoutedFunction> routed;
+  for (const std::string& name : request.kernels) {
+    auto kernel = workload::make_kernel(name);
+    if (!kernel.has_value()) {
+      return error_response("unknown kernel '" + name + "'");
+    }
+    if (!names.insert(kernel->func.name()).second) {
+      return error_response("duplicate function name '" +
+                            kernel->func.name() + "' in request");
+    }
+    RoutedFunction rf;
+    rf.kernel = name;
+    rf.func = std::move(kernel->func);
+    routed.push_back(std::move(rf));
+  }
+  if (!request.module_text.empty()) {
+    ir::ParseError parse_error;
+    auto module = ir::parse_module(request.module_text, &parse_error);
+    if (!module.has_value()) {
+      return error_response("module text line " +
+                            std::to_string(parse_error.line) + ": " +
+                            parse_error.message);
+    }
+    for (ir::Function& func : module->functions()) {
+      if (!names.insert(func.name()).second) {
+        return error_response("duplicate function name '" + func.name() +
+                              "' in request");
+      }
+      RoutedFunction rf;
+      rf.func = std::move(func);
+      routed.push_back(std::move(rf));
+    }
+  }
+  if (routed.empty()) {
+    return error_response("empty request: no kernels and no module text");
+  }
+  ir::Module check;
+  for (RoutedFunction& rf : routed) {
+    check.add_function(std::move(rf.func));
+  }
+  if (const auto issues = ir::verify(check); !issues.empty()) {
+    return error_response("malformed input module: " +
+                          issues.front().message);
+  }
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    routed[i].func = std::move(check.functions()[i]);
+    routed[i].index = i;
+    routed[i].fingerprint = ir::fingerprint(routed[i].func);
+    routed[i].shard =
+        policy_->shard_for(routed[i].fingerprint, shards_.size());
+  }
+  *out = std::move(routed);
+  return std::nullopt;
+}
+
+CompileResponse Router::route_request(CompileRequest request) {
+  std::vector<RoutedFunction> routed;
+  if (auto immediate = resolve(request, &routed)) {
+    return std::move(*immediate);
+  }
+
+  // Split into per-shard sub-requests. Within a sub-request, kernels
+  // come before module-text functions (a server resolves them in that
+  // order), each group keeping the client's relative order — `mapping`
+  // records which client position each sub-response slot answers.
+  struct Slice {
+    CompileRequest sub;
+    std::vector<std::size_t> mapping;
+    std::size_t home = 0;
+  };
+  std::map<std::size_t, Slice> slices;
+  for (const RoutedFunction& rf : routed) {
+    Slice& slice = slices[rf.shard];
+    slice.home = rf.shard;
+    if (!rf.kernel.empty()) {
+      slice.sub.kernels.push_back(rf.kernel);
+    }
+  }
+  for (auto& [shard, slice] : slices) {
+    slice.sub.spec = request.spec;
+    slice.sub.checkpoints = request.checkpoints;
+    slice.sub.analysis_cache = request.analysis_cache;
+    for (const RoutedFunction& rf : routed) {
+      if (rf.shard != shard || !rf.kernel.empty()) {
+        continue;
+      }
+      if (!slice.sub.module_text.empty()) {
+        slice.sub.module_text += '\n';
+      }
+      slice.sub.module_text += ir::to_string(rf.func);
+    }
+    // Mapping in sub-request order: kernel-origin first, then
+    // module-origin, each in client order.
+    for (const RoutedFunction& rf : routed) {
+      if (rf.shard == shard && !rf.kernel.empty()) {
+        slice.mapping.push_back(rf.index);
+      }
+    }
+    for (const RoutedFunction& rf : routed) {
+      if (rf.shard == shard && rf.kernel.empty()) {
+        slice.mapping.push_back(rf.index);
+      }
+    }
+  }
+  if (slices.size() > 1) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++split_requests_;
+  }
+
+  // Forward each slice: home shard first, then deterministic
+  // route-around — (home + 1) % N onward — when the home shard is
+  // unreachable. Compiles are pure, so a re-aimed slice still yields
+  // byte-identical results; only cache locality suffers.
+  std::vector<std::pair<const Slice*, CompileResponse>> answered;
+  for (auto& [shard, slice] : slices) {
+    std::optional<CompileResponse> sub_response;
+    for (std::size_t hop = 0; hop < shards_.size(); ++hop) {
+      const std::size_t target = (shard + hop) % shards_.size();
+      sub_response =
+          forward(target, slice.sub, slice.mapping.size(), hop != 0);
+      if (sub_response.has_value()) {
+        break;
+      }
+    }
+    if (!sub_response.has_value()) {
+      return busy_response(
+          "no shard reachable (" + std::to_string(shards_.size()) +
+          " configured); retry with backoff");
+    }
+    if (!sub_response->ok && sub_response->code == ResponseCode::kBusy) {
+      // One saturated shard makes the whole client request BUSY.
+      // Re-aiming the slice at a sibling would convert one shard's
+      // overload into fleet overload; propagate and let the client
+      // back off instead.
+      return busy_response("shard " + shards_[shard]->stats.address +
+                           " at capacity: " + sub_response->error);
+    }
+    if (!sub_response->ok && sub_response->functions.empty()) {
+      // A request-level refusal (not tied to any one function). The
+      // router pre-validates exactly as a server does, so this is a
+      // shard-side fault worth surfacing verbatim.
+      return error_response(sub_response->error);
+    }
+    if (sub_response->functions.size() != slice.mapping.size()) {
+      return error_response(
+          "shard " + shards_[shard]->stats.address + " answered " +
+          std::to_string(sub_response->functions.size()) + " functions for " +
+          std::to_string(slice.mapping.size()) + " requested");
+    }
+    answered.emplace_back(&slice, std::move(*sub_response));
+  }
+
+  // Merge in the client's order: per-function results land back at
+  // their original positions; statistics merge exactly as
+  // ModulePipelineResult would have merged them in one process.
+  CompileResponse response;
+  response.ok = true;
+  response.code = ResponseCode::kOk;
+  response.functions.resize(routed.size());
+  double server_seconds = 0;
+  for (auto& [slice, sub] : answered) {
+    for (std::size_t i = 0; i < slice->mapping.size(); ++i) {
+      response.functions[slice->mapping[i]] = std::move(sub.functions[i]);
+    }
+    server_seconds = std::max(server_seconds, sub.server_seconds);
+    if (sub.cache_attached) {
+      response.cache_attached = true;
+      response.cache.hits += sub.cache.hits;
+      response.cache.misses += sub.cache.misses;
+      response.cache.stores += sub.cache.stores;
+      response.cache.bad_entries += sub.cache.bad_entries;
+      response.cache.evictions += sub.cache.evictions;
+      response.cache.store_failures += sub.cache.store_failures;
+      response.cache.lookup_faults += sub.cache.lookup_faults;
+      response.cache.stage_hits += sub.cache.stage_hits;
+      response.cache.stage_misses += sub.cache.stage_misses;
+      response.cache.stage_stores += sub.cache.stage_stores;
+    }
+  }
+  response.server_seconds = server_seconds;
+  for (const FunctionResult& f : response.functions) {
+    if (!f.ok) {
+      response.ok = false;
+      response.code = ResponseCode::kError;
+      response.error = "function '" + f.name + "': " + f.error;
+      break;
+    }
+  }
+
+  // Pass stats merge position-wise (every slice ran the same spec, so
+  // positions align); the "changed X/Y functions" summaries sum their
+  // numerators and denominators.
+  std::vector<pipeline::PassRunStats> merged;
+  std::vector<std::uint64_t> changed_counts;
+  std::vector<std::uint64_t> contributor_counts;
+  for (auto& [slice, sub] : answered) {
+    (void)slice;
+    if (sub.pass_stats.empty()) {
+      continue;
+    }
+    if (merged.empty()) {
+      merged = std::move(sub.pass_stats);
+      changed_counts.assign(merged.size(), 0);
+      contributor_counts.assign(merged.size(), 0);
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        parse_changed_summary(merged[i].summary, &changed_counts[i],
+                              &contributor_counts[i]);
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < merged.size() && i < sub.pass_stats.size();
+         ++i) {
+      const pipeline::PassRunStats& s = sub.pass_stats[i];
+      merged[i].seconds += s.seconds;
+      merged[i].instructions_after += s.instructions_after;
+      merged[i].vregs_after += s.vregs_after;
+      merged[i].changed = merged[i].changed || s.changed;
+      std::uint64_t changed = 0;
+      std::uint64_t total = 0;
+      if (parse_changed_summary(s.summary, &changed, &total)) {
+        changed_counts[i] += changed;
+        contributor_counts[i] += total;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    merged[i].summary = "changed " + std::to_string(changed_counts[i]) + "/" +
+                        std::to_string(contributor_counts[i]) + " functions";
+  }
+  response.pass_stats = std::move(merged);
+
+  std::map<std::string, pipeline::AnalysisManager::AnalysisStats> by_name;
+  for (auto& [slice, sub] : answered) {
+    (void)slice;
+    for (const pipeline::AnalysisManager::AnalysisStats& s :
+         sub.analysis_stats) {
+      auto& m = by_name[s.name];
+      m.name = s.name;
+      m.hits += s.hits;
+      m.misses += s.misses;
+      m.puts += s.puts;
+      m.invalidations += s.invalidations;
+    }
+  }
+  for (auto& [name, s] : by_name) {
+    response.analysis_stats.push_back(std::move(s));
+  }
+  return response;
+}
+
+std::optional<CompileResponse> Router::forward(std::size_t shard_index,
+                                               const CompileRequest& sub,
+                                               std::size_t function_count,
+                                               bool routed_around) {
+  ShardConnection& shard = *shards_[shard_index];
+  const ShardAddress& address = config_.shards[shard_index];
+
+  // Router-side admission: never queue invisibly on the pooled
+  // connection. Past the waiter bound, shed with a structured BUSY the
+  // client can back off on.
+  struct WaiterGuard {
+    std::atomic<int>& count;
+    ~WaiterGuard() { count.fetch_sub(1, std::memory_order_relaxed); }
+  };
+  const int waiting = shard.waiters.fetch_add(1, std::memory_order_relaxed);
+  WaiterGuard guard{shard.waiters};
+  if (config_.max_shard_waiters > 0 &&
+      waiting >= static_cast<int>(config_.max_shard_waiters)) {
+    shard.shed.fetch_add(1, std::memory_order_relaxed);
+    auto response = busy_response(
+        "router: " + std::to_string(waiting) +
+        " requests already waiting on shard " + shard.stats.address +
+        " (max " + std::to_string(config_.max_shard_waiters) +
+        "); retry with backoff");
+    return response;
+  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  // Two passes: the pooled connection may have gone stale since the
+  // last request (server restarted, idle deadline fired), in which case
+  // the first attempt fails mid-flight and the second dials fresh.
+  // Re-sending is safe: compiles are pure and cached, so a request the
+  // shard may already have executed is idempotent.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (shard.fd < 0) {
+      std::string dial_error;
+      shard.fd =
+          address.tcp
+              ? connect_tcp_retry(address.endpoint.host, address.endpoint.port,
+                                  config_.connect_timeout_seconds, &dial_error)
+              : connect_unix_retry(address.unix_path,
+                                   config_.connect_timeout_seconds,
+                                   &dial_error);
+      if (shard.fd < 0) {
+        break;
+      }
+      apply_send_deadline(shard.fd);
+      ++shard.stats.connects;
+    }
+    std::string io_error;
+    if (!write_request(shard.fd, sub, &io_error)) {
+      close(shard.fd);
+      shard.fd = -1;
+      continue;
+    }
+    auto response = read_response(shard.fd, &io_error);
+    if (!response.has_value()) {
+      close(shard.fd);
+      shard.fd = -1;
+      continue;
+    }
+    ++shard.stats.forwarded;
+    shard.stats.functions += function_count;
+    if (routed_around) {
+      ++shard.stats.routed_around_in;
+    }
+    if (response->ok) {
+      ++shard.stats.ok;
+    } else if (response->code == ResponseCode::kBusy) {
+      ++shard.stats.busy;
+    } else {
+      ++shard.stats.errors;
+    }
+    return response;
+  }
+  return std::nullopt;
+}
+
+void Router::record_request(const CompileResponse& response,
+                            double latency_ms) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++requests_;
+  if (response.ok) {
+    ++requests_ok_;
+  } else if (response.code == ResponseCode::kBusy) {
+    ++requests_busy_;
+  } else {
+    ++requests_failed_;
+  }
+  functions_ += response.functions.size();
+  if (latencies_ms_.size() < kLatencyWindow) {
+    latencies_ms_.push_back(latency_ms);
+  } else {
+    latencies_ms_[latency_next_] = latency_ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+void Router::record_malformed() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++malformed_;
+}
+
+void Router::record_timeout() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++timeouts_;
+}
+
+void Router::record_version_mismatch() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++version_mismatches_;
+}
+
+RouterMetrics Router::metrics() const {
+  RouterMetrics m;
+  m.connections = host_.connections_accepted();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    m.requests = requests_;
+    m.requests_ok = requests_ok_;
+    m.requests_failed = requests_failed_;
+    m.requests_busy = requests_busy_;
+    m.malformed = malformed_;
+    m.timeouts = timeouts_;
+    m.version_mismatches = version_mismatches_;
+    m.functions = functions_;
+    m.split_requests = split_requests_;
+    m.uptime_seconds =
+        std::chrono::duration<double>(Clock::now() - start_time_).count();
+    if (!latencies_ms_.empty()) {
+      m.latency_p50_ms = stats::percentile(latencies_ms_, 50.0);
+      m.latency_p95_ms = stats::percentile(latencies_ms_, 95.0);
+      m.latency_p99_ms = stats::percentile(latencies_ms_, 99.0);
+    }
+  }
+  const double up = m.uptime_seconds > 0 ? m.uptime_seconds : 1e-12;
+  m.requests_per_sec = static_cast<double>(m.requests) / up;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    m.shards.push_back(shard->stats);
+    m.shards.back().shed = shard->shed.load(std::memory_order_relaxed);
+  }
+  return m;
+}
+
+TextTable Router::metrics_table(const std::string& title) const {
+  const RouterMetrics m = metrics();
+  TextTable table(title);
+  table.set_header({"metric", "value"});
+  table.add_row({"uptime s", TextTable::num(m.uptime_seconds, 1)});
+  table.add_row({"connections", std::to_string(m.connections)});
+  table.add_row({"requests", std::to_string(m.requests)});
+  table.add_row({"requests ok", std::to_string(m.requests_ok)});
+  table.add_row({"requests failed", std::to_string(m.requests_failed)});
+  table.add_row({"requests busy", std::to_string(m.requests_busy)});
+  table.add_row({"malformed", std::to_string(m.malformed)});
+  table.add_row({"timeouts", std::to_string(m.timeouts)});
+  table.add_row(
+      {"version mismatches", std::to_string(m.version_mismatches)});
+  table.add_row({"requests/sec", TextTable::num(m.requests_per_sec, 2)});
+  table.add_row({"functions", std::to_string(m.functions)});
+  table.add_row({"split requests", std::to_string(m.split_requests)});
+  table.add_row({"latency p50 ms", TextTable::num(m.latency_p50_ms, 2)});
+  table.add_row({"latency p95 ms", TextTable::num(m.latency_p95_ms, 2)});
+  table.add_row({"latency p99 ms", TextTable::num(m.latency_p99_ms, 2)});
+  for (std::size_t i = 0; i < m.shards.size(); ++i) {
+    const ShardMetrics& s = m.shards[i];
+    const std::string prefix = "shard " + std::to_string(i) + " ";
+    table.add_row({prefix + "address", s.address});
+    table.add_row({prefix + "forwarded", std::to_string(s.forwarded)});
+    table.add_row({prefix + "functions", std::to_string(s.functions)});
+    table.add_row({prefix + "busy", std::to_string(s.busy)});
+    table.add_row({prefix + "errors", std::to_string(s.errors)});
+    table.add_row({prefix + "connects", std::to_string(s.connects)});
+    table.add_row(
+        {prefix + "routed-around in", std::to_string(s.routed_around_in)});
+    table.add_row({prefix + "shed", std::to_string(s.shed)});
+  }
+  return table;
+}
+
+std::string Router::metrics_json() const {
+  const RouterMetrics m = metrics();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"uptime_seconds\": " << m.uptime_seconds << ",\n"
+       << "  \"connections\": " << m.connections << ",\n"
+       << "  \"requests\": " << m.requests << ",\n"
+       << "  \"requests_ok\": " << m.requests_ok << ",\n"
+       << "  \"requests_failed\": " << m.requests_failed << ",\n"
+       << "  \"requests_busy\": " << m.requests_busy << ",\n"
+       << "  \"malformed\": " << m.malformed << ",\n"
+       << "  \"timeouts\": " << m.timeouts << ",\n"
+       << "  \"version_mismatches\": " << m.version_mismatches << ",\n"
+       << "  \"requests_per_sec\": " << m.requests_per_sec << ",\n"
+       << "  \"functions\": " << m.functions << ",\n"
+       << "  \"split_requests\": " << m.split_requests << ",\n"
+       << "  \"latency_p50_ms\": " << m.latency_p50_ms << ",\n"
+       << "  \"latency_p95_ms\": " << m.latency_p95_ms << ",\n"
+       << "  \"latency_p99_ms\": " << m.latency_p99_ms << ",\n"
+       << "  \"shards\": [";
+  for (std::size_t i = 0; i < m.shards.size(); ++i) {
+    const ShardMetrics& s = m.shards[i];
+    json << (i == 0 ? "\n" : ",\n")
+         << "    {\n"
+         << "      \"address\": \"" << s.address << "\",\n"
+         << "      \"forwarded\": " << s.forwarded << ",\n"
+         << "      \"ok\": " << s.ok << ",\n"
+         << "      \"busy\": " << s.busy << ",\n"
+         << "      \"errors\": " << s.errors << ",\n"
+         << "      \"connects\": " << s.connects << ",\n"
+         << "      \"routed_around_in\": " << s.routed_around_in << ",\n"
+         << "      \"shed\": " << s.shed << ",\n"
+         << "      \"functions\": " << s.functions << "\n"
+         << "    }";
+  }
+  json << "\n  ]\n}\n";
+  return json.str();
+}
+
+bool Router::write_metrics_json(const std::string& path,
+                                std::string* error) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << metrics_json();
+    if (!out.good()) {
+      if (error != nullptr) {
+        *error = "cannot write '" + tmp + "'";
+      }
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "cannot rename '" + tmp + "' to '" + path +
+               "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tadfa::service

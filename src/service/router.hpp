@@ -1,0 +1,258 @@
+// Router: a sharding front-end for a fleet of compile servers.
+//
+// `tadfa route` binds the same framed protocol (Unix and/or TCP) as
+// `tadfa serve`, but compiles nothing itself: each request's functions
+// are resolved locally (kernel names and module text, exactly as a
+// server would), fingerprinted (ir::fingerprint), and forwarded to the
+// shard a ShardPolicy picks for each fingerprint. A batched request
+// whose functions map to different shards is split into per-shard
+// sub-requests that compile concurrently on different server processes,
+// and the sub-responses are merged back in the original request order —
+// from the client's seat, the router is indistinguishable from one big
+// server, byte for byte.
+//
+// Fingerprint routing is the point: a given function always lands on
+// the same shard, so each shard's persistent ResultCache warms a
+// disjoint slice of the workload and shards never contend for the same
+// cache entries. The policy is deliberately a narrow interface (one
+// pure function from fingerprint to shard index) so smarter placement —
+// weighted shards, consistent hashing for elastic fleets — can be
+// swapped in without touching the forwarding machinery.
+//
+// Failure semantics are explicit and never block the client:
+//  - an unreachable shard (connect or I/O failure after one reconnect
+//    retry) is routed around deterministically: the slice moves to the
+//    next shard in index order. Results stay byte-identical because
+//    compiles are pure; only cache locality degrades.
+//  - a shard answering BUSY (its bounded queue is full) makes the whole
+//    client response BUSY. The router does not re-aim the slice at
+//    another shard: that would convert one shard's overload into fleet
+//    overload. The client retries with backoff.
+//  - if no shard is reachable at all, the client gets BUSY, not a hang.
+// Forwarding retries after a connection drop are safe because compiles
+// are pure and cached: a re-sent request is idempotent.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+#include "support/table.hpp"
+
+namespace tadfa::service {
+
+/// Maps a function fingerprint to a shard index in [0, num_shards).
+/// Must be pure and deterministic: the same fingerprint must always
+/// land on the same shard or per-shard cache locality evaporates.
+class ShardPolicy {
+ public:
+  virtual ~ShardPolicy() = default;
+  virtual std::size_t shard_for(std::uint64_t fingerprint,
+                                std::size_t num_shards) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Default policy: splitmix64-mix the fingerprint, then reduce modulo
+/// the shard count. The mix step matters: ir::fingerprint values are
+/// already hashes, but mixing guards the low bits against any
+/// structure, so slices stay balanced for small shard counts.
+class FingerprintShardPolicy final : public ShardPolicy {
+ public:
+  std::size_t shard_for(std::uint64_t fingerprint,
+                        std::size_t num_shards) const override;
+  std::string_view name() const override { return "fingerprint"; }
+};
+
+/// Address of one backend shard: "unix:<path>" or "tcp:<host>:<port>"
+/// (a bare "<host>:<port>" is accepted as TCP, a bare path containing
+/// '/' as Unix).
+struct ShardAddress {
+  bool tcp = false;
+  std::string unix_path;
+  TcpEndpoint endpoint;
+  std::string describe() const;
+};
+
+/// nullopt (with `error`) on an unparsable address.
+std::optional<ShardAddress> parse_shard_address(const std::string& text,
+                                                std::string* error);
+
+struct RouterConfig {
+  /// Front listeners, same semantics as ServerConfig: at least one of
+  /// socket_path / tcp_host is required.
+  std::string socket_path;
+  std::string tcp_host;
+  std::uint16_t tcp_port = 0;
+  /// Backend shard addresses in policy index order (at least one).
+  std::vector<ShardAddress> shards;
+  /// Per-connection read/write deadline for *client* connections
+  /// (semantics as ServerConfig::io_timeout_seconds).
+  double io_timeout_seconds = 30.0;
+  /// Budget for (re)connecting to a shard before the router gives up
+  /// on it for the request at hand and routes around.
+  double connect_timeout_seconds = 5.0;
+  /// Router-side admission control. Each shard has one pooled
+  /// connection; at most this many requests may wait their turn on it
+  /// before the router sheds further arrivals with BUSY (0 =
+  /// unbounded). Without the bound, a saturated shard would make
+  /// clients queue invisibly inside the router instead of getting the
+  /// structured back-off signal.
+  std::size_t max_shard_waiters = 8;
+};
+
+/// Per-shard forwarding counters.
+struct ShardMetrics {
+  std::string address;
+  /// Sub-requests forwarded (including retries after a reconnect).
+  std::uint64_t forwarded = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t errors = 0;
+  /// Connections (re)established to this shard.
+  std::uint64_t connects = 0;
+  /// Sub-requests that arrived here because their home shard was
+  /// unreachable.
+  std::uint64_t routed_around_in = 0;
+  /// Sub-requests shed by the router itself because too many were
+  /// already waiting on this shard's pooled connection.
+  std::uint64_t shed = 0;
+  /// Functions forwarded to this shard.
+  std::uint64_t functions = 0;
+};
+
+struct RouterMetrics {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_failed = 0;
+  /// Client responses shed as BUSY (a shard was saturated, or no shard
+  /// was reachable).
+  std::uint64_t requests_busy = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t version_mismatches = 0;
+  std::uint64_t functions = 0;
+  /// Client requests that were split across more than one shard.
+  std::uint64_t split_requests = 0;
+  double uptime_seconds = 0;
+  double requests_per_sec = 0;
+  /// Client-side latency (frame decoded -> response ready).
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
+  std::vector<ShardMetrics> shards;
+};
+
+class Router {
+ public:
+  /// `policy` may be null: FingerprintShardPolicy is used.
+  Router(RouterConfig config, std::unique_ptr<ShardPolicy> policy = nullptr);
+  /// Calls shutdown().
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds the front listeners and starts accepting. Shards are dialed
+  /// lazily, per request — a shard that is down at router start is not
+  /// an error, just unreachable until it comes up.
+  bool start();
+  void shutdown();
+
+  const std::string& error() const { return error_; }
+  const RouterConfig& config() const { return config_; }
+  bool running() const { return started_; }
+  /// The bound front TCP port once start() succeeded (0 without one).
+  std::uint16_t tcp_port() const { return host_.tcp_port(); }
+
+  RouterMetrics metrics() const;
+  TextTable metrics_table(const std::string& title = "compile router") const;
+  /// The metrics snapshot as one machine-readable JSON object, with a
+  /// per-shard breakdown.
+  std::string metrics_json() const;
+  /// Writes metrics_json() to `path` atomically (tmp file + rename).
+  bool write_metrics_json(const std::string& path, std::string* error) const;
+
+ private:
+  /// One pooled connection to a backend shard. Handler threads
+  /// serialize on `mu` per shard; different shards proceed in
+  /// parallel. `waiters` (incremented before taking `mu`) is the
+  /// router's own admission signal: past max_shard_waiters, arrivals
+  /// are shed with BUSY instead of queuing on the mutex.
+  struct ShardConnection {
+    std::mutex mu;
+    int fd = -1;
+    std::atomic<int> waiters{0};
+    std::atomic<std::uint64_t> shed{0};
+    ShardMetrics stats;
+  };
+
+  /// One function of a client request, tagged with where it came from
+  /// (kernel list vs module text) and where it is going.
+  struct RoutedFunction {
+    /// Position in the client's request order.
+    std::size_t index = 0;
+    /// Kernel name when the function came from the request's kernel
+    /// list (forwarded by name); empty for module-text functions
+    /// (forwarded re-printed).
+    std::string kernel;
+    ir::Function func{""};
+    std::uint64_t fingerprint = 0;
+    std::size_t shard = 0;
+  };
+
+  void handle_connection(int fd);
+  /// The whole forwarding pipeline for one decoded request: resolve,
+  /// fingerprint, split, forward, merge. Never blocks indefinitely.
+  CompileResponse route_request(CompileRequest request);
+  /// Resolves request functions exactly as a server would; nullopt on
+  /// success with `out` filled, otherwise a ready error response.
+  std::optional<CompileResponse> resolve(const CompileRequest& request,
+                                         std::vector<RoutedFunction>* out);
+  /// Sends `sub` to shard `shard` over its pooled connection (dialing
+  /// or re-dialing as needed, one retry after a dropped connection).
+  /// nullopt when the shard is unreachable.
+  std::optional<CompileResponse> forward(std::size_t shard,
+                                         const CompileRequest& sub,
+                                         std::size_t function_count,
+                                         bool routed_around);
+
+  void record_request(const CompileResponse& response, double latency_ms);
+  void record_malformed();
+  void record_timeout();
+  void record_version_mismatch();
+
+  RouterConfig config_;
+  std::unique_ptr<ShardPolicy> policy_;
+  std::string error_;
+
+  ConnectionHost host_;
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<ShardConnection>> shards_;
+
+  mutable std::mutex metrics_mu_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t requests_ok_ = 0;
+  std::uint64_t requests_failed_ = 0;
+  std::uint64_t requests_busy_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t version_mismatches_ = 0;
+  std::uint64_t functions_ = 0;
+  std::uint64_t split_requests_ = 0;
+  static constexpr std::size_t kLatencyWindow = 4096;
+  std::vector<double> latencies_ms_;
+  std::size_t latency_next_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace tadfa::service

@@ -1,15 +1,13 @@
 #include "service/server.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/stat.h>
-#include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <utility>
 
 #include "ir/parser.hpp"
@@ -59,8 +57,8 @@ bool CompileServer::start() {
     error_ = "server already started";
     return false;
   }
-  if (config_.socket_path.empty()) {
-    error_ = "no socket path configured";
+  if (config_.socket_path.empty() && config_.tcp_host.empty()) {
+    error_ = "no listener configured (need a socket path or a TCP endpoint)";
     return false;
   }
   if (!config_.cache_dir.empty()) {
@@ -74,52 +72,27 @@ bool CompileServer::start() {
     driver_.set_stage_policy(config_.stage_policy);
   }
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
-    error_ = "socket path too long: " + config_.socket_path;
-    return false;
+  if (!config_.socket_path.empty()) {
+    host_.add_listener(make_unix_listener(config_.socket_path));
   }
-  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
-              config_.socket_path.size() + 1);
-
-  // A stale socket file from a dead server is reclaimed; anything else
-  // at that path is someone's data and refuses the bind.
-  struct stat st{};
-  if (::lstat(config_.socket_path.c_str(), &st) == 0) {
-    if (!S_ISSOCK(st.st_mode)) {
-      error_ = "'" + config_.socket_path + "' exists and is not a socket";
-      return false;
-    }
-    ::unlink(config_.socket_path.c_str());
+  if (!config_.tcp_host.empty()) {
+    host_.add_listener(make_tcp_listener(config_.tcp_host, config_.tcp_port));
   }
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    error_ = std::string("socket failed: ") + std::strerror(errno);
-    return false;
-  }
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
-    error_ = "cannot listen on '" + config_.socket_path +
-             "': " + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
-  if (::pipe(wake_pipe_) != 0) {
-    error_ = std::string("pipe failed: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
+  host_.set_io_timeout(config_.io_timeout_seconds);
 
   start_time_ = Clock::now();
   stopping_.store(false);
   dispatcher_stop_ = false;
   dispatch_thread_ = std::thread(&CompileServer::dispatch_loop, this);
-  accept_thread_ = std::thread(&CompileServer::accept_loop, this);
+  if (!host_.start([this](int fd) { handle_connection(fd); }, &error_)) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      dispatcher_stop_ = true;
+    }
+    queue_cv_.notify_all();
+    dispatch_thread_.join();
+    return false;
+  }
   started_ = true;
   return true;
 }
@@ -128,30 +101,13 @@ void CompileServer::shutdown() {
   if (!started_) {
     return;
   }
-  // Phase 1: no new connections. Wake the accept loop and retire it.
+  // Stop accepting and drain every live connection: a handler
+  // mid-request still enqueues, waits for its response, and writes it.
   stopping_.store(true);
-  const char wake = 'w';
-  [[maybe_unused]] const ssize_t w = ::write(wake_pipe_[1], &wake, 1);
-  accept_thread_.join();
+  host_.stop();
 
-  // Phase 2: half-close every live connection. Handlers blocked in
-  // read see EOF and exit; a handler mid-request still enqueues, waits
-  // for its response, and writes it — that is the drain.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) {
-      ::shutdown(fd, SHUT_RD);
-    }
-  }
-  for (std::thread& handler : handlers_) {
-    handler.join();
-  }
-  handlers_.clear();
-  finished_handlers_.clear();
-
-  // Phase 3: with every producer gone, let the dispatcher finish the
-  // queue (it is already empty — each handler waited for its response)
-  // and stop.
+  // With every producer gone, let the dispatcher finish the queue (it
+  // is already empty — each handler waited for its response) and stop.
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     dispatcher_stop_ = true;
@@ -159,57 +115,10 @@ void CompileServer::shutdown() {
   queue_cv_.notify_all();
   dispatch_thread_.join();
 
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  ::close(wake_pipe_[0]);
-  ::close(wake_pipe_[1]);
-  wake_pipe_[0] = wake_pipe_[1] = -1;
-  ::unlink(config_.socket_path.c_str());
   if (cache_.has_value()) {
     cache_->flush();
   }
   started_ = false;
-}
-
-void CompileServer::accept_loop() {
-  for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return;
-    }
-    if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) {
-      return;
-    }
-    if ((fds[0].revents & POLLIN) == 0) {
-      continue;
-    }
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      continue;
-    }
-    // Bounded sends: a client that stops reading must eventually error
-    // the handler's write instead of blocking it (and with it, a later
-    // shutdown()'s join) forever.
-    timeval send_timeout{};
-    send_timeout.tv_sec = 60;
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                 sizeof(send_timeout));
-    reap_finished_handlers();
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (stopping_.load()) {
-      ::close(fd);
-      return;
-    }
-    conn_fds_.push_back(fd);
-    handlers_.emplace_back(&CompileServer::handle_connection, this, fd);
-    {
-      std::lock_guard<std::mutex> mlock(metrics_mu_);
-      ++connections_;
-    }
-  }
 }
 
 void CompileServer::handle_connection(int fd) {
@@ -217,8 +126,27 @@ void CompileServer::handle_connection(int fd) {
   for (;;) {
     std::string payload;
     io_error.clear();
-    const FrameStatus status = read_frame(fd, &payload, &io_error);
-    if (status == FrameStatus::kClosed) {
+    std::uint32_t peer_version = 0;
+    const FrameStatus status =
+        read_frame(fd, &payload, &io_error, &peer_version);
+    if (status == FrameStatus::kClosed || status == FrameStatus::kIdle) {
+      // A clean close, or an idle connection past the I/O deadline:
+      // free the handler thread without ceremony.
+      break;
+    }
+    if (status == FrameStatus::kTimeout) {
+      // The peer stalled mid-frame. Best-effort structured error, then
+      // hang up — the stream position is unknowable.
+      record_timeout();
+      write_response(fd, timeout_response("request timed out: " + io_error),
+                     &io_error);
+      break;
+    }
+    if (status == FrameStatus::kVersionMismatch) {
+      // Explicit version refusal: a v2 client gets a structured frame
+      // naming both versions, never a hang.
+      record_version_mismatch();
+      write_response(fd, version_mismatch_response(peer_version), &io_error);
       break;
     }
     if (status == FrameStatus::kError) {
@@ -250,51 +178,39 @@ void CompileServer::handle_connection(int fd) {
       response = std::move(*immediate);
     } else {
       pending->accepted = accepted;
-      std::future<CompileResponse> future = pending->promise.get_future();
-      {
-        std::lock_guard<std::mutex> lock(queue_mu_);
-        queue_.push_back(std::move(pending));
+      std::future<CompileResponse> future;
+      if (auto shed = admit(std::move(pending), &future)) {
+        response = std::move(*shed);
+      } else {
+        response = future.get();
       }
-      queue_cv_.notify_one();
-      response = future.get();
     }
     record_request(response, ms_since(accepted));
     if (!write_response(fd, response, &io_error)) {
       break;
     }
   }
-  // De-register before closing: once closed, the fd number can be
-  // reused, and a concurrent shutdown() iterating conn_fds_ must never
-  // shoot down an unrelated descriptor. The finished-handler mark lets
-  // the accept loop join this thread instead of letting one joinable
-  // thread per connection ever served pile up until shutdown.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (std::size_t i = 0; i < conn_fds_.size(); ++i) {
-      if (conn_fds_[i] == fd) {
-        conn_fds_.erase(conn_fds_.begin() + static_cast<std::ptrdiff_t>(i));
-        break;
-      }
-    }
-    finished_handlers_.push_back(std::this_thread::get_id());
-  }
-  ::close(fd);
 }
 
-void CompileServer::reap_finished_handlers() {
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (const std::thread::id id : finished_handlers_) {
-    for (std::size_t i = 0; i < handlers_.size(); ++i) {
-      if (handlers_[i].get_id() == id) {
-        // The marked thread is at most a few instructions from
-        // returning, so this join is effectively immediate.
-        handlers_[i].join();
-        handlers_.erase(handlers_.begin() + static_cast<std::ptrdiff_t>(i));
-        break;
-      }
+std::optional<CompileResponse> CompileServer::admit(
+    std::unique_ptr<Pending> pending, std::future<CompileResponse>* future) {
+  *future = pending->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (config_.max_queue > 0 && queue_.size() >= config_.max_queue &&
+        !dispatcher_stop_) {
+      // Bounded queue full: shed with a structured BUSY instead of
+      // queuing unboundedly. The client retries with backoff.
+      return busy_response(
+          "server at capacity: " + std::to_string(queue_.size()) +
+          " requests queued (max " + std::to_string(config_.max_queue) +
+          "); retry with backoff");
     }
+    queue_.push_back(std::move(pending));
+    queue_peak_ = std::max(queue_peak_, queue_.size());
   }
-  finished_handlers_.clear();
+  queue_cv_.notify_one();
+  return std::nullopt;
 }
 
 std::optional<CompileResponse> CompileServer::resolve(
@@ -462,6 +378,15 @@ void CompileServer::process_batch_unguarded(
     }
     target->members.push_back(pending.get());
   }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    for (const Group& group : groups) {
+      ++batches_;
+      batched_functions_ += group.module.size();
+      max_batch_functions_ = std::max<std::uint64_t>(max_batch_functions_,
+                                                     group.module.size());
+    }
+  }
   for (Group& group : groups) {
     compile_group(group);
   }
@@ -503,6 +428,7 @@ void CompileServer::compile_group(Group& group) {
             std::move(result.functions[group.offsets[m] + i]));
       }
       response.ok = true;
+      response.code = ResponseCode::kOk;
       for (const pipeline::FunctionCompileResult& f : member.functions) {
         FunctionResult out;
         out.name = f.name;
@@ -517,6 +443,7 @@ void CompileServer::compile_group(Group& group) {
         out.seconds = f.run.total_seconds;
         if (!out.ok && response.ok) {
           response.ok = false;
+          response.code = ResponseCode::kError;
           response.error = "function '" + out.name + "': " + out.error;
         }
         response.functions.push_back(std::move(out));
@@ -539,6 +466,8 @@ void CompileServer::record_request(const CompileResponse& response,
   ++requests_;
   if (response.ok) {
     ++requests_ok_;
+  } else if (response.code == ResponseCode::kBusy) {
+    ++requests_busy_;
   } else {
     ++requests_failed_;
   }
@@ -559,25 +488,50 @@ void CompileServer::record_malformed() {
   ++malformed_;
 }
 
+void CompileServer::record_timeout() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++timeouts_;
+}
+
+void CompileServer::record_version_mismatch() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  ++version_mismatches_;
+}
+
 ServerMetrics CompileServer::metrics() const {
   ServerMetrics m;
+  m.connections = host_.connections_accepted();
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
-    m.connections = connections_;
     m.requests = requests_;
     m.requests_ok = requests_ok_;
     m.requests_failed = requests_failed_;
+    m.requests_busy = requests_busy_;
     m.malformed = malformed_;
+    m.timeouts = timeouts_;
+    m.version_mismatches = version_mismatches_;
     m.functions = functions_;
     m.functions_from_cache = functions_from_cache_;
     m.prefix_hits = prefix_hits_;
     m.passes_skipped = passes_skipped_;
+    m.batches = batches_;
+    m.max_batch_functions = max_batch_functions_;
+    m.avg_batch_functions =
+        batches_ == 0 ? 0.0
+                      : static_cast<double>(batched_functions_) /
+                            static_cast<double>(batches_);
     m.uptime_seconds =
         std::chrono::duration<double>(Clock::now() - start_time_).count();
     if (!latencies_ms_.empty()) {
       m.latency_p50_ms = stats::percentile(latencies_ms_, 50.0);
       m.latency_p95_ms = stats::percentile(latencies_ms_, 95.0);
+      m.latency_p99_ms = stats::percentile(latencies_ms_, 99.0);
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    m.queue_depth = queue_.size();
+    m.queue_peak = queue_peak_;
   }
   const double up = m.uptime_seconds > 0 ? m.uptime_seconds : 1e-12;
   m.requests_per_sec = static_cast<double>(m.requests) / up;
@@ -602,16 +556,28 @@ TextTable CompileServer::metrics_table(const std::string& title) const {
   table.add_row({"requests", std::to_string(m.requests)});
   table.add_row({"requests ok", std::to_string(m.requests_ok)});
   table.add_row({"requests failed", std::to_string(m.requests_failed)});
+  table.add_row({"requests busy", std::to_string(m.requests_busy)});
   table.add_row({"malformed", std::to_string(m.malformed)});
+  table.add_row({"timeouts", std::to_string(m.timeouts)});
+  table.add_row(
+      {"version mismatches", std::to_string(m.version_mismatches)});
   table.add_row({"requests/sec", TextTable::num(m.requests_per_sec, 2)});
   table.add_row({"functions", std::to_string(m.functions)});
   table.add_row({"functions/sec", TextTable::num(m.functions_per_sec, 1)});
+  table.add_row({"batches", std::to_string(m.batches)});
+  table.add_row(
+      {"avg batch functions", TextTable::num(m.avg_batch_functions, 1)});
+  table.add_row(
+      {"max batch functions", std::to_string(m.max_batch_functions)});
+  table.add_row({"queue depth", std::to_string(m.queue_depth)});
+  table.add_row({"queue peak", std::to_string(m.queue_peak)});
   table.add_row(
       {"warm hit rate", TextTable::num(m.warm_hit_rate * 100.0, 1) + "%"});
   table.add_row({"prefix hits", std::to_string(m.prefix_hits)});
   table.add_row({"passes skipped", std::to_string(m.passes_skipped)});
   table.add_row({"latency p50 ms", TextTable::num(m.latency_p50_ms, 2)});
   table.add_row({"latency p95 ms", TextTable::num(m.latency_p95_ms, 2)});
+  table.add_row({"latency p99 ms", TextTable::num(m.latency_p99_ms, 2)});
   if (m.cache_attached) {
     table.add_row({"cache hits", std::to_string(m.cache.hits)});
     table.add_row({"cache misses", std::to_string(m.cache.misses)});
@@ -625,6 +591,76 @@ TextTable CompileServer::metrics_table(const std::string& title) const {
     table.add_row({"stage stores", std::to_string(m.cache.stage_stores)});
   }
   return table;
+}
+
+std::string CompileServer::metrics_json() const {
+  const ServerMetrics m = metrics();
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"uptime_seconds\": " << m.uptime_seconds << ",\n"
+       << "  \"connections\": " << m.connections << ",\n"
+       << "  \"requests\": " << m.requests << ",\n"
+       << "  \"requests_ok\": " << m.requests_ok << ",\n"
+       << "  \"requests_failed\": " << m.requests_failed << ",\n"
+       << "  \"requests_busy\": " << m.requests_busy << ",\n"
+       << "  \"malformed\": " << m.malformed << ",\n"
+       << "  \"timeouts\": " << m.timeouts << ",\n"
+       << "  \"version_mismatches\": " << m.version_mismatches << ",\n"
+       << "  \"requests_per_sec\": " << m.requests_per_sec << ",\n"
+       << "  \"functions\": " << m.functions << ",\n"
+       << "  \"functions_per_sec\": " << m.functions_per_sec << ",\n"
+       << "  \"functions_from_cache\": " << m.functions_from_cache << ",\n"
+       << "  \"warm_hit_rate\": " << m.warm_hit_rate << ",\n"
+       << "  \"prefix_hits\": " << m.prefix_hits << ",\n"
+       << "  \"passes_skipped\": " << m.passes_skipped << ",\n"
+       << "  \"batches\": " << m.batches << ",\n"
+       << "  \"avg_batch_functions\": " << m.avg_batch_functions << ",\n"
+       << "  \"max_batch_functions\": " << m.max_batch_functions << ",\n"
+       << "  \"queue_depth\": " << m.queue_depth << ",\n"
+       << "  \"queue_peak\": " << m.queue_peak << ",\n"
+       << "  \"latency_p50_ms\": " << m.latency_p50_ms << ",\n"
+       << "  \"latency_p95_ms\": " << m.latency_p95_ms << ",\n"
+       << "  \"latency_p99_ms\": " << m.latency_p99_ms << ",\n"
+       << "  \"cache_attached\": " << (m.cache_attached ? "true" : "false");
+  if (m.cache_attached) {
+    json << ",\n  \"cache\": {\n"
+         << "    \"hits\": " << m.cache.hits << ",\n"
+         << "    \"misses\": " << m.cache.misses << ",\n"
+         << "    \"stores\": " << m.cache.stores << ",\n"
+         << "    \"bad_entries\": " << m.cache.bad_entries << ",\n"
+         << "    \"evictions\": " << m.cache.evictions << ",\n"
+         << "    \"store_failures\": " << m.cache.store_failures << ",\n"
+         << "    \"lookup_faults\": " << m.cache.lookup_faults << ",\n"
+         << "    \"stage_hits\": " << m.cache.stage_hits << ",\n"
+         << "    \"stage_misses\": " << m.cache.stage_misses << ",\n"
+         << "    \"stage_stores\": " << m.cache.stage_stores << "\n"
+         << "  }";
+  }
+  json << "\n}\n";
+  return json.str();
+}
+
+bool CompileServer::write_metrics_json(const std::string& path,
+                                       std::string* error) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << metrics_json();
+    if (!out.good()) {
+      if (error != nullptr) {
+        *error = "cannot write '" + tmp + "'";
+      }
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "cannot rename '" + tmp + "' to '" + path +
+               "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
 }
 
 }  // namespace tadfa::service

@@ -2,7 +2,7 @@
 //
 // `tadfa serve` wraps everything PR 3 and PR 4 built — the module-level
 // CompilationDriver worker pool and the persistent ResultCache — behind
-// a Unix-domain socket so compiles stop being one-shot CLI processes.
+// a stream socket so compiles stop being one-shot CLI processes.
 // Concurrent clients submit CompileRequests (protocol.hpp); a handler
 // thread per connection resolves each request into ir::Functions and
 // queues it; a single dispatcher drains the queue, batches compatible
@@ -13,19 +13,29 @@
 // worker pool, and every warm function is served from the shared cache
 // without running a single pass.
 //
+// Since PR 7 the server is listener-agnostic: it accepts the same
+// framed protocol over a Unix-domain socket, a TCP endpoint, or both at
+// once (transport.hpp), which is what lets `tadfa route` shard requests
+// across server processes on different machines. Overload is explicit,
+// not emergent: the dispatcher queue is bounded (`max_queue`), a
+// request arriving at a full queue is answered with a structured BUSY
+// response instead of queuing unboundedly, and a connection that stalls
+// mid-frame past `io_timeout_seconds` gets a structured timeout error
+// instead of holding its handler thread forever.
+//
 // The per-function determinism guarantee carries over unchanged: a
 // pipeline run is a pure function of (function, spec, context), so a
 // function compiled inside a server batch is byte-identical to the same
 // function compiled by a direct CompilationDriver::compile — the
 // service tests and the CI smoke step gate on exactly that.
 //
-// Lifetime: start() binds the socket and spawns the threads; shutdown()
-// drains — it stops accepting, half-closes every connection's read
-// side, lets in-flight requests finish compiling and responding, and
-// only then stops the dispatcher and flushes the cache. The dispatcher
-// also flushes the cache periodically while serving: a long-lived
-// server must never depend on the destructor-flush path a batch tool
-// gets for free.
+// Lifetime: start() binds the listeners and spawns the threads;
+// shutdown() drains — it stops accepting, half-closes every
+// connection's read side, lets in-flight requests finish compiling and
+// responding, and only then stops the dispatcher and flushes the cache.
+// The dispatcher also flushes the cache periodically while serving: a
+// long-lived server must never depend on the destructor-flush path a
+// batch tool gets for free.
 #pragma once
 
 #include <atomic>
@@ -44,13 +54,19 @@
 #include "pipeline/driver.hpp"
 #include "pipeline/result_cache.hpp"
 #include "service/protocol.hpp"
+#include "service/transport.hpp"
 #include "support/table.hpp"
 
 namespace tadfa::service {
 
 struct ServerConfig {
-  /// Filesystem path of the Unix-domain listening socket.
+  /// Filesystem path of the Unix-domain listening socket (empty = no
+  /// Unix listener; at least one of socket_path / tcp_host required).
   std::string socket_path;
+  /// TCP listening endpoint (host empty = no TCP listener; port 0
+  /// binds ephemerally — CompileServer::tcp_port() reports the choice).
+  std::string tcp_host;
+  std::uint16_t tcp_port = 0;
   /// Worker-pool size per module compile (0 = hardware concurrency).
   unsigned jobs = 0;
   /// Pipeline used when a request leaves its spec empty.
@@ -63,6 +79,14 @@ struct ServerConfig {
   double flush_every_seconds = 5.0;
   /// Ceiling on functions batched into one module compile.
   std::size_t max_batch_functions = 256;
+  /// Admission control: requests allowed to wait for the dispatcher
+  /// (0 = unbounded). A request arriving at a full queue is answered
+  /// with a structured BUSY response instead of queuing.
+  std::size_t max_queue = 0;
+  /// Per-connection read/write deadline in seconds (<= 0: no read
+  /// deadline, 60 s write deadline). A peer stalling mid-frame past it
+  /// gets a structured timeout error and the connection is closed.
+  double io_timeout_seconds = 30.0;
   /// Incremental compilation: when enabled, the driver freezes
   /// pass-boundary snapshots into the cache and resumes from the
   /// longest cached spec prefix. No effect without a cache_dir.
@@ -75,15 +99,30 @@ struct ServerMetrics {
   std::uint64_t requests = 0;
   std::uint64_t requests_ok = 0;
   std::uint64_t requests_failed = 0;
+  /// Requests shed at admission with a structured BUSY response.
+  std::uint64_t requests_busy = 0;
   /// Frames or payloads that could not be decoded (answered with a
   /// structured error, never a hang).
   std::uint64_t malformed = 0;
+  /// Connections that stalled mid-frame past the I/O deadline.
+  std::uint64_t timeouts = 0;
+  /// Frames announcing a different kProtocolVersion (answered with a
+  /// structured VERSION_MISMATCH error).
+  std::uint64_t version_mismatches = 0;
   std::uint64_t functions = 0;
   std::uint64_t functions_from_cache = 0;
   /// Functions that resumed from a cached stage snapshot (incremental
   /// mode), and the total passes those resumes skipped.
   std::uint64_t prefix_hits = 0;
   std::uint64_t passes_skipped = 0;
+  /// Dispatcher batching: module compiles run, and the largest /
+  /// average function count per batch.
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch_functions = 0;
+  double avg_batch_functions = 0;
+  /// Requests waiting for the dispatcher right now / high-water mark.
+  std::size_t queue_depth = 0;
+  std::size_t queue_peak = 0;
   double uptime_seconds = 0;
   double requests_per_sec = 0;
   double functions_per_sec = 0;
@@ -91,6 +130,7 @@ struct ServerMetrics {
   /// most recent samples.
   double latency_p50_ms = 0;
   double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
   /// functions_from_cache over functions (0 when nothing served).
   double warm_hit_rate = 0;
   bool cache_attached = false;
@@ -106,8 +146,8 @@ class CompileServer {
   CompileServer(const CompileServer&) = delete;
   CompileServer& operator=(const CompileServer&) = delete;
 
-  /// Binds the socket, opens the cache, spawns the accept and dispatch
-  /// threads. False (with error()) when any of that fails.
+  /// Binds the listeners, opens the cache, spawns the accept and
+  /// dispatch threads. False (with error()) when any of that fails.
   bool start();
   /// Graceful drain; safe to call twice (second call is a no-op).
   void shutdown();
@@ -115,9 +155,16 @@ class CompileServer {
   const std::string& error() const { return error_; }
   const ServerConfig& config() const { return config_; }
   bool running() const { return started_ && !stopping_.load(); }
+  /// The bound TCP port once start() succeeded (0 without a TCP
+  /// listener); the way tests find an ephemeral (`tcp_port = 0`) bind.
+  std::uint16_t tcp_port() const { return host_.tcp_port(); }
 
   ServerMetrics metrics() const;
   TextTable metrics_table(const std::string& title = "compile server") const;
+  /// The metrics snapshot as one machine-readable JSON object.
+  std::string metrics_json() const;
+  /// Writes metrics_json() to `path` atomically (tmp file + rename).
+  bool write_metrics_json(const std::string& path, std::string* error) const;
 
   /// The shared persistent cache; nullptr when serving uncached.
   pipeline::ResultCache* cache() {
@@ -146,7 +193,6 @@ class CompileServer {
   /// A batch of compatible pendings compiled as one module.
   struct Group;
 
-  void accept_loop();
   void handle_connection(int fd);
   void dispatch_loop();
   /// Responds to every pending in `batch`, converting any escaped
@@ -161,48 +207,48 @@ class CompileServer {
   std::optional<CompileResponse> resolve(CompileRequest request,
                                          std::unique_ptr<Pending>* out);
 
+  /// Admission: queues `pending` unless the bounded queue is full, in
+  /// which case a ready BUSY response is returned instead.
+  std::optional<CompileResponse> admit(std::unique_ptr<Pending> pending,
+                                       std::future<CompileResponse>* future);
+
   void record_request(const CompileResponse& response, double latency_ms);
   void record_malformed();
+  void record_timeout();
+  void record_version_mismatch();
 
   ServerConfig config_;
   pipeline::CompilationDriver driver_;
   std::optional<pipeline::ResultCache> cache_;
   std::string error_;
 
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
+  ConnectionHost host_;
   bool started_ = false;
   std::atomic<bool> stopping_{false};
 
-  std::thread accept_thread_;
   std::thread dispatch_thread_;
-  /// Joins handler threads that have announced completion (accept loop
-  /// housekeeping, so a long-lived server does not accumulate one
-  /// joinable thread per connection ever served).
-  void reap_finished_handlers();
 
-  /// Guarded by conn_mu_: handler threads, their live socket fds, and
-  /// the ids of handlers that have finished and await a join.
-  std::mutex conn_mu_;
-  std::vector<std::thread> handlers_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread::id> finished_handlers_;
-
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::unique_ptr<Pending>> queue_;
+  std::size_t queue_peak_ = 0;
   bool dispatcher_stop_ = false;
 
   mutable std::mutex metrics_mu_;
-  std::uint64_t connections_ = 0;
   std::uint64_t requests_ = 0;
   std::uint64_t requests_ok_ = 0;
   std::uint64_t requests_failed_ = 0;
+  std::uint64_t requests_busy_ = 0;
   std::uint64_t malformed_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t version_mismatches_ = 0;
   std::uint64_t functions_ = 0;
   std::uint64_t functions_from_cache_ = 0;
   std::uint64_t prefix_hits_ = 0;
   std::uint64_t passes_skipped_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_functions_ = 0;
+  std::uint64_t max_batch_functions_ = 0;
   /// Latency ring (most recent kLatencyWindow samples).
   static constexpr std::size_t kLatencyWindow = 4096;
   std::vector<double> latencies_ms_;

@@ -1,0 +1,537 @@
+// Tests for the scale-out layer: TCP transport, the sharding router,
+// and admission control. Load-bearing properties:
+//   * the router is transparent: a request answered through a 2-shard
+//     topology is byte-identical (per function) to the same request
+//     answered by one direct server, cold and warm, and function
+//     placement is deterministic by fingerprint;
+//   * a dead shard is routed around — the request still succeeds;
+//   * a bounded server queue answers BUSY (structured, never a hang)
+//     once full, and a BUSY propagates through the router;
+//   * a frame announcing the wrong protocol version is answered with a
+//     structured VERSION_MISMATCH error on both transports;
+//   * a client that stalls mid-frame past the I/O deadline gets a
+//     structured timeout error instead of pinning a handler thread.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "machine/floorplan.hpp"
+#include "pipeline/driver.hpp"
+#include "power/model.hpp"
+#include "service/protocol.hpp"
+#include "service/router.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+#include "thermal/grid.hpp"
+#include "workload/kernels.hpp"
+#include "workload/modules.hpp"
+
+namespace tadfa {
+namespace {
+
+constexpr const char* kSpec =
+    "cse,dce,alloc=linear:first_free,thermal-dfa,"
+    "alloc=coloring:coolest_first,schedule";
+
+/// Kernels whose fingerprints land on both shards of a 2-shard policy
+/// (asserted by RoutesEveryFunctionDeterministically, so the other
+/// tests can rely on genuine splits).
+const std::vector<std::string> kKernels = {"crc32",  "fir",      "matmul",
+                                           "vecsum", "stencil3", "idct8"};
+
+struct RouterTest : ::testing::Test {
+  machine::Floorplan fp{machine::RegisterFileConfig::default_config()};
+  thermal::ThermalGrid grid{fp};
+  power::PowerModel power{fp.config()};
+
+  pipeline::PipelineContext context() const {
+    pipeline::PipelineContext ctx;
+    ctx.floorplan = &fp;
+    ctx.grid = &grid;
+    ctx.power = &power;
+    return ctx;
+  }
+
+  /// A per-test path under the system temp dir (kept short: sun_path
+  /// caps at ~108 bytes).
+  std::string temp_path(const std::string& suffix) const {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return (std::filesystem::temp_directory_path() /
+            (std::string("tadfa-rt-") + info->name() + suffix))
+        .string();
+  }
+
+  service::ServerConfig shard_config(int index) const {
+    service::ServerConfig cfg;
+    cfg.socket_path = temp_path("-s" + std::to_string(index) + ".sock");
+    cfg.jobs = 2;
+    cfg.default_spec = kSpec;
+    return cfg;
+  }
+
+  service::RouterConfig router_config(
+      const std::vector<std::string>& shard_addresses) const {
+    service::RouterConfig cfg;
+    cfg.socket_path = temp_path("-router.sock");
+    cfg.connect_timeout_seconds = 0.2;
+    for (const std::string& address : shard_addresses) {
+      std::string error;
+      auto parsed = service::parse_shard_address(address, &error);
+      EXPECT_TRUE(parsed.has_value()) << error;
+      cfg.shards.push_back(std::move(*parsed));
+    }
+    return cfg;
+  }
+};
+
+/// One connect → request → response exchange over a Unix socket.
+service::CompileResponse roundtrip(const std::string& socket,
+                                   const service::CompileRequest& request) {
+  std::string error;
+  const int fd = service::connect_unix(socket, &error);
+  EXPECT_GE(fd, 0) << error;
+  EXPECT_TRUE(service::write_request(fd, request, &error)) << error;
+  auto response = service::read_response(fd, &error);
+  EXPECT_TRUE(response.has_value()) << error;
+  ::close(fd);
+  return response.value_or(service::error_response("no response"));
+}
+
+/// The same exchange over TCP.
+service::CompileResponse roundtrip_tcp(std::uint16_t port,
+                                       const service::CompileRequest& request) {
+  std::string error;
+  const int fd = service::connect_tcp("127.0.0.1", port, &error);
+  EXPECT_GE(fd, 0) << error;
+  EXPECT_TRUE(service::write_request(fd, request, &error)) << error;
+  auto response = service::read_response(fd, &error);
+  EXPECT_TRUE(response.has_value()) << error;
+  ::close(fd);
+  return response.value_or(service::error_response("no response"));
+}
+
+/// Per-function byte identity against a direct driver compile, plus
+/// the merged statistics (summaries and counts are deterministic;
+/// seconds are not and are not compared).
+void expect_matches_direct(const service::CompileResponse& response,
+                           const pipeline::ModulePipelineResult& direct) {
+  ASSERT_EQ(response.functions.size(), direct.functions.size());
+  for (std::size_t i = 0; i < direct.functions.size(); ++i) {
+    const service::FunctionResult& served = response.functions[i];
+    const pipeline::FunctionCompileResult& ref = direct.functions[i];
+    EXPECT_EQ(served.name, ref.name);
+    EXPECT_EQ(served.ok, ref.run.ok);
+    EXPECT_EQ(served.printed, ir::to_string(ref.run.state.func));
+    EXPECT_EQ(served.spilled_regs, ref.run.state.spilled_regs);
+    EXPECT_EQ(served.instructions, ref.run.state.func.instruction_count());
+    EXPECT_EQ(served.vregs, ref.run.state.func.reg_count());
+  }
+  const auto direct_stats = direct.merged_pass_stats();
+  ASSERT_EQ(response.pass_stats.size(), direct_stats.size());
+  for (std::size_t i = 0; i < direct_stats.size(); ++i) {
+    EXPECT_EQ(response.pass_stats[i].name, direct_stats[i].name);
+    EXPECT_EQ(response.pass_stats[i].summary, direct_stats[i].summary);
+    EXPECT_EQ(response.pass_stats[i].changed, direct_stats[i].changed);
+    EXPECT_EQ(response.pass_stats[i].instructions_after,
+              direct_stats[i].instructions_after);
+    EXPECT_EQ(response.pass_stats[i].vregs_after,
+              direct_stats[i].vregs_after);
+  }
+}
+
+ir::Module kernel_module() {
+  ir::Module module;
+  for (const std::string& name : kKernels) {
+    module.add_function(std::move(workload::make_kernel(name)->func));
+  }
+  return module;
+}
+
+TEST(ShardPolicyTest, FingerprintPolicyIsDeterministicAndTotal) {
+  service::FingerprintShardPolicy policy;
+  for (const std::string& name : kKernels) {
+    const std::uint64_t fp = ir::fingerprint(workload::make_kernel(name)->func);
+    for (std::size_t shards = 1; shards <= 5; ++shards) {
+      const std::size_t first = policy.shard_for(fp, shards);
+      EXPECT_LT(first, shards);
+      EXPECT_EQ(policy.shard_for(fp, shards), first);
+    }
+  }
+}
+
+TEST(ShardPolicyTest, ParsesShardAddressForms) {
+  std::string error;
+  auto unix_addr = service::parse_shard_address("unix:/tmp/s.sock", &error);
+  ASSERT_TRUE(unix_addr.has_value()) << error;
+  EXPECT_FALSE(unix_addr->tcp);
+  EXPECT_EQ(unix_addr->unix_path, "/tmp/s.sock");
+
+  auto bare_path = service::parse_shard_address("/tmp/s.sock", &error);
+  ASSERT_TRUE(bare_path.has_value()) << error;
+  EXPECT_FALSE(bare_path->tcp);
+
+  auto tcp_addr = service::parse_shard_address("tcp:127.0.0.1:7411", &error);
+  ASSERT_TRUE(tcp_addr.has_value()) << error;
+  EXPECT_TRUE(tcp_addr->tcp);
+  EXPECT_EQ(tcp_addr->endpoint.host, "127.0.0.1");
+  EXPECT_EQ(tcp_addr->endpoint.port, 7411);
+
+  auto bare_tcp = service::parse_shard_address("localhost:7411", &error);
+  ASSERT_TRUE(bare_tcp.has_value()) << error;
+  EXPECT_TRUE(bare_tcp->tcp);
+
+  EXPECT_FALSE(service::parse_shard_address("unix:", &error).has_value());
+  EXPECT_FALSE(
+      service::parse_shard_address("tcp:127.0.0.1:0", &error).has_value());
+  EXPECT_FALSE(service::parse_shard_address("nonsense", &error).has_value());
+}
+
+TEST_F(RouterTest, TcpTransportMatchesDirectCompile) {
+  service::ServerConfig cfg;
+  cfg.tcp_host = "127.0.0.1";
+  cfg.tcp_port = 0;  // ephemeral
+  cfg.jobs = 2;
+  cfg.default_spec = kSpec;
+  service::CompileServer server(context(), cfg);
+  ASSERT_TRUE(server.start()) << server.error();
+  ASSERT_NE(server.tcp_port(), 0);
+
+  service::CompileRequest request;
+  request.spec = kSpec;
+  request.kernels = kKernels;
+  const auto response = roundtrip_tcp(server.tcp_port(), request);
+  EXPECT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.code, service::ResponseCode::kOk);
+
+  pipeline::CompilationDriver driver(context());
+  driver.set_jobs(2);
+  ir::Module module = kernel_module();
+  expect_matches_direct(response, driver.compile(module, kSpec));
+  server.shutdown();
+}
+
+TEST_F(RouterTest, RoutesEveryFunctionDeterministicallyAndMatchesDirect) {
+  // Two shards with private caches; the router in front. Cold and warm
+  // responses must both be byte-identical to one direct compile, and
+  // the second pass must be served from the shards' caches.
+  service::ServerConfig s0 = shard_config(0);
+  s0.cache_dir = temp_path("-c0");
+  service::ServerConfig s1 = shard_config(1);
+  s1.cache_dir = temp_path("-c1");
+  // The paths are deterministic per test name; a previous run's
+  // persisted cache would make the cold pass warm.
+  std::filesystem::remove_all(s0.cache_dir);
+  std::filesystem::remove_all(s1.cache_dir);
+  service::CompileServer shard0(context(), s0);
+  service::CompileServer shard1(context(), s1);
+  ASSERT_TRUE(shard0.start()) << shard0.error();
+  ASSERT_TRUE(shard1.start()) << shard1.error();
+
+  service::Router router(router_config(
+      {"unix:" + s0.socket_path, "unix:" + s1.socket_path}));
+  ASSERT_TRUE(router.start()) << router.error();
+
+  service::CompileRequest request;
+  request.spec = kSpec;
+  request.kernels = kKernels;
+  // Module text rides along so both origins (kernel names, IR text)
+  // cross the router.
+  request.module_text =
+      "func @ride_along(%0) {\n"
+      "entry:\n"
+      "  %1 = add %0, %0\n"
+      "  ret %1\n"
+      "}\n";
+
+  pipeline::CompilationDriver driver(context());
+  driver.set_jobs(2);
+  ir::Module module = kernel_module();
+  {
+    ir::ParseError perr;
+    auto rider = ir::parse_module(request.module_text, &perr);
+    ASSERT_TRUE(rider.has_value()) << perr.message;
+    module.add_function(std::move(rider->functions().front()));
+  }
+  const auto direct = driver.compile(module, kSpec);
+
+  const auto cold = roundtrip(router.config().socket_path, request);
+  EXPECT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.code, service::ResponseCode::kOk);
+  expect_matches_direct(cold, direct);
+  EXPECT_EQ(cold.cache_hits(), 0u);
+
+  // The suite must genuinely split: both shards compiled something.
+  const auto cold_metrics = router.metrics();
+  ASSERT_EQ(cold_metrics.shards.size(), 2u);
+  EXPECT_GT(cold_metrics.shards[0].functions, 0u);
+  EXPECT_GT(cold_metrics.shards[1].functions, 0u);
+  EXPECT_EQ(cold_metrics.shards[0].functions +
+                cold_metrics.shards[1].functions,
+            module.size());
+
+  const auto warm = roundtrip(router.config().socket_path, request);
+  EXPECT_TRUE(warm.ok) << warm.error;
+  expect_matches_direct(warm, direct);
+  EXPECT_EQ(warm.cache_hits(), module.size());
+
+  // Deterministic placement: the warm pass put exactly the same
+  // function count on each shard.
+  const auto warm_metrics = router.metrics();
+  EXPECT_EQ(warm_metrics.shards[0].functions,
+            2 * cold_metrics.shards[0].functions);
+  EXPECT_EQ(warm_metrics.shards[1].functions,
+            2 * cold_metrics.shards[1].functions);
+  EXPECT_EQ(warm_metrics.requests_ok, 2u);
+
+  router.shutdown();
+  shard0.shutdown();
+  shard1.shutdown();
+}
+
+TEST_F(RouterTest, RoutesAroundDeadShard) {
+  // Shard 1 is configured but never started: every slice aimed at it
+  // must deterministically land on shard 0 and the request still
+  // succeeds end to end.
+  service::ServerConfig s0 = shard_config(0);
+  service::CompileServer shard0(context(), s0);
+  ASSERT_TRUE(shard0.start()) << shard0.error();
+
+  service::Router router(router_config(
+      {"unix:" + s0.socket_path, "unix:" + temp_path("-dead.sock")}));
+  ASSERT_TRUE(router.start()) << router.error();
+
+  service::CompileRequest request;
+  request.spec = kSpec;
+  request.kernels = kKernels;
+  const auto response = roundtrip(router.config().socket_path, request);
+  EXPECT_TRUE(response.ok) << response.error;
+
+  pipeline::CompilationDriver driver(context());
+  driver.set_jobs(2);
+  ir::Module module = kernel_module();
+  expect_matches_direct(response, driver.compile(module, kSpec));
+
+  const auto metrics = router.metrics();
+  ASSERT_EQ(metrics.shards.size(), 2u);
+  EXPECT_EQ(metrics.shards[0].functions, module.size());
+  EXPECT_GT(metrics.shards[0].routed_around_in, 0u);
+  EXPECT_EQ(metrics.shards[1].forwarded, 0u);
+
+  router.shutdown();
+  shard0.shutdown();
+}
+
+TEST_F(RouterTest, NoReachableShardAnswersBusyNotHang) {
+  service::Router router(router_config(
+      {"unix:" + temp_path("-dead0.sock"),
+       "unix:" + temp_path("-dead1.sock")}));
+  ASSERT_TRUE(router.start()) << router.error();
+
+  service::CompileRequest request;
+  request.spec = kSpec;
+  request.kernels = {"crc32"};
+  const auto response = roundtrip(router.config().socket_path, request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.code, service::ResponseCode::kBusy);
+  EXPECT_NE(response.error.find("no shard reachable"), std::string::npos)
+      << response.error;
+  router.shutdown();
+}
+
+TEST_F(RouterTest, BoundedQueueAnswersBusyAndPropagatesThroughRouter) {
+  // jobs=1 and max_queue=1: while the dispatcher compiles a large
+  // module, the queue holds at most one follow-up; the next request is
+  // shed with a structured BUSY — directly, and through the router.
+  service::ServerConfig cfg = shard_config(0);
+  cfg.jobs = 1;
+  cfg.max_queue = 1;
+  service::CompileServer server(context(), cfg);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  service::Router router(router_config({"unix:" + cfg.socket_path}));
+  ASSERT_TRUE(router.start()) << router.error();
+
+  workload::ModuleConfig mod_cfg;
+  mod_cfg.functions = 48;
+  mod_cfg.seed = 11;
+  mod_cfg.random_target_instructions = 60;
+  service::CompileRequest big;
+  big.spec = kSpec;
+  big.module_text = ir::to_string(workload::make_mixed_module(mod_cfg));
+
+  service::CompileRequest small;
+  small.spec = kSpec;
+  small.kernels = {"crc32"};
+
+  // BUSY requires a precise state — the big request *inside* the
+  // dispatcher (the dispatcher drains the whole queue into each batch,
+  // so a queued request alone is not enough) and a small one occupying
+  // the queue's single slot. Wall-clock sleeps are flaky under
+  // sanitizer slowdowns, so synchronize on the server's own metrics:
+  // queue_peak rises when big is admitted, queue_depth falls back to 0
+  // when the dispatcher takes it, and rises again when the small
+  // request is queued behind the running compile.
+  const auto wait_for = [&](auto&& pred, const char* what) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!pred()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline) << what;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  std::atomic<bool> big_done{false};
+  std::thread big_client([&] {
+    const auto response = roundtrip(cfg.socket_path, big);
+    big_done.store(true);
+    EXPECT_TRUE(response.ok) << response.error;
+  });
+  wait_for([&] { return server.metrics().queue_peak >= 1; },
+           "big request never reached the queue");
+  wait_for([&] { return server.metrics().queue_depth == 0; },
+           "big request never left the queue");
+  ASSERT_FALSE(big_done.load())
+      << "big compile finished before the queue could fill; the module "
+         "is too small for this machine";
+  std::thread queued_client([&] {
+    const auto response = roundtrip(cfg.socket_path, small);
+    // Queued or shed are both legal for this one; it must simply
+    // complete with a structured response.
+    EXPECT_FALSE(response.functions.empty() && response.error.empty());
+  });
+  wait_for([&] { return server.metrics().queue_depth >= 1; },
+           "small request never occupied the queue slot");
+  ASSERT_FALSE(big_done.load())
+      << "big compile finished before the probe; the module is too "
+         "small for this machine";
+  // Queue full, dispatcher pinned: the probe through the router must
+  // come back as a structured BUSY, not block.
+  bool saw_busy = false;
+  for (int i = 0; i < 3 && !saw_busy; ++i) {
+    const auto probe = roundtrip(router.config().socket_path, small);
+    if (!probe.ok && probe.code == service::ResponseCode::kBusy) {
+      saw_busy = true;
+      EXPECT_NE(probe.error.find("at capacity"), std::string::npos)
+          << probe.error;
+    }
+  }
+  big_client.join();
+  queued_client.join();
+  EXPECT_TRUE(saw_busy) << "no request was shed while the dispatcher was "
+                           "pinned by a 48-function compile";
+  const auto metrics = server.metrics();
+  EXPECT_GT(metrics.requests_busy, 0u);
+  EXPECT_GE(metrics.queue_peak, 1u);
+
+  router.shutdown();
+  server.shutdown();
+}
+
+TEST_F(RouterTest, SpoofedProtocolVersionGetsStructuredErrorBothTransports) {
+  service::ServerConfig cfg = shard_config(0);
+  cfg.tcp_host = "127.0.0.1";
+  cfg.tcp_port = 0;
+  service::CompileServer server(context(), cfg);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  service::CompileRequest request;
+  request.spec = kSpec;
+  request.kernels = {"crc32"};
+  ByteWriter payload;
+  request.serialize(payload);
+
+  // A v2 frame: correct magic and framing, older version word.
+  ByteWriter frame;
+  frame.u32(service::kFrameMagic);
+  frame.u32(2);
+  frame.u64(payload.data().size());
+  const std::string spoofed =
+      frame.data() + payload.data();
+
+  auto expect_mismatch = [&](int fd) {
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::send(fd, spoofed.data(), spoofed.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(spoofed.size()));
+    std::string error;
+    const auto response = service::read_response(fd, &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_FALSE(response->ok);
+    EXPECT_EQ(response->code, service::ResponseCode::kVersionMismatch);
+    EXPECT_NE(response->error.find("v2"), std::string::npos)
+        << response->error;
+    EXPECT_NE(response->error.find("v3"), std::string::npos)
+        << response->error;
+    ::close(fd);
+  };
+
+  std::string error;
+  expect_mismatch(service::connect_unix(cfg.socket_path, &error));
+  expect_mismatch(service::connect_tcp("127.0.0.1", server.tcp_port(),
+                                       &error));
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.version_mismatches, 2u);
+
+  // The router front refuses a mismatched frame the same way.
+  service::Router router(router_config({"unix:" + cfg.socket_path}));
+  ASSERT_TRUE(router.start()) << router.error();
+  expect_mismatch(
+      service::connect_unix(router.config().socket_path, &error));
+  router.shutdown();
+  server.shutdown();
+}
+
+TEST_F(RouterTest, StallingClientGetsStructuredTimeout) {
+  service::ServerConfig cfg = shard_config(0);
+  cfg.io_timeout_seconds = 0.2;
+  service::CompileServer server(context(), cfg);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // Half a header, then silence: the handler must answer a structured
+  // timeout shortly after the deadline, not hold the connection open.
+  std::string error;
+  const int fd = service::connect_unix(cfg.socket_path, &error);
+  ASSERT_GE(fd, 0) << error;
+  ByteWriter header;
+  header.u32(service::kFrameMagic);
+  header.u32(service::kProtocolVersion);
+  const std::string partial = header.data();
+  ASSERT_EQ(::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(partial.size()));
+
+  const auto before = std::chrono::steady_clock::now();
+  const auto response = service::read_response(fd, &error);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - before)
+          .count();
+  ASSERT_TRUE(response.has_value()) << error;
+  EXPECT_FALSE(response->ok);
+  EXPECT_EQ(response->code, service::ResponseCode::kTimeout);
+  EXPECT_LT(waited, 5.0);
+  ::close(fd);
+
+  // An idle connection (no bytes at all) is closed quietly: EOF, not
+  // an error frame.
+  const int idle = service::connect_unix(cfg.socket_path, &error);
+  ASSERT_GE(idle, 0) << error;
+  char byte = 0;
+  const ssize_t got = ::recv(idle, &byte, 1, 0);
+  EXPECT_EQ(got, 0);
+  ::close(idle);
+
+  const auto metrics = server.metrics();
+  EXPECT_EQ(metrics.timeouts, 1u);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace tadfa

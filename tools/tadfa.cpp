@@ -11,8 +11,12 @@
 //   tadfa --pipeline="alloc=linear:first_free,thermal-dfa,nops=3" my.tir
 //   tadfa --jobs=8 crc32 fir matmul suite.tir
 //   tadfa serve --socket=/tmp/tadfa.sock --cache-dir=/var/cache/tadfa
+//   tadfa serve --tcp=127.0.0.1:7411 --max-queue=64
+//   tadfa route --socket=/tmp/router.sock --shard=unix:/tmp/s0.sock \
+//       --shard=tcp:127.0.0.1:7411
 //   tadfa client --socket=/tmp/tadfa.sock crc32 fir my.tir
 //   tadfa --list-passes
+#include <algorithm>
 #include <csignal>
 #include <ctime>
 #include <fstream>
@@ -21,6 +25,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ir/parser.hpp"
@@ -31,7 +36,9 @@
 #include "pipeline/result_cache.hpp"
 #include "power/access_trace.hpp"
 #include "service/protocol.hpp"
+#include "service/router.hpp"
 #include "service/server.hpp"
+#include "service/transport.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/thermal_replay.hpp"
 #include "support/heatmap.hpp"
@@ -74,8 +81,12 @@ struct Options {
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options] <kernel-name | file.tir>...\n"
-      << "       " << argv0 << " serve  --socket=PATH [serve options]\n"
-      << "       " << argv0 << " client --socket=PATH [client options] "
+      << "       " << argv0
+      << " serve  [--socket=PATH] [--tcp=HOST:PORT] [serve options]\n"
+      << "       " << argv0
+      << " route  [--socket=PATH] [--tcp=HOST:PORT] --shard=ADDR...\n"
+      << "       " << argv0
+      << " client (--socket=PATH | --tcp=HOST:PORT) [client options] "
          "<kernel-name | file.tir>...\n"
       << "  --pipeline=SPEC   pass pipeline (default: the Sec. 4 flow)\n"
       << "  --baseline=SPEC   comparison pipeline (default "
@@ -559,8 +570,23 @@ int run_compile(int argc, char** argv) {
 
 int serve_usage(const char* argv0) {
   std::cerr
-      << "usage: " << argv0 << " serve --socket=PATH [options]\n"
-      << "  --socket=PATH        Unix-domain socket to listen on (required)\n"
+      << "usage: " << argv0
+      << " serve [--socket=PATH] [--tcp=HOST:PORT] [options]\n"
+      << "  --socket=PATH        Unix-domain socket to listen on\n"
+      << "  --tcp=HOST:PORT      TCP endpoint to listen on (port 0 binds an\n"
+      << "                       ephemeral port, printed once bound); at\n"
+      << "                       least one of --socket/--tcp is required,\n"
+      << "                       both at once is fine\n"
+      << "  --max-queue=N        admission control: requests allowed to wait\n"
+      << "                       for the dispatcher (0 = unbounded); a\n"
+      << "                       request hitting a full queue is answered\n"
+      << "                       BUSY instead of queuing\n"
+      << "  --io-timeout=S       per-connection read/write deadline (default\n"
+      << "                       30; 0 disables the read deadline); a peer\n"
+      << "                       stalling mid-frame gets a structured\n"
+      << "                       timeout error\n"
+      << "  --metrics-json=PATH  write the metrics snapshot to PATH (atomic\n"
+      << "                       rename) every second and on drain\n"
       << "  --jobs=N             worker threads per module compile\n"
       << "                       (default: hardware concurrency)\n"
       << "  --pipeline=SPEC      pipeline for requests that send none\n"
@@ -584,6 +610,7 @@ int run_serve(const char* argv0, int argc, char** argv) {
   service::ServerConfig cfg;
   cfg.default_spec = kDefaultPipeline;
   double metrics_every = 0;
+  std::string metrics_json_path;
   double delta_k = 0.01;
   int max_iterations = 100;
   std::uint64_t seed = 42;
@@ -598,6 +625,27 @@ int run_serve(const char* argv0, int argc, char** argv) {
     long long n = 0;
     if (auto v = value("--socket=")) {
       cfg.socket_path = *v;
+    } else if (auto v = value("--tcp=")) {
+      std::string tcp_error;
+      auto endpoint = service::parse_host_port(*v, &tcp_error);
+      if (!endpoint.has_value()) {
+        std::cerr << "bad --tcp value: " << tcp_error << "\n";
+        return serve_usage(argv0);
+      }
+      cfg.tcp_host = endpoint->host;
+      cfg.tcp_port = endpoint->port;
+    } else if (auto v = value("--max-queue=")) {
+      if (!parse_int(*v, n) || n < 0) {
+        return serve_usage(argv0);
+      }
+      cfg.max_queue = static_cast<std::size_t>(n);
+    } else if (auto v = value("--io-timeout=")) {
+      if (!parse_double(*v, cfg.io_timeout_seconds) ||
+          cfg.io_timeout_seconds < 0) {
+        return serve_usage(argv0);
+      }
+    } else if (auto v = value("--metrics-json=")) {
+      metrics_json_path = *v;
     } else if (auto v = value("--pipeline=")) {
       cfg.default_spec = *v;
     } else if (auto v = value("--cache-dir=")) {
@@ -642,7 +690,7 @@ int run_serve(const char* argv0, int argc, char** argv) {
       return serve_usage(argv0);
     }
   }
-  if (cfg.socket_path.empty()) {
+  if (cfg.socket_path.empty() && cfg.tcp_host.empty()) {
     return serve_usage(argv0);
   }
   if (cfg.stage_policy.enabled && cfg.cache_dir.empty()) {
@@ -675,16 +723,31 @@ int run_serve(const char* argv0, int argc, char** argv) {
     std::cerr << "tadfa serve: " << server.error() << "\n";
     return 1;
   }
-  std::cout << "tadfa serve: listening on " << cfg.socket_path << " (jobs="
+  std::string listening;
+  if (!cfg.socket_path.empty()) {
+    listening = cfg.socket_path;
+  }
+  if (!cfg.tcp_host.empty()) {
+    if (!listening.empty()) {
+      listening += " and ";
+    }
+    listening +=
+        "tcp:" + cfg.tcp_host + ":" + std::to_string(server.tcp_port());
+  }
+  std::cout << "tadfa serve: listening on " << listening << " (jobs="
             << (cfg.jobs == 0 ? std::string("auto")
                               : std::to_string(cfg.jobs))
             << (cfg.cache_dir.empty() ? std::string(", uncached")
                                       : ", cache=" + cfg.cache_dir)
+            << (cfg.max_queue > 0
+                    ? ", max-queue=" + std::to_string(cfg.max_queue)
+                    : std::string())
             << ")\n"
             << std::flush;
 
   using Clock = std::chrono::steady_clock;
   auto last_metrics = Clock::now();
+  std::string json_error;
   for (;;) {
     timespec tick{};
     tick.tv_sec = 1;
@@ -695,6 +758,10 @@ int run_serve(const char* argv0, int argc, char** argv) {
                 << ", draining\n";
       break;
     }
+    if (!metrics_json_path.empty() &&
+        !server.write_metrics_json(metrics_json_path, &json_error)) {
+      std::cerr << "tadfa serve: " << json_error << "\n";
+    }
     if (metrics_every > 0 &&
         std::chrono::duration<double>(Clock::now() - last_metrics).count() >=
             metrics_every) {
@@ -704,15 +771,179 @@ int run_serve(const char* argv0, int argc, char** argv) {
     }
   }
   server.shutdown();
+  if (!metrics_json_path.empty() &&
+      !server.write_metrics_json(metrics_json_path, &json_error)) {
+    std::cerr << "tadfa serve: " << json_error << "\n";
+  }
   server.metrics_table("compile server — final").print(std::cout);
+  return 0;
+}
+
+int route_usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " route [--socket=PATH] [--tcp=HOST:PORT] --shard=ADDR... \n"
+      << "  --socket=PATH        Unix-domain socket to listen on\n"
+      << "  --tcp=HOST:PORT      TCP endpoint to listen on (port 0 binds an\n"
+      << "                       ephemeral port); at least one of\n"
+      << "                       --socket/--tcp is required\n"
+      << "  --shard=ADDR         backend compile server, repeated once per\n"
+      << "                       shard: unix:PATH or tcp:HOST:PORT\n"
+      << "  --io-timeout=S       client-connection read/write deadline\n"
+      << "                       (default 30; 0 disables the read deadline)\n"
+      << "  --connect-timeout=S  budget for dialing a shard before routing\n"
+      << "                       around it (default 5)\n"
+      << "  --max-waiters=N      shed BUSY once N requests are already\n"
+      << "                       waiting on one shard's connection\n"
+      << "                       (default 8; 0 = unbounded)\n"
+      << "  --metrics-every=SEC  print aggregate metrics every SEC seconds\n"
+      << "  --metrics-json=PATH  write the metrics snapshot (with a\n"
+      << "                       per-shard breakdown) to PATH every second\n"
+      << "                       and on drain\n"
+      << "Functions are routed to shards by input fingerprint, so each\n"
+      << "shard's cache warms a disjoint slice of the workload. Stop with\n"
+      << "SIGINT/SIGTERM; in-flight requests drain first.\n";
+  return 2;
+}
+
+/// `tadfa route`: a sharding front-end over running compile servers.
+int run_route(const char* argv0, int argc, char** argv) {
+  service::RouterConfig cfg;
+  double metrics_every = 0;
+  std::string metrics_json_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (starts_with(arg, prefix)) {
+        return arg.substr(prefix.size());
+      }
+      return std::nullopt;
+    };
+    if (auto v = value("--socket=")) {
+      cfg.socket_path = *v;
+    } else if (auto v = value("--tcp=")) {
+      std::string tcp_error;
+      auto endpoint = service::parse_host_port(*v, &tcp_error);
+      if (!endpoint.has_value()) {
+        std::cerr << "bad --tcp value: " << tcp_error << "\n";
+        return route_usage(argv0);
+      }
+      cfg.tcp_host = endpoint->host;
+      cfg.tcp_port = endpoint->port;
+    } else if (auto v = value("--shard=")) {
+      std::string shard_error;
+      auto address = service::parse_shard_address(*v, &shard_error);
+      if (!address.has_value()) {
+        std::cerr << "bad --shard value: " << shard_error << "\n";
+        return route_usage(argv0);
+      }
+      cfg.shards.push_back(std::move(*address));
+    } else if (auto v = value("--io-timeout=")) {
+      if (!parse_double(*v, cfg.io_timeout_seconds) ||
+          cfg.io_timeout_seconds < 0) {
+        return route_usage(argv0);
+      }
+    } else if (auto v = value("--connect-timeout=")) {
+      if (!parse_double(*v, cfg.connect_timeout_seconds) ||
+          cfg.connect_timeout_seconds < 0) {
+        return route_usage(argv0);
+      }
+    } else if (auto v = value("--max-waiters=")) {
+      long long n = 0;
+      if (!parse_int(*v, n) || n < 0) {
+        return route_usage(argv0);
+      }
+      cfg.max_shard_waiters = static_cast<std::size_t>(n);
+    } else if (auto v = value("--metrics-every=")) {
+      if (!parse_double(*v, metrics_every) || metrics_every < 0) {
+        return route_usage(argv0);
+      }
+    } else if (auto v = value("--metrics-json=")) {
+      metrics_json_path = *v;
+    } else {
+      return route_usage(argv0);
+    }
+  }
+  if ((cfg.socket_path.empty() && cfg.tcp_host.empty()) ||
+      cfg.shards.empty()) {
+    return route_usage(argv0);
+  }
+
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  service::Router router(cfg);
+  if (!router.start()) {
+    std::cerr << "tadfa route: " << router.error() << "\n";
+    return 1;
+  }
+  std::string listening;
+  if (!cfg.socket_path.empty()) {
+    listening = cfg.socket_path;
+  }
+  if (!cfg.tcp_host.empty()) {
+    if (!listening.empty()) {
+      listening += " and ";
+    }
+    listening +=
+        "tcp:" + cfg.tcp_host + ":" + std::to_string(router.tcp_port());
+  }
+  std::cout << "tadfa route: listening on " << listening << ", "
+            << cfg.shards.size() << " shard"
+            << (cfg.shards.size() == 1 ? "" : "s") << ":";
+  for (const service::ShardAddress& shard : cfg.shards) {
+    std::cout << ' ' << shard.describe();
+  }
+  std::cout << "\n" << std::flush;
+
+  using Clock = std::chrono::steady_clock;
+  auto last_metrics = Clock::now();
+  std::string json_error;
+  for (;;) {
+    timespec tick{};
+    tick.tv_sec = 1;
+    const int sig = sigtimedwait(&signals, nullptr, &tick);
+    if (sig == SIGINT || sig == SIGTERM) {
+      std::cout << "tadfa route: caught "
+                << (sig == SIGINT ? "SIGINT" : "SIGTERM")
+                << ", draining\n";
+      break;
+    }
+    if (!metrics_json_path.empty() &&
+        !router.write_metrics_json(metrics_json_path, &json_error)) {
+      std::cerr << "tadfa route: " << json_error << "\n";
+    }
+    if (metrics_every > 0 &&
+        std::chrono::duration<double>(Clock::now() - last_metrics).count() >=
+            metrics_every) {
+      router.metrics_table().print(std::cout);
+      std::cout << std::flush;
+      last_metrics = Clock::now();
+    }
+  }
+  router.shutdown();
+  if (!metrics_json_path.empty() &&
+      !router.write_metrics_json(metrics_json_path, &json_error)) {
+    std::cerr << "tadfa route: " << json_error << "\n";
+  }
+  router.metrics_table("compile router — final").print(std::cout);
   return 0;
 }
 
 int client_usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " client --socket=PATH [options] <kernel-name | file.tir>...\n"
-      << "  --socket=PATH        server socket (required)\n"
+      << " client (--socket=PATH | --tcp=HOST:PORT) [options] "
+         "<kernel-name | file.tir>...\n"
+      << "  --socket=PATH        server Unix-domain socket\n"
+      << "  --tcp=HOST:PORT      server (or router) TCP endpoint; exactly\n"
+      << "                       one of --socket/--tcp is required\n"
+      << "  --busy-timeout=S     keep retrying a BUSY response with bounded\n"
+      << "                       exponential backoff for S seconds (default\n"
+      << "                       10; 0 = fail on the first BUSY)\n"
       << "  --pipeline=SPEC      pipeline spec (default: server's default)\n"
       << "  --no-verify          disable verifier checkpoints\n"
       << "  --no-analysis-cache  disable the analysis cache\n"
@@ -730,9 +961,11 @@ int client_usage(const char* argv0) {
 /// `tadfa client`: submit kernels/files to a running server.
 int run_client(const char* argv0, int argc, char** argv) {
   std::string socket_path;
+  std::optional<service::TcpEndpoint> tcp;
   service::CompileRequest request;
   double min_hit_rate = -1;
   double connect_timeout = 5.0;
+  double busy_timeout = 10.0;
   bool print_ir = false;
   bool csv = false;
   bool quiet = false;
@@ -747,6 +980,17 @@ int run_client(const char* argv0, int argc, char** argv) {
     };
     if (auto v = value("--socket=")) {
       socket_path = *v;
+    } else if (auto v = value("--tcp=")) {
+      std::string tcp_error;
+      tcp = service::parse_host_port(*v, &tcp_error);
+      if (!tcp.has_value()) {
+        std::cerr << "bad --tcp value: " << tcp_error << "\n";
+        return client_usage(argv0);
+      }
+    } else if (auto v = value("--busy-timeout=")) {
+      if (!parse_double(*v, busy_timeout) || busy_timeout < 0) {
+        return client_usage(argv0);
+      }
     } else if (auto v = value("--pipeline=")) {
       request.spec = *v;
     } else if (arg == "--no-verify") {
@@ -774,7 +1018,7 @@ int run_client(const char* argv0, int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (socket_path.empty() || inputs.empty()) {
+  if (socket_path.empty() == !tcp.has_value() || inputs.empty()) {
     return client_usage(argv0);
   }
 
@@ -798,25 +1042,59 @@ int run_client(const char* argv0, int argc, char** argv) {
   }
 
   std::string error;
-  const int fd =
-      connect_timeout > 0
-          ? service::connect_unix_retry(socket_path, connect_timeout, &error)
-          : service::connect_unix(socket_path, &error);
+  auto dial = [&]() -> int {
+    if (tcp.has_value()) {
+      return connect_timeout > 0
+                 ? service::connect_tcp_retry(tcp->host, tcp->port,
+                                              connect_timeout, &error)
+                 : service::connect_tcp(tcp->host, tcp->port, &error);
+    }
+    return connect_timeout > 0
+               ? service::connect_unix_retry(socket_path, connect_timeout,
+                                             &error)
+               : service::connect_unix(socket_path, &error);
+  };
+  int fd = dial();
   if (fd < 0) {
     std::cerr << "tadfa client: " << error << "\n";
     return 1;
   }
+
+  // BUSY means the server shed the request at admission; it is a purely
+  // transient state, so retry with bounded exponential backoff until
+  // the budget runs out (the last BUSY response is then reported).
+  using Clock = std::chrono::steady_clock;
+  const auto busy_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(busy_timeout));
+  double backoff_ms = 10;
   std::optional<service::CompileResponse> response;
-  if (service::write_request(fd, request, &error)) {
-    response = service::read_response(fd, &error);
+  for (;;) {
+    response.reset();
+    if (service::write_request(fd, request, &error)) {
+      response = service::read_response(fd, &error);
+    }
+    if (!response.has_value() || response->ok ||
+        response->code != service::ResponseCode::kBusy ||
+        Clock::now() >= busy_deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 500.0);
   }
-  ::close(fd);
+  if (fd >= 0) {
+    ::close(fd);
+  }
   if (!response.has_value()) {
     std::cerr << "tadfa client: " << error << "\n";
     return 1;
   }
   if (!response->error.empty()) {
-    std::cerr << "tadfa client: server error: " << response->error << "\n";
+    std::cerr << "tadfa client: server "
+              << (response->code == service::ResponseCode::kBusy ? "busy"
+                                                                 : "error")
+              << ": " << response->error << "\n";
   }
 
   if (!quiet) {
@@ -890,6 +1168,9 @@ int tadfa_main(int argc, char** argv) {
     }
     if (subcommand == "serve") {
       return run_serve(argv[0], argc - 2, argv + 2);
+    }
+    if (subcommand == "route") {
+      return run_route(argv[0], argc - 2, argv + 2);
     }
     if (subcommand == "client") {
       return run_client(argv[0], argc - 2, argv + 2);
