@@ -1,0 +1,437 @@
+// THERMAL STEP — transient-kernel and steady-state fast-path benchmark.
+//
+// The before/after pair behind ROADMAP item 3: for each grid subdivision
+// it times ThermalGrid::step() through the reference scalar kernel and
+// the fast tiers (omp-simd SoA, AVX2+FMA when the CPU has it), measures
+// active-set vs full-sweep steady_state() work, warm vs cold start, and
+// step_batch vs sequential stepping — and verifies the fast results stay
+// within the documented tolerance of the reference before reporting any
+// speedup. Exit 1 when the fast tier is slower than the gate demands at
+// subdivision >= 2, when accuracy drifts, or when a warm start fails to
+// reduce sweeps: the speedup is tracked, not claimed.
+//
+// With --json=PATH the headline numbers are written as the repo's
+// benchmark artifact (every top-level metric is higher-is-better, as
+// tools/bench_history.py expects):
+//
+//   {"bench": ..., "config": {...}, "step_speedup": ...,
+//    "steady_state_speedup": ..., "git_sha": ...}
+//
+//   bench_thermal_step [--subdivisions=1,2,4] [--min-time=S]
+//                      [--min-speedup=X] [--max-dev-k=K]
+//                      [--json=PATH] [--git-sha=SHA] [--csv]
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/string_utils.hpp"
+#include "thermal/grid.hpp"
+
+using namespace tadfa;
+using thermal::StepKernel;
+using thermal::ThermalGrid;
+using thermal::ThermalState;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic, spatially uneven per-register power (watts).
+std::vector<double> make_power(std::size_t num_registers) {
+  std::vector<double> p(num_registers, 0.0);
+  for (std::size_t r = 0; r < num_registers; ++r) {
+    p[r] = 5e-3 * (1.0 + static_cast<double>((r * 37) % 101) / 101.0);
+  }
+  return p;
+}
+
+/// Concentrated hotspot power: the paper's Fig. 1 shape, and the most
+/// favorable regime for active-set steady state (spatially non-uniform
+/// per-sweep movement).
+std::vector<double> make_hotspot_power(std::size_t num_registers) {
+  std::vector<double> p(num_registers, 0.0);
+  const std::size_t hot = std::max<std::size_t>(num_registers / 8, 1);
+  for (std::size_t r = 0; r < hot; ++r) {
+    p[r] = 8e-3 * (1.0 + static_cast<double>((r * 13) % 7) / 7.0);
+  }
+  return p;
+}
+
+struct StepTiming {
+  double nodes_per_sec = 0;
+  int calls = 0;
+};
+
+/// Times step() through `kernel`: node-updates (nodes × substeps) per
+/// wall second, running until `min_time` has elapsed.
+StepTiming time_step(const ThermalGrid& grid, StepKernel kernel,
+                     const std::vector<double>& power, double dt,
+                     double min_time) {
+  ThermalState state = grid.initial_state();
+  grid.step_with(kernel, state, power, dt);  // warm-up: scratch + tables
+  const int substeps = static_cast<int>(std::ceil(dt / grid.max_stable_dt()));
+  StepTiming t;
+  const double t0 = now_seconds();
+  double elapsed = 0;
+  do {
+    grid.step_with(kernel, state, power, dt);
+    ++t.calls;
+    elapsed = now_seconds() - t0;
+  } while (elapsed < min_time);
+  t.nodes_per_sec = bench::per_sec(
+      grid.node_count() * static_cast<std::size_t>(substeps) *
+          static_cast<std::size_t>(t.calls),
+      elapsed);
+  return t;
+}
+
+/// Largest |Δ| between two states (kelvin).
+double max_abs_dev(const ThermalState& a, const ThermalState& b) {
+  double dev = 0;
+  for (std::size_t i = 0; i < a.node_temps.size(); ++i) {
+    dev = std::max(dev, std::abs(a.node_temps[i] - b.node_temps[i]));
+  }
+  return dev;
+}
+
+/// Integrates `calls` transient steps through `kernel` from cold.
+ThermalState integrate(const ThermalGrid& grid, StepKernel kernel,
+                       const std::vector<double>& power, double dt,
+                       int calls) {
+  ThermalState state = grid.initial_state();
+  for (int i = 0; i < calls; ++i) {
+    grid.step_with(kernel, state, power, dt);
+  }
+  return state;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<unsigned> subdivisions = {1, 2, 4};
+  double min_time = 0.15;
+  double min_speedup = 2.0;
+  // 10 µK: far below any physical signal (hotspot rises are kelvins).
+  // The slack is dominated by the steady-state stopping rule — both
+  // solvers stop on per-sweep movement, which bounds solution error
+  // only up to the convergence rate — not by kernel arithmetic.
+  double max_dev_k = 1e-5;
+  std::string json_path;
+  std::string git_sha;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long n = 0;
+    if (starts_with(arg, "--subdivisions=")) {
+      subdivisions.clear();
+      for (const std::string& field : split(arg.substr(15), ',')) {
+        if (!parse_int(trim(field), n) || n < 1) {
+          std::cerr << "bad --subdivisions value '" << field << "'\n";
+          return 2;
+        }
+        subdivisions.push_back(static_cast<unsigned>(n));
+      }
+    } else if (starts_with(arg, "--min-time=") &&
+               parse_double(arg.substr(11), min_time) && min_time > 0) {
+    } else if (starts_with(arg, "--min-speedup=") &&
+               parse_double(arg.substr(14), min_speedup) &&
+               min_speedup >= 0) {
+    } else if (starts_with(arg, "--max-dev-k=") &&
+               parse_double(arg.substr(12), max_dev_k) && max_dev_k > 0) {
+    } else if (starts_with(arg, "--json=")) {
+      json_path = arg.substr(7);
+    } else if (starts_with(arg, "--git-sha=")) {
+      git_sha = arg.substr(10);
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--subdivisions=1,2,4] [--min-time=S]"
+                   " [--min-speedup=X] [--max-dev-k=K] [--json=PATH]"
+                   " [--git-sha=SHA] [--csv]\n";
+      return 2;
+    }
+  }
+  if (subdivisions.empty()) {
+    std::cerr << "--subdivisions needs at least one value\n";
+    return 2;
+  }
+  if (git_sha.empty()) {
+    const char* env = std::getenv("GITHUB_SHA");
+    git_sha = env != nullptr ? env : "unknown";
+  }
+
+  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
+  const std::vector<double> power = make_power(fp.num_registers());
+  const std::vector<double> hotspot = make_hotspot_power(fp.num_registers());
+  const StepKernel fast_kernel =
+      ThermalGrid::kernel_available(StepKernel::kAvx2) ? StepKernel::kAvx2
+                                                       : StepKernel::kSimd;
+
+  TextTable table("thermal step/steady fast path (fast tier: " +
+                  std::string(thermal::to_string(fast_kernel)) + ")");
+  table.set_header({"sub", "nodes", "ref Mnodes/s", "simd x", "fast x",
+                    "dev K", "steady x", "local GS", "local AS",
+                    "warm sweeps"});
+
+  struct Row {
+    unsigned sub = 0;
+    std::size_t nodes = 0;
+    double ref_nps = 0;
+    double simd_speedup = 0;
+    double fast_speedup = 0;
+    double step_dev_k = 0;
+    double steady_dev_k = 0;
+    double steady_speedup = 0;
+    std::uint64_t ref_relaxations = 0;
+    std::uint64_t fast_relaxations = 0;
+    int ref_sweeps = 0;
+    int fast_sweeps = 0;
+    int cold_sweeps = 0;
+    int warm_sweeps = 0;
+    double batch_speedup = 0;
+  };
+  std::vector<Row> rows;
+
+  for (unsigned sub : subdivisions) {
+    const ThermalGrid ref_grid(fp, sub, StepKernel::kReference);
+    const ThermalGrid fast_grid(fp, sub, fast_kernel);
+    Row row;
+    row.sub = sub;
+    row.nodes = ref_grid.node_count();
+
+    // Transient kernel: ~64 substeps per call keeps the inner loop (not
+    // the power spreading) dominant, matching the DFA's usage.
+    const double dt = 64.0 * ref_grid.max_stable_dt();
+    const StepTiming ref_t =
+        time_step(ref_grid, StepKernel::kReference, power, dt, min_time);
+    const StepTiming simd_t =
+        time_step(ref_grid, StepKernel::kSimd, power, dt, min_time);
+    const StepTiming fast_t =
+        time_step(ref_grid, fast_kernel, power, dt, min_time);
+    row.ref_nps = ref_t.nodes_per_sec;
+    row.simd_speedup = simd_t.nodes_per_sec / ref_t.nodes_per_sec;
+    row.fast_speedup = fast_t.nodes_per_sec / ref_t.nodes_per_sec;
+
+    // Accuracy: the fast tier must track the reference through a real
+    // integration, not a single step.
+    const int check_calls = 20;
+    const ThermalState ref_state =
+        integrate(ref_grid, StepKernel::kReference, power, dt, check_calls);
+    row.step_dev_k = std::max(
+        max_abs_dev(ref_state, integrate(ref_grid, StepKernel::kSimd, power,
+                                         dt, check_calls)),
+        max_abs_dev(ref_state,
+                    integrate(ref_grid, fast_kernel, power, dt, check_calls)));
+
+    // Steady state: full-sweep reference vs active-set on a concentrated
+    // hotspot (localized power is where the active set pays — under
+    // uniform power every node stays active and the tiers tie), then a
+    // warm restart after a 5% power bump (the incremental-compile shape).
+    thermal::SteadyStateInfo ref_info;
+    thermal::SteadyStateOptions opts;
+    // Each solve runs from cold, so repeats do identical work; repeat
+    // until min_time to keep the one-shot jitter out of the ratio.
+    const auto time_steady = [&](const ThermalGrid& grid,
+                                 thermal::SteadyStateInfo* out_info,
+                                 ThermalState* out_state) {
+      double elapsed = 0;
+      int calls = 0;
+      const double t0 = now_seconds();
+      do {
+        *out_state = grid.steady_state(hotspot, opts, out_info);
+        ++calls;
+        elapsed = now_seconds() - t0;
+      } while (elapsed < min_time);
+      return elapsed / calls;
+    };
+    ThermalState ref_ss = ref_grid.initial_state();
+    ThermalState fast_ss = fast_grid.initial_state();
+    const double ref_steady_s = time_steady(ref_grid, &ref_info, &ref_ss);
+    thermal::SteadyStateInfo fast_info;
+    const double fast_steady_s =
+        time_steady(fast_grid, &fast_info, &fast_ss);
+    row.steady_speedup =
+        ref_steady_s / (fast_steady_s > 0 ? fast_steady_s : 1e-12);
+    row.steady_dev_k = max_abs_dev(ref_ss, fast_ss);
+    row.ref_sweeps = ref_info.sweeps;
+    row.fast_sweeps = fast_info.sweeps;
+
+    std::vector<double> bumped = hotspot;
+    for (double& w : bumped) {
+      w *= 1.05;
+    }
+    thermal::SteadyStateInfo cold_info;
+    (void)fast_grid.steady_state(bumped, opts, &cold_info);
+    thermal::SteadyStateOptions warm_opts;
+    warm_opts.warm_start = &fast_ss;
+    thermal::SteadyStateInfo warm_info;
+    (void)fast_grid.steady_state(bumped, warm_opts, &warm_info);
+    row.cold_sweeps = cold_info.sweeps;
+    row.warm_sweeps = warm_info.sweeps;
+
+    // Local rebalance: one register's power changes on an already-solved
+    // map (the incremental-compile shape). The worklist can only pay
+    // when part of the grid never re-activates; on floorplans whose
+    // thermal spreading length exceeds the die — true of the default
+    // geometry, where lateral conductance dwarfs the vertical loss —
+    // every node keeps moving more than δ until global convergence, so
+    // the tiers tie exactly. The columns document that the active set
+    // degrades to plain full sweeps with no bookkeeping overhead rather
+    // than claiming a win this physics does not offer.
+    std::vector<double> local = hotspot;
+    local[0] *= 1.2;
+    thermal::SteadyStateInfo ref_local;
+    (void)ref_grid.steady_state(local, warm_opts, &ref_local);
+    thermal::SteadyStateInfo fast_local;
+    (void)fast_grid.steady_state(local, warm_opts, &fast_local);
+    row.ref_relaxations = ref_local.relaxations;
+    row.fast_relaxations = fast_local.relaxations;
+
+    // Batched stepping: 8 lanes through shared tables vs one lane at a
+    // time through the reference kernel — the same arithmetic on both
+    // sides (step_batch is reference math by contract), so the ratio
+    // isolates what batching buys: each node's conductance row is
+    // loaded once and reused across all lanes.
+    {
+      const std::size_t lanes = 8;
+      std::vector<std::vector<double>> lane_powers(lanes, power);
+      std::vector<ThermalState> states(lanes, ref_grid.initial_state());
+      const int batch_calls = std::max(1, ref_t.calls / 8);
+      ref_grid.step_batch(states, lane_powers, dt);  // warm-up
+      double t0 = now_seconds();
+      for (int c = 0; c < batch_calls; ++c) {
+        ref_grid.step_batch(states, lane_powers, dt);
+      }
+      const double batch_s = now_seconds() - t0;
+      for (ThermalState& s : states) {
+        s = ref_grid.initial_state();
+      }
+      t0 = now_seconds();
+      for (int c = 0; c < batch_calls; ++c) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+          ref_grid.step(states[l], lane_powers[l], dt);
+        }
+      }
+      const double seq_s = now_seconds() - t0;
+      row.batch_speedup = seq_s / (batch_s > 0 ? batch_s : 1e-12);
+    }
+
+    table.add_row({std::to_string(sub), std::to_string(row.nodes),
+                   TextTable::num(row.ref_nps / 1e6, 2),
+                   TextTable::num(row.simd_speedup, 2),
+                   TextTable::num(row.fast_speedup, 2),
+                   TextTable::num(std::max(row.step_dev_k, row.steady_dev_k),
+                                  9),
+                   TextTable::num(row.steady_speedup, 2),
+                   std::to_string(row.ref_relaxations),
+                   std::to_string(row.fast_relaxations),
+                   std::to_string(row.warm_sweeps) + "/" +
+                       std::to_string(row.cold_sweeps)});
+    rows.push_back(row);
+  }
+
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  // The gated row: the largest benchmarked subdivision >= 2 (the
+  // acceptance regime — bigger grids are where the fast path must pay).
+  const Row* gated = nullptr;
+  for (const Row& row : rows) {
+    if (row.sub >= 2 && (gated == nullptr || row.sub > gated->sub)) {
+      gated = &row;
+    }
+  }
+  const Row& head = gated != nullptr ? *gated : rows.back();
+  const double local_reduction =
+      static_cast<double>(head.ref_relaxations) /
+      static_cast<double>(std::max<std::uint64_t>(head.fast_relaxations, 1));
+  const double warm_reduction =
+      static_cast<double>(head.cold_sweeps) /
+      static_cast<double>(std::max(head.warm_sweeps, 1));
+  std::cout << "fast step speedup at subdivision " << head.sub << ": "
+            << TextTable::num(head.fast_speedup, 2)
+            << "x, steady-state speedup: "
+            << TextTable::num(head.steady_speedup, 2)
+            << "x, local-rebalance relaxation reduction: "
+            << TextTable::num(local_reduction, 2)
+            << "x, warm-start sweep reduction: "
+            << TextTable::num(warm_reduction, 2) << "x\n";
+
+  if (!json_path.empty()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"thermal_step\",\n"
+         << "  \"config\": {\n"
+         << "    \"fast_kernel\": \""
+         << bench::json_escape(thermal::to_string(fast_kernel)) << "\",\n"
+         << "    \"subdivision\": " << head.sub << ",\n"
+         << "    \"nodes\": " << head.nodes << ",\n"
+         << "    \"max_dev_k\": "
+         << std::max(head.step_dev_k, head.steady_dev_k) << ",\n"
+         << "    \"ref_steady_sweeps\": " << head.ref_sweeps << ",\n"
+         << "    \"fast_steady_sweeps\": " << head.fast_sweeps << ",\n"
+         << "    \"ref_local_relaxations\": " << head.ref_relaxations
+         << ",\n"
+         << "    \"fast_local_relaxations\": " << head.fast_relaxations
+         << ",\n"
+         << "    \"cold_sweeps\": " << head.cold_sweeps << ",\n"
+         << "    \"warm_sweeps\": " << head.warm_sweeps << "\n"
+         << "  },\n"
+         << "  \"step_nodes_per_sec_ref\": " << head.ref_nps << ",\n"
+         << "  \"step_nodes_per_sec_fast\": "
+         << head.ref_nps * head.fast_speedup << ",\n"
+         << "  \"step_speedup\": " << head.fast_speedup << ",\n"
+         << "  \"simd_step_speedup\": " << head.simd_speedup << ",\n"
+         << "  \"steady_state_speedup\": " << head.steady_speedup << ",\n"
+         << "  \"local_rebalance_relax_reduction\": " << local_reduction
+         << ",\n"
+         << "  \"warm_start_sweep_reduction\": " << warm_reduction << ",\n"
+         << "  \"batch_step_speedup\": " << head.batch_speedup << ",\n"
+         << "  \"git_sha\": \"" << bench::json_escape(git_sha) << "\"\n"
+         << "}\n";
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json.str();
+    if (!out.good()) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  // Gates. Accuracy first: a fast-but-wrong kernel must fail loudly.
+  bool ok = true;
+  for (const Row& row : rows) {
+    if (row.step_dev_k > max_dev_k || row.steady_dev_k > max_dev_k) {
+      std::cerr << "ACCURACY VIOLATED: subdivision " << row.sub
+                << " fast-path deviation " << row.step_dev_k << " / "
+                << row.steady_dev_k << " K exceeds " << max_dev_k << " K\n";
+      ok = false;
+    }
+  }
+  if (gated != nullptr && head.fast_speedup < min_speedup) {
+    std::cerr << "SPEEDUP BELOW GATE: " << TextTable::num(head.fast_speedup, 2)
+              << "x at subdivision " << head.sub << " is below "
+              << TextTable::num(min_speedup, 2) << "x\n";
+    ok = false;
+  }
+  if (head.warm_sweeps > head.cold_sweeps) {
+    std::cerr << "WARM START REGRESSED: " << head.warm_sweeps
+              << " sweeps warm vs " << head.cold_sweeps << " cold\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

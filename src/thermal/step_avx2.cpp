@@ -1,0 +1,109 @@
+// AVX2+FMA tier of the transient step kernel. This translation unit is
+// the only one compiled with -mavx2 -mfma (see CMakeLists.txt), so the
+// vector body must stay here; everything else reaches it through the
+// narrow seam in step_kernel.hpp. On targets where those flags are not
+// available the same TU compiles to a stub that reports the tier absent.
+
+#include "thermal/step_kernel.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace tadfa::thermal::detail {
+
+bool avx2_available() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+
+namespace {
+
+// Indexed scalar form of the rearranged flux, for the first and last rows
+// (whose N/S shifted loads would read outside the grid).
+void flux_scalar(const FastTables& tb, const double* p, const double* t,
+                 double* flux, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    double q = p[i] + tb.gv_tsub[i] - tb.g_diag[i] * t[i];
+    q += tb.g_slot[0][i] * t[tb.idx_slot[0][i]];
+    q += tb.g_slot[1][i] * t[tb.idx_slot[1][i]];
+    q += tb.g_slot[2][i] * t[tb.idx_slot[2][i]];
+    q += tb.g_slot[3][i] * t[tb.idx_slot[3][i]];
+    flux[i] = q;
+  }
+}
+
+}  // namespace
+
+void substep_avx2(const FastTables& tb, const double* p, double* flux,
+                  double* t, double h) {
+  const std::size_t n = tb.n;
+  const std::size_t cols = tb.cols;
+
+  // Flux pass. Interior rows [cols, n - cols) replace the index gathers
+  // with shifted contiguous loads: node i's W/E/N/S neighbors sit at
+  // i±1 and i±cols. At row edges the shifted load crosses into the
+  // adjacent row, but the conductance there is exactly 0, so the fused
+  // multiply contributes nothing — same trick the self-linked scalar
+  // tables use.
+  flux_scalar(tb, p, t, flux, 0, std::min(cols, n));
+  const std::size_t interior_end = n - cols;
+  std::size_t i = cols;
+  // Two independent accumulator chains per vector: (base − g_diag·t) +
+  // W + E and N + S, summed at the end. The FMA latency chain shrinks
+  // from six to three, which matters because each iteration is
+  // load-heavy and the out-of-order window is shared with 12 loads.
+  for (; i + 4 <= interior_end; i += 4) {
+    const __m256d ti = _mm256_loadu_pd(t + i);
+    __m256d q0 =
+        _mm256_add_pd(_mm256_loadu_pd(p + i), _mm256_loadu_pd(tb.gv_tsub + i));
+    q0 = _mm256_fnmadd_pd(_mm256_loadu_pd(tb.g_diag + i), ti, q0);
+    q0 = _mm256_fmadd_pd(_mm256_loadu_pd(tb.g_slot[0] + i),
+                         _mm256_loadu_pd(t + i - 1), q0);
+    q0 = _mm256_fmadd_pd(_mm256_loadu_pd(tb.g_slot[1] + i),
+                         _mm256_loadu_pd(t + i + 1), q0);
+    __m256d q1 = _mm256_mul_pd(_mm256_loadu_pd(tb.g_slot[2] + i),
+                               _mm256_loadu_pd(t + i - cols));
+    q1 = _mm256_fmadd_pd(_mm256_loadu_pd(tb.g_slot[3] + i),
+                         _mm256_loadu_pd(t + i + cols), q1);
+    _mm256_storeu_pd(flux + i, _mm256_add_pd(q0, q1));
+  }
+  flux_scalar(tb, p, t, flux, i, n);
+
+  // Apply pass: t += h · flux / C, with the reciprocal capacitance
+  // precomputed.
+  const __m256d hv = _mm256_set1_pd(h);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d f = _mm256_loadu_pd(flux + j);
+    const __m256d ic = _mm256_loadu_pd(tb.inv_cap + j);
+    __m256d tj = _mm256_loadu_pd(t + j);
+    tj = _mm256_fmadd_pd(_mm256_mul_pd(f, ic), hv, tj);
+    _mm256_storeu_pd(t + j, tj);
+  }
+  for (; j < n; ++j) {
+    t[j] += h * flux[j] * tb.inv_cap[j];
+  }
+}
+
+}  // namespace tadfa::thermal::detail
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace tadfa::thermal::detail {
+
+bool avx2_available() { return false; }
+
+void substep_avx2(const FastTables&, const double*, double*, double*,
+                  double) {
+  TADFA_ASSERT(false && "AVX2 step kernel not compiled into this build");
+}
+
+}  // namespace tadfa::thermal::detail
+
+#endif

@@ -1,0 +1,42 @@
+// Internal kernel seam between ThermalGrid and the optional AVX2
+// translation unit (step_avx2.cpp, built with -mavx2 -mfma on x86-64).
+//
+// The grid owns the structure-of-arrays update tables; this header only
+// names the flat views the vector kernels consume, so the intrinsics TU
+// never needs grid.hpp (and grid.cpp never needs immintrin.h).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace tadfa::thermal::detail {
+
+/// Flat views of the per-node update tables in structure-of-arrays form.
+/// Slot order is W/E/N/S; absent neighbors carry conductance 0 and a
+/// self-pointing index, so every kernel is branch-free in the interior.
+struct FastTables {
+  const double* gv_tsub;             ///< g_vertical[i] * substrate_temp
+  const double* g_diag;              ///< g_vertical[i] + Σ_slot g_slot[i]
+  const double* g_slot[4];           ///< conductance plane per slot (W/K)
+  const std::int32_t* idx_slot[4];   ///< neighbor index plane per slot
+  const double* inv_cap;             ///< 1 / C per node (K/J)
+  std::size_t n = 0;                 ///< node count
+  std::size_t cols = 0;              ///< nodes per row (row stride)
+};
+
+/// True when the AVX2+FMA kernel was compiled in AND this CPU runs it.
+bool avx2_available();
+
+/// One explicit-Euler substep over all nodes:
+///   flux = p + gv·T_sub − g_diag·t + Σ_slot g_slot·t[neighbor]
+///   t   += h · flux / C
+/// Rearranged relative to the reference kernel (hoisted diagonal, FMA),
+/// so results agree only to the documented fast-path tolerance.
+/// Interior rows use shifted contiguous loads (the W/E/N/S neighbors of
+/// node i are i±1 and i±cols; boundary links have g = 0, which zeroes
+/// any value the shifted load picks up); the first and last rows fall
+/// back to the indexed scalar form.
+void substep_avx2(const FastTables& tables, const double* p, double* flux,
+                  double* t, double h);
+
+}  // namespace tadfa::thermal::detail

@@ -232,6 +232,236 @@ TEST(ThermalGrid, StepWithZeroDtIsIdentity) {
   EXPECT_EQ(s, before);
 }
 
+// --------------------------------------------------------- fast-path tiers ----
+
+std::vector<double> hotspot_power(const machine::Floorplan& fp) {
+  auto p = no_power(fp);
+  p[0] = 2e-3;
+  p[1] = 1e-3;
+  p[5] = 1.5e-3;
+  return p;
+}
+
+std::vector<StepKernel> fast_kernels() {
+  std::vector<StepKernel> kernels = {StepKernel::kSimd};
+  if (ThermalGrid::kernel_available(StepKernel::kAvx2)) {
+    kernels.push_back(StepKernel::kAvx2);
+  }
+  return kernels;
+}
+
+TEST(StepKernel, ScalarTiersAlwaysAvailable) {
+  EXPECT_TRUE(ThermalGrid::kernel_available(StepKernel::kReference));
+  EXPECT_TRUE(ThermalGrid::kernel_available(StepKernel::kSimd));
+}
+
+TEST(StepKernel, UnavailableTierDegradesToSimdNotReference) {
+  const auto fp = small_fp();
+  const ThermalGrid grid(fp, 1, StepKernel::kAvx2);
+  if (ThermalGrid::kernel_available(StepKernel::kAvx2)) {
+    EXPECT_EQ(grid.step_kernel(), StepKernel::kAvx2);
+  } else {
+    // Never silently fall back to the slow reference tier.
+    EXPECT_EQ(grid.step_kernel(), StepKernel::kSimd);
+  }
+}
+
+TEST(StepKernel, FastKernelsTrackReferenceAcrossSubdivisions) {
+  const auto fp = small_fp();
+  for (unsigned sub : {1u, 2u, 4u}) {
+    const ThermalGrid grid(fp, sub, StepKernel::kReference);
+    const auto p = hotspot_power(fp);
+    const double dt = 16.0 * grid.max_stable_dt();
+    ThermalState ref = grid.initial_state();
+    for (int i = 0; i < 10; ++i) {
+      grid.step_with(StepKernel::kReference, ref, p, dt);
+    }
+    for (StepKernel kernel : fast_kernels()) {
+      ThermalState fast = grid.initial_state();
+      for (int i = 0; i < 10; ++i) {
+        grid.step_with(kernel, fast, p, dt);
+      }
+      for (std::size_t i = 0; i < ref.node_temps.size(); ++i) {
+        EXPECT_NEAR(fast.node_temps[i], ref.node_temps[i], 1e-6)
+            << "sub=" << sub << " kernel=" << to_string(kernel)
+            << " node=" << i;
+      }
+    }
+  }
+}
+
+TEST(StepKernel, EnergyBalanceHoldsOnEveryKernel) {
+  const auto fp = small_fp();
+  for (unsigned sub : {1u, 2u, 4u}) {
+    const ThermalGrid grid(fp, sub, StepKernel::kReference);
+    auto p = no_power(fp);
+    p[5] = 1e-3;
+    const double dt = grid.max_stable_dt();
+    const double injected = 1e-3 * dt;
+    for (StepKernel kernel :
+         {StepKernel::kReference, StepKernel::kSimd, StepKernel::kAvx2}) {
+      if (!ThermalGrid::kernel_available(kernel)) {
+        continue;
+      }
+      ThermalState s = grid.initial_state();
+      grid.step_with(kernel, s, p, dt);
+      const double stored = grid.stored_energy(s);
+      EXPECT_GT(stored, 0.0) << to_string(kernel);
+      EXPECT_LE(stored, injected * 1.0000001)
+          << "sub=" << sub << " kernel=" << to_string(kernel);
+      EXPECT_GT(stored, injected * 0.5)
+          << "sub=" << sub << " kernel=" << to_string(kernel);
+    }
+  }
+}
+
+TEST(StepKernel, TransientApproachesSteadyStateOnFastTiers) {
+  const auto fp = small_fp();
+  for (unsigned sub : {1u, 2u}) {
+    for (StepKernel kernel : fast_kernels()) {
+      const ThermalGrid grid(fp, sub, kernel);
+      const auto p = hotspot_power(fp);
+      const ThermalState steady = grid.steady_state(p);
+      ThermalState transient = grid.initial_state();
+      grid.step(transient, p, 1e-3);  // far beyond the RC settling time
+      for (std::size_t i = 0; i < steady.node_temps.size(); ++i) {
+        EXPECT_NEAR(transient.node_temps[i], steady.node_temps[i], 1e-3)
+            << "sub=" << sub << " kernel=" << to_string(kernel);
+      }
+    }
+  }
+}
+
+TEST(StepKernel, ZeroDtIsIdentityOnEveryKernel) {
+  const auto fp = small_fp();
+  const ThermalGrid grid(fp);
+  for (StepKernel kernel :
+       {StepKernel::kReference, StepKernel::kSimd, StepKernel::kAvx2}) {
+    if (!ThermalGrid::kernel_available(kernel)) {
+      continue;
+    }
+    ThermalState s = grid.initial_state();
+    s.node_temps[0] += 5;
+    const ThermalState before = s;
+    grid.step_with(kernel, s, no_power(fp), 0.0);
+    EXPECT_EQ(s, before) << to_string(kernel);
+  }
+}
+
+TEST(SteadyState, ActiveSetMatchesFullSweeps) {
+  const auto fp = small_fp();
+  for (unsigned sub : {1u, 2u}) {
+    const ThermalGrid ref_grid(fp, sub, StepKernel::kReference);
+    const ThermalGrid fast_grid(fp, sub, StepKernel::kSimd);
+    const auto p = hotspot_power(fp);
+    SteadyStateOptions opts;
+    SteadyStateInfo ref_info;
+    const ThermalState ref = ref_grid.steady_state(p, opts, &ref_info);
+    SteadyStateInfo fast_info;
+    const ThermalState fast = fast_grid.steady_state(p, opts, &fast_info);
+    EXPECT_TRUE(ref_info.converged);
+    EXPECT_TRUE(fast_info.converged);
+    EXPECT_GT(fast_info.relaxations, 0u);
+    for (std::size_t i = 0; i < ref.node_temps.size(); ++i) {
+      EXPECT_NEAR(fast.node_temps[i], ref.node_temps[i], 1e-5)
+          << "sub=" << sub << " node=" << i;
+    }
+  }
+}
+
+TEST(SteadyState, WarmStartConvergesFasterToTheSameAnswer) {
+  const auto fp = small_fp();
+  const ThermalGrid grid(fp, 2, StepKernel::kSimd);
+  const auto p = hotspot_power(fp);
+  SteadyStateOptions opts;
+  const ThermalState base = grid.steady_state(p, opts, nullptr);
+
+  auto bumped = p;
+  for (double& w : bumped) {
+    w *= 1.05;
+  }
+  SteadyStateInfo cold_info;
+  const ThermalState cold = grid.steady_state(bumped, opts, &cold_info);
+  SteadyStateOptions warm_opts;
+  warm_opts.warm_start = &base;
+  SteadyStateInfo warm_info;
+  const ThermalState warm = grid.steady_state(bumped, warm_opts, &warm_info);
+
+  EXPECT_TRUE(cold_info.converged);
+  EXPECT_TRUE(warm_info.converged);
+  EXPECT_LT(warm_info.sweeps, cold_info.sweeps);
+  for (std::size_t i = 0; i < cold.node_temps.size(); ++i) {
+    EXPECT_NEAR(warm.node_temps[i], cold.node_temps[i], 1e-5);
+  }
+}
+
+TEST(Batch, StepBatchMatchesSequentialReferenceBitForBit) {
+  const auto fp = small_fp();
+  // A fast-tier grid on purpose: step_batch promises reference math
+  // regardless of the grid's configured kernel.
+  const ThermalGrid grid(fp, 2, StepKernel::kSimd);
+  std::vector<std::vector<double>> powers;
+  powers.push_back(hotspot_power(fp));
+  powers.push_back(no_power(fp));
+  auto third = no_power(fp);
+  third[7] = 3e-3;
+  powers.push_back(third);
+
+  const double dt = 8.0 * grid.max_stable_dt();
+  std::vector<ThermalState> batch(3, grid.initial_state());
+  std::vector<ThermalState> seq(3, grid.initial_state());
+  for (int call = 0; call < 3; ++call) {
+    grid.step_batch(batch, powers, dt);
+    for (std::size_t lane = 0; lane < seq.size(); ++lane) {
+      grid.step_with(StepKernel::kReference, seq[lane], powers[lane], dt);
+    }
+  }
+  for (std::size_t lane = 0; lane < seq.size(); ++lane) {
+    EXPECT_EQ(batch[lane], seq[lane]) << "lane=" << lane;
+  }
+}
+
+TEST(Batch, SteadyStateBatchMatchesSequentialReferenceBitForBit) {
+  const auto fp = small_fp();
+  const ThermalGrid grid(fp, 2, StepKernel::kSimd);
+  const ThermalGrid ref_grid(fp, 2, StepKernel::kReference);
+  std::vector<std::vector<double>> powers;
+  powers.push_back(hotspot_power(fp));
+  auto second = no_power(fp);
+  second[3] = 2e-3;
+  powers.push_back(second);
+
+  std::vector<SteadyStateInfo> infos;
+  const auto batch = grid.steady_state_batch(powers, 1e-9, nullptr, &infos);
+  ASSERT_EQ(batch.size(), powers.size());
+  ASSERT_EQ(infos.size(), powers.size());
+  SteadyStateOptions opts;
+  for (std::size_t lane = 0; lane < powers.size(); ++lane) {
+    SteadyStateInfo seq_info;
+    const ThermalState seq =
+        ref_grid.steady_state(powers[lane], opts, &seq_info);
+    EXPECT_EQ(batch[lane], seq) << "lane=" << lane;
+    EXPECT_EQ(infos[lane].sweeps, seq_info.sweeps) << "lane=" << lane;
+    EXPECT_TRUE(infos[lane].converged) << "lane=" << lane;
+  }
+}
+
+TEST(ConfigDigest, FoldsKernelTierOnlyWhenNotReference) {
+  const auto fp = small_fp();
+  const ThermalGrid ref_a(fp, 1, StepKernel::kReference);
+  const ThermalGrid ref_b(fp, 1, StepKernel::kReference);
+  const ThermalGrid simd_a(fp, 1, StepKernel::kSimd);
+  const ThermalGrid simd_b(fp, 1, StepKernel::kSimd);
+  EXPECT_EQ(ref_a.config_digest(), ref_b.config_digest());
+  EXPECT_EQ(simd_a.config_digest(), simd_b.config_digest());
+  EXPECT_NE(ref_a.config_digest(), simd_a.config_digest());
+  if (ThermalGrid::kernel_available(StepKernel::kAvx2)) {
+    const ThermalGrid avx(fp, 1, StepKernel::kAvx2);
+    EXPECT_NE(avx.config_digest(), ref_a.config_digest());
+    EXPECT_NE(avx.config_digest(), simd_a.config_digest());
+  }
+}
+
 // -------------------------------------------------------------- map stats ----
 
 TEST(MapStats, UniformMapHasNoGradient) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Append benchmark artifacts to the repo's bench history, warn-only.
+"""Append benchmark artifacts to the repo's bench history.
 
 Each BENCH_*.json the benches emit (see bench/*.cpp) is one headline
 record: {"bench": ..., "config": {...}, <metrics...>, "git_sha": ...}.
@@ -7,22 +7,33 @@ This tool appends those records to a JSON-Lines history file keyed by
 git sha and compares each new record against the most recent entry for
 the same bench, printing a warning when a headline metric regressed.
 
-The comparison is warn-only by design: CI runners are shared hardware,
+The comparison is warn-only by default: CI runners are shared hardware,
 so absolute numbers jitter run to run and across runner generations. A
 warning in the log is a prompt to look, not a gate — the hard gates
 (determinism, hit-rate and speedup floors) live inside the benches
 themselves, which exit non-zero when violated.
 
+--fail-on-drop=X turns the comparison into a regression gate: a drop
+beyond fraction X (e.g. 0.2 = 20%) in a gated metric exits 1 *after*
+appending every record, so the failing run is still on the record for
+the next comparison. By default every headline metric is gated;
+--fail-metrics=a,b restricts the gate to the named metrics (other
+metrics still warn at --tolerance). CI uses this for the metrics that
+track real throughput (functions_per_sec, cache_hit_rate) while leaving
+noisier ones warn-only.
+
 Every top-level numeric field outside "config" is treated as a
 higher-is-better metric (true of everything the benches emit today:
-functions_per_sec, cache_hit_rate, extension_speedup,
-prefix_skip_rate); a drop beyond --tolerance (default 20%) warns.
+functions_per_sec, cache_hit_rate, extension_speedup, prefix_skip_rate,
+step_speedup, warm_start_sweep_reduction); a drop beyond --tolerance
+(default 20%) warns.
 
 Usage:
     bench_history.py --history bench/history/history.jsonl \
         --git-sha "$GITHUB_SHA" BENCH_throughput.json BENCH_incremental.json
 
-Exits 0 unless an artifact is unreadable; stdlib only.
+Exits 0 unless an artifact is unreadable or a --fail-on-drop gate
+tripped; stdlib only.
 """
 
 import argparse
@@ -63,9 +74,14 @@ def headline_metrics(record):
     }
 
 
-def compare(previous, current, tolerance):
-    """Prints warn-only regressions of `current` against `previous`."""
-    warned = False
+def compare(previous, current, tolerance, fail_on_drop=None, fail_metrics=None):
+    """Compares `current` against `previous` metric by metric.
+
+    Returns the list of (metric, drop) pairs that tripped the
+    --fail-on-drop gate (empty when gating is off or nothing tripped);
+    warn-only regressions are printed as before.
+    """
+    failures = []
     prev_metrics = headline_metrics(previous)
     for key, value in headline_metrics(current).items():
         if key not in prev_metrics:
@@ -74,15 +90,26 @@ def compare(previous, current, tolerance):
         if baseline <= 0:
             continue
         drop = (baseline - value) / baseline
-        if drop > tolerance:
+        gated = fail_on_drop is not None and (
+            fail_metrics is None or key in fail_metrics
+        )
+        if gated and drop > fail_on_drop:
+            print(
+                f"FAIL: {current.get('bench', '?')}: {key} dropped "
+                f"{drop * 100.0:.1f}% vs {previous.get('git_sha', '?')[:12]} "
+                f"({baseline:g} -> {value:g}), gate is "
+                f"{fail_on_drop * 100.0:.0f}%",
+                file=sys.stderr,
+            )
+            failures.append((key, drop))
+        elif drop > tolerance:
             print(
                 f"warning: {current.get('bench', '?')}: {key} dropped "
                 f"{drop * 100.0:.1f}% vs {previous.get('git_sha', '?')[:12]} "
                 f"({baseline:g} -> {value:g})",
                 file=sys.stderr,
             )
-            warned = True
-    return warned
+    return failures
 
 
 def main(argv):
@@ -96,7 +123,29 @@ def main(argv):
         default=0.2,
         help="relative drop that triggers a warning (default 0.2 = 20%%)",
     )
+    parser.add_argument(
+        "--fail-on-drop",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 when a gated metric drops more than fraction X "
+        "vs the previous record (records are still appended first)",
+    )
+    parser.add_argument(
+        "--fail-metrics",
+        default=None,
+        metavar="A,B",
+        help="comma-separated metrics the --fail-on-drop gate applies to "
+        "(default: every headline metric)",
+    )
     args = parser.parse_args(argv)
+
+    fail_metrics = None
+    if args.fail_metrics is not None:
+        fail_metrics = {m.strip() for m in args.fail_metrics.split(",") if m.strip()}
+        if not fail_metrics:
+            print("error: --fail-metrics names no metrics", file=sys.stderr)
+            return 2
 
     history = load_history(args.history)
     last_by_bench = {}
@@ -105,6 +154,7 @@ def main(argv):
             last_by_bench[record["bench"]] = record
 
     appended = []
+    failures = []
     for path in args.artifacts:
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -117,7 +167,15 @@ def main(argv):
         name = record.get("bench", "?")
         previous = last_by_bench.get(name)
         if previous is not None:
-            compare(previous, record, args.tolerance)
+            failures.extend(
+                compare(
+                    previous,
+                    record,
+                    args.tolerance,
+                    fail_on_drop=args.fail_on_drop,
+                    fail_metrics=fail_metrics,
+                )
+            )
         else:
             print(f"note: {name}: no prior history entry; baseline recorded")
         appended.append(record)
@@ -126,6 +184,13 @@ def main(argv):
         for record in appended:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
     print(f"appended {len(appended)} record(s) to {args.history}")
+    if failures:
+        print(
+            f"{len(failures)} gated metric(s) regressed beyond the "
+            "--fail-on-drop threshold",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -76,7 +76,19 @@ struct Options {
   bool cache_verify = false;
   bool incremental = false;
   unsigned stage_every = 0;
+  unsigned subdivision = 1;
+  bool strict_math = false;
 };
+
+/// Grid for a compile run: --strict-math pins the bit-identical reference
+/// kernel; otherwise the build's default tier applies.
+thermal::ThermalGrid make_grid(const machine::Floorplan& fp,
+                               unsigned subdivision, bool strict_math) {
+  const thermal::StepKernel kernel =
+      strict_math ? thermal::StepKernel::kReference
+                  : thermal::ThermalGrid::default_step_kernel();
+  return thermal::ThermalGrid(fp, subdivision, kernel);
+}
 
 int usage(const char* argv0) {
   std::cerr
@@ -94,6 +106,10 @@ int usage(const char* argv0) {
       << "  --args=N,N,...    kernel arguments (default: the kernel's own)\n"
       << "  --delta=K         thermal-DFA convergence threshold\n"
       << "  --max-iters=N     thermal-DFA iteration cap\n"
+      << "  --subdivision=N   thermal grid points per cell edge (default 1)\n"
+      << "  --strict-math     force the bit-identical reference thermal\n"
+      << "                    kernel (disables the SIMD fast path; cached\n"
+      << "                    under its own ResultCache key)\n"
       << "  --seed=N          assignment-policy seed\n"
       << "  --jobs=N          compile module functions on N worker threads\n"
       << "                    (default: hardware concurrency; several inputs\n"
@@ -257,6 +273,14 @@ int run_compile(int argc, char** argv) {
         return usage(argv[0]);
       }
       opt.jobs = static_cast<unsigned>(n);
+    } else if (auto v = value("--subdivision=")) {
+      long long n = 0;
+      if (!parse_int(*v, n) || n < 1) {
+        return usage(argv[0]);
+      }
+      opt.subdivision = static_cast<unsigned>(n);
+    } else if (arg == "--strict-math") {
+      opt.strict_math = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -321,7 +345,8 @@ int run_compile(int argc, char** argv) {
   }
 
   const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
-  const thermal::ThermalGrid grid(fp);
+  const thermal::ThermalGrid grid =
+      make_grid(fp, opt.subdivision, opt.strict_math);
   const power::PowerModel power(fp.config());
 
   pipeline::PipelineContext ctx;
@@ -330,6 +355,7 @@ int run_compile(int argc, char** argv) {
   ctx.power = &power;
   ctx.dfa_config.delta_k = opt.delta_k;
   ctx.dfa_config.max_iterations = opt.max_iterations;
+  ctx.dfa_config.strict_math = opt.strict_math;
   ctx.policy_seed = opt.seed;
 
   // Module mode: several inputs (or a multi-function file) go through the
@@ -600,6 +626,9 @@ int serve_usage(const char* argv0) {
       << "  --metrics-every=SEC  print aggregate metrics every SEC seconds\n"
       << "  --delta=K            thermal-DFA convergence threshold\n"
       << "  --max-iters=N        thermal-DFA iteration cap\n"
+      << "  --subdivision=N      thermal grid points per cell edge\n"
+      << "  --strict-math        force the bit-identical reference thermal\n"
+      << "                       kernel for every request\n"
       << "  --seed=N             assignment-policy seed\n"
       << "Stop with SIGINT/SIGTERM; in-flight requests drain first.\n";
   return 2;
@@ -614,6 +643,8 @@ int run_serve(const char* argv0, int argc, char** argv) {
   double delta_k = 0.01;
   int max_iterations = 100;
   std::uint64_t seed = 42;
+  unsigned subdivision = 1;
+  bool strict_math = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const std::string& prefix) -> std::optional<std::string> {
@@ -681,6 +712,13 @@ int run_serve(const char* argv0, int argc, char** argv) {
         return serve_usage(argv0);
       }
       max_iterations = static_cast<int>(n);
+    } else if (auto v = value("--subdivision=")) {
+      if (!parse_int(*v, n) || n < 1) {
+        return serve_usage(argv0);
+      }
+      subdivision = static_cast<unsigned>(n);
+    } else if (arg == "--strict-math") {
+      strict_math = true;
     } else if (auto v = value("--seed=")) {
       if (!parse_int(*v, n) || n < 0) {
         return serve_usage(argv0);
@@ -699,7 +737,7 @@ int run_serve(const char* argv0, int argc, char** argv) {
   }
 
   const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
-  const thermal::ThermalGrid grid(fp);
+  const thermal::ThermalGrid grid = make_grid(fp, subdivision, strict_math);
   const power::PowerModel power(fp.config());
   pipeline::PipelineContext ctx;
   ctx.floorplan = &fp;
@@ -707,6 +745,7 @@ int run_serve(const char* argv0, int argc, char** argv) {
   ctx.power = &power;
   ctx.dfa_config.delta_k = delta_k;
   ctx.dfa_config.max_iterations = max_iterations;
+  ctx.dfa_config.strict_math = strict_math;
   ctx.policy_seed = seed;
 
   // Block the shutdown signals before any thread exists so every server
