@@ -195,4 +195,24 @@ Function* Module::find(const std::string& name) {
   return nullptr;
 }
 
+void Module::add_reference(std::string from, std::string to) {
+  for (const ModuleReference& r : references_) {
+    if (r.from == from && r.to == to) {
+      return;
+    }
+  }
+  references_.push_back({std::move(from), std::move(to)});
+}
+
+std::vector<std::string> Module::references_from(
+    const std::string& from) const {
+  std::vector<std::string> out;
+  for (const ModuleReference& r : references_) {
+    if (r.from == from) {
+      out.push_back(r.to);
+    }
+  }
+  return out;
+}
+
 }  // namespace tadfa::ir

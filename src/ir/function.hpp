@@ -141,6 +141,19 @@ std::uint64_t fingerprint(const Function& func);
 /// rewrites that keep terminators intact keep this stable.
 std::uint64_t structure_fingerprint(const Function& func);
 
+/// A module-level dependency edge: `from` consumes `to`'s artifact (a
+/// symbol reference, a shared table, a workload-declared call). The IR
+/// has no call instruction, so these edges are the only cross-function
+/// coupling the compiler sees; the incremental driver walks them to
+/// decide what an edit invalidates.
+struct ModuleReference {
+  std::string from;
+  std::string to;
+
+  friend bool operator==(const ModuleReference&,
+                         const ModuleReference&) = default;
+};
+
 /// A collection of functions (one translation unit).
 class Module {
  public:
@@ -154,8 +167,18 @@ class Module {
   const Function* find(const std::string& name) const;
   Function* find(const std::string& name);
 
+  /// Records `from -> to` (ignored if the identical edge already exists,
+  /// so re-parsing printed text cannot double edges).
+  void add_reference(std::string from, std::string to);
+  const std::vector<ModuleReference>& references() const {
+    return references_;
+  }
+  /// Names `from` references directly (in recorded order, deduplicated).
+  std::vector<std::string> references_from(const std::string& from) const;
+
  private:
   std::vector<Function> functions_;
+  std::vector<ModuleReference> references_;
 };
 
 }  // namespace tadfa::ir

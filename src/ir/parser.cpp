@@ -42,7 +42,9 @@ class Parser {
       if (at_end()) {
         break;
       }
-      if (!parse_function_into(module)) {
+      const bool is_ref = starts_with(trim(lines_[pos_]), "ref ");
+      if (!(is_ref ? parse_reference_into(module)
+                   : parse_function_into(module))) {
         if (error != nullptr) {
           *error = error_;
         }
@@ -76,6 +78,24 @@ class Parser {
       return false;
     }
     out = static_cast<Reg>(v);
+    return true;
+  }
+
+  // "ref @from -> @to"
+  bool parse_reference_into(Module& module) {
+    std::string_view line = trim(lines_[pos_]);
+    line.remove_prefix(4);  // "ref "
+    const std::size_t arrow = line.find("->");
+    if (arrow == std::string_view::npos) {
+      return fail("expected 'ref @from -> @to'");
+    }
+    const std::string_view from = trim(line.substr(0, arrow));
+    const std::string_view to = trim(line.substr(arrow + 2));
+    if (from.size() < 2 || from[0] != '@' || to.size() < 2 || to[0] != '@') {
+      return fail("expected 'ref @from -> @to'");
+    }
+    module.add_reference(std::string(from.substr(1)), std::string(to.substr(1)));
+    ++pos_;
     return true;
   }
 

@@ -2,12 +2,16 @@
 //
 // Grammar (line oriented; ';' starts a comment):
 //
-//   module   := function*
+//   module   := (function | reference)*
 //   function := "func" "@" NAME "(" params? ")" "{" line* "}"
+//   reference := "ref" "@" NAME "->" "@" NAME
 //   params   := "%" INT ("," "%" INT)*
 //   line     := LABEL ":" | instruction
 //   instruction := ["%" INT "="] MNEMONIC operand ("," operand)*
 //   operand  := "%" INT | INT | LABEL
+//
+// A reference declares a module-level dependency edge (see
+// ir::ModuleReference); it may name functions defined later in the file.
 //
 // Register numbers may be sparse; the function's reg_count is one past the
 // highest mentioned register. Block labels may be referenced before they are

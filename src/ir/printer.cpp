@@ -59,6 +59,12 @@ void print(std::ostream& os, const Module& module) {
     print(os, f);
     first = false;
   }
+  if (!module.references().empty()) {
+    os << '\n';
+    for (const ModuleReference& r : module.references()) {
+      os << "ref @" << r.from << " -> @" << r.to << '\n';
+    }
+  }
 }
 
 std::string to_string(const Function& func) {

@@ -156,6 +156,14 @@ std::vector<VerifyIssue> verify(const Module& module) {
                   std::make_move_iterator(func_issues.begin()),
                   std::make_move_iterator(func_issues.end()));
   }
+  for (const ModuleReference& r : module.references()) {
+    for (const std::string* end : {&r.from, &r.to}) {
+      if (module.find(*end) == nullptr) {
+        issues.push_back({"reference '" + r.from + " -> " + r.to +
+                          "' names unknown function '" + *end + "'"});
+      }
+    }
+  }
   return issues;
 }
 

@@ -1,0 +1,258 @@
+#include "pipeline/dependency_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace tadfa::pipeline {
+
+namespace {
+
+/// Seed for closure digests: "dep-cls1".
+constexpr std::uint64_t kClosureSeed = 0x6465702d636c7331ull;
+/// Seed for the module-slot names digest: "dep-nam1".
+constexpr std::uint64_t kNamesSeed = 0x6465702d6e616d31ull;
+
+}  // namespace
+
+const char* to_string(InvalidationReason reason) {
+  switch (reason) {
+    case InvalidationReason::kUnknown:
+      return "unknown";
+    case InvalidationReason::kWarm:
+      return "warm";
+    case InvalidationReason::kNew:
+      return "new";
+    case InvalidationReason::kEdited:
+      return "edited";
+    case InvalidationReason::kDependent:
+      return "dependent";
+    case InvalidationReason::kGraphDegraded:
+      return "graph-degraded";
+  }
+  return "invalid";
+}
+
+DependencyGraph DependencyGraph::build(const ir::Module& module) {
+  DependencyGraph graph;
+  std::map<std::string, std::uint64_t> fingerprints;
+  for (const ir::Function& f : module.functions()) {
+    fingerprints[f.name()] = ir::fingerprint(f);
+  }
+  std::map<std::string, std::set<std::string>> deps;
+  for (const ir::ModuleReference& r : module.references()) {
+    deps[r.from].insert(r.to);
+  }
+
+  for (const auto& [name, fp] : fingerprints) {
+    DependencyNode node;
+    node.name = name;
+    node.fingerprint = fp;
+    if (auto it = deps.find(name); it != deps.end()) {
+      node.deps.assign(it->second.begin(), it->second.end());
+    }
+    graph.nodes_.push_back(std::move(node));
+  }
+  // nodes_ is sorted by construction (std::map iteration order).
+
+  // Closure digest: BFS the reachable set over dep edges, then hash the
+  // sorted (name, fingerprint) pairs. Set semantics make cycles and
+  // diamond shapes canonical.
+  for (DependencyNode& node : graph.nodes_) {
+    std::set<std::string> reachable{node.name};
+    std::deque<std::string> frontier{node.name};
+    while (!frontier.empty()) {
+      const std::string current = std::move(frontier.front());
+      frontier.pop_front();
+      if (auto it = deps.find(current); it != deps.end()) {
+        for (const std::string& next : it->second) {
+          if (reachable.insert(next).second) {
+            frontier.push_back(next);
+          }
+        }
+      }
+    }
+    Hasher h(kClosureSeed);
+    for (const std::string& name : reachable) {
+      h.mix(name);
+      const auto it = fingerprints.find(name);
+      h.mix(it != fingerprints.end() ? it->second : 0);
+    }
+    // Direct edges matter too: adding an edge to an unchanged function
+    // changes what this node depends on even if the reachable
+    // fingerprints happen to collide.
+    h.mix(static_cast<std::uint64_t>(node.deps.size()));
+    for (const std::string& d : node.deps) {
+      h.mix(d);
+    }
+    node.closure_digest = h.digest();
+  }
+  return graph;
+}
+
+const DependencyNode* DependencyGraph::node(std::string_view name) const {
+  const auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), name,
+      [](const DependencyNode& n, std::string_view key) {
+        return n.name < key;
+      });
+  if (it == nodes_.end() || it->name != name) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+std::vector<std::string> DependencyGraph::dependents_of(
+    std::string_view name) const {
+  // Reverse reachability by fixpoint: grow the dependent set until no
+  // node outside it references a member. Quadratic in the worst case,
+  // fine at module scale (dozens to hundreds of functions).
+  std::set<std::string> closed{std::string(name)};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const DependencyNode& n : nodes_) {
+      if (closed.count(n.name) != 0) {
+        continue;
+      }
+      for (const std::string& d : n.deps) {
+        if (closed.count(d) != 0) {
+          closed.insert(n.name);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  closed.erase(std::string(name));
+  return {closed.begin(), closed.end()};
+}
+
+std::uint64_t DependencyGraph::names_digest() const {
+  Hasher h(kNamesSeed);
+  for (const DependencyNode& n : nodes_) {
+    h.mix(n.name);
+  }
+  return h.digest();
+}
+
+void DependencyGraph::serialize(ByteWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const DependencyNode& n : nodes_) {
+    w.str(n.name);
+    w.u64(n.fingerprint);
+    w.u64(n.closure_digest);
+    w.u32(static_cast<std::uint32_t>(n.deps.size()));
+    for (const std::string& d : n.deps) {
+      w.str(d);
+    }
+  }
+}
+
+std::optional<DependencyGraph> DependencyGraph::deserialize(ByteReader& r) {
+  DependencyGraph graph;
+  const std::uint32_t count = r.u32();
+  // Every node costs at least 24 bytes on the wire, so a count beyond
+  // remaining() is corrupt — bail before looping over garbage.
+  if (!r.ok() || count > r.remaining()) {
+    return std::nullopt;
+  }
+  graph.nodes_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    DependencyNode node;
+    node.name = r.str();
+    node.fingerprint = r.u64();
+    node.closure_digest = r.u64();
+    const std::uint32_t ndeps = r.u32();
+    if (!r.ok() || ndeps > r.remaining()) {
+      return std::nullopt;
+    }
+    node.deps.reserve(ndeps);
+    for (std::uint32_t j = 0; j < ndeps; ++j) {
+      node.deps.push_back(r.str());
+    }
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+    graph.nodes_.push_back(std::move(node));
+  }
+  const auto by_name = [](const DependencyNode& a, const DependencyNode& b) {
+    return a.name < b.name;
+  };
+  if (!std::is_sorted(graph.nodes_.begin(), graph.nodes_.end(), by_name)) {
+    return std::nullopt;
+  }
+  return graph;
+}
+
+std::vector<InvalidationDecision> diff_graphs(const DependencyGraph& before,
+                                              const DependencyGraph& now) {
+  // A name "changed" when its body differs between the graphs or it
+  // exists in only one of them — the set BFS paths terminate on.
+  const auto changed = [&](const std::string& name) {
+    const DependencyNode* b = before.node(name);
+    const DependencyNode* n = now.node(name);
+    return b == nullptr || n == nullptr || b->fingerprint != n->fingerprint;
+  };
+
+  std::vector<InvalidationDecision> out;
+  out.reserve(now.nodes().size());
+  for (const DependencyNode& node : now.nodes()) {
+    const DependencyNode* old = before.node(node.name);
+    InvalidationDecision decision;
+    if (old == nullptr) {
+      decision.reason = InvalidationReason::kNew;
+    } else if (old->fingerprint != node.fingerprint) {
+      decision.reason = InvalidationReason::kEdited;
+    } else if (old->closure_digest != node.closure_digest) {
+      decision.reason = InvalidationReason::kDependent;
+      // Shortest dependency path to a changed function; BFS over the
+      // current graph's edges (removed deps simply have no node and
+      // terminate the walk as "changed").
+      std::map<std::string, std::string> parent;  // child -> how we got there
+      std::deque<std::string> frontier{node.name};
+      parent[node.name] = "";
+      std::string hit;
+      while (!frontier.empty() && hit.empty()) {
+        const std::string current = std::move(frontier.front());
+        frontier.pop_front();
+        const DependencyNode* c = now.node(current);
+        if (c == nullptr) {
+          continue;
+        }
+        for (const std::string& next : c->deps) {
+          if (parent.count(next) != 0) {
+            continue;
+          }
+          parent[next] = current;
+          if (changed(next)) {
+            hit = next;
+            break;
+          }
+          frontier.push_back(next);
+        }
+      }
+      if (!hit.empty()) {
+        std::vector<std::string> path{hit};
+        for (std::string at = parent[hit]; !at.empty(); at = parent[at]) {
+          path.push_back(at);
+        }
+        std::string via;
+        for (auto it = path.rbegin(); it != path.rend(); ++it) {
+          if (!via.empty()) {
+            via += " -> ";
+          }
+          via += *it;
+        }
+        decision.via = std::move(via);
+      }
+    } else {
+      decision.reason = InvalidationReason::kWarm;
+    }
+    out.push_back(std::move(decision));
+  }
+  return out;
+}
+
+}  // namespace tadfa::pipeline

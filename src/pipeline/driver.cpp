@@ -170,6 +170,64 @@ ModulePipelineResult CompilationDriver::compile(
     }
   }
 
+  // Edit-aware mode: build the module's dependency graph, diff it
+  // against the persisted record for this module slot, and fold each
+  // function's closure digest into its environment digest. Invalidation
+  // rides the key change — an edited function and its transitive
+  // dependents miss the cache — so the diff is pure reporting and a
+  // lost graph can only cost precision, never a wrong answer. A corrupt
+  // or throwing graph read degrades to a conservative whole-module
+  // recompile (no cache probes at all this run; results are still
+  // stored and the graph rewritten, so the next run recovers).
+  const bool edit_aware = cache_ != nullptr && edit_aware_;
+  DependencyGraph now_graph;
+  std::vector<InvalidationDecision> decisions;
+  std::vector<std::uint64_t> env_for;
+  std::vector<const DependencyNode*> node_for;
+  bool degraded = false;
+  CacheKey graph_key;
+  if (edit_aware) {
+    now_graph = DependencyGraph::build(module);
+    graph_key = ResultCache::make_graph_key(now_graph.names_digest(),
+                                            canonical_spec, env_digest);
+    DependencyGraph before;
+    try {
+      auto record = cache_->lookup_graph(graph_key);
+      if (record.status == ResultCache::GraphReadStatus::kCorrupt) {
+        degraded = true;
+      } else if (record.status == ResultCache::GraphReadStatus::kHit) {
+        ByteReader r(record.payload);
+        auto parsed = DependencyGraph::deserialize(r);
+        if (parsed.has_value() && r.remaining() == 0) {
+          before = std::move(*parsed);
+        } else {
+          // The record checksum held but the payload does not decode —
+          // an encoding skew inside a valid envelope. Same verdict.
+          degraded = true;
+        }
+      }
+      // kMiss: first compile of this module slot; diffing against the
+      // empty graph labels every function kNew.
+    } catch (...) {
+      cache_->count_lookup_fault();
+      degraded = true;
+    }
+    if (!degraded) {
+      decisions = diff_graphs(before, now_graph);
+    }
+    env_for.assign(n, env_digest);
+    node_for.assign(n, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      const DependencyNode* node = now_graph.node(funcs[i].name());
+      node_for[i] = node;
+      // Functions with no outgoing edges keep the plain digest: their
+      // keys match non-edit-aware runs, so existing caches stay warm.
+      if (node != nullptr && !node->deps.empty()) {
+        env_for[i] = Hasher(env_digest).mix(node->closure_digest).digest();
+      }
+    }
+  }
+
   // One work item: probe the persistent cache (a warm restore is
   // byte-identical to a fresh compile and parallelizes like one), and
   // on a miss compile + insert. The result settles into its slot
@@ -186,17 +244,23 @@ ModulePipelineResult CompilationDriver::compile(
   auto process = [&](std::size_t i) {
     CacheKey key;
     std::uint64_t input_fp = 0;
+    // A degraded edit-aware run compiles everything cold: with the
+    // cached graph unreadable the per-function verdicts are gone, and
+    // "recompile the module" is the answer that cannot be wrong.
+    const std::uint64_t env = edit_aware ? env_for[i] : env_digest;
     if (cache_ != nullptr) {
       input_fp = ir::fingerprint(funcs[i]);
-      key = ResultCache::make_key(input_fp, canonical_spec, env_digest);
-      try {
-        if (auto hit = cache_->lookup(key, funcs[i].name())) {
-          slots[i].emplace(std::move(*hit));
-          from_cache[i] = 1;
-          return;
+      key = ResultCache::make_key(input_fp, canonical_spec, env);
+      if (!degraded) {
+        try {
+          if (auto hit = cache_->lookup(key, funcs[i].name())) {
+            slots[i].emplace(std::move(*hit));
+            from_cache[i] = 1;
+            return;
+          }
+        } catch (...) {
+          cache_->count_lookup_fault();
         }
-      } catch (...) {
-        cache_->count_lookup_fault();
       }
     }
 
@@ -209,7 +273,7 @@ ModulePipelineResult CompilationDriver::compile(
       hooks.want = [&boundary](std::size_t index) {
         return boundary[index] != 0;
       };
-      hooks.sink = [this, input_fp, env_digest, &prefix_digests](
+      hooks.sink = [this, input_fp, env, &prefix_digests](
                        std::size_t passes_done,
                        const PipelineSnapshot& snapshot,
                        const std::vector<PassRunStats>& pass_stats,
@@ -225,7 +289,7 @@ ModulePipelineResult CompilationDriver::compile(
         try {
           cache_->insert_stage(
               ResultCache::make_stage_key(
-                  input_fp, prefix_digests[passes_done], env_digest),
+                  input_fp, prefix_digests[passes_done], env),
               entry);
         } catch (...) {
           cache_->count_store_fault();
@@ -237,10 +301,10 @@ ModulePipelineResult CompilationDriver::compile(
     // this spec instead of compiling from pass 0. A failed resume (a
     // pass error on the restored state, a verifier rejection, a stray
     // exception) falls through to the full compile below.
-    if (staged) {
+    if (staged && !degraded) {
       std::optional<ResumeState> resume;
       try {
-        resume = cache_->lookup_longest_stage(input_fp, passes, env_digest,
+        resume = cache_->lookup_longest_stage(input_fp, passes, env,
                                               funcs[i].name());
       } catch (...) {
         cache_->count_lookup_fault();
@@ -337,7 +401,34 @@ ModulePipelineResult CompilationDriver::compile(
     result.functions.emplace_back(funcs[i].name(), std::move(run));
     result.functions.back().from_cache = from_cache[i] != 0;
     result.functions.back().resumed_passes = resumed[i];
+    if (edit_aware) {
+      FunctionCompileResult& f = result.functions.back();
+      if (degraded) {
+        f.reason = InvalidationReason::kGraphDegraded;
+      } else if (node_for[i] != nullptr) {
+        const std::size_t d =
+            static_cast<std::size_t>(node_for[i] - now_graph.nodes().data());
+        f.reason = decisions[d].reason;
+        f.invalidated_via = decisions[d].via;
+      }
+    }
   }
+  result.graph_degraded = degraded;
+
+  // Rewrite the graph record (atomic temp + rename inside the cache) so
+  // the next resubmission diffs against what was just compiled. Also
+  // the recovery path out of a degraded run. Skipped on failure: a
+  // half-failed module must not present its fingerprints as compiled.
+  if (edit_aware && result.ok) {
+    ByteWriter w;
+    now_graph.serialize(w);
+    try {
+      cache_->insert_graph(graph_key, w.data());
+    } catch (...) {
+      cache_->count_store_fault();
+    }
+  }
+
   result.total_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   return result;
@@ -372,6 +463,22 @@ std::size_t ModulePipelineResult::passes_skipped() const {
     skipped += f.resumed_passes;
   }
   return skipped;
+}
+
+std::size_t ModulePipelineResult::invalidated_by_edge() const {
+  std::size_t count = 0;
+  for (const FunctionCompileResult& f : functions) {
+    count += f.reason == InvalidationReason::kDependent ? 1 : 0;
+  }
+  return count;
+}
+
+std::size_t ModulePipelineResult::invalidated_by_edit() const {
+  std::size_t count = 0;
+  for (const FunctionCompileResult& f : functions) {
+    count += f.reason == InvalidationReason::kEdited ? 1 : 0;
+  }
+  return count;
 }
 
 std::vector<PassRunStats> ModulePipelineResult::merged_pass_stats() const {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ir/function.hpp"
+#include "pipeline/dependency_graph.hpp"
 #include "pipeline/pass_manager.hpp"
 
 namespace tadfa::pipeline {
@@ -66,6 +67,12 @@ struct FunctionCompileResult {
   /// Passes skipped by resuming from a cached stage snapshot (0 when
   /// the function was compiled from scratch or fully restored).
   std::uint32_t resumed_passes = 0;
+  /// Edit-aware mode: why this function was (or was not) invalidated
+  /// against the cached dependency graph. kUnknown outside that mode.
+  InvalidationReason reason = InvalidationReason::kUnknown;
+  /// For kDependent: the dependency path walked to the changed function
+  /// ("a -> b -> c", c edited). Empty otherwise.
+  std::string invalidated_via;
 };
 
 struct ModulePipelineResult {
@@ -100,6 +107,17 @@ struct ModulePipelineResult {
   std::size_t prefix_hits() const;
   /// Total passes those resumes skipped, summed over the module.
   std::size_t passes_skipped() const;
+
+  /// Edit-aware mode: true when the cached dependency graph existed but
+  /// could not be read (corrupt record, throwing lookup) and the whole
+  /// module was conservatively recompiled.
+  bool graph_degraded = false;
+  /// Functions invalidated purely by a dependency edge — unchanged
+  /// themselves, recompiled because something they transitively
+  /// reference was edited (reason == kDependent).
+  std::size_t invalidated_by_edge() const;
+  /// Functions whose own body changed (reason == kEdited).
+  std::size_t invalidated_by_edit() const;
 
   /// Per-function result table (name, instrs, vregs, spills, time).
   TextTable function_table(const std::string& title = "module") const;
@@ -140,6 +158,20 @@ class CompilationDriver {
   void set_stage_policy(StagePolicy policy) { stage_policy_ = policy; }
   const StagePolicy& stage_policy() const { return stage_policy_; }
 
+  /// Enables edit-aware compilation against the attached cache: the
+  /// driver builds the module's DependencyGraph, diffs it against the
+  /// persisted TADFADG1 record for this module slot, mixes each
+  /// function's closure digest into its cache keys (functions with no
+  /// outgoing edges keep plain keys, so existing caches stay warm), and
+  /// labels every function with an InvalidationReason. Invalidation is
+  /// enforced by the key change — an edited function and all its
+  /// transitive dependents simply miss — so correctness never depends
+  /// on the cached graph; a corrupt or throwing graph record only costs
+  /// precision (the whole module recompiles, flagged graph_degraded).
+  /// No effect without a result cache.
+  void set_edit_aware(bool enabled) { edit_aware_ = enabled; }
+  bool edit_aware() const { return edit_aware_; }
+
   /// Compiles every function of `module` under `spec`. A spec error
   /// rejects the whole module before any work runs; a per-function
   /// failure still compiles the remaining functions (result.ok is false
@@ -157,6 +189,7 @@ class CompilationDriver {
   unsigned jobs_ = 0;
   ResultCache* cache_ = nullptr;
   StagePolicy stage_policy_;
+  bool edit_aware_ = false;
 };
 
 }  // namespace tadfa::pipeline

@@ -21,6 +21,11 @@ constexpr std::uint64_t kMagic = 0x5441444641524331ull;
 constexpr std::uint64_t kStageMagic = 0x5441444641534731ull;
 /// Seed of the stage payload checksum stream.
 constexpr std::uint64_t kStagePayloadSeed = 0x7374672d73756d31ull;
+/// 64-bit magic at the head of every dependency-graph record
+/// ("TADFADG1").
+constexpr std::uint64_t kGraphMagic = 0x5441444641444731ull;
+/// Seed of the graph payload checksum stream ("dep-sum1").
+constexpr std::uint64_t kGraphPayloadSeed = 0x6465702d73756d31ull;
 
 constexpr const char* kIndexName = "index.txt";
 constexpr const char* kIndexHeader = "tadfa-result-cache-index v1";
@@ -372,6 +377,23 @@ CacheKey ResultCache::make_stage_key(std::uint64_t function_fingerprint,
   return key;
 }
 
+CacheKey ResultCache::make_graph_key(std::uint64_t module_names_digest,
+                                     const std::string& canonical_spec,
+                                     std::uint64_t context_digest) {
+  CacheKey key;
+  key.hi = Hasher(0x68692d646570ull /* "hi-dep" */)
+               .mix(module_names_digest)
+               .mix(canonical_spec)
+               .mix(context_digest)
+               .digest();
+  key.lo = Hasher(0x6c6f2d646570ull /* "lo-dep" */)
+               .mix(module_names_digest)
+               .mix(canonical_spec)
+               .mix(context_digest)
+               .digest();
+  return key;
+}
+
 fs::path ResultCache::entry_path(const CacheKey& key) const {
   const std::string text = key.text();
   return dir_ / text.substr(0, 2) / (text.substr(2) + ".entry");
@@ -458,12 +480,12 @@ bool ResultCache::insert(const CacheKey& key, const PipelineRunResult& run,
     entry.thermal = std::move(thermal);
   }
   entry.serialize(w);
-  return store_bytes_locked_free(key, w.data(), /*is_stage=*/false);
+  return store_bytes_locked_free(key, w.data(), EntryKind::kFull);
 }
 
 bool ResultCache::store_bytes_locked_free(const CacheKey& key,
                                           const std::string& bytes,
-                                          bool is_stage) {
+                                          EntryKind kind) {
   const fs::path path = entry_path(key);
   std::error_code ec;
   fs::create_directories(path.parent_path(), ec);
@@ -473,10 +495,16 @@ bool ResultCache::store_bytes_locked_free(const CacheKey& key,
     return false;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  if (is_stage) {
-    ++stats_.stage_stores;
-  } else {
-    ++stats_.stores;
+  switch (kind) {
+    case EntryKind::kFull:
+      ++stats_.stores;
+      break;
+    case EntryKind::kStage:
+      ++stats_.stage_stores;
+      break;
+    case EntryKind::kGraph:
+      ++stats_.graph_stores;
+      break;
   }
   IndexEntry& row = index_[key.text()];
   bytes_total_ += bytes.size() - row.bytes;  // 0 for a fresh row
@@ -516,7 +544,7 @@ bool ResultCache::insert_stage(const CacheKey& key, const StageEntry& stage) {
   w.u64(Hasher(kStagePayloadSeed)
             .mix(std::string_view(payload.data()))
             .digest());
-  return store_bytes_locked_free(key, w.data(), /*is_stage=*/true);
+  return store_bytes_locked_free(key, w.data(), EntryKind::kStage);
 }
 
 std::optional<StageEntry> ResultCache::read_stage(const CacheKey& key,
@@ -615,6 +643,78 @@ std::optional<ResumeState> ResultCache::lookup_longest_stage(
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.stage_misses;
   return std::nullopt;
+}
+
+// --- Dependency-graph records ------------------------------------------------
+
+bool ResultCache::insert_graph(const CacheKey& key,
+                               const std::string& payload) {
+  if (fault_hook_) {
+    fault_hook_("graph-insert");
+  }
+  if (!ok_) {
+    return false;
+  }
+  ByteWriter w;
+  w.u64(kGraphMagic);
+  w.u32(kGraphFormatVersion);
+  w.u64(key.hi);
+  w.u64(key.lo);
+  w.str(payload);
+  // The payload is opaque to the cache layer, so the record-level
+  // checksum is the only thing standing between a bit flip and a wrong
+  // invalidation verdict.
+  w.u64(Hasher(kGraphPayloadSeed).mix(std::string_view(payload)).digest());
+  return store_bytes_locked_free(key, w.data(), EntryKind::kGraph);
+}
+
+ResultCache::GraphRecord ResultCache::lookup_graph(const CacheKey& key) {
+  if (fault_hook_) {
+    fault_hook_("graph-lookup");
+  }
+  GraphRecord record;
+  if (!ok_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.graph_misses;
+    return record;
+  }
+  const auto bytes = read_file(entry_path(key));
+  if (!bytes.has_value()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.graph_misses;
+    return record;
+  }
+  ByteReader r(*bytes);
+  const bool header_ok = r.u64() == kGraphMagic &&
+                         r.u32() == kGraphFormatVersion &&
+                         r.u64() == key.hi && r.u64() == key.lo;
+  bool valid = false;
+  std::string payload;
+  if (header_ok) {
+    payload = r.str();
+    const std::uint64_t digest = r.u64();
+    valid = r.ok() && r.remaining() == 0 &&
+            Hasher(kGraphPayloadSeed)
+                    .mix(std::string_view(payload))
+                    .digest() == digest;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!valid) {
+    // A record exists but cannot be trusted: delete it (decrementing
+    // the tracked byte total with the index row) and tell the caller
+    // the history is gone, not merely absent.
+    remove_entry_locked(key.text(), /*count_bad=*/true);
+    ++stats_.graph_misses;
+    record.status = GraphReadStatus::kCorrupt;
+    return record;
+  }
+  ++stats_.graph_hits;
+  if (auto it = index_.find(key.text()); it != index_.end()) {
+    it->second.seq = next_seq_++;  // LRU touch (persisted on next insert)
+  }
+  record.status = GraphReadStatus::kHit;
+  record.payload = std::move(payload);
+  return record;
 }
 
 ResultCache::~ResultCache() { flush(); }
@@ -786,6 +886,9 @@ TextTable ResultCache::stats_table(const std::string& title) const {
   table.add_row({"stage hit rate",
                  TextTable::num(s.stage_hit_rate() * 100.0, 1) + "%"});
   table.add_row({"stage stores", std::to_string(s.stage_stores)});
+  table.add_row({"graph hits", std::to_string(s.graph_hits)});
+  table.add_row({"graph misses", std::to_string(s.graph_misses)});
+  table.add_row({"graph stores", std::to_string(s.graph_stores)});
   table.add_row({"entries", std::to_string(entry_count())});
   table.add_row({"bytes", std::to_string(total_bytes())});
   return table;

@@ -180,6 +180,12 @@ struct ResultCacheStats {
   std::uint64_t stage_hits = 0;
   std::uint64_t stage_misses = 0;
   std::uint64_t stage_stores = 0;
+  /// Dependency-graph record counters (edit-aware compiles). Corrupt
+  /// records fold into bad_entries, failed stores into store_failures,
+  /// evicted records into evictions — same discipline as stages.
+  std::uint64_t graph_hits = 0;
+  std::uint64_t graph_misses = 0;
+  std::uint64_t graph_stores = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -198,6 +204,17 @@ class ResultCache {
   static constexpr std::uint32_t kFormatVersion = 1;
   /// Independently versioned stage-entry encoding (see file comment).
   static constexpr std::uint32_t kStageFormatVersion = 1;
+  /// Independently versioned dependency-graph record encoding:
+  ///
+  ///     [u64 graph magic "TADFADG1"][u32 kGraphFormatVersion]
+  ///     [u64 key.hi][u64 key.lo]
+  ///     [str payload][u64 payload digest]
+  ///
+  /// The payload is an opaque serialized pipeline::DependencyGraph; the
+  /// cache checksums it exactly like a stage payload. Graph records
+  /// share the directory, index, size accounting, and LRU eviction with
+  /// the other two entry kinds.
+  static constexpr std::uint32_t kGraphFormatVersion = 1;
 
   struct Config {
     std::string dir;
@@ -246,6 +263,14 @@ class ResultCache {
                                  std::uint64_t spec_prefix_digest,
                                  std::uint64_t context_digest);
 
+  /// Derives a dependency-graph record address from the module slot (a
+  /// digest over the module's function *names*, stable across edits),
+  /// the canonical spec, and the environment digest. A third seed pair
+  /// keeps graph addresses disjoint from both other entry kinds.
+  static CacheKey make_graph_key(std::uint64_t module_names_digest,
+                                 const std::string& canonical_spec,
+                                 std::uint64_t context_digest);
+
   /// Full reconstruction: entry -> ready PipelineRunResult named
   /// `function_name`. nullopt on miss or bad entry.
   std::optional<PipelineRunResult> lookup(const CacheKey& key,
@@ -285,6 +310,28 @@ class ResultCache {
       std::uint64_t function_fingerprint, const std::vector<PassSpec>& passes,
       std::uint64_t context_digest, const std::string& function_name);
 
+  /// How a graph-record lookup resolved. The edit-aware driver needs
+  /// the three-way split: an absent record means "first compile of this
+  /// module slot" (diff against an empty graph), while a corrupt one
+  /// means the history is untrustworthy and the whole module recompiles.
+  enum class GraphReadStatus { kHit, kMiss, kCorrupt };
+  struct GraphRecord {
+    GraphReadStatus status = GraphReadStatus::kMiss;
+    /// The stored payload; meaningful only on kHit.
+    std::string payload;
+  };
+
+  /// Persists one dependency-graph payload. Counts a graph store (or a
+  /// store failure); overwriting the record for a module slot is the
+  /// normal case — every edit-aware compile rewrites it (atomically,
+  /// temp + rename).
+  bool insert_graph(const CacheKey& key, const std::string& payload);
+
+  /// Reads + validates one graph record. A corrupt record counts
+  /// bad_entries, is deleted (with its index row and byte accounting),
+  /// and reports kCorrupt.
+  GraphRecord lookup_graph(const CacheKey& key);
+
   /// Books a lookup that threw out of the cache as a miss plus a
   /// lookup fault. The CompilationDriver shields its work items from
   /// cache exceptions (a broken cache degrades the compile, never kills
@@ -296,7 +343,8 @@ class ResultCache {
 
   /// Test-only fault injection: when set, the hook runs at the top of
   /// every lookup and insert with the operation name ("lookup" /
-  /// "insert" / "stage-lookup" / "stage-insert") and may throw to
+  /// "insert" / "stage-lookup" / "stage-insert" / "graph-lookup" /
+  /// "graph-insert") and may throw to
   /// simulate a filesystem failure (cache
   /// directory deleted mid-run, disk full, permission flip). Set it
   /// before handing the cache to concurrent workers; it is read without
@@ -345,10 +393,13 @@ class ResultCache {
   /// once for the whole scan, not per k); corruption always counts
   /// bad_entries and removes the file.
   std::optional<StageEntry> read_stage(const CacheKey& key, bool count_stats);
-  /// Shared tail of insert/insert_stage: writes `bytes` under `key`'s
-  /// entry path and books the index row, eviction, and batched flush.
+  /// Which kind of record a store should be attributed to.
+  enum class EntryKind { kFull, kStage, kGraph };
+  /// Shared tail of insert/insert_stage/insert_graph: writes `bytes`
+  /// under `key`'s entry path and books the index row, eviction, and
+  /// batched flush.
   bool store_bytes_locked_free(const CacheKey& key, const std::string& bytes,
-                               bool is_stage);
+                               EntryKind kind);
 
   std::filesystem::path dir_;
   std::uint64_t max_bytes_ = 0;

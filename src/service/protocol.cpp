@@ -142,6 +142,7 @@ void CompileRequest::serialize(ByteWriter& w) const {
     w.str(kernel);
   }
   w.str(module_text);
+  w.boolean(edit_aware);
 }
 
 std::optional<CompileRequest> CompileRequest::deserialize(ByteReader& r) {
@@ -157,6 +158,7 @@ std::optional<CompileRequest> CompileRequest::deserialize(ByteReader& r) {
     request.kernels.push_back(r.str());
   }
   request.module_text = r.str();
+  request.edit_aware = r.boolean();
   if (!r.ok() || r.remaining() != 0) {
     return std::nullopt;
   }
@@ -213,6 +215,8 @@ void CompileResponse::serialize(ByteWriter& w) const {
     w.u32(f.vregs);
     w.u32(f.spilled_regs);
     w.f64(f.seconds);
+    w.u8(static_cast<std::uint8_t>(f.invalidation));
+    w.str(f.invalidated_via);
   }
   serialize_pass_stats(w, pass_stats);
   serialize_analysis_stats(w, analysis_stats);
@@ -255,6 +259,12 @@ std::optional<CompileResponse> CompileResponse::deserialize(ByteReader& r) {
     f.vregs = r.u32();
     f.spilled_regs = r.u32();
     f.seconds = r.f64();
+    const std::uint8_t reason = r.u8();
+    if (reason > static_cast<std::uint8_t>(pipeline::kMaxInvalidationReason)) {
+      return std::nullopt;
+    }
+    f.invalidation = static_cast<pipeline::InvalidationReason>(reason);
+    f.invalidated_via = r.str();
     response.functions.push_back(std::move(f));
   }
   response.pass_stats = deserialize_pass_stats(r);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "pipeline/analysis_manager.hpp"
+#include "pipeline/dependency_graph.hpp"
 #include "pipeline/pass_manager.hpp"
 #include "pipeline/result_cache.hpp"
 #include "support/serialize.hpp"
@@ -44,7 +45,10 @@ constexpr std::uint32_t kFrameMagic = 0x41464454u;
 /// with an explicit VERSION_MISMATCH error frame naming both versions
 /// instead of a bare framing error — a v2 client gets a structured
 /// refusal, never a hang.
-constexpr std::uint32_t kProtocolVersion = 3;
+/// v4: CompileRequest grew the edit_aware flag; FunctionResult grew the
+/// per-function invalidation reason + via path (dependency-edge
+/// invalidation), so a client can see *why* each function recompiled.
+constexpr std::uint32_t kProtocolVersion = 4;
 /// Upper bound on a single frame's payload (64 MiB). A length prefix
 /// beyond this is treated as a framing error, not an allocation.
 constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
@@ -84,6 +88,10 @@ struct CompileRequest {
   std::vector<std::string> kernels;
   /// IR module text parsed by the server; appended after the kernels.
   std::string module_text;
+  /// v4: compile edit-aware — the server diffs the module against its
+  /// cached dependency graph and reports per-function invalidation
+  /// reasons (requires a server-side cache to have any effect).
+  bool edit_aware = false;
 
   void serialize(ByteWriter& w) const;
   /// nullopt on any truncation or implausibility.
@@ -110,6 +118,14 @@ struct FunctionResult {
   std::uint32_t vregs = 0;
   std::uint32_t spilled_regs = 0;
   double seconds = 0;
+  /// v4: why this function was (or was not) invalidated against the
+  /// server's cached dependency graph; kUnknown unless the request set
+  /// edit_aware and the server compiles with a cache.
+  pipeline::InvalidationReason invalidation =
+      pipeline::InvalidationReason::kUnknown;
+  /// v4: for kDependent, the dependency path walked to the changed
+  /// function ("a -> b -> c", c edited).
+  std::string invalidated_via;
 
   friend bool operator==(const FunctionResult&,
                          const FunctionResult&) = default;

@@ -37,6 +37,10 @@ struct CompileServer::Group {
   std::string key;
   std::set<std::string> names;
   ir::Module module;
+  /// Edit-aware groups are singletons: the dependency graph is keyed by
+  /// the module's name set, so batching an edit-aware pending with
+  /// strangers would move it into a different module slot on every mix.
+  bool exclusive = false;
   std::vector<Pending*> members;
   /// members[i]'s functions occupy module positions
   /// [offsets[i], offsets[i] + counts[i]).
@@ -229,6 +233,7 @@ std::optional<CompileResponse> CompileServer::resolve(
   pending->canonical_spec = pipeline::spec_to_string(pending->passes);
   pending->checkpoints = request.checkpoints;
   pending->analysis_cache = request.analysis_cache;
+  pending->edit_aware = request.edit_aware;
 
   std::set<std::string> names;
   for (const std::string& name : request.kernels) {
@@ -257,6 +262,7 @@ std::optional<CompileResponse> CompileServer::resolve(
       }
       pending->functions.push_back(std::move(func));
     }
+    pending->references = module->references();
   }
   if (pending->functions.empty()) {
     return error_response("empty request: no kernels and no module text");
@@ -264,6 +270,9 @@ std::optional<CompileResponse> CompileServer::resolve(
   ir::Module check;
   for (ir::Function& func : pending->functions) {
     check.add_function(std::move(func));
+  }
+  for (const ir::ModuleReference& ref : pending->references) {
+    check.add_reference(ref.from, ref.to);
   }
   if (const auto issues = ir::verify(check); !issues.empty()) {
     return error_response("malformed input module: " +
@@ -345,10 +354,11 @@ void CompileServer::process_batch_unguarded(
   for (auto& pending : batch) {
     const std::string key = pending->canonical_spec + '\x01' +
                             (pending->checkpoints ? '1' : '0') +
-                            (pending->analysis_cache ? '1' : '0');
+                            (pending->analysis_cache ? '1' : '0') +
+                            (pending->edit_aware ? '1' : '0');
     Group* target = nullptr;
     for (Group& group : groups) {
-      if (group.key != key ||
+      if (pending->edit_aware || group.exclusive || group.key != key ||
           group.module.size() + pending->functions.size() >
               config_.max_batch_functions) {
         continue;
@@ -369,12 +379,16 @@ void CompileServer::process_batch_unguarded(
       groups.emplace_back();
       target = &groups.back();
       target->key = key;
+      target->exclusive = pending->edit_aware;
     }
     target->offsets.push_back(target->module.size());
     target->counts.push_back(pending->functions.size());
     for (ir::Function& func : pending->functions) {
       target->names.insert(func.name());
       target->module.add_function(std::move(func));
+    }
+    for (const ir::ModuleReference& ref : pending->references) {
+      target->module.add_reference(ref.from, ref.to);
     }
     target->members.push_back(pending.get());
   }
@@ -396,6 +410,7 @@ void CompileServer::compile_group(Group& group) {
   Pending& lead = *group.members.front();
   driver_.set_checkpoints(lead.checkpoints);
   driver_.set_analysis_caching(lead.analysis_cache);
+  driver_.set_edit_aware(lead.edit_aware);
 
   pipeline::ModulePipelineResult result;
   std::string failure;
@@ -441,6 +456,8 @@ void CompileServer::compile_group(Group& group) {
         out.vregs = f.run.state.func.reg_count();
         out.spilled_regs = f.run.state.spilled_regs;
         out.seconds = f.run.total_seconds;
+        out.invalidation = f.reason;
+        out.invalidated_via = f.invalidated_via;
         if (!out.ok && response.ok) {
           response.ok = false;
           response.code = ResponseCode::kError;
@@ -633,7 +650,10 @@ std::string CompileServer::metrics_json() const {
          << "    \"lookup_faults\": " << m.cache.lookup_faults << ",\n"
          << "    \"stage_hits\": " << m.cache.stage_hits << ",\n"
          << "    \"stage_misses\": " << m.cache.stage_misses << ",\n"
-         << "    \"stage_stores\": " << m.cache.stage_stores << "\n"
+         << "    \"stage_stores\": " << m.cache.stage_stores << ",\n"
+         << "    \"graph_hits\": " << m.cache.graph_hits << ",\n"
+         << "    \"graph_misses\": " << m.cache.graph_misses << ",\n"
+         << "    \"graph_stores\": " << m.cache.graph_stores << "\n"
          << "  }";
   }
   json << "\n}\n";

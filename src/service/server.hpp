@@ -175,10 +175,18 @@ class CompileServer {
   /// One resolved request waiting for the dispatcher.
   struct Pending {
     std::vector<ir::Function> functions;
+    /// Module-level `ref` edges from the request's module text; feed the
+    /// dependency graph in edit-aware mode.
+    std::vector<ir::ModuleReference> references;
     std::vector<pipeline::PassSpec> passes;
     std::string canonical_spec;
     bool checkpoints = true;
     bool analysis_cache = true;
+    /// v4: the request asked for dependency-edge invalidation reporting.
+    /// Edit-aware pendings compile in their own group — batching with
+    /// strangers would change the module slot the dependency graph is
+    /// keyed by, making every resubmit look like a first compile.
+    bool edit_aware = false;
     std::chrono::steady_clock::time_point accepted;
     /// Fulfilled by the dispatcher; the handler blocks on it. Always
     /// set exactly once (respond() guards), or the handler would wait

@@ -90,6 +90,20 @@ ir::Module make_mixed_module(const ModuleConfig& config) {
     func.set_name(func.name() + "_" + std::to_string(i));
     module.add_function(std::move(func));
   }
+  // Reference edges: every k-th function points at a seeded earlier one.
+  // Targets can themselves carry references, so chains (and therefore
+  // transitive invalidation) arise naturally in larger modules.
+  if (config.ref_every != 0) {
+    for (std::size_t i = 1; i < module.size(); ++i) {
+      if (i % config.ref_every != 0) {
+        continue;
+      }
+      const std::size_t target =
+          mix(config.seed ^ 0x7265662d65646765ull /* "ref-edge" */, i) % i;
+      module.add_reference(module.functions()[i].name(),
+                           module.functions()[target].name());
+    }
+  }
   return module;
 }
 

@@ -25,6 +25,11 @@ struct ModuleConfig {
   std::size_t random_every = 3;
   /// Size knob for the random programs.
   int random_target_instructions = 120;
+  /// Every k-th function declares a module-level reference to a seeded
+  /// earlier function (0 disables references). References chain through
+  /// each other, so generated modules exercise transitive dependency
+  /// invalidation, not just direct edges.
+  std::size_t ref_every = 4;
 };
 
 /// Generates a mixed kernel-suite module. Function names are unique

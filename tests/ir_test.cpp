@@ -244,6 +244,53 @@ TEST(PrinterParser, ParsesMultiFunctionModule) {
   EXPECT_EQ(m->functions()[1].params().size(), 1u);
 }
 
+TEST(PrinterParser, ModuleReferencesRoundTrip) {
+  const std::string text =
+      "func @a() {\nentry:\n  ret\n}\n"
+      "\n"
+      "func @b() {\nentry:\n  ret\n}\n"
+      "\n"
+      "ref @b -> @a\n";
+  const auto m = parse_module(text);
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->references().size(), 1u);
+  EXPECT_EQ(m->references()[0].from, "b");
+  EXPECT_EQ(m->references()[0].to, "a");
+  // Printing and reparsing must preserve the edge exactly.
+  const auto again = parse_module(to_string(*m));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->references(), m->references());
+}
+
+TEST(PrinterParser, ReferenceMayNameAFunctionDefinedLater) {
+  const std::string text =
+      "ref @a -> @b\n"
+      "\n"
+      "func @a() {\nentry:\n  ret\n}\n"
+      "\n"
+      "func @b() {\nentry:\n  ret\n}\n";
+  const auto m = parse_module(text);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->references().size(), 1u);
+  EXPECT_TRUE(verify(*m).empty());
+}
+
+TEST(PrinterParser, RejectsMalformedReference) {
+  EXPECT_FALSE(parse_module("ref @a -> b\n").has_value());
+  EXPECT_FALSE(parse_module("ref a -> @b\n").has_value());
+  EXPECT_FALSE(parse_module("ref @a @b\n").has_value());
+}
+
+TEST(PrinterParser, AddReferenceDeduplicates) {
+  Module m;
+  m.add_reference("a", "b");
+  m.add_reference("a", "b");
+  m.add_reference("a", "c");
+  EXPECT_EQ(m.references().size(), 2u);
+  EXPECT_EQ(m.references_from("a").size(), 2u);
+  EXPECT_TRUE(m.references_from("b").empty());
+}
+
 TEST(PrinterParser, PreservesParams) {
   const Function f = make_loop_function();
   const auto parsed = parse_function(to_string(f));
@@ -255,6 +302,17 @@ TEST(PrinterParser, PreservesParams) {
 
 TEST(Verifier, AcceptsWellFormed) {
   EXPECT_TRUE(is_well_formed(make_loop_function()));
+}
+
+TEST(Verifier, RejectsReferenceToUnknownFunction) {
+  const auto m = parse_module(
+      "func @a() {\nentry:\n  ret\n}\n"
+      "\n"
+      "ref @a -> @ghost\n");
+  ASSERT_TRUE(m.has_value());
+  const auto issues = verify(*m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().message.find("ghost"), std::string::npos);
 }
 
 TEST(Verifier, RejectsMissingTerminator) {

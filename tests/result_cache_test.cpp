@@ -563,6 +563,100 @@ TEST_F(ResultCacheTest, CorruptStagePayloadIsRemovedAndCountedBad) {
   EXPECT_TRUE(entry_files().empty());  // removed on contact
 }
 
+TEST_F(ResultCacheTest, CorruptEntryRemovalDecrementsTrackedBytes) {
+  // Eviction trusts total_bytes(); if deleting a corrupt entry forgot
+  // to release its bytes, the phantom accounting would eventually evict
+  // healthy entries to pay for files that no longer exist.
+  pipeline::PassManager manager(context());
+  const auto run = manager.run(workload::make_kernel("crc32")->func, kSpec);
+  ASSERT_TRUE(run.ok) << run.error;
+  const auto passes = *pipeline::parse_pipeline_spec(kSpec);
+  const auto stage = capture_stage(manager, passes, /*boundary=*/3);
+
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  const auto full_key = pipeline::ResultCache::make_key(
+      ir::fingerprint(workload::make_kernel("crc32")->func), kSpec,
+      pipeline::ResultCache::context_digest(context()));
+  const auto stage_key = pipeline::ResultCache::make_stage_key(
+      ir::fingerprint(workload::make_kernel("crc32")->func),
+      pipeline::spec_prefix_digest(passes, 4),
+      pipeline::ResultCache::context_digest(context()));
+  ASSERT_TRUE(cache.insert(full_key, run));
+  ASSERT_TRUE(cache.insert_stage(stage_key, stage));
+  const std::uint64_t before = cache.total_bytes();
+
+  // Find and corrupt the stage entry's file (the full entry is the one
+  // lookup() still restores afterwards).
+  const auto files = entry_files();
+  ASSERT_EQ(files.size(), 2u);
+  std::uint64_t corrupted_size = 0;
+  for (const auto& file : files) {
+    std::string bytes = slurp(file);
+    ByteReader probe(bytes);
+    if (probe.u64() == 0x5441444641534731ull) {  // "TADFASG1"
+      corrupted_size = bytes.size();
+      bytes[bytes.size() / 2] ^= 0x40;
+      spit(file, bytes);
+    }
+  }
+  ASSERT_GT(corrupted_size, 0u);
+
+  EXPECT_FALSE(cache.lookup_stage(stage_key).has_value());
+  EXPECT_EQ(cache.stats().bad_entries, 1u);
+  // Exactly the corrupt file's bytes are released, no more, no less.
+  EXPECT_EQ(cache.total_bytes(), before - corrupted_size);
+  EXPECT_TRUE(cache.lookup(full_key, "crc32").has_value());
+}
+
+TEST_F(ResultCacheTest, GraphRecordRoundTripsAndCorruptionDegrades) {
+  pipeline::ResultCache cache(dir.string());
+  ASSERT_TRUE(cache.ok()) << cache.error();
+  const auto key = pipeline::ResultCache::make_graph_key(
+      /*module_names_digest=*/0x1234u, kSpec,
+      pipeline::ResultCache::context_digest(context()));
+  const std::string payload = "serialized dependency graph stand-in";
+
+  // Absent record: a miss, not an error — first compile of the slot.
+  EXPECT_EQ(cache.lookup_graph(key).status,
+            pipeline::ResultCache::GraphReadStatus::kMiss);
+  ASSERT_TRUE(cache.insert_graph(key, payload));
+  const auto hit = cache.lookup_graph(key);
+  EXPECT_EQ(hit.status, pipeline::ResultCache::GraphReadStatus::kHit);
+  EXPECT_EQ(hit.payload, payload);
+
+  // Overwrite is the normal case: every edit-aware compile rewrites the
+  // slot. The accounting swaps the old bytes for the new.
+  const std::string payload2 = payload + " (rewritten)";
+  ASSERT_TRUE(cache.insert_graph(key, payload2));
+  EXPECT_EQ(cache.lookup_graph(key).payload, payload2);
+  ASSERT_EQ(entry_files().size(), 1u);
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.graph_stores, 2u);
+  EXPECT_EQ(stats.graph_hits, 2u);
+  EXPECT_EQ(stats.graph_misses, 1u);
+  EXPECT_EQ(stats.stores, 0u);  // full-run counters untouched
+
+  // A flipped payload byte fails the trailing digest: kCorrupt, counted
+  // bad, the file removed, and its bytes released from the total.
+  const auto before = cache.total_bytes();
+  const auto file = entry_files()[0];
+  const std::uint64_t size = fs::file_size(file);
+  std::string bytes = slurp(file);
+  bytes[bytes.size() - 3] ^= 0x5a;
+  spit(file, bytes);
+  EXPECT_EQ(cache.lookup_graph(key).status,
+            pipeline::ResultCache::GraphReadStatus::kCorrupt);
+  EXPECT_EQ(cache.stats().bad_entries, 1u);
+  EXPECT_TRUE(entry_files().empty());
+  EXPECT_EQ(cache.total_bytes(), before - size);
+
+  // After removal the slot reads as a clean miss again.
+  EXPECT_EQ(cache.lookup_graph(key).status,
+            pipeline::ResultCache::GraphReadStatus::kMiss);
+}
+
 TEST_F(ResultCacheTest, IndexFlushIntervalControlsWhenTheIndexHitsDisk) {
   pipeline::PassManager manager(context());
   const auto passes = *pipeline::parse_pipeline_spec(kSpec);

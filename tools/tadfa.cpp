@@ -75,6 +75,8 @@ struct Options {
   bool cache_stats = false;
   bool cache_verify = false;
   bool incremental = false;
+  bool edit_aware = false;
+  bool explain_invalidation = false;
   unsigned stage_every = 0;
   unsigned subdivision = 1;
   bool strict_math = false;
@@ -90,8 +92,8 @@ thermal::ThermalGrid make_grid(const machine::Floorplan& fp,
   return thermal::ThermalGrid(fp, subdivision, kernel);
 }
 
-int usage(const char* argv0) {
-  std::cerr
+void print_usage(std::ostream& os, const char* argv0) {
+  os
       << "usage: " << argv0 << " [options] <kernel-name | file.tir>...\n"
       << "       " << argv0
       << " serve  [--socket=PATH] [--tcp=HOST:PORT] [serve options]\n"
@@ -129,8 +131,20 @@ int usage(const char* argv0) {
       << "                    (implies --incremental)\n"
       << "  --cache-verify    recompile one cached hit and diff it against\n"
       << "                    the cache (exit 1 on mismatch)\n"
+      << "  --edit-aware      diff the module against its cached dependency\n"
+      << "                    graph; only edited functions and their\n"
+      << "                    transitive dependents recompile (needs\n"
+      << "                    --cache-dir)\n"
+      << "  --explain-invalidation  print why each function was (or was not)\n"
+      << "                    invalidated, with the dependency path walked\n"
+      << "                    (implies --edit-aware)\n"
       << "  --list-passes     available passes\n"
-      << "  --list-kernels    available kernels\n";
+      << "  --list-kernels    available kernels\n"
+      << "  --help            print this help and exit\n";
+}
+
+int usage(const char* argv0) {
+  print_usage(std::cerr, argv0);
   return 2;
 }
 
@@ -196,6 +210,10 @@ int run_compile(int argc, char** argv) {
       }
       return std::nullopt;
     };
+    if (arg == "--help") {
+      print_usage(std::cout, argv[0]);
+      return 0;
+    }
     if (arg == "--list-passes") {
       TextTable table("available passes");
       table.set_header({"pass", "description"});
@@ -225,6 +243,11 @@ int run_compile(int argc, char** argv) {
       opt.cache_dir = *v;
     } else if (arg == "--incremental") {
       opt.incremental = true;
+    } else if (arg == "--edit-aware") {
+      opt.edit_aware = true;
+    } else if (arg == "--explain-invalidation") {
+      opt.edit_aware = true;
+      opt.explain_invalidation = true;
     } else if (auto v = value("--stage-every=")) {
       long long n = 0;
       if (!parse_int(*v, n) || n < 1) {
@@ -325,6 +348,9 @@ int run_compile(int argc, char** argv) {
     for (ir::Function& f : parsed->functions()) {
       module.add_function(std::move(f));
     }
+    for (const ir::ModuleReference& r : parsed->references()) {
+      module.add_reference(r.from, r.to);
+    }
   }
   if (module.empty()) {
     std::cerr << "no functions to compile\n";
@@ -380,11 +406,16 @@ int run_compile(int argc, char** argv) {
         policy.every_k = opt.stage_every;
         driver.set_stage_policy(policy);
       }
+      driver.set_edit_aware(opt.edit_aware);
     } else if (opt.cache_stats || opt.cache_verify) {
       std::cerr << "--cache-stats/--cache-verify need --cache-dir=DIR\n";
       return 2;
     } else if (opt.incremental) {
       std::cerr << "--incremental needs --cache-dir=DIR\n";
+      return 2;
+    } else if (opt.edit_aware) {
+      std::cerr << "--edit-aware/--explain-invalidation need "
+                   "--cache-dir=DIR\n";
       return 2;
     }
     const auto mod_run = driver.compile(module, opt.pipeline);
@@ -400,6 +431,28 @@ int run_compile(int argc, char** argv) {
                 opt.csv);
     print_table(mod_run.stats_table("pipeline '" + opt.pipeline + "'"),
                 opt.csv);
+    if (opt.edit_aware) {
+      if (mod_run.graph_degraded) {
+        std::cout << "edit-aware: cached dependency graph unreadable; the "
+                     "whole module recompiled conservatively\n";
+      } else {
+        std::cout << "edit-aware: " << mod_run.invalidated_by_edit()
+                  << " edited, " << mod_run.invalidated_by_edge()
+                  << " invalidated by dependency edges, "
+                  << mod_run.cache_hits() << "/" << mod_run.functions.size()
+                  << " served warm\n";
+      }
+      if (opt.explain_invalidation) {
+        TextTable explain("invalidation — walked dependency edges");
+        explain.set_header({"function", "reason", "via"});
+        for (const pipeline::FunctionCompileResult& f : mod_run.functions) {
+          explain.add_row({f.name, pipeline::to_string(f.reason),
+                           f.invalidated_via.empty() ? "-"
+                                                     : f.invalidated_via});
+        }
+        print_table(explain, opt.csv);
+      }
+    }
     if (opt.analysis_stats) {
       TextTable table("analysis cache (module)");
       table.set_header({"analysis", "hits", "misses", "puts", "invalidations"});
@@ -594,8 +647,8 @@ int run_compile(int argc, char** argv) {
   return 0;
 }
 
-int serve_usage(const char* argv0) {
-  std::cerr
+void print_serve_usage(std::ostream& os, const char* argv0) {
+  os
       << "usage: " << argv0
       << " serve [--socket=PATH] [--tcp=HOST:PORT] [options]\n"
       << "  --socket=PATH        Unix-domain socket to listen on\n"
@@ -630,7 +683,12 @@ int serve_usage(const char* argv0) {
       << "  --strict-math        force the bit-identical reference thermal\n"
       << "                       kernel for every request\n"
       << "  --seed=N             assignment-policy seed\n"
+      << "  --help               print this help and exit\n"
       << "Stop with SIGINT/SIGTERM; in-flight requests drain first.\n";
+}
+
+int serve_usage(const char* argv0) {
+  print_serve_usage(std::cerr, argv0);
   return 2;
 }
 
@@ -654,6 +712,10 @@ int run_serve(const char* argv0, int argc, char** argv) {
       return std::nullopt;
     };
     long long n = 0;
+    if (arg == "--help") {
+      print_serve_usage(std::cout, argv0);
+      return 0;
+    }
     if (auto v = value("--socket=")) {
       cfg.socket_path = *v;
     } else if (auto v = value("--tcp=")) {
@@ -818,8 +880,8 @@ int run_serve(const char* argv0, int argc, char** argv) {
   return 0;
 }
 
-int route_usage(const char* argv0) {
-  std::cerr
+void print_route_usage(std::ostream& os, const char* argv0) {
+  os
       << "usage: " << argv0
       << " route [--socket=PATH] [--tcp=HOST:PORT] --shard=ADDR... \n"
       << "  --socket=PATH        Unix-domain socket to listen on\n"
@@ -839,9 +901,14 @@ int route_usage(const char* argv0) {
       << "  --metrics-json=PATH  write the metrics snapshot (with a\n"
       << "                       per-shard breakdown) to PATH every second\n"
       << "                       and on drain\n"
+      << "  --help               print this help and exit\n"
       << "Functions are routed to shards by input fingerprint, so each\n"
       << "shard's cache warms a disjoint slice of the workload. Stop with\n"
       << "SIGINT/SIGTERM; in-flight requests drain first.\n";
+}
+
+int route_usage(const char* argv0) {
+  print_route_usage(std::cerr, argv0);
   return 2;
 }
 
@@ -858,6 +925,10 @@ int run_route(const char* argv0, int argc, char** argv) {
       }
       return std::nullopt;
     };
+    if (arg == "--help") {
+      print_route_usage(std::cout, argv0);
+      return 0;
+    }
     if (auto v = value("--socket=")) {
       cfg.socket_path = *v;
     } else if (auto v = value("--tcp=")) {
@@ -972,8 +1043,8 @@ int run_route(const char* argv0, int argc, char** argv) {
   return 0;
 }
 
-int client_usage(const char* argv0) {
-  std::cerr
+void print_client_usage(std::ostream& os, const char* argv0) {
+  os
       << "usage: " << argv0
       << " client (--socket=PATH | --tcp=HOST:PORT) [options] "
          "<kernel-name | file.tir>...\n"
@@ -992,8 +1063,19 @@ int client_usage(const char* argv0) {
       << "                       S seconds (default 5; 0 = one attempt), so\n"
       << "                       a client raced against server startup wins\n"
       << "  --print-ir           dump each compiled function's IR\n"
+      << "  --edit-aware         ask the server for dependency-edge\n"
+      << "                       invalidation (per-function reasons in the\n"
+      << "                       result table; needs a server-side cache)\n"
+      << "  --explain-invalidation  print each function's invalidation\n"
+      << "                       reason and the dependency path walked\n"
+      << "                       (implies --edit-aware)\n"
       << "  --csv                emit tables as CSV\n"
-      << "  --quiet              only errors and the summary line\n";
+      << "  --quiet              only errors and the summary line\n"
+      << "  --help               print this help and exit\n";
+}
+
+int client_usage(const char* argv0) {
+  print_client_usage(std::cerr, argv0);
   return 2;
 }
 
@@ -1006,6 +1088,7 @@ int run_client(const char* argv0, int argc, char** argv) {
   double connect_timeout = 5.0;
   double busy_timeout = 10.0;
   bool print_ir = false;
+  bool explain_invalidation = false;
   bool csv = false;
   bool quiet = false;
   std::vector<std::string> inputs;
@@ -1017,6 +1100,10 @@ int run_client(const char* argv0, int argc, char** argv) {
       }
       return std::nullopt;
     };
+    if (arg == "--help") {
+      print_client_usage(std::cout, argv0);
+      return 0;
+    }
     if (auto v = value("--socket=")) {
       socket_path = *v;
     } else if (auto v = value("--tcp=")) {
@@ -1047,6 +1134,11 @@ int run_client(const char* argv0, int argc, char** argv) {
       }
     } else if (arg == "--print-ir") {
       print_ir = true;
+    } else if (arg == "--edit-aware") {
+      request.edit_aware = true;
+    } else if (arg == "--explain-invalidation") {
+      request.edit_aware = true;
+      explain_invalidation = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--quiet") {
@@ -1140,18 +1232,36 @@ int run_client(const char* argv0, int argc, char** argv) {
     TextTable table("server compile — " +
                     std::to_string(response->functions.size()) +
                     " functions");
-    table.set_header({"#", "function", "ok", "cached", "ms", "instrs",
-                      "vregs", "spills"});
+    std::vector<std::string> header = {"#",      "function", "ok",
+                                       "cached", "ms",       "instrs",
+                                       "vregs",  "spills"};
+    if (request.edit_aware) {
+      header.push_back("reason");
+    }
+    table.set_header(header);
     for (std::size_t i = 0; i < response->functions.size(); ++i) {
       const service::FunctionResult& f = response->functions[i];
-      table.add_row({std::to_string(i + 1), f.name, f.ok ? "yes" : "NO",
-                     f.from_cache ? "yes" : "no",
-                     TextTable::num(f.seconds * 1e3, 3),
-                     std::to_string(f.instructions),
-                     std::to_string(f.vregs),
-                     std::to_string(f.spilled_regs)});
+      std::vector<std::string> row = {
+          std::to_string(i + 1), f.name, f.ok ? "yes" : "NO",
+          f.from_cache ? "yes" : "no", TextTable::num(f.seconds * 1e3, 3),
+          std::to_string(f.instructions), std::to_string(f.vregs),
+          std::to_string(f.spilled_regs)};
+      if (request.edit_aware) {
+        row.push_back(pipeline::to_string(f.invalidation));
+      }
+      table.add_row(row);
     }
     print_table(table, csv);
+    if (explain_invalidation) {
+      TextTable explain("invalidation — walked dependency edges");
+      explain.set_header({"function", "reason", "via"});
+      for (const service::FunctionResult& f : response->functions) {
+        explain.add_row({f.name, pipeline::to_string(f.invalidation),
+                         f.invalidated_via.empty() ? "-"
+                                                   : f.invalidated_via});
+      }
+      print_table(explain, csv);
+    }
     if (!response->pass_stats.empty()) {
       TextTable stats("pipeline (merged over request)");
       stats.set_header({"#", "pass", "ms", "instrs", "vregs", "summary"});
