@@ -1,0 +1,80 @@
+#include "frontend/frontend.hpp"
+
+#include <cassert>
+
+#include "frontend/kernel_frontend.hpp"
+#include "frontend/texpr_frontend.hpp"
+#include "frontend/tir_frontend.hpp"
+
+namespace tadfa::frontend {
+
+std::string Diagnostic::to_string() const {
+  std::string out;
+  if (line > 0) {
+    out += "line " + std::to_string(line);
+    if (column > 0) {
+      out += ":" + std::to_string(column);
+    }
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+
+std::string ParseResult::diagnostics_text() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += d.to_string();
+  }
+  return out;
+}
+
+void FrontendRegistry::add(std::unique_ptr<Frontend> fe) {
+  assert(fe != nullptr);
+  assert(find(fe->name()) == nullptr);
+  entries_.push_back(std::move(fe));
+}
+
+const Frontend* FrontendRegistry::find(const std::string& name) const {
+  for (const std::unique_ptr<Frontend>& fe : entries_) {
+    if (fe->name() == name) {
+      return fe.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> FrontendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const std::unique_ptr<Frontend>& fe : entries_) {
+    out.push_back(fe->name());
+  }
+  return out;
+}
+
+namespace {
+
+FrontendRegistry build_default_registry() {
+  FrontendRegistry reg;
+  reg.add(std::make_unique<TirFrontend>());
+  reg.add(std::make_unique<KernelFrontend>());
+  reg.add(std::make_unique<TexprFrontend>());
+  return reg;
+}
+
+}  // namespace
+
+const FrontendRegistry& default_frontend_registry() {
+  static const FrontendRegistry registry = build_default_registry();
+  return registry;
+}
+
+const Frontend* find_frontend(const std::string& name) {
+  return default_frontend_registry().find(name);
+}
+
+}  // namespace tadfa::frontend

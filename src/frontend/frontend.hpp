@@ -1,0 +1,96 @@
+// The frontend seam: multi-source ingestion behind one IR.
+//
+// Everything downstream of here — dataflow analyses, the Sec. 4 thermal
+// transformations, scheduling, the service — is defined over ir::Module.
+// A Frontend is the only thing allowed to know what a source *looks*
+// like: it turns a source string into a module, or into structured
+// diagnostics with line/column positions. The registry makes frontends
+// addressable by name from the CLI (--frontend=NAME), the wire protocol
+// (CompileRequest.frontend), and the grid-differential tests, which run
+// the same program through every frontend x machine pair.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace tadfa::frontend {
+
+/// One parse error, positioned in the source when the frontend can say
+/// where. line/column are 1-based; 0 means "not applicable" (e.g. an
+/// empty source, or a module-level consistency error).
+struct Diagnostic {
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string message;
+
+  /// "line 3:7: expected ';'" / "line 3: ..." / "...".
+  std::string to_string() const;
+};
+
+/// Parse outcome: a module, or at least one diagnostic — never neither
+/// (a source that parses to nothing useful is an error, not an empty
+/// module), and on failure never a module.
+struct ParseResult {
+  std::optional<ir::Module> module;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return module.has_value(); }
+
+  static ParseResult failure(Diagnostic diag) {
+    ParseResult r;
+    r.diagnostics.push_back(std::move(diag));
+    return r;
+  }
+  static ParseResult success(ir::Module m) {
+    ParseResult r;
+    r.module = std::move(m);
+    return r;
+  }
+
+  /// All diagnostics joined with "; " (for wire errors and CLI output).
+  std::string diagnostics_text() const;
+};
+
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+
+  /// Stable registry key ("tir", "kernels", "texpr").
+  virtual std::string name() const = 0;
+  /// One operator-facing line for list-frontends.
+  virtual std::string describe() const = 0;
+  virtual ParseResult parse(const std::string& source) const = 0;
+};
+
+class FrontendRegistry {
+ public:
+  /// Registers a frontend (duplicate names are a bug).
+  void add(std::unique_ptr<Frontend> fe);
+
+  /// Frontend by name; nullptr when unknown.
+  const Frontend* find(const std::string& name) const;
+
+  /// Registration order (the order list-frontends prints).
+  const std::vector<std::unique_ptr<Frontend>>& entries() const {
+    return entries_;
+  }
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::unique_ptr<Frontend>> entries_;
+};
+
+/// The built-in frontends, constructed once:
+///   tir     - the canonical IR text format (docs/FORMATS.md)
+///   kernels - the hand-built kernel suite / generated mixed modules
+///   texpr   - the thermal-expression language (let/while/if/arrays)
+const FrontendRegistry& default_frontend_registry();
+
+/// Convenience over default_frontend_registry().find(name).
+const Frontend* find_frontend(const std::string& name);
+
+}  // namespace tadfa::frontend

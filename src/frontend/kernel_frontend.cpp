@@ -1,0 +1,189 @@
+#include "frontend/kernel_frontend.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/kernels.hpp"
+#include "workload/modules.hpp"
+
+namespace tadfa::frontend {
+namespace {
+
+/// A spec token plus where it starts in the source (1-based).
+struct SpecToken {
+  std::string text;
+  std::size_t line = 0;
+  std::size_t column = 0;
+};
+
+std::vector<SpecToken> tokenize(const std::string& source) {
+  std::vector<SpecToken> tokens;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  SpecToken current;
+  for (char c : source) {
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.text.empty()) {
+        tokens.push_back(current);
+        current = {};
+      }
+      if (c == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      continue;
+    }
+    if (current.text.empty()) {
+      current.line = line;
+      current.column = column;
+    }
+    current.text.push_back(c);
+    ++column;
+  }
+  if (!current.text.empty()) {
+    tokens.push_back(current);
+  }
+  return tokens;
+}
+
+/// Parses "mixed:functions=4,seed=7,..." into a ModuleConfig.
+bool parse_mixed(const std::string& params, workload::ModuleConfig* config,
+                 std::string* error) {
+  std::size_t pos = 0;
+  while (pos < params.size()) {
+    std::size_t end = params.find(',', pos);
+    if (end == std::string::npos) {
+      end = params.size();
+    }
+    std::string pair = params.substr(pos, end - pos);
+    pos = end + 1;
+    std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      *error = "mixed parameter '" + pair + "' is not key=value";
+      return false;
+    }
+    std::string key = pair.substr(0, eq);
+    std::string value = pair.substr(eq + 1);
+    std::uint64_t num = 0;
+    if (value.empty()) {
+      *error = "mixed parameter '" + key + "' has an empty value";
+      return false;
+    }
+    for (char c : value) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        *error = "mixed parameter '" + key + "' value '" + value +
+                 "' is not a non-negative integer";
+        return false;
+      }
+      num = num * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (key == "functions") {
+      config->functions = num;
+    } else if (key == "seed") {
+      config->seed = num;
+    } else if (key == "random_every") {
+      config->random_every = num;
+    } else if (key == "random_target") {
+      config->random_target_instructions = static_cast<int>(num);
+    } else if (key == "ref_every") {
+      config->ref_every = num;
+    } else {
+      *error = "unknown mixed parameter '" + key + "'";
+      return false;
+    }
+  }
+  if (config->functions == 0) {
+    *error = "mixed module needs functions >= 1";
+    return false;
+  }
+  return true;
+}
+
+std::string known_kernels() {
+  std::string names;
+  for (const workload::Kernel& k : workload::standard_suite()) {
+    if (!names.empty()) {
+      names += ", ";
+    }
+    names += k.name;
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string KernelFrontend::describe() const {
+  return "built-in kernel suite and generated mixed modules "
+         "(spec tokens: kernel names, 'suite', 'mixed:k=v,...')";
+}
+
+ParseResult KernelFrontend::parse(const std::string& source) const {
+  std::vector<SpecToken> tokens = tokenize(source);
+  if (tokens.empty()) {
+    return ParseResult::failure(
+        {0, 0,
+         "empty kernel spec; expected kernel names, 'suite', or "
+         "'mixed:k=v,...' (kernels: " +
+             known_kernels() + ")"});
+  }
+
+  ir::Module module;
+  auto add_function = [&](ir::Function func, const SpecToken& tok,
+                          ParseResult* failed) {
+    if (module.find(func.name()) != nullptr) {
+      *failed = ParseResult::failure(
+          {tok.line, tok.column,
+           "spec '" + tok.text + "' duplicates function '" + func.name() +
+               "'"});
+      return false;
+    }
+    module.add_function(std::move(func));
+    return true;
+  };
+
+  for (const SpecToken& tok : tokens) {
+    ParseResult failed;
+    if (tok.text == "suite") {
+      for (workload::Kernel& k : workload::standard_suite()) {
+        if (!add_function(std::move(k.func), tok, &failed)) {
+          return failed;
+        }
+      }
+    } else if (tok.text.rfind("mixed:", 0) == 0 || tok.text == "mixed") {
+      workload::ModuleConfig config;
+      std::string error;
+      std::string params =
+          tok.text == "mixed" ? "" : tok.text.substr(std::string("mixed:").size());
+      if (!parse_mixed(params, &config, &error)) {
+        return ParseResult::failure({tok.line, tok.column, error});
+      }
+      ir::Module mixed = workload::make_mixed_module(config);
+      for (ir::Function& f : mixed.functions()) {
+        if (!add_function(std::move(f), tok, &failed)) {
+          return failed;
+        }
+      }
+      for (const ir::ModuleReference& ref : mixed.references()) {
+        module.add_reference(ref.from, ref.to);
+      }
+    } else {
+      std::optional<workload::Kernel> kernel = workload::make_kernel(tok.text);
+      if (!kernel) {
+        return ParseResult::failure(
+            {tok.line, tok.column,
+             "unknown kernel '" + tok.text + "' (kernels: " + known_kernels() +
+                 "; or 'suite' / 'mixed:k=v,...')"});
+      }
+      if (!add_function(std::move(kernel->func), tok, &failed)) {
+        return failed;
+      }
+    }
+  }
+  return ParseResult::success(std::move(module));
+}
+
+}  // namespace tadfa::frontend

@@ -1,0 +1,27 @@
+// Frontend over the hand-built kernel suite and the module generator.
+#pragma once
+
+#include "frontend/frontend.hpp"
+
+namespace tadfa::frontend {
+
+/// "kernels": the source is a whitespace-separated list of workload
+/// specs rather than program text. Each token is one of
+///
+///   <kernel>                 one kernel by name (fir, matmul, crc32...)
+///   suite                    the whole standard suite
+///   mixed:k=v[,k=v...]       a generated mixed module
+///                            (keys: functions, seed, random_every,
+///                             random_target, ref_every)
+///
+/// and contributes its functions (and, for mixed, its reference edges)
+/// to the module in token order. Duplicate function names across tokens
+/// are an error, as is an empty spec.
+class KernelFrontend final : public Frontend {
+ public:
+  std::string name() const override { return "kernels"; }
+  std::string describe() const override;
+  ParseResult parse(const std::string& source) const override;
+};
+
+}  // namespace tadfa::frontend

@@ -1,0 +1,34 @@
+// texpr: a small thermal-expression language that lowers to the IR.
+//
+// The first genuinely new importer behind the frontend seam — not a
+// re-wrapping of an existing ingestion path. Programs are functions of
+// integer scalars and word-addressed arrays:
+//
+//   fn dot(a, b, n) {
+//     let acc = 0;
+//     let i = 0;
+//     while (i < n) {
+//       acc = acc + a[i] * b[i];
+//       i = i + 1;
+//     }
+//     return acc;
+//   }
+//
+// Grammar and lowering rules are documented in docs/FORMATS.md. Lowering
+// is deterministic: the same source always produces the byte-identical
+// module (the grid tests pin a texpr program against its hand-written
+// .tir twin by ir::fingerprint).
+#pragma once
+
+#include "frontend/frontend.hpp"
+
+namespace tadfa::frontend {
+
+class TexprFrontend final : public Frontend {
+ public:
+  std::string name() const override { return "texpr"; }
+  std::string describe() const override;
+  ParseResult parse(const std::string& source) const override;
+};
+
+}  // namespace tadfa::frontend

@@ -1,0 +1,24 @@
+#include "frontend/tir_frontend.hpp"
+
+#include "ir/parser.hpp"
+
+namespace tadfa::frontend {
+
+std::string TirFrontend::describe() const {
+  return "canonical IR text format (docs/FORMATS.md)";
+}
+
+ParseResult TirFrontend::parse(const std::string& source) const {
+  ir::ParseError error;
+  std::optional<ir::Module> module = ir::parse_module(source, &error);
+  if (!module) {
+    // The .tir parser is line-oriented; it reports no column.
+    return ParseResult::failure({error.line, 0, error.message});
+  }
+  if (module->empty()) {
+    return ParseResult::failure({0, 0, "source defines no functions"});
+  }
+  return ParseResult::success(std::move(*module));
+}
+
+}  // namespace tadfa::frontend

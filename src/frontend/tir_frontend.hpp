@@ -1,0 +1,18 @@
+// Frontend wrapper over the canonical .tir text parser.
+#pragma once
+
+#include "frontend/frontend.hpp"
+
+namespace tadfa::frontend {
+
+/// "tir": the canonical IR text format (ir/parser.hpp). The printer and
+/// this frontend are inverses, which is what lets the service re-print
+/// sliced modules and ship them through the same ingestion path.
+class TirFrontend final : public Frontend {
+ public:
+  std::string name() const override { return "tir"; }
+  std::string describe() const override;
+  ParseResult parse(const std::string& source) const override;
+};
+
+}  // namespace tadfa::frontend

@@ -1,0 +1,92 @@
+#include "machine/machine_config.hpp"
+
+#include <cassert>
+
+namespace tadfa::machine {
+
+void MachineRegistry::add(MachineConfig config) {
+  assert(config.valid());
+  assert(find(config.name) == nullptr);
+  entries_.push_back(std::move(config));
+}
+
+const MachineConfig* MachineRegistry::find(const std::string& name) const {
+  for (const MachineConfig& entry : entries_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> MachineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const MachineConfig& entry : entries_) {
+    out.push_back(entry.name);
+  }
+  return out;
+}
+
+namespace {
+
+MachineRegistry build_default_registry() {
+  MachineRegistry reg;
+  reg.add({"default", "64-reg 8x8 file, 4 banks, 65nm-class node",
+           RegisterFileConfig::default_config()});
+  reg.add({"small", "16-reg 4x4 file, 2 banks (unit-test floorplan)",
+           RegisterFileConfig::small_config()});
+  reg.add({"large", "128-reg 8x16 file, 4 banks (scaling studies)",
+           RegisterFileConfig::large_config()});
+
+  // Unified register file: one bank spanning all columns, so bank
+  // power-gating has no boundary to exploit.
+  RegisterFileConfig unified = RegisterFileConfig::default_config();
+  unified.banks = 1;
+  reg.add({"unified", "64-reg 8x8 file, single bank (no gating boundary)",
+           unified});
+
+  // Fine-grained banking: one column per bank.
+  RegisterFileConfig banked8 = RegisterFileConfig::default_config();
+  banked8.banks = 8;
+  reg.add({"banked8", "64-reg 8x8 file, 8 one-column banks", banked8});
+
+  // Denser node: scaled cells, cheaper accesses, leakier transistors with
+  // a steeper temperature slope, faster clock. Models the shrink where
+  // leakage-vs-temperature feedback gets worse, the regime the paper's
+  // thermal-aware DFA targets.
+  RegisterFileConfig dense45 = RegisterFileConfig::default_config();
+  dense45.tech.cell_width_m = 4.2e-6;
+  dense45.tech.cell_height_m = 2.1e-6;
+  dense45.tech.read_energy_j = 0.8e-12;
+  dense45.tech.write_energy_j = 1.2e-12;
+  dense45.tech.memory_access_energy_j = 10.0e-12;
+  dense45.tech.leakage_ref_w = 4.5e-5;
+  dense45.tech.leakage_temp_coeff = 0.032;
+  dense45.tech.clock_hz = 3.6e9;
+  reg.add({"dense45", "45nm-class node: denser, leakier, faster clock",
+           dense45});
+
+  // Thermally stressed corner of the default geometry: hot substrate and
+  // ambient, worse vertical heat evacuation.
+  RegisterFileConfig hotbox = RegisterFileConfig::default_config();
+  hotbox.tech.substrate_temp_k = 358.15;  // 85 C
+  hotbox.tech.ambient_temp_k = 328.15;    // 55 C
+  hotbox.tech.vertical_resistance_scale = 5.5;
+  reg.add({"hotbox", "default geometry at a hot substrate/ambient corner",
+           hotbox});
+  return reg;
+}
+
+}  // namespace
+
+const MachineRegistry& default_machine_registry() {
+  static const MachineRegistry registry = build_default_registry();
+  return registry;
+}
+
+const MachineConfig* find_machine(const std::string& name) {
+  return default_machine_registry().find(name);
+}
+
+}  // namespace tadfa::machine

@@ -1,0 +1,76 @@
+// Named machine configurations: the machine-model matrix.
+//
+// The paper's experiments fix one register file and one technology node;
+// this registry turns that single hard-coded tuple into a named matrix of
+// Floorplan geometry x register-file banking x TechnologyParams node so
+// every harness (CLI, service, benches, the grid-differential tests) can
+// run the same workload across machines. A MachineConfig is pure data:
+// the heavyweight rig objects (Floorplan, ThermalGrid, PowerModel) are
+// built from it by pipeline::CompileRig.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/technology.hpp"
+
+namespace tadfa::machine {
+
+/// One named point in the machine matrix. The name is operator-facing
+/// only (CLI flags, metrics rows, wire requests); everything the
+/// compiled artifact depends on lives in `rf` (shape + banking +
+/// technology), and config_digest() folds exactly those fields — two
+/// configs with equal parameters share cache entries regardless of what
+/// they are called, and the unnamed pre-matrix default keeps its keys.
+struct MachineConfig {
+  std::string name;
+  std::string description;
+  RegisterFileConfig rf;
+
+  /// Digest of the physical parameters only (never the name): delegates
+  /// to RegisterFileConfig::config_digest(), which folds the shape, the
+  /// banking, and every TechnologyParams coefficient. This is the value
+  /// the ResultCache environment digest sees through the Floorplan, so
+  /// distinct machines can never share cache or stage keys.
+  std::uint64_t config_digest() const { return rf.config_digest(); }
+
+  bool valid() const { return !name.empty() && rf.valid(); }
+};
+
+/// The named machine matrix. Lookup is by exact name; entries() is the
+/// registration order the CLI lists.
+class MachineRegistry {
+ public:
+  /// Registers a config (must be valid(); duplicate names are a bug).
+  void add(MachineConfig config);
+
+  /// Config by name; nullptr when unknown.
+  const MachineConfig* find(const std::string& name) const;
+
+  const std::vector<MachineConfig>& entries() const { return entries_; }
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<MachineConfig> entries_;
+};
+
+/// The built-in matrix, constructed once:
+///   default  - 64-reg 8x8 file, 4 banks, 65nm-class node (the paper's
+///              experimental target; digest-identical to
+///              RegisterFileConfig::default_config(), so every cache key
+///              minted before the matrix existed still hits)
+///   small    - 16-reg 4x4 file, 2 banks (the unit-test floorplan)
+///   large    - 128-reg 8x16 file, 4 banks (scaling studies)
+///   unified  - 64-reg 8x8 file, single bank: no gating boundary, the
+///              bank switch-off optimization has nothing to turn off
+///   banked8  - 64-reg 8x8 file, 8 one-column banks: fine-grained gating
+///   dense45  - 45nm-class node: smaller cells, lower access energies,
+///              leakier and steeper leakage-temperature slope
+///   hotbox   - default geometry under a hot substrate/ambient corner
+const MachineRegistry& default_machine_registry();
+
+/// Convenience over default_machine_registry().find(name).
+const MachineConfig* find_machine(const std::string& name);
+
+}  // namespace tadfa::machine

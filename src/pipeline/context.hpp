@@ -9,6 +9,7 @@
 
 #include "core/thermal_dfa.hpp"
 #include "machine/floorplan.hpp"
+#include "machine/machine_config.hpp"
 #include "machine/timing.hpp"
 #include "power/model.hpp"
 #include "thermal/grid.hpp"
@@ -25,6 +26,12 @@ struct PipelineContext {
   core::ThermalDfaConfig dfa_config;
   /// Seed handed to stochastic assignment policies ("random").
   std::uint64_t policy_seed = 42;
+  /// The named machine config the rig objects were built from, when the
+  /// caller used one (nullptr for hand-assembled contexts). Cache keys
+  /// never read this — they fold the rig objects' own config_digest()s —
+  /// it only labels metrics and tells a server which named machine its
+  /// base context represents.
+  const machine::MachineConfig* machine = nullptr;
 };
 
 }  // namespace tadfa::pipeline

@@ -1,0 +1,37 @@
+#include "pipeline/rig.hpp"
+
+#include <utility>
+
+namespace tadfa::pipeline {
+namespace {
+
+thermal::StepKernel pick_kernel(const RigOptions& options) {
+  if (options.step_kernel.has_value()) {
+    return *options.step_kernel;
+  }
+  return options.dfa_config.strict_math
+             ? thermal::StepKernel::kReference
+             : thermal::ThermalGrid::default_step_kernel();
+}
+
+}  // namespace
+
+CompileRig::CompileRig(machine::MachineConfig config, RigOptions options)
+    : config_(std::move(config)),
+      options_(options),
+      floorplan_(config_.rf),
+      grid_(floorplan_, options_.subdivision, pick_kernel(options_)),
+      power_(floorplan_.config()) {}
+
+PipelineContext CompileRig::context() const {
+  PipelineContext ctx;
+  ctx.floorplan = &floorplan_;
+  ctx.grid = &grid_;
+  ctx.power = &power_;
+  ctx.dfa_config = options_.dfa_config;
+  ctx.policy_seed = options_.policy_seed;
+  ctx.machine = &config_;
+  return ctx;
+}
+
+}  // namespace tadfa::pipeline

@@ -1,0 +1,39 @@
+#include "service/naming.hpp"
+
+#include <vector>
+
+namespace tadfa::service {
+namespace {
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string unknown_frontend_error(const std::string& name) {
+  return "unknown frontend '" + name + "' (available: " +
+         join_names(frontend::default_frontend_registry().names()) + ")";
+}
+
+std::string unknown_machine_error(const std::string& name) {
+  return "unknown machine '" + name + "' (available: " +
+         join_names(machine::default_machine_registry().names()) + ")";
+}
+
+const frontend::Frontend* resolve_frontend(const std::string& name) {
+  return frontend::find_frontend(name.empty() ? "tir" : name);
+}
+
+std::string module_text_error(const frontend::ParseResult& result) {
+  return "module text " + result.diagnostics_text();
+}
+
+}  // namespace tadfa::service

@@ -1,0 +1,43 @@
+// Frontend/machine name resolution shared by server and router.
+//
+// The router must reject exactly what a server would reject, with the
+// same error text, so a client cannot tell the two apart — these
+// helpers are the single source of that text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "frontend/frontend.hpp"
+#include "machine/machine_config.hpp"
+
+namespace tadfa::service {
+
+/// One (frontend, machine) pair's share of a server's or router's
+/// aggregate counters — metrics stay legible when one endpoint fields
+/// the whole grid.
+struct PairMetrics {
+  std::string frontend;
+  std::string machine;
+  std::uint64_t requests = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t functions = 0;
+  std::uint64_t functions_from_cache = 0;
+};
+
+/// "unknown frontend 'x' (available: tir, kernels, texpr)".
+std::string unknown_frontend_error(const std::string& name);
+
+/// "unknown machine 'x' (available: default, small, ...)".
+std::string unknown_machine_error(const std::string& name);
+
+/// The frontend for a request's (possibly empty) frontend field: empty
+/// means "tir" (the pre-v5 behavior). nullptr when unknown.
+const frontend::Frontend* resolve_frontend(const std::string& name);
+
+/// Formats a failed parse for the request-level error response:
+/// "module text line 3: ..." for positioned diagnostics (byte-identical
+/// to the pre-seam .tir error text), "module text: ..." otherwise.
+std::string module_text_error(const frontend::ParseResult& result);
+
+}  // namespace tadfa::service

@@ -143,6 +143,8 @@ void CompileRequest::serialize(ByteWriter& w) const {
   }
   w.str(module_text);
   w.boolean(edit_aware);
+  w.str(frontend);
+  w.str(machine);
 }
 
 std::optional<CompileRequest> CompileRequest::deserialize(ByteReader& r) {
@@ -159,6 +161,8 @@ std::optional<CompileRequest> CompileRequest::deserialize(ByteReader& r) {
   }
   request.module_text = r.str();
   request.edit_aware = r.boolean();
+  request.frontend = r.str();
+  request.machine = r.str();
   if (!r.ok() || r.remaining() != 0) {
     return std::nullopt;
   }

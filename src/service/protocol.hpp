@@ -48,7 +48,12 @@ constexpr std::uint32_t kFrameMagic = 0x41464454u;
 /// v4: CompileRequest grew the edit_aware flag; FunctionResult grew the
 /// per-function invalidation reason + via path (dependency-edge
 /// invalidation), so a client can see *why* each function recompiled.
-constexpr std::uint32_t kProtocolVersion = 4;
+/// v5: CompileRequest grew the frontend + machine names (the frontend
+/// seam and the machine matrix). Empty strings keep v4 semantics —
+/// module text is canonical .tir, compiled on the server's default
+/// machine — and unknown names get a structured kError naming the
+/// available choices; a v4 peer still gets the version-mismatch frame.
+constexpr std::uint32_t kProtocolVersion = 5;
 /// Upper bound on a single frame's payload (64 MiB). A length prefix
 /// beyond this is treated as a framing error, not an allocation.
 constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
@@ -92,6 +97,14 @@ struct CompileRequest {
   /// cached dependency graph and reports per-function invalidation
   /// reasons (requires a server-side cache to have any effect).
   bool edit_aware = false;
+  /// v5: frontend that parses module_text (frontend::FrontendRegistry
+  /// name). Empty means "tir" — the v4 behavior. Unknown names are
+  /// answered with a structured kError listing the registry.
+  std::string frontend;
+  /// v5: named machine config to compile on (machine::MachineRegistry
+  /// name). Empty means the server's own default machine. Unknown names
+  /// are answered with a structured kError listing the registry.
+  std::string machine;
 
   void serialize(ByteWriter& w) const;
   /// nullopt on any truncation or implausibility.

@@ -14,9 +14,9 @@
 #include <sstream>
 #include <utility>
 
-#include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "service/naming.hpp"
 #include "support/statistics.hpp"
 #include "workload/kernels.hpp"
 
@@ -213,8 +213,12 @@ void Router::handle_connection(int fd) {
       }
       continue;
     }
-    CompileResponse response = route_request(std::move(*request));
-    record_request(response, ms_since(accepted));
+    std::string frontend_label;
+    std::string machine_label;
+    CompileResponse response =
+        route_request(std::move(*request), &frontend_label, &machine_label);
+    record_request(response, ms_since(accepted), frontend_label,
+                   machine_label);
     if (!write_response(fd, response, &io_error)) {
       break;
     }
@@ -222,10 +226,19 @@ void Router::handle_connection(int fd) {
 }
 
 std::optional<CompileResponse> Router::resolve(
-    const CompileRequest& request, std::vector<RoutedFunction>* out) {
+    const CompileRequest& request, std::vector<RoutedFunction>* out,
+    std::string* frontend, std::string* machine) {
   // Mirror CompileServer::resolve exactly: the router must reject what
   // a server would reject, with the same error text, so a client cannot
   // tell the two apart.
+  const frontend::Frontend* fe = resolve_frontend(request.frontend);
+  if (fe == nullptr) {
+    return error_response(unknown_frontend_error(request.frontend));
+  }
+  if (!request.machine.empty() &&
+      machine::find_machine(request.machine) == nullptr) {
+    return error_response(unknown_machine_error(request.machine));
+  }
   std::set<std::string> names;
   std::vector<RoutedFunction> routed;
   for (const std::string& name : request.kernels) {
@@ -243,14 +256,11 @@ std::optional<CompileResponse> Router::resolve(
     routed.push_back(std::move(rf));
   }
   if (!request.module_text.empty()) {
-    ir::ParseError parse_error;
-    auto module = ir::parse_module(request.module_text, &parse_error);
-    if (!module.has_value()) {
-      return error_response("module text line " +
-                            std::to_string(parse_error.line) + ": " +
-                            parse_error.message);
+    frontend::ParseResult parsed = fe->parse(request.module_text);
+    if (!parsed.ok()) {
+      return error_response(module_text_error(parsed));
     }
-    for (ir::Function& func : module->functions()) {
+    for (ir::Function& func : parsed.module->functions()) {
       if (!names.insert(func.name()).second) {
         return error_response("duplicate function name '" + func.name() +
                               "' in request");
@@ -279,12 +289,20 @@ std::optional<CompileResponse> Router::resolve(
         policy_->shard_for(routed[i].fingerprint, shards_.size());
   }
   *out = std::move(routed);
+  if (frontend != nullptr) {
+    *frontend = fe->name();
+  }
+  if (machine != nullptr) {
+    *machine = request.machine.empty() ? "default" : request.machine;
+  }
   return std::nullopt;
 }
 
-CompileResponse Router::route_request(CompileRequest request) {
+CompileResponse Router::route_request(CompileRequest request,
+                                      std::string* frontend,
+                                      std::string* machine) {
   std::vector<RoutedFunction> routed;
-  if (auto immediate = resolve(request, &routed)) {
+  if (auto immediate = resolve(request, &routed, frontend, machine)) {
     return std::move(*immediate);
   }
 
@@ -309,6 +327,11 @@ CompileResponse Router::route_request(CompileRequest request) {
     slice.sub.spec = request.spec;
     slice.sub.checkpoints = request.checkpoints;
     slice.sub.analysis_cache = request.analysis_cache;
+    // v5: the machine name forwards verbatim (each shard stands up the
+    // same registry machine); the frontend does not — module-text
+    // slices are re-printed canonical .tir regardless of what language
+    // the client wrote.
+    slice.sub.machine = request.machine;
     for (const RoutedFunction& rf : routed) {
       if (rf.shard != shard || !rf.kernel.empty()) {
         continue;
@@ -556,7 +579,8 @@ std::optional<CompileResponse> Router::forward(std::size_t shard_index,
 }
 
 void Router::record_request(const CompileResponse& response,
-                            double latency_ms) {
+                            double latency_ms, const std::string& frontend,
+                            const std::string& machine) {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   ++requests_;
   if (response.ok) {
@@ -565,6 +589,17 @@ void Router::record_request(const CompileResponse& response,
     ++requests_busy_;
   } else {
     ++requests_failed_;
+  }
+  if (!frontend.empty() && !machine.empty()) {
+    PairMetrics& pair = pair_metrics_[{frontend, machine}];
+    pair.frontend = frontend;
+    pair.machine = machine;
+    ++pair.requests;
+    if (response.ok) {
+      ++pair.requests_ok;
+    }
+    pair.functions += response.functions.size();
+    pair.functions_from_cache += response.cache_hits();
   }
   functions_ += response.functions.size();
   if (latencies_ms_.size() < kLatencyWindow) {
@@ -611,6 +646,9 @@ RouterMetrics Router::metrics() const {
       m.latency_p95_ms = stats::percentile(latencies_ms_, 95.0);
       m.latency_p99_ms = stats::percentile(latencies_ms_, 99.0);
     }
+    for (const auto& [key, pair] : pair_metrics_) {
+      m.pairs.push_back(pair);
+    }
   }
   const double up = m.uptime_seconds > 0 ? m.uptime_seconds : 1e-12;
   m.requests_per_sec = static_cast<double>(m.requests) / up;
@@ -642,6 +680,11 @@ TextTable Router::metrics_table(const std::string& title) const {
   table.add_row({"latency p50 ms", TextTable::num(m.latency_p50_ms, 2)});
   table.add_row({"latency p95 ms", TextTable::num(m.latency_p95_ms, 2)});
   table.add_row({"latency p99 ms", TextTable::num(m.latency_p99_ms, 2)});
+  for (const PairMetrics& pair : m.pairs) {
+    const std::string label = pair.frontend + "/" + pair.machine;
+    table.add_row({label + " requests", std::to_string(pair.requests)});
+    table.add_row({label + " functions", std::to_string(pair.functions)});
+  }
   for (std::size_t i = 0; i < m.shards.size(); ++i) {
     const ShardMetrics& s = m.shards[i];
     const std::string prefix = "shard " + std::to_string(i) + " ";
@@ -676,7 +719,19 @@ std::string Router::metrics_json() const {
        << "  \"split_requests\": " << m.split_requests << ",\n"
        << "  \"latency_p50_ms\": " << m.latency_p50_ms << ",\n"
        << "  \"latency_p95_ms\": " << m.latency_p95_ms << ",\n"
-       << "  \"latency_p99_ms\": " << m.latency_p99_ms << ",\n"
+       << "  \"latency_p99_ms\": " << m.latency_p99_ms << ",\n";
+  json << "  \"pairs\": [";
+  for (std::size_t i = 0; i < m.pairs.size(); ++i) {
+    const PairMetrics& pair = m.pairs[i];
+    json << (i == 0 ? "" : ", ") << "{\"frontend\": \"" << pair.frontend
+         << "\", \"machine\": \"" << pair.machine
+         << "\", \"requests\": " << pair.requests
+         << ", \"requests_ok\": " << pair.requests_ok
+         << ", \"functions\": " << pair.functions
+         << ", \"functions_from_cache\": " << pair.functions_from_cache
+         << "}";
+  }
+  json << "],\n"
        << "  \"shards\": [";
   for (std::size_t i = 0; i < m.shards.size(); ++i) {
     const ShardMetrics& s = m.shards[i];

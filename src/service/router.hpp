@@ -36,14 +36,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "ir/function.hpp"
+#include "service/naming.hpp"
 #include "service/protocol.hpp"
 #include "service/transport.hpp"
 #include "support/table.hpp"
@@ -150,6 +153,10 @@ struct RouterMetrics {
   double latency_p95_ms = 0;
   double latency_p99_ms = 0;
   std::vector<ShardMetrics> shards;
+  /// Per-(frontend, machine) breakdown of resolved requests, sorted by
+  /// (frontend, machine) — an empty request machine is labeled
+  /// "default", matching what a default-context shard resolves it to.
+  std::vector<PairMetrics> pairs;
 };
 
 class Router {
@@ -212,11 +219,17 @@ class Router {
   void handle_connection(int fd);
   /// The whole forwarding pipeline for one decoded request: resolve,
   /// fingerprint, split, forward, merge. Never blocks indefinitely.
-  CompileResponse route_request(CompileRequest request);
+  /// `frontend`/`machine` receive the resolved pair labels (untouched
+  /// when resolution fails).
+  CompileResponse route_request(CompileRequest request, std::string* frontend,
+                                std::string* machine);
   /// Resolves request functions exactly as a server would; nullopt on
-  /// success with `out` filled, otherwise a ready error response.
+  /// success with `out` and the pair labels filled, otherwise a ready
+  /// error response.
   std::optional<CompileResponse> resolve(const CompileRequest& request,
-                                         std::vector<RoutedFunction>* out);
+                                         std::vector<RoutedFunction>* out,
+                                         std::string* frontend,
+                                         std::string* machine);
   /// Sends `sub` to shard `shard` over its pooled connection (dialing
   /// or re-dialing as needed, one retry after a dropped connection).
   /// nullopt when the shard is unreachable.
@@ -225,7 +238,8 @@ class Router {
                                          std::size_t function_count,
                                          bool routed_around);
 
-  void record_request(const CompileResponse& response, double latency_ms);
+  void record_request(const CompileResponse& response, double latency_ms,
+                      const std::string& frontend, const std::string& machine);
   void record_malformed();
   void record_timeout();
   void record_version_mismatch();
@@ -249,6 +263,8 @@ class Router {
   std::uint64_t version_mismatches_ = 0;
   std::uint64_t functions_ = 0;
   std::uint64_t split_requests_ = 0;
+  /// Per-(frontend, machine) counters for resolved requests.
+  std::map<std::pair<std::string, std::string>, PairMetrics> pair_metrics_;
   static constexpr std::size_t kLatencyWindow = 4096;
   std::vector<double> latencies_ms_;
   std::size_t latency_next_ = 0;

@@ -10,10 +10,13 @@
 #include <sstream>
 #include <utility>
 
-#include "ir/parser.hpp"
+#include "frontend/frontend.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "machine/machine_config.hpp"
+#include "pipeline/rig.hpp"
 #include "pipeline/spec.hpp"
+#include "service/naming.hpp"
 #include "support/statistics.hpp"
 #include "workload/kernels.hpp"
 
@@ -48,13 +51,51 @@ struct CompileServer::Group {
   std::vector<std::size_t> counts;
 };
 
+/// A lazily-built rig + driver for requests naming a machine other than
+/// the one the server was constructed around. The rig member must
+/// precede the driver: the driver's context points into the rig.
+struct CompileServer::MachineDriver {
+  pipeline::CompileRig rig;
+  pipeline::CompilationDriver driver;
+  MachineDriver(machine::MachineConfig config, pipeline::RigOptions options)
+      : rig(std::move(config), std::move(options)), driver(rig.context()) {}
+};
+
 CompileServer::CompileServer(pipeline::PipelineContext ctx,
                              ServerConfig config)
-    : config_(std::move(config)), driver_(ctx) {
+    : config_(std::move(config)),
+      base_ctx_(ctx),
+      base_machine_(ctx.machine != nullptr ? ctx.machine->name : "default"),
+      driver_(base_ctx_) {
   driver_.set_jobs(config_.jobs);
 }
 
 CompileServer::~CompileServer() { shutdown(); }
+
+pipeline::CompilationDriver& CompileServer::driver_for(
+    const std::string& machine) {
+  if (machine.empty() || machine == base_machine_) {
+    return driver_;
+  }
+  auto it = machine_drivers_.find(machine);
+  if (it == machine_drivers_.end()) {
+    // resolve() only admits registry names, so the lookup cannot miss.
+    const machine::MachineConfig* config = machine::find_machine(machine);
+    pipeline::RigOptions options;
+    options.subdivision = base_ctx_.grid->subdivision();
+    options.step_kernel = base_ctx_.grid->step_kernel();
+    options.dfa_config = base_ctx_.dfa_config;
+    options.policy_seed = base_ctx_.policy_seed;
+    auto built = std::make_unique<MachineDriver>(*config, options);
+    built->driver.set_jobs(config_.jobs);
+    if (cache_.has_value()) {
+      built->driver.set_result_cache(&*cache_);
+      built->driver.set_stage_policy(config_.stage_policy);
+    }
+    it = machine_drivers_.emplace(machine, std::move(built)).first;
+  }
+  return it->second->driver;
+}
 
 bool CompileServer::start() {
   if (started_) {
@@ -178,9 +219,13 @@ void CompileServer::handle_connection(int fd) {
 
     std::unique_ptr<Pending> pending;
     CompileResponse response;
+    std::string frontend_label;
+    std::string machine_label;
     if (auto immediate = resolve(std::move(*request), &pending)) {
       response = std::move(*immediate);
     } else {
+      frontend_label = pending->frontend;
+      machine_label = pending->machine;
       pending->accepted = accepted;
       std::future<CompileResponse> future;
       if (auto shed = admit(std::move(pending), &future)) {
@@ -189,7 +234,8 @@ void CompileServer::handle_connection(int fd) {
         response = future.get();
       }
     }
-    record_request(response, ms_since(accepted));
+    record_request(response, ms_since(accepted), frontend_label,
+                   machine_label);
     if (!write_response(fd, response, &io_error)) {
       break;
     }
@@ -228,12 +274,27 @@ std::optional<CompileResponse> CompileServer::resolve(
                           pipeline::format_spec_error(spec_error));
   }
 
+  // v5: resolve the frontend and machine names before touching any
+  // payload — an unknown name is a structured error, never a fallback.
+  const frontend::Frontend* fe = resolve_frontend(request.frontend);
+  if (fe == nullptr) {
+    return error_response(unknown_frontend_error(request.frontend));
+  }
+  const std::string machine_name =
+      request.machine.empty() ? base_machine_ : request.machine;
+  if (machine_name != base_machine_ &&
+      machine::find_machine(machine_name) == nullptr) {
+    return error_response(unknown_machine_error(request.machine));
+  }
+
   auto pending = std::make_unique<Pending>();
   pending->passes = std::move(*passes);
   pending->canonical_spec = pipeline::spec_to_string(pending->passes);
   pending->checkpoints = request.checkpoints;
   pending->analysis_cache = request.analysis_cache;
   pending->edit_aware = request.edit_aware;
+  pending->frontend = fe->name();
+  pending->machine = machine_name;
 
   std::set<std::string> names;
   for (const std::string& name : request.kernels) {
@@ -248,21 +309,21 @@ std::optional<CompileResponse> CompileServer::resolve(
     pending->functions.push_back(std::move(kernel->func));
   }
   if (!request.module_text.empty()) {
-    ir::ParseError parse_error;
-    auto module = ir::parse_module(request.module_text, &parse_error);
-    if (!module.has_value()) {
-      return error_response("module text line " +
-                            std::to_string(parse_error.line) + ": " +
-                            parse_error.message);
+    frontend::ParseResult parsed = fe->parse(request.module_text);
+    if (!parsed.ok()) {
+      // For the tir frontend this reproduces the pre-v5 error text
+      // ("module text line N: message") byte for byte.
+      return error_response(module_text_error(parsed));
     }
-    for (ir::Function& func : module->functions()) {
+    ir::Module& module = *parsed.module;
+    for (ir::Function& func : module.functions()) {
       if (!names.insert(func.name()).second) {
         return error_response("duplicate function name '" + func.name() +
                               "' in request");
       }
       pending->functions.push_back(std::move(func));
     }
-    pending->references = module->references();
+    pending->references = module.references();
   }
   if (pending->functions.empty()) {
     return error_response("empty request: no kernels and no module text");
@@ -352,10 +413,13 @@ void CompileServer::process_batch_unguarded(
   // with and whose function budget it fits; otherwise it opens one.
   std::vector<Group> groups;
   for (auto& pending : batch) {
+    // v5: the machine joins the key — members of one group all compile
+    // on the same driver, so mixed-machine batching would be a lie.
     const std::string key = pending->canonical_spec + '\x01' +
                             (pending->checkpoints ? '1' : '0') +
                             (pending->analysis_cache ? '1' : '0') +
-                            (pending->edit_aware ? '1' : '0');
+                            (pending->edit_aware ? '1' : '0') + '\x01' +
+                            pending->machine;
     Group* target = nullptr;
     for (Group& group : groups) {
       if (pending->edit_aware || group.exclusive || group.key != key ||
@@ -408,14 +472,15 @@ void CompileServer::process_batch_unguarded(
 
 void CompileServer::compile_group(Group& group) {
   Pending& lead = *group.members.front();
-  driver_.set_checkpoints(lead.checkpoints);
-  driver_.set_analysis_caching(lead.analysis_cache);
-  driver_.set_edit_aware(lead.edit_aware);
+  pipeline::CompilationDriver& driver = driver_for(lead.machine);
+  driver.set_checkpoints(lead.checkpoints);
+  driver.set_analysis_caching(lead.analysis_cache);
+  driver.set_edit_aware(lead.edit_aware);
 
   pipeline::ModulePipelineResult result;
   std::string failure;
   try {
-    result = driver_.compile(group.module, lead.passes);
+    result = driver.compile(group.module, lead.passes);
   } catch (const std::exception& e) {
     failure = std::string("uncaught exception: ") + e.what();
   } catch (...) {
@@ -478,7 +543,9 @@ void CompileServer::compile_group(Group& group) {
 }
 
 void CompileServer::record_request(const CompileResponse& response,
-                                   double latency_ms) {
+                                   double latency_ms,
+                                   const std::string& frontend,
+                                   const std::string& machine) {
   std::lock_guard<std::mutex> lock(metrics_mu_);
   ++requests_;
   if (response.ok) {
@@ -487,6 +554,17 @@ void CompileServer::record_request(const CompileResponse& response,
     ++requests_busy_;
   } else {
     ++requests_failed_;
+  }
+  if (!frontend.empty() && !machine.empty()) {
+    PairMetrics& pair = pair_metrics_[{frontend, machine}];
+    pair.frontend = frontend;
+    pair.machine = machine;
+    ++pair.requests;
+    if (response.ok) {
+      ++pair.requests_ok;
+    }
+    pair.functions += response.functions.size();
+    pair.functions_from_cache += response.cache_hits();
   }
   functions_ += response.functions.size();
   functions_from_cache_ += response.cache_hits();
@@ -544,6 +622,9 @@ ServerMetrics CompileServer::metrics() const {
       m.latency_p95_ms = stats::percentile(latencies_ms_, 95.0);
       m.latency_p99_ms = stats::percentile(latencies_ms_, 99.0);
     }
+    for (const auto& [key, pair] : pair_metrics_) {
+      m.pairs.push_back(pair);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -595,6 +676,11 @@ TextTable CompileServer::metrics_table(const std::string& title) const {
   table.add_row({"latency p50 ms", TextTable::num(m.latency_p50_ms, 2)});
   table.add_row({"latency p95 ms", TextTable::num(m.latency_p95_ms, 2)});
   table.add_row({"latency p99 ms", TextTable::num(m.latency_p99_ms, 2)});
+  for (const PairMetrics& pair : m.pairs) {
+    const std::string label = pair.frontend + "/" + pair.machine;
+    table.add_row({label + " requests", std::to_string(pair.requests)});
+    table.add_row({label + " functions", std::to_string(pair.functions)});
+  }
   if (m.cache_attached) {
     table.add_row({"cache hits", std::to_string(m.cache.hits)});
     table.add_row({"cache misses", std::to_string(m.cache.misses)});
@@ -637,7 +723,19 @@ std::string CompileServer::metrics_json() const {
        << "  \"queue_peak\": " << m.queue_peak << ",\n"
        << "  \"latency_p50_ms\": " << m.latency_p50_ms << ",\n"
        << "  \"latency_p95_ms\": " << m.latency_p95_ms << ",\n"
-       << "  \"latency_p99_ms\": " << m.latency_p99_ms << ",\n"
+       << "  \"latency_p99_ms\": " << m.latency_p99_ms << ",\n";
+  json << "  \"pairs\": [";
+  for (std::size_t i = 0; i < m.pairs.size(); ++i) {
+    const PairMetrics& pair = m.pairs[i];
+    json << (i == 0 ? "" : ", ") << "{\"frontend\": \"" << pair.frontend
+         << "\", \"machine\": \"" << pair.machine
+         << "\", \"requests\": " << pair.requests
+         << ", \"requests_ok\": " << pair.requests_ok
+         << ", \"functions\": " << pair.functions
+         << ", \"functions_from_cache\": " << pair.functions_from_cache
+         << "}";
+  }
+  json << "],\n"
        << "  \"cache_attached\": " << (m.cache_attached ? "true" : "false");
   if (m.cache_attached) {
     json << ",\n  \"cache\": {\n"

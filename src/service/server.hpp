@@ -51,8 +51,11 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "pipeline/driver.hpp"
 #include "pipeline/result_cache.hpp"
+#include "service/naming.hpp"
 #include "service/protocol.hpp"
 #include "service/transport.hpp"
 #include "support/table.hpp"
@@ -135,6 +138,10 @@ struct ServerMetrics {
   double warm_hit_rate = 0;
   bool cache_attached = false;
   pipeline::ResultCacheStats cache;
+  /// Per-(frontend, machine) breakdown of resolved requests, sorted by
+  /// (frontend, machine). Requests rejected before resolution (bad
+  /// frame, unknown frontend/machine name) appear only in the totals.
+  std::vector<PairMetrics> pairs;
 };
 
 class CompileServer {
@@ -187,6 +194,11 @@ class CompileServer {
     /// strangers would change the module slot the dependency graph is
     /// keyed by, making every resubmit look like a first compile.
     bool edit_aware = false;
+    /// v5: resolved frontend name (module text already parsed by it;
+    /// kept for the per-pair metrics) and resolved machine name (picks
+    /// the driver the group compiles on, so it joins the group key).
+    std::string frontend;
+    std::string machine;
     std::chrono::steady_clock::time_point accepted;
     /// Fulfilled by the dispatcher; the handler blocks on it. Always
     /// set exactly once (respond() guards), or the handler would wait
@@ -220,13 +232,28 @@ class CompileServer {
   std::optional<CompileResponse> admit(std::unique_ptr<Pending> pending,
                                        std::future<CompileResponse>* future);
 
-  void record_request(const CompileResponse& response, double latency_ms);
+  /// The driver for a resolved machine name: the base driver for the
+  /// context the server was constructed with, otherwise a lazily-built
+  /// rig + driver for that registry machine (sharing the cache and job
+  /// settings). Dispatcher thread only.
+  pipeline::CompilationDriver& driver_for(const std::string& machine);
+
+  void record_request(const CompileResponse& response, double latency_ms,
+                      const std::string& frontend, const std::string& machine);
   void record_malformed();
   void record_timeout();
   void record_version_mismatch();
 
   ServerConfig config_;
+  pipeline::PipelineContext base_ctx_;
+  /// Machine name the base context answers for (its MachineConfig's
+  /// name, or "default" for hand-assembled contexts).
+  std::string base_machine_;
   pipeline::CompilationDriver driver_;
+  /// Lazily-built rigs for requests naming other machines, keyed by
+  /// machine name. Dispatcher thread only (compiles are serialized).
+  struct MachineDriver;
+  std::map<std::string, std::unique_ptr<MachineDriver>> machine_drivers_;
   std::optional<pipeline::ResultCache> cache_;
   std::string error_;
 
@@ -257,6 +284,8 @@ class CompileServer {
   std::uint64_t batches_ = 0;
   std::uint64_t batched_functions_ = 0;
   std::uint64_t max_batch_functions_ = 0;
+  /// Per-(frontend, machine) counters for resolved requests.
+  std::map<std::pair<std::string, std::string>, PairMetrics> pair_metrics_;
   /// Latency ring (most recent kLatencyWindow samples).
   static constexpr std::size_t kLatencyWindow = 4096;
   std::vector<double> latencies_ms_;

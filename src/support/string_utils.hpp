@@ -19,6 +19,9 @@ std::string_view trim(std::string_view s);
 /// True if `s` begins with `prefix`.
 bool starts_with(std::string_view s, std::string_view prefix);
 
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
 /// Joins items with a separator.
 std::string join(const std::vector<std::string>& items,
                  std::string_view separator);

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <set>
+#include <string>
 
 #include "machine/assignment.hpp"
 #include "machine/floorplan.hpp"
+#include "machine/machine_config.hpp"
 #include "machine/technology.hpp"
 #include "machine/timing.hpp"
 
@@ -202,6 +205,98 @@ TEST(Assignment, CoversChecksAllAppearances) {
   EXPECT_FALSE(a.covers(f));
   a.assign(1, 1);
   EXPECT_TRUE(a.covers(f));
+}
+
+// ---------------------------------------------------------------- digests ----
+
+/// One digest-sensitivity case: perturb a single field of the config
+/// that cache keys are derived from. Every field the thermal and power
+/// models read must flip the digest, or a stale cache entry computed
+/// under the old value would satisfy a lookup under the new one.
+struct DigestCase {
+  const char* field;
+  void (*perturb)(RegisterFileConfig&);
+};
+
+const DigestCase kDigestCases[] = {
+    {"num_registers", [](RegisterFileConfig& c) { c.num_registers *= 2; }},
+    {"rows", [](RegisterFileConfig& c) { c.rows *= 2; }},
+    {"cols", [](RegisterFileConfig& c) { c.cols *= 2; }},
+    {"banks", [](RegisterFileConfig& c) { c.banks *= 2; }},
+    {"cell_width_m", [](RegisterFileConfig& c) { c.tech.cell_width_m *= 1.5; }},
+    {"cell_height_m",
+     [](RegisterFileConfig& c) { c.tech.cell_height_m *= 1.5; }},
+    {"die_thickness_m",
+     [](RegisterFileConfig& c) { c.tech.die_thickness_m *= 1.5; }},
+    {"read_energy_j",
+     [](RegisterFileConfig& c) { c.tech.read_energy_j *= 1.5; }},
+    {"write_energy_j",
+     [](RegisterFileConfig& c) { c.tech.write_energy_j *= 1.5; }},
+    {"memory_access_energy_j",
+     [](RegisterFileConfig& c) { c.tech.memory_access_energy_j *= 1.5; }},
+    {"leakage_ref_w",
+     [](RegisterFileConfig& c) { c.tech.leakage_ref_w *= 1.5; }},
+    {"leakage_temp_coeff",
+     [](RegisterFileConfig& c) { c.tech.leakage_temp_coeff *= 1.5; }},
+    {"leakage_ref_temp_k",
+     [](RegisterFileConfig& c) { c.tech.leakage_ref_temp_k += 5.0; }},
+    {"silicon_conductivity",
+     [](RegisterFileConfig& c) { c.tech.silicon_conductivity *= 1.5; }},
+    {"silicon_volumetric_heat",
+     [](RegisterFileConfig& c) { c.tech.silicon_volumetric_heat *= 1.5; }},
+    {"vertical_resistance_scale",
+     [](RegisterFileConfig& c) { c.tech.vertical_resistance_scale *= 1.5; }},
+    {"substrate_temp_k",
+     [](RegisterFileConfig& c) { c.tech.substrate_temp_k += 5.0; }},
+    {"ambient_temp_k",
+     [](RegisterFileConfig& c) { c.tech.ambient_temp_k += 5.0; }},
+    {"clock_hz", [](RegisterFileConfig& c) { c.tech.clock_hz *= 1.5; }},
+};
+
+TEST(ConfigDigest, EveryFieldPerturbationFlipsTheDigest) {
+  const std::uint64_t base =
+      RegisterFileConfig::default_config().config_digest();
+  EXPECT_EQ(RegisterFileConfig::default_config().config_digest(), base);
+
+  std::map<std::uint64_t, const char*> seen;
+  seen[base] = "(base)";
+  for (const DigestCase& c : kDigestCases) {
+    RegisterFileConfig cfg = RegisterFileConfig::default_config();
+    c.perturb(cfg);
+    const std::uint64_t digest = cfg.config_digest();
+    EXPECT_NE(digest, base) << c.field << " is not folded into the digest";
+    // Pairwise distinct too: two different perturbations colliding would
+    // be as silent a cache bug as a missing field.
+    const auto [it, inserted] = seen.emplace(digest, c.field);
+    EXPECT_TRUE(inserted) << c.field << " collides with " << it->second;
+  }
+}
+
+TEST(MachineRegistryTest, NameIsNotPartOfTheDigest) {
+  // Renaming a machine must not orphan its cache entries.
+  MachineConfig a{"alpha", "", RegisterFileConfig::default_config()};
+  MachineConfig b{"omega", "", RegisterFileConfig::default_config()};
+  EXPECT_EQ(a.config_digest(), b.config_digest());
+  EXPECT_EQ(a.config_digest(),
+            RegisterFileConfig::default_config().config_digest());
+}
+
+TEST(MachineRegistryTest, EntriesAreValidNamedAndDigestDistinct) {
+  const MachineRegistry& reg = default_machine_registry();
+  ASSERT_GE(reg.entries().size(), 4u);
+  EXPECT_NE(reg.find("default"), nullptr);
+  EXPECT_EQ(reg.find("missing-machine"), nullptr);
+
+  std::map<std::uint64_t, std::string> seen;
+  for (const MachineConfig& mc : reg.entries()) {
+    EXPECT_TRUE(mc.valid()) << mc.name;
+    EXPECT_FALSE(mc.description.empty()) << mc.name;
+    ASSERT_EQ(reg.find(mc.name), &mc);
+    const auto [it, inserted] = seen.emplace(mc.config_digest(), mc.name);
+    EXPECT_TRUE(inserted) << mc.name << " shares a digest with "
+                          << it->second;
+  }
+  EXPECT_EQ(reg.names().size(), reg.entries().size());
 }
 
 }  // namespace

@@ -5,7 +5,13 @@ Each BENCH_*.json the benches emit (see bench/*.cpp) is one headline
 record: {"bench": ..., "config": {...}, <metrics...>, "git_sha": ...}.
 This tool appends those records to a JSON-Lines history file keyed by
 git sha and compares each new record against the most recent entry for
-the same bench, printing a warning when a headline metric regressed.
+the same (bench, config) pair, printing a warning when a headline
+metric regressed. The config is part of the key because the benches now
+run across the machine matrix: a throughput record measured on
+machine "dense45" must never be judged against a "default" baseline —
+those are different hardware models, not a regression. The config is
+canonicalized (sorted keys) before keying, so key order in the artifact
+doesn't split history.
 
 The comparison is warn-only by default: CI runners are shared hardware,
 so absolute numbers jitter run to run and across runner generations. A
@@ -61,6 +67,20 @@ def load_history(path):
     except FileNotFoundError:
         pass
     return records
+
+
+def config_key(record):
+    """Canonical text of the record's config: the comparison key half.
+
+    json.dumps with sorted keys, so {"a": 1, "b": 2} and {"b": 2, "a": 1}
+    share one history lane; a missing config is its own lane (None).
+    """
+    return json.dumps(record.get("config"), sort_keys=True)
+
+
+def history_key(record):
+    """(bench, canonical config): one comparison lane per pair."""
+    return (record.get("bench", "?"), config_key(record))
 
 
 def headline_metrics(record):
@@ -148,10 +168,10 @@ def main(argv):
             return 2
 
     history = load_history(args.history)
-    last_by_bench = {}
+    last_by_key = {}
     for record in history:
         if "bench" in record:
-            last_by_bench[record["bench"]] = record
+            last_by_key[history_key(record)] = record
 
     appended = []
     failures = []
@@ -165,7 +185,7 @@ def main(argv):
         if args.git_sha:
             record["git_sha"] = args.git_sha
         name = record.get("bench", "?")
-        previous = last_by_bench.get(name)
+        previous = last_by_key.get(history_key(record))
         if previous is not None:
             failures.extend(
                 compare(
@@ -177,8 +197,12 @@ def main(argv):
                 )
             )
         else:
-            print(f"note: {name}: no prior history entry; baseline recorded")
+            print(
+                f"note: {name}: no prior history entry for this config; "
+                "baseline recorded"
+            )
         appended.append(record)
+        last_by_key[history_key(record)] = record
 
     with open(args.history, "a", encoding="utf-8") as handle:
         for record in appended:

@@ -10,6 +10,7 @@
 //   tadfa --pipeline="cse,dce,alloc=linear:farthest_spread" fir
 //   tadfa --pipeline="alloc=linear:first_free,thermal-dfa,nops=3" my.tir
 //   tadfa --jobs=8 crc32 fir matmul suite.tir
+//   tadfa --frontend=texpr --machine=dense45 prog.texpr
 //   tadfa serve --socket=/tmp/tadfa.sock --cache-dir=/var/cache/tadfa
 //   tadfa serve --tcp=127.0.0.1:7411 --max-queue=64
 //   tadfa route --socket=/tmp/router.sock --shard=unix:/tmp/s0.sock \
@@ -28,12 +29,14 @@
 #include <thread>
 #include <vector>
 
-#include "ir/parser.hpp"
+#include "frontend/frontend.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "machine/machine_config.hpp"
 #include "pipeline/driver.hpp"
 #include "pipeline/pass_manager.hpp"
 #include "pipeline/result_cache.hpp"
+#include "pipeline/rig.hpp"
 #include "power/access_trace.hpp"
 #include "service/protocol.hpp"
 #include "service/router.hpp"
@@ -80,16 +83,30 @@ struct Options {
   unsigned stage_every = 0;
   unsigned subdivision = 1;
   bool strict_math = false;
+  /// Empty = auto-detect per input (kernel name, .texpr extension, else
+  /// .tir); a named frontend parses every input.
+  std::string frontend;
+  std::string machine = "default";
 };
 
-/// Grid for a compile run: --strict-math pins the bit-identical reference
-/// kernel; otherwise the build's default tier applies.
-thermal::ThermalGrid make_grid(const machine::Floorplan& fp,
-                               unsigned subdivision, bool strict_math) {
-  const thermal::StepKernel kernel =
-      strict_math ? thermal::StepKernel::kReference
-                  : thermal::ThermalGrid::default_step_kernel();
-  return thermal::ThermalGrid(fp, subdivision, kernel);
+void print_frontends() {
+  TextTable table("available frontends");
+  table.set_header({"frontend", "description"});
+  for (const auto& fe : frontend::default_frontend_registry().entries()) {
+    table.add_row({fe->name(), fe->describe()});
+  }
+  table.print(std::cout);
+}
+
+void print_machines() {
+  TextTable table("available machines");
+  table.set_header({"machine", "registers", "banks", "description"});
+  for (const machine::MachineConfig& mc :
+       machine::default_machine_registry().entries()) {
+    table.add_row({mc.name, std::to_string(mc.rf.num_registers),
+                   std::to_string(mc.rf.banks), mc.description});
+  }
+  table.print(std::cout);
 }
 
 void print_usage(std::ostream& os, const char* argv0) {
@@ -105,6 +122,11 @@ void print_usage(std::ostream& os, const char* argv0) {
       << "  --pipeline=SPEC   pass pipeline (default: the Sec. 4 flow)\n"
       << "  --baseline=SPEC   comparison pipeline (default "
       << kDefaultBaseline << "; 'none' disables)\n"
+      << "  --frontend=NAME   parse every input with a named frontend\n"
+      << "                    (default: auto-detect — kernel name, .texpr\n"
+      << "                    extension, else .tir)\n"
+      << "  --machine=NAME    named machine config to compile for\n"
+      << "                    (default 'default'; --list-machines)\n"
       << "  --args=N,N,...    kernel arguments (default: the kernel's own)\n"
       << "  --delta=K         thermal-DFA convergence threshold\n"
       << "  --max-iters=N     thermal-DFA iteration cap\n"
@@ -140,6 +162,8 @@ void print_usage(std::ostream& os, const char* argv0) {
       << "                    (implies --edit-aware)\n"
       << "  --list-passes     available passes\n"
       << "  --list-kernels    available kernels\n"
+      << "  --list-frontends  available frontends\n"
+      << "  --list-machines   available machine configs\n"
       << "  --help            print this help and exit\n";
 }
 
@@ -229,6 +253,14 @@ int run_compile(int argc, char** argv) {
       }
       return 0;
     }
+    if (arg == "--list-frontends") {
+      print_frontends();
+      return 0;
+    }
+    if (arg == "--list-machines") {
+      print_machines();
+      return 0;
+    }
     if (arg == "--no-verify") {
       opt.verify = false;
     } else if (arg == "--analysis-stats") {
@@ -263,6 +295,10 @@ int run_compile(int argc, char** argv) {
       opt.pipeline = *v;
     } else if (auto v = value("--baseline=")) {
       opt.baseline = *v;
+    } else if (auto v = value("--frontend=")) {
+      opt.frontend = *v;
+    } else if (auto v = value("--machine=")) {
+      opt.machine = *v;
     } else if (auto v = value("--args=")) {
       opt.args.clear();
       opt.args_given = true;
@@ -314,41 +350,70 @@ int run_compile(int argc, char** argv) {
     return usage(argv[0]);
   }
 
-  // Resolve every input — named kernel first, IR file second — into one
-  // module. A single-kernel invocation keeps the kernel's run metadata
-  // (args, memory init, expected result) for the measurement path.
+  const frontend::Frontend* forced = nullptr;
+  if (!opt.frontend.empty()) {
+    forced = frontend::find_frontend(opt.frontend);
+    if (forced == nullptr) {
+      std::cerr << "unknown frontend '" << opt.frontend
+                << "' (--list-frontends shows them)\n";
+      return 2;
+    }
+  }
+
+  // Resolve every input — named kernel first, source file second — into
+  // one module. A single-kernel invocation keeps the kernel's run
+  // metadata (args, memory init, expected result) for the measurement
+  // path. Without --frontend, each file picks its frontend by extension
+  // (.texpr, else .tir); with it, the named frontend parses everything,
+  // and a non-file token is handed to the frontend as source text (how
+  // `--frontend=kernels "mixed:functions=8"` works).
   ir::Module module;
   workload::Kernel kernel;
   bool have_kernel_meta = false;
   for (const std::string& input : opt.inputs) {
-    if (auto named = workload::make_kernel(input)) {
-      if (!have_kernel_meta) {
-        kernel = *named;
-        have_kernel_meta = true;
+    if (forced == nullptr) {
+      if (auto named = workload::make_kernel(input)) {
+        if (!have_kernel_meta) {
+          kernel = *named;
+          have_kernel_meta = true;
+        }
+        module.add_function(std::move(named->func));
+        continue;
       }
-      module.add_function(std::move(named->func));
-      continue;
     }
-    std::ifstream in(input);
-    if (!in) {
-      std::cerr << "'" << input
-                << "' is neither a known kernel nor a readable file "
-                   "(--list-kernels shows the kernels)\n";
+    std::string source;
+    bool from_file = false;
+    {
+      std::ifstream in(input);
+      if (in) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        source = buffer.str();
+        from_file = true;
+      }
+    }
+    const frontend::Frontend* fe = forced;
+    if (fe == nullptr) {
+      if (!from_file) {
+        std::cerr << "'" << input
+                  << "' is neither a known kernel nor a readable file "
+                     "(--list-kernels shows the kernels)\n";
+        return 1;
+      }
+      fe = frontend::find_frontend(ends_with(input, ".texpr") ? "texpr"
+                                                              : "tir");
+    } else if (!from_file) {
+      source = input;
+    }
+    frontend::ParseResult parsed = fe->parse(source);
+    if (!parsed.ok()) {
+      std::cerr << input << ": " << parsed.diagnostics_text() << "\n";
       return 1;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    ir::ParseError error;
-    auto parsed = ir::parse_module(buffer.str(), &error);
-    if (!parsed) {
-      std::cerr << input << ":" << error.line << ": " << error.message
-                << "\n";
-      return 1;
-    }
-    for (ir::Function& f : parsed->functions()) {
+    for (ir::Function& f : parsed.module->functions()) {
       module.add_function(std::move(f));
     }
-    for (const ir::ModuleReference& r : parsed->references()) {
+    for (const ir::ModuleReference& r : parsed.module->references()) {
       module.add_reference(r.from, r.to);
     }
   }
@@ -370,19 +435,21 @@ int run_compile(int argc, char** argv) {
     kernel.default_args = opt.args;
   }
 
-  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
-  const thermal::ThermalGrid grid =
-      make_grid(fp, opt.subdivision, opt.strict_math);
-  const power::PowerModel power(fp.config());
-
-  pipeline::PipelineContext ctx;
-  ctx.floorplan = &fp;
-  ctx.grid = &grid;
-  ctx.power = &power;
-  ctx.dfa_config.delta_k = opt.delta_k;
-  ctx.dfa_config.max_iterations = opt.max_iterations;
-  ctx.dfa_config.strict_math = opt.strict_math;
-  ctx.policy_seed = opt.seed;
+  const machine::MachineConfig* mc = machine::find_machine(opt.machine);
+  if (mc == nullptr) {
+    std::cerr << "unknown machine '" << opt.machine
+              << "' (--list-machines shows them)\n";
+    return 2;
+  }
+  pipeline::RigOptions rig_options;
+  rig_options.subdivision = opt.subdivision;
+  rig_options.dfa_config.delta_k = opt.delta_k;
+  rig_options.dfa_config.max_iterations = opt.max_iterations;
+  rig_options.dfa_config.strict_math = opt.strict_math;
+  rig_options.policy_seed = opt.seed;
+  const pipeline::CompileRig rig(*mc, rig_options);
+  const machine::Floorplan& fp = rig.floorplan();
+  pipeline::PipelineContext ctx = rig.context();
 
   // Module mode: several inputs (or a multi-function file) go through the
   // multi-threaded driver; measurement/heatmaps are per-function concerns
@@ -680,6 +747,9 @@ void print_serve_usage(std::ostream& os, const char* argv0) {
       << "  --delta=K            thermal-DFA convergence threshold\n"
       << "  --max-iters=N        thermal-DFA iteration cap\n"
       << "  --subdivision=N      thermal grid points per cell edge\n"
+      << "  --machine=NAME       named machine config the server compiles\n"
+      << "                       for by default (default 'default'; requests\n"
+      << "                       may name any other registry machine)\n"
       << "  --strict-math        force the bit-identical reference thermal\n"
       << "                       kernel for every request\n"
       << "  --seed=N             assignment-policy seed\n"
@@ -703,6 +773,7 @@ int run_serve(const char* argv0, int argc, char** argv) {
   std::uint64_t seed = 42;
   unsigned subdivision = 1;
   bool strict_math = false;
+  std::string machine_name = "default";
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const std::string& prefix) -> std::optional<std::string> {
@@ -779,6 +850,8 @@ int run_serve(const char* argv0, int argc, char** argv) {
         return serve_usage(argv0);
       }
       subdivision = static_cast<unsigned>(n);
+    } else if (auto v = value("--machine=")) {
+      machine_name = *v;
     } else if (arg == "--strict-math") {
       strict_math = true;
     } else if (auto v = value("--seed=")) {
@@ -798,17 +871,20 @@ int run_serve(const char* argv0, int argc, char** argv) {
     return 2;
   }
 
-  const machine::Floorplan fp(machine::RegisterFileConfig::default_config());
-  const thermal::ThermalGrid grid = make_grid(fp, subdivision, strict_math);
-  const power::PowerModel power(fp.config());
-  pipeline::PipelineContext ctx;
-  ctx.floorplan = &fp;
-  ctx.grid = &grid;
-  ctx.power = &power;
-  ctx.dfa_config.delta_k = delta_k;
-  ctx.dfa_config.max_iterations = max_iterations;
-  ctx.dfa_config.strict_math = strict_math;
-  ctx.policy_seed = seed;
+  const machine::MachineConfig* mc = machine::find_machine(machine_name);
+  if (mc == nullptr) {
+    std::cerr << "tadfa serve: unknown machine '" << machine_name
+              << "' (tadfa --list-machines shows them)\n";
+    return 2;
+  }
+  pipeline::RigOptions rig_options;
+  rig_options.subdivision = subdivision;
+  rig_options.dfa_config.delta_k = delta_k;
+  rig_options.dfa_config.max_iterations = max_iterations;
+  rig_options.dfa_config.strict_math = strict_math;
+  rig_options.policy_seed = seed;
+  const pipeline::CompileRig rig(*mc, rig_options);
+  pipeline::PipelineContext ctx = rig.context();
 
   // Block the shutdown signals before any thread exists so every server
   // thread inherits the mask; only this thread's sigtimedwait consumes
@@ -1055,6 +1131,12 @@ void print_client_usage(std::ostream& os, const char* argv0) {
       << "                       exponential backoff for S seconds (default\n"
       << "                       10; 0 = fail on the first BUSY)\n"
       << "  --pipeline=SPEC      pipeline spec (default: server's default)\n"
+      << "  --frontend=NAME      language the request's module text is in\n"
+      << "                       (default: auto-detect — texpr when every\n"
+      << "                       file input ends in .texpr, else the\n"
+      << "                       server's default, tir)\n"
+      << "  --machine=NAME       named machine config to compile for\n"
+      << "                       (default: the server's base machine)\n"
       << "  --no-verify          disable verifier checkpoints\n"
       << "  --no-analysis-cache  disable the analysis cache\n"
       << "  --min-hit-rate=P     exit 1 unless the response's cache hit\n"
@@ -1119,6 +1201,10 @@ int run_client(const char* argv0, int argc, char** argv) {
       }
     } else if (auto v = value("--pipeline=")) {
       request.spec = *v;
+    } else if (auto v = value("--frontend=")) {
+      request.frontend = *v;
+    } else if (auto v = value("--machine=")) {
+      request.machine = *v;
     } else if (arg == "--no-verify") {
       request.checkpoints = false;
     } else if (arg == "--no-analysis-cache") {
@@ -1154,7 +1240,12 @@ int run_client(const char* argv0, int argc, char** argv) {
   }
 
   // Named kernels travel by name (the server owns the suite); files
-  // travel as IR text.
+  // travel as source text in the request's frontend language. All of a
+  // request's module text is one source, so its files must agree on a
+  // language: without --frontend, texpr is inferred only when every file
+  // input ends in .texpr.
+  std::size_t file_inputs = 0;
+  std::size_t texpr_inputs = 0;
   for (const std::string& input : inputs) {
     if (workload::make_kernel(input).has_value()) {
       request.kernels.push_back(input);
@@ -1166,10 +1257,23 @@ int run_client(const char* argv0, int argc, char** argv) {
                 << "' is neither a known kernel nor a readable file\n";
       return 1;
     }
+    ++file_inputs;
+    if (ends_with(input, ".texpr")) {
+      ++texpr_inputs;
+    }
     std::ostringstream buffer;
     buffer << in.rdbuf();
     request.module_text += buffer.str();
     request.module_text += '\n';
+  }
+  if (request.frontend.empty() && file_inputs > 0) {
+    if (texpr_inputs == file_inputs) {
+      request.frontend = "texpr";
+    } else if (texpr_inputs > 0) {
+      std::cerr << "tadfa client: inputs mix .texpr and other files; pass "
+                   "--frontend=NAME to pick one language\n";
+      return 2;
+    }
   }
 
   std::string error;
